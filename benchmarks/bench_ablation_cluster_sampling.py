@@ -1,0 +1,57 @@
+"""Ablation: matrices benchmarked per cluster (the §4 worked example).
+
+*"If two matrices are benchmarked in the latter case, the likelihood of
+picking the correct label rises ... close to the upper bound set by the
+purity of the cluster."*  Sweeps the per-cluster benchmarking budget on a
+new-architecture labeling pass and reports accuracy vs the purity bound.
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.core.purity import cluster_purity
+from repro.core.semisupervised import ClusterFormatSelector
+from repro.experiments.common import TableResult
+from repro.ml.metrics import accuracy_score
+
+
+def _generate(bench_data):
+    table = TableResult(
+        table_id="Ablation A4",
+        title="Per-cluster benchmarking budget on a new architecture",
+        headers=["budget/cluster", "benchmarked", "ACC", "purity bound"],
+    )
+    # Clusters from architecture-invariant features; labels from Turing
+    # (the "new" platform being set up).
+    ds = bench_data.datasets["turing"]
+    nc = bench_data.config.nc_grid[0]
+    sel = ClusterFormatSelector("kmeans", "vote", nc, seed=0)
+    sel.fit_clusters(ds.X)
+    bound = cluster_purity(ds.labels, sel.train_assignments_)
+    for budget in (1, 2, 4, 8):
+        accs, counts = [], []
+        for seed in range(5):
+            sample = sel.sample_for_benchmarking(budget, seed=seed)
+            sel.label_clusters(ds.labels, benchmarked=sample)
+            accs.append(accuracy_score(ds.labels, sel.predict(ds.X)))
+            counts.append(len(sample))
+        table.add_row(
+            budget,
+            int(np.mean(counts)),
+            float(np.mean(accs)),
+            bound,
+        )
+    return table
+
+
+def test_ablation_cluster_sampling(benchmark, bench_data):
+    result = benchmark.pedantic(
+        _generate, args=(bench_data,), rounds=1, iterations=1
+    )
+    print_table(result)
+    accs = result.column("ACC")
+    bound = result.rows[0][3]
+    # More benchmarked matrices per cluster approach the purity bound.
+    assert accs[-1] >= accs[0] - 1e-9
+    assert accs[-1] <= bound + 1e-9
+    assert bound - accs[-1] < 0.1

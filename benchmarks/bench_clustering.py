@@ -1,0 +1,61 @@
+"""Micro-benchmarks: clustering and selector throughput.
+
+Table 9's headline is that the semi-supervised pipeline is cheap to
+(re)train; these benches time the pieces directly.
+"""
+
+from repro.core.pipeline import FeaturePipeline
+from repro.core.semisupervised import ClusterFormatSelector
+from repro.ml.cluster import Birch, KMeans, MeanShift
+
+
+def _features(bench_data):
+    ds = bench_data.datasets["volta"]
+    pipe = FeaturePipeline().fit(ds.X)
+    return ds, pipe.transform_features(ds.X)
+
+
+def test_kmeans_fit(benchmark, bench_data):
+    _, Z = _features(bench_data)
+    km = benchmark(lambda: KMeans(25, seed=0).fit(Z))
+    assert km.cluster_centers_.shape[0] == 25
+
+
+def test_meanshift_fit(benchmark, bench_data):
+    _, Z = _features(bench_data)
+    ms = benchmark(lambda: MeanShift(seed=0).fit(Z))
+    assert ms.n_clusters_ >= 1
+
+
+def test_birch_fit(benchmark, bench_data):
+    _, Z = _features(bench_data)
+    bi = benchmark(lambda: Birch(n_clusters=25, threshold=0.1).fit(Z))
+    assert bi.n_clusters_ == 25
+
+
+def test_selector_full_train(benchmark, bench_data):
+    ds = bench_data.datasets["volta"]
+
+    def train():
+        sel = ClusterFormatSelector("kmeans", "vote", 25, seed=0)
+        return sel.fit(ds.X, ds.labels)
+
+    sel = benchmark(train)
+    assert sel.n_clusters_ == 25
+
+
+def test_selector_relabel_only(benchmark, bench_data):
+    """The transfer path: clusters fixed, labels recomputed (§4)."""
+    ds = bench_data.datasets["volta"]
+    sel = ClusterFormatSelector("kmeans", "vote", 25, seed=0)
+    sel.fit_clusters(ds.X)
+    result = benchmark(sel.label_clusters, ds.labels)
+    assert len(result.cluster_labels_) == 25
+
+
+def test_selector_predict(benchmark, bench_data):
+    ds = bench_data.datasets["volta"]
+    sel = ClusterFormatSelector("kmeans", "vote", 25, seed=0)
+    sel.fit(ds.X, ds.labels)
+    pred = benchmark(sel.predict, ds.X)
+    assert pred.shape == ds.labels.shape

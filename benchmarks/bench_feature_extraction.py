@@ -1,0 +1,41 @@
+"""Micro-benchmarks: O(nnz) feature extraction and the GPU cost model.
+
+§4's efficiency claim: *"calculating these for a sparse matrix dataset is
+inexpensive"* — extraction must stay linear in nnz and fast in absolute
+terms relative to benchmarking.
+"""
+
+import numpy as np
+
+from repro.datasets.generators import random_uniform
+from repro.features import extract_features
+from repro.features.stats import compute_stats
+from repro.gpu import GPUSimulator, VOLTA
+from repro.gpu.kernels import predict_times
+
+
+def test_feature_extraction(benchmark):
+    m = random_uniform(np.random.default_rng(3), nrows=6000, density=0.003)
+    vec = benchmark(extract_features, m)
+    assert vec.shape == (21,)
+
+
+def test_structural_stats(benchmark):
+    m = random_uniform(np.random.default_rng(3), nrows=6000, density=0.003)
+    stats = benchmark(compute_stats, m)
+    assert stats.nnz == m.nnz
+
+
+def test_kernel_model_evaluation(benchmark):
+    m = random_uniform(np.random.default_rng(3), nrows=6000, density=0.003)
+    stats = compute_stats(m)
+    times = benchmark(predict_times, stats, VOLTA)
+    assert len(times) >= 3
+
+
+def test_simulated_benchmark_single_matrix(benchmark):
+    m = random_uniform(np.random.default_rng(3), nrows=6000, density=0.003)
+    stats = compute_stats(m)
+    sim = GPUSimulator(VOLTA, trials=100)
+    res = benchmark(sim.benchmark_stats, "bench", stats)
+    assert res.runnable

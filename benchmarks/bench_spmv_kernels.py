@@ -1,0 +1,38 @@
+"""Micro-benchmarks: the NumPy SpMV kernels of each storage format.
+
+Not a paper table, but the substrate the whole study rests on — these
+timings make regressions in the vectorised kernels visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import banded, power_law_rows, random_uniform
+from repro.formats import convert
+
+
+def _fixture_matrix(kind: str):
+    rng = np.random.default_rng(11)
+    if kind == "banded":
+        return banded(rng, n=4000, bandwidth=8)
+    if kind == "scattered":
+        return random_uniform(rng, nrows=4000, density=0.004)
+    return power_law_rows(
+        rng, nrows=4000, avg_nnz_per_row=12, alpha=1.8, max_over_mean=2.8
+    )
+
+
+@pytest.mark.parametrize("structure", ["banded", "scattered", "powerlaw"])
+@pytest.mark.parametrize("fmt", ["coo", "csr", "ell", "hyb", "csc"])
+def test_spmv_kernel(benchmark, structure, fmt):
+    coo = _fixture_matrix(structure)
+    matrix = convert(coo, fmt, **({"max_fill": None} if fmt == "ell" else {}))
+    x = np.random.default_rng(0).standard_normal(matrix.ncols)
+    y = benchmark(matrix.spmv, x)
+    np.testing.assert_allclose(y, coo.spmv(x), rtol=1e-9, atol=1e-9)
+
+
+def test_format_conversion_throughput(benchmark):
+    coo = _fixture_matrix("scattered")
+    result = benchmark(convert, coo, "hyb")
+    assert result.nnz == coo.nnz

@@ -1,0 +1,13 @@
+"""Table 2: architecture parameter sets (static render)."""
+
+from conftest import print_table
+
+from repro.experiments import table2
+
+
+def test_table2_architectures(benchmark, bench_data):
+    result = benchmark.pedantic(
+        table2.generate, args=(bench_data,), rounds=3, iterations=1
+    )
+    assert len(result.rows) == 3
+    print_table(result)

@@ -1,0 +1,28 @@
+"""Table 3: best-format distribution across the simulated GPUs.
+
+Shape assertions mirror the paper: CSR majority on every architecture,
+ELL the largest minority, COO most frequent on Turing, HYB essentially a
+Pascal phenomenon.
+"""
+
+from conftest import print_table
+
+from repro.experiments import table3
+
+
+def _dist(bench_data, arch):
+    return bench_data.datasets[arch].class_distribution()
+
+
+def test_table3_label_distribution(benchmark, bench_data):
+    result = benchmark.pedantic(
+        table3.generate, args=(bench_data,), rounds=1, iterations=1
+    )
+    print_table(result)
+    for arch in bench_data.arch_names:
+        dist = _dist(bench_data, arch)
+        assert max(dist, key=dist.get) == "csr"
+        assert dist["ell"] > dist["coo"] or dist["ell"] > dist["hyb"]
+    # Architecture-specific minorities.
+    assert _dist(bench_data, "turing")["coo"] > _dist(bench_data, "volta")["coo"]
+    assert _dist(bench_data, "pascal")["hyb"] >= _dist(bench_data, "volta")["hyb"]

@@ -1,0 +1,29 @@
+"""Table 4: semi-supervised local evaluation (9 combos × 3 GPUs).
+
+Shape assertions mirror §5.2: the K-Means and Birch families clearly beat
+every Mean-Shift variant, which finds too few clusters.
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.experiments import table4
+
+
+def test_table4_semisupervised_local(benchmark, bench_data):
+    result = benchmark.pedantic(
+        table4.generate, args=(bench_data,), rounds=1, iterations=1
+    )
+    print_table(result)
+    assert len(result.rows) == 27
+    by_algo = {}
+    for row in result.rows:
+        by_algo.setdefault(row[1], []).append(row[3])  # MCC column
+    kmeans_vote = np.mean(by_algo["K-Means-VOTE"])
+    meanshift_best = max(
+        np.mean(by_algo[a]) for a in by_algo if a.startswith("Mean-Shift")
+    )
+    assert kmeans_vote > meanshift_best
+    # Mean-Shift finds far fewer clusters than the tuned K-Means NC.
+    nc = {row[1]: row[2] for row in result.rows}
+    assert nc["Mean-Shift-VOTE"] < nc["K-Means-VOTE"]

@@ -1,0 +1,29 @@
+"""Table 5: semi-supervised transfer (6 pairs × 9 combos × 3 fractions).
+
+Shape assertions mirror §5.2: K-Means variants dominate Mean-Shift in the
+transfer setting, and retraining provides only a moderate improvement.
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.experiments import table5
+
+
+def test_table5_semisupervised_transfer(benchmark, bench_data):
+    result = benchmark.pedantic(
+        table5.generate, args=(bench_data,), rounds=1, iterations=1
+    )
+    print_table(result)
+    assert len(result.rows) == 54
+    mcc0 = {}
+    mcc50 = {}
+    for row in result.rows:
+        mcc0.setdefault(row[1], []).append(row[result.headers.index("MCC@0%")])
+        mcc50.setdefault(row[1], []).append(row[result.headers.index("MCC@50%")])
+    km = np.mean(mcc0["K-Means-VOTE"])
+    ms = np.mean(mcc0["Mean-Shift-VOTE"])
+    assert km > ms
+    # Moderate retraining effect: 50% retraining shifts K-Means-VOTE MCC by
+    # less than 0.25 absolute on average.
+    assert abs(np.mean(mcc50["K-Means-VOTE"]) - km) < 0.25

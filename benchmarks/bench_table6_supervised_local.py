@@ -1,0 +1,30 @@
+"""Table 6: supervised local evaluation (6 models × 3 GPUs).
+
+Shape assertions mirror §5.3: tree ensembles (RF/XGBoost) are at the top
+on MCC, the CNN trails them, GT speedups stay <= 1, and good models beat
+the always-CSR baseline.
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.experiments import table6
+
+
+def test_table6_supervised_local(benchmark, bench_data):
+    result = benchmark.pedantic(
+        table6.generate, args=(bench_data,), rounds=1, iterations=1
+    )
+    print_table(result)
+    assert len(result.rows) == 18
+    mcc = {}
+    for row in result.rows:
+        mcc.setdefault(row[1], []).append(row[4])
+    ensembles = max(np.mean(mcc["RF"]), np.mean(mcc["XGBoost"]))
+    assert ensembles > np.mean(mcc["CNN"])
+    for row in result.rows:
+        gt = row[result.headers.index("GT")]
+        assert gt <= 1.0 + 1e-9
+    # The better half of the models profit over always-CSR.
+    csr_col = result.headers.index("CSR")
+    assert np.median([row[csr_col] for row in result.rows]) >= 1.0

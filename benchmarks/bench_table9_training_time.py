@@ -1,0 +1,20 @@
+"""Table 9: training times per model and retraining fraction.
+
+Shape assertions mirror §5.4: the K-Means-VOTE pipeline trains orders of
+magnitude faster than the CNN, and cheaper than the ensemble models.
+"""
+
+from conftest import print_table
+
+from repro.experiments import table9
+
+
+def test_table9_training_time(benchmark, bench_data):
+    result = benchmark.pedantic(
+        table9.generate, args=(bench_data,), rounds=1, iterations=1
+    )
+    print_table(result)
+    t0 = {row[0]: row[1] for row in result.rows}
+    assert t0["K-Means-VOTE"] < t0["CNN"]
+    assert t0["K-Means-VOTE"] < t0["RF"]
+    assert t0["K-Means-VOTE"] < t0["XGBoost"]

@@ -1,0 +1,55 @@
+"""Benchmark-suite fixtures.
+
+``pytest benchmarks/ --benchmark-only`` regenerates every table of the
+paper on the benchmark-scale collection and times each generator.  Set
+``REPRO_BENCH_SIZE`` to scale the collection (default 320 matrices).
+Regenerated tables are printed and appended to ``bench_tables.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.data import build_experiment_data
+
+
+def _bench_config() -> ExperimentConfig:
+    size = int(os.environ.get("REPRO_BENCH_SIZE", "320"))
+    return ExperimentConfig(
+        collection_size=size,
+        augment_copies=0,
+        trials=20,
+        n_folds=3,
+        nc_grid=(25, 50, 100),
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    return _bench_config()
+
+
+@pytest.fixture(scope="session")
+def bench_data(bench_config):
+    """The simulated benchmarking campaign, shared by all benches."""
+    return build_experiment_data(bench_config)
+
+
+#: Regenerated tables are also appended here, because pytest captures the
+#: stdout of passing tests; the file collects the full set of rows each
+#: bench run reproduces.
+TABLES_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "bench_tables.txt"
+)
+
+
+def print_table(result) -> None:
+    """Emit the regenerated table through pytest's output and persist it."""
+    text = result.format_text()
+    print()
+    print(text)
+    with open(TABLES_PATH, "a", encoding="utf-8") as fh:
+        fh.write(text + "\n\n")

@@ -1,0 +1,61 @@
+"""Online format selection: the paper's §7 future-work scenario.
+
+*"an online learning scenario where new matrices are added, and new
+clusters are formed continuously."*  A long-running service receives
+matrices one at a time; after each SpMV campaign it learns which format
+was actually fastest and feeds that label back.  Cluster count, splits,
+and rolling prediction accuracy are reported as the stream progresses.
+
+Run:  python examples/online_selection.py
+"""
+
+import numpy as np
+
+from repro.core.online import OnlineFormatSelector
+from repro.core.pipeline import FeaturePipeline
+from repro.datasets import build_collection
+from repro.features import extract_features_collection
+from repro.gpu import GPUSimulator, TURING
+
+
+def main() -> None:
+    # Warm-up batch to fit the (stable) preprocessing pipeline.
+    warmup = build_collection(seed=11, size=60)
+    warmup_features = extract_features_collection(warmup.records)
+    pipeline = FeaturePipeline().fit(warmup_features.values)
+
+    # The stream: a different, larger collection arriving one by one.
+    stream = build_collection(seed=12, size=300)
+    stream_features = extract_features_collection(stream.records)
+    sim = GPUSimulator(TURING, trials=20)
+
+    online = OnlineFormatSelector(
+        pipeline, radius=0.18, min_purity=0.75, min_split_size=8
+    )
+
+    window_hits: list[bool] = []
+    print("streaming 300 matrices (labels learned from observed SpMV runs)")
+    print(f"{'seen':>5} {'clusters':>9} {'splits':>7} {'rolling ACC':>12}")
+    for i, record in enumerate(stream.records):
+        result = sim.benchmark(record.name, record.matrix)
+        if not result.runnable:
+            continue
+        x = stream_features.row(record.name)
+        prediction = online.observe(x, result.best_format)
+        window_hits.append(prediction == result.best_format)
+        if len(window_hits) % 50 == 0:
+            rolling = np.mean(window_hits[-50:])
+            print(
+                f"{len(window_hits):>5} {online.n_clusters:>9} "
+                f"{online.n_splits:>7} {rolling:>12.2f}"
+            )
+
+    early = np.mean(window_hits[:50])
+    late = np.mean(window_hits[-50:])
+    print(f"\naccuracy first 50: {early:.2f}  ->  last 50: {late:.2f}")
+    print(f"final clusters: {online.n_clusters} "
+          f"(labels: {dict(online.label_distribution())})")
+
+
+if __name__ == "__main__":
+    main()

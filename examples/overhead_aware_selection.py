@@ -1,0 +1,59 @@
+"""Overhead-conscious format selection (§6's related-work extension).
+
+Converting a matrix out of CSR costs many SpMV-equivalents (Table 8:
+COO 9x, ELL 102x, HYB 147x).  Whether switching pays off depends on how
+many SpMV calls the application will make — PageRank-style solvers run
+thousands, a single residual check runs one.
+
+This script sweeps the call count for matrices with different structures
+and shows where the crossover (break-even) points fall.
+
+Run:  python examples/overhead_aware_selection.py
+"""
+
+import numpy as np
+
+from repro.core.overhead import select_with_overhead
+from repro.datasets.generators import (
+    power_law_rows,
+    random_uniform,
+    stencil_2d,
+)
+from repro.features.stats import compute_stats
+from repro.gpu import PASCAL
+
+
+def main() -> None:
+    rng = np.random.default_rng(21)
+    matrices = {
+        "2-D stencil (ELL-friendly)": stencil_2d(rng, nx=60, ny=60),
+        "scattered uniform (CSR-friendly)": random_uniform(
+            rng, nrows=4000, density=0.004
+        ),
+        "moderate power-law (HYB-friendly)": power_law_rows(
+            rng, nrows=5000, avg_nnz_per_row=10, alpha=1.7, max_over_mean=2.9
+        ),
+    }
+    print("amortised format choice on the simulated GTX 1080 (Pascal)")
+    print("(matrices are read from .mtx files into CSR; conversion uses")
+    print(" Table 8's relative costs)\n")
+    for name, matrix in matrices.items():
+        stats = compute_stats(matrix)
+        print(name)
+        header_printed = False
+        for calls in (1, 10, 100, 1_000, 10_000, 100_000):
+            decision = select_with_overhead(stats, PASCAL, calls)
+            if not header_printed:
+                print(f"  qualitative best format: "
+                      f"{decision.qualitative_best}")
+                if np.isfinite(decision.breakeven_calls):
+                    print(f"  break-even at ~{decision.breakeven_calls:,.0f} "
+                          "SpMV calls")
+                header_printed = True
+            marker = " <- converts" if decision.converted else ""
+            print(f"    {calls:>7,} calls -> {decision.chosen_format}{marker}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

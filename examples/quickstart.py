@@ -1,0 +1,72 @@
+"""Quickstart: pick the best sparse format for a matrix with the
+semi-supervised selector.
+
+Walks the full pipeline end to end on a small synthetic collection:
+
+1. build matrices and extract the Table-1 features,
+2. benchmark them on a simulated NVIDIA V100 (per-format SpMV times),
+3. train the paper's K-Means-VOTE selector,
+4. predict the format for new, unseen matrices and explain the choice.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core.explain import explain_prediction, format_explanation
+from repro.core.labeling import build_labeled_dataset
+from repro.core.semisupervised import ClusterFormatSelector
+from repro.datasets import build_collection
+from repro.datasets.generators import power_law_rows, stencil_2d
+from repro.features import extract_features, extract_features_collection
+from repro.gpu import GPUSimulator, VOLTA
+
+
+def main() -> None:
+    # 1. A small training collection (synthetic SuiteSparse stand-in).
+    print("building a 150-matrix training collection ...")
+    collection = build_collection(seed=1, size=150)
+    features = extract_features_collection(collection.records)
+
+    # 2. Simulated benchmarking campaign on Volta: per-format SpMV times
+    #    -> best-format labels.  On real hardware this is the expensive
+    #    step (Table 8: ~a day per GPU); here it is instant.
+    print("benchmarking all formats on the simulated V100 ...")
+    simulator = GPUSimulator(VOLTA, trials=50)
+    results = simulator.benchmark_collection(collection.records)
+    dataset = build_labeled_dataset("volta", features, results)
+    print(f"  {len(dataset)} runnable matrices, "
+          f"label distribution: {dataset.class_distribution()}")
+
+    # 3. The paper's semi-supervised selector: log + min-max + PCA-8
+    #    preprocessing, K-Means clusters, majority-vote cluster labels.
+    selector = ClusterFormatSelector(
+        clusterer="kmeans", labeler="vote", n_clusters=40, seed=0
+    )
+    selector.fit(dataset.X, dataset.labels)
+    print(f"trained K-Means-VOTE with {selector.n_clusters_} clusters")
+
+    # 4. Predict for unseen matrices with very different structures.
+    rng = np.random.default_rng(99)
+    unseen = {
+        "5-point stencil (uniform rows)": stencil_2d(rng, nx=50, ny=50),
+        "power-law rows (skewed)": power_law_rows(
+            rng, nrows=3000, avg_nnz_per_row=8, alpha=1.8, max_over_mean=2.8
+        ),
+    }
+    for name, matrix in unseen.items():
+        x = extract_features(matrix)
+        predicted = selector.predict(x[None, :])[0]
+        truth = simulator.benchmark(name, matrix)
+        print(f"\n{name}:")
+        print(f"  predicted format: {predicted}")
+        print(f"  simulated ground truth: {truth.best_format} "
+              f"(times: {({f: f'{t*1e6:.1f}us' for f, t in truth.times.items()})})")
+        explanation = explain_prediction(
+            selector, x, dataset.names, dataset.labels
+        )
+        print("  " + format_explanation(explanation).replace("\n", "\n  "))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Porting a format selector to a new GPU with a tiny benchmarking budget.
+
+The paper's core pitch (§4): clusters are architecture-invariant, so
+moving to a new platform only requires re-benchmarking ~one matrix per
+cluster and re-voting the cluster labels — versus re-running the full
+benchmarking campaign a supervised model needs.
+
+This script trains on a simulated Pascal GTX 1080, then ports to a
+simulated Turing RTX 8000 three ways:
+
+- zero-shot (keep Pascal's cluster labels),
+- budgeted (benchmark 1 and 2 matrices per cluster on Turing),
+- and compares with a Random Forest trained purely on Pascal labels.
+
+Run:  python examples/transfer_across_gpus.py
+"""
+
+import numpy as np
+
+from repro.core.labeling import build_labeled_dataset, common_subset
+from repro.core.semisupervised import ClusterFormatSelector
+from repro.core.supervised import SupervisedFormatSelector
+from repro.datasets import build_collection
+from repro.features import extract_features_collection
+from repro.gpu import GPUSimulator, PASCAL, TURING
+from repro.ml.metrics import accuracy_score, matthews_corrcoef
+from repro.ml.model_selection import train_test_split
+
+
+def main() -> None:
+    print("building collection and benchmarking on Pascal + Turing ...")
+    collection = build_collection(seed=2, size=250)
+    features = extract_features_collection(collection.records)
+    datasets = {}
+    for arch in (PASCAL, TURING):
+        sim = GPUSimulator(arch, trials=50)
+        results = sim.benchmark_collection(collection.records)
+        datasets[arch.name] = build_labeled_dataset(
+            arch.name, features, results
+        )
+    aligned = common_subset(datasets)
+    pascal, turing = aligned["pascal"], aligned["turing"]
+    agreement = np.mean(pascal.labels == turing.labels)
+    print(f"  common subset: {len(pascal)} matrices, "
+          f"cross-arch label agreement {agreement:.1%}")
+
+    train, test = train_test_split(
+        len(pascal), 0.3, y=pascal.labels, seed=0
+    )
+
+    # Architecture-invariant clusters from the training features.
+    selector = ClusterFormatSelector("kmeans", "vote", 40, seed=0)
+    selector.fit_clusters(pascal.X[train])
+
+    def score(pred, name):
+        acc = accuracy_score(turing.labels[test], pred)
+        mcc = matthews_corrcoef(turing.labels[test], pred)
+        print(f"  {name:42s} ACC={acc:.3f}  MCC={mcc:.3f}")
+
+    print("\nevaluating on the Turing test split:")
+
+    # (a) Zero-shot: Pascal labels only.
+    selector.label_clusters(pascal.labels[train])
+    score(selector.predict(turing.X[test]), "zero-shot (Pascal labels)")
+
+    # (b) Budgeted porting: benchmark k matrices per cluster on Turing.
+    for budget in (1, 2):
+        sample = selector.sample_for_benchmarking(budget, seed=1)
+        print(f"  -- re-benchmarking {len(sample)} matrices on Turing "
+              f"({budget}/cluster) --")
+        selector.label_clusters(
+            turing.labels[train],
+            benchmarked=sample,
+            source_y=pascal.labels[train],
+        )
+        score(
+            selector.predict(turing.X[test]),
+            f"ported with {budget} benchmark(s) per cluster",
+        )
+
+    # (c) Supervised baseline transferred without retraining.
+    rf = SupervisedFormatSelector("RF", seed=0)
+    rf.fit(pascal.X[train], pascal.labels[train])
+    score(rf.predict(turing.X[test]), "Random Forest, 0% retraining")
+
+    # (d) The full-information ceiling: selector labeled with all Turing
+    #     training labels.
+    selector.label_clusters(turing.labels[train])
+    score(selector.predict(turing.X[test]), "ceiling (all Turing labels)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""repro — reproduction of the ICPP Workshops 2021 paper on automated
+sparse matrix format selection with supervised and semi-supervised ML.
+
+The package is organised bottom-up:
+
+- :mod:`repro.formats`  — sparse matrix storage formats (COO, CSR, CSC, ELL,
+  HYB, DIA) with NumPy-vectorised SpMV kernels and MatrixMarket I/O.
+- :mod:`repro.datasets` — synthetic SuiteSparse-like matrix collection.
+- :mod:`repro.gpu`      — analytical GPU performance-model simulator for the
+  three architectures of the paper (Pascal, Volta, Turing).
+- :mod:`repro.features` — the 21 statistical features of Table 1.
+- :mod:`repro.ml`       — from-scratch ML: clustering, classifiers, PCA,
+  preprocessing, metrics, model selection.
+- :mod:`repro.core`     — the paper's contribution: the semi-supervised
+  format selector, supervised baselines, and the transfer workflow.
+- :mod:`repro.experiments` — generators for every table of the evaluation.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,156 @@
+"""Command-line interface.
+
+Subcommands:
+
+- ``features <file.mtx>`` — print the 21 Table-1 features of a matrix.
+- ``benchmark <file.mtx> --arch volta`` — simulated per-format SpMV times.
+- ``train --size 200 --arch volta --out selector.npz`` — build a synthetic
+  collection, benchmark it, train a K-Means-VOTE selector, freeze it.
+- ``predict <file.mtx> --model selector.npz`` — format recommendation.
+- ``tables [--small] [--only table3 ...]`` — regenerate the paper tables.
+
+Run ``python -m repro <subcommand> --help`` for options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core.deploy import FrozenSelector, freeze
+from repro.core.labeling import build_labeled_dataset
+from repro.core.semisupervised import ClusterFormatSelector
+from repro.datasets import build_collection
+from repro.features import FEATURE_NAMES, extract_features, extract_features_collection
+from repro.formats import read_matrix_market
+from repro.gpu import ARCHITECTURES, GPUSimulator
+
+
+def _cmd_features(args: argparse.Namespace) -> int:
+    matrix = read_matrix_market(args.matrix)
+    vec = extract_features(matrix)
+    width = max(len(n) for n in FEATURE_NAMES)
+    for name, value in zip(FEATURE_NAMES, vec):
+        print(f"{name:<{width}}  {value:.6g}")
+    return 0
+
+
+def _cmd_benchmark(args: argparse.Namespace) -> int:
+    matrix = read_matrix_market(args.matrix)
+    arch = ARCHITECTURES[args.arch]
+    sim = GPUSimulator(arch, trials=args.trials, seed=args.seed)
+    result = sim.benchmark(str(args.matrix), matrix)
+    print(f"simulated {arch.model} ({arch.microarchitecture}), "
+          f"{args.trials} trials")
+    for fmt in ("coo", "csr", "ell", "hyb"):
+        if fmt in result.times:
+            t = result.times[fmt]
+            marker = "  <- best" if fmt == result.best_format else ""
+            print(f"  {fmt}: {t * 1e6:10.3f} us{marker}")
+        else:
+            print(f"  {fmt}: excluded ({result.excluded[fmt]})")
+    if result.runnable:
+        print(f"speedup of best over CSR: "
+              f"{result.times['csr'] / result.times[result.best_format]:.2f}x")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    print(f"building {args.size}-matrix collection (seed {args.seed}) ...")
+    collection = build_collection(seed=args.seed, size=args.size)
+    features = extract_features_collection(collection.records)
+    arch = ARCHITECTURES[args.arch]
+    print(f"benchmarking on simulated {arch.model} ...")
+    sim = GPUSimulator(arch, trials=args.trials, seed=args.seed)
+    dataset = build_labeled_dataset(
+        args.arch, features, sim.benchmark_collection(collection.records)
+    )
+    print(f"training K-Means-{args.labeler.upper()} "
+          f"(NC={args.clusters}) on {len(dataset)} matrices ...")
+    selector = ClusterFormatSelector(
+        "kmeans", args.labeler, args.clusters, seed=args.seed
+    )
+    selector.fit(dataset.X, dataset.labels)
+    frozen = freeze(selector)
+    frozen.save(args.out)
+    train_acc = float(np.mean(frozen.predict(dataset.X) == dataset.labels))
+    print(f"saved {frozen.n_centroids} labeled centroids to {args.out} "
+          f"(training accuracy {train_acc:.3f})")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    frozen = FrozenSelector.load(args.model)
+    matrix = read_matrix_market(args.matrix)
+    vec = extract_features(matrix)[None, :]
+    label = frozen.predict(vec)[0]
+    cluster = int(frozen.assign(vec)[0])
+    print(f"recommended format: {label} (centroid #{cluster} of "
+          f"{frozen.n_centroids})")
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import main as runner_main
+
+    forwarded: list[str] = []
+    if args.small:
+        forwarded.append("--small")
+    if args.only:
+        forwarded += ["--only", *args.only]
+    if args.markdown:
+        forwarded += ["--markdown", args.markdown]
+    return runner_main(forwarded)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("features", help="print Table-1 features of a matrix")
+    p.add_argument("matrix", help=".mtx file")
+    p.set_defaults(func=_cmd_features)
+
+    p = sub.add_parser("benchmark", help="simulated per-format SpMV times")
+    p.add_argument("matrix", help=".mtx file")
+    p.add_argument("--arch", choices=sorted(ARCHITECTURES), default="volta")
+    p.add_argument("--trials", type=int, default=100)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_benchmark)
+
+    p = sub.add_parser("train", help="train and freeze a selector")
+    p.add_argument("--size", type=int, default=200)
+    p.add_argument("--arch", choices=sorted(ARCHITECTURES), default="volta")
+    p.add_argument("--labeler", choices=("vote", "lr", "rf"), default="vote")
+    p.add_argument("--clusters", type=int, default=40)
+    p.add_argument("--trials", type=int, default=50)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True, help="output .npz path")
+    p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser("predict", help="recommend a format for a matrix")
+    p.add_argument("matrix", help=".mtx file")
+    p.add_argument("--model", required=True, help="frozen selector .npz")
+    p.set_defaults(func=_cmd_predict)
+
+    p = sub.add_parser("tables", help="regenerate the paper's tables")
+    p.add_argument("--small", action="store_true")
+    p.add_argument("--only", nargs="*", default=None)
+    p.add_argument("--markdown", default=None)
+    p.set_defaults(func=_cmd_tables)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,228 @@
+"""Deployable frozen selectors: the paper's "train once, deploy multiple
+times" requirement (§1, requirement 2).
+
+A fitted :class:`~repro.core.semisupervised.ClusterFormatSelector` holds
+live clustering objects; :func:`freeze` distils it to the minimum needed
+for inference — the fitted preprocessing arrays plus a centroid table with
+per-centroid format labels — which serialises to a single ``.npz`` file
+and reloads anywhere NumPy runs.
+
+Because the centroids are architecture-invariant, *one* frozen file can
+carry labels for several architectures: :meth:`FrozenSelector.relabel`
+swaps the label table without touching the centroids, which is exactly
+the paper's porting story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.pipeline import FeaturePipeline
+from repro.core.semisupervised import ClusterFormatSelector
+from repro.ml.knn import pairwise_sq_dists
+from repro.ml.pca import PCA
+from repro.ml.preprocessing import MinMaxScaler, SparseDistributionTransformer
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class FrozenSelector:
+    """Inference-only selector: preprocessing arrays + labeled centroids."""
+
+    # preprocessing (None members = stage disabled)
+    transform_kind: str | None
+    transform_shift: np.ndarray | None
+    transform_apply: np.ndarray | None
+    scaler_min: np.ndarray
+    scaler_span: np.ndarray
+    pca_mean: np.ndarray | None
+    pca_components: np.ndarray | None
+    # centroid table
+    centroids: np.ndarray
+    #: Format label of the cluster each centroid belongs to.
+    centroid_labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.centroids.ndim != 2:
+            raise ValueError("centroids must be 2-D")
+        if self.centroid_labels.shape[0] != self.centroids.shape[0]:
+            raise ValueError("centroid_labels must align with centroids")
+
+    # -- inference ---------------------------------------------------------
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        out = X
+        if self.transform_kind is not None:
+            out = np.maximum(out - self.transform_shift, 0.0)
+            cols = self.transform_apply
+            if cols.any():
+                if self.transform_kind == "log":
+                    out = out.copy()
+                    out[:, cols] = np.log1p(out[:, cols])
+                else:
+                    out = out.copy()
+                    out[:, cols] = np.sqrt(out[:, cols])
+        out = np.clip((out - self.scaler_min) / self.scaler_span, 0.0, 1.0)
+        if self.pca_components is not None:
+            out = (out - self.pca_mean) @ self.pca_components.T
+        return out
+
+    def assign(self, X: np.ndarray) -> np.ndarray:
+        """Nearest-centroid index for each sample."""
+        Z = self.transform(X)
+        return np.argmin(pairwise_sq_dists(Z, self.centroids), axis=1)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.centroid_labels[self.assign(X)]
+
+    @property
+    def n_centroids(self) -> int:
+        return int(self.centroids.shape[0])
+
+    def relabel(self, centroid_labels: np.ndarray) -> "FrozenSelector":
+        """New frozen selector with swapped labels (porting to a new GPU)."""
+        labels = np.asarray(centroid_labels, dtype=object)
+        if labels.shape[0] != self.n_centroids:
+            raise ValueError(
+                f"expected {self.n_centroids} labels, got {labels.shape[0]}"
+            )
+        return FrozenSelector(
+            transform_kind=self.transform_kind,
+            transform_shift=self.transform_shift,
+            transform_apply=self.transform_apply,
+            scaler_min=self.scaler_min,
+            scaler_span=self.scaler_span,
+            pca_mean=self.pca_mean,
+            pca_components=self.pca_components,
+            centroids=self.centroids,
+            centroid_labels=labels,
+        )
+
+    # -- serialisation --------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        arrays: dict[str, np.ndarray] = {
+            "version": np.array([_FORMAT_VERSION]),
+            "scaler_min": self.scaler_min,
+            "scaler_span": self.scaler_span,
+            "centroids": self.centroids,
+            "centroid_labels": self.centroid_labels.astype("U8"),
+        }
+        if self.transform_kind is not None:
+            arrays["transform_kind"] = np.array([self.transform_kind])
+            arrays["transform_shift"] = self.transform_shift
+            arrays["transform_apply"] = self.transform_apply
+        if self.pca_components is not None:
+            arrays["pca_mean"] = self.pca_mean
+            arrays["pca_components"] = self.pca_components
+        np.savez(path, **arrays)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FrozenSelector":
+        with np.load(path, allow_pickle=False) as data:
+            version = int(data["version"][0])
+            if version != _FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported frozen-selector version {version}"
+                )
+            has_transform = "transform_kind" in data
+            has_pca = "pca_components" in data
+            return cls(
+                transform_kind=(
+                    str(data["transform_kind"][0]) if has_transform else None
+                ),
+                transform_shift=(
+                    data["transform_shift"] if has_transform else None
+                ),
+                transform_apply=(
+                    data["transform_apply"].astype(bool)
+                    if has_transform
+                    else None
+                ),
+                scaler_min=data["scaler_min"],
+                scaler_span=data["scaler_span"],
+                pca_mean=data["pca_mean"] if has_pca else None,
+                pca_components=data["pca_components"] if has_pca else None,
+                centroids=data["centroids"],
+                centroid_labels=data["centroid_labels"].astype(object),
+            )
+
+
+def freeze(selector: ClusterFormatSelector) -> FrozenSelector:
+    """Distil a fitted, labeled selector into a :class:`FrozenSelector`.
+
+    Works for all three clustering algorithms: K-Means and Mean-Shift
+    expose their centroids directly; Birch is flattened to its leaf
+    subcluster centroids, each carrying its global cluster's label — the
+    nearest-subcluster rule Birch itself uses for prediction.
+    """
+    if not hasattr(selector, "cluster_labels_"):
+        raise ValueError("selector must be fitted and labeled before freezing")
+    pipe = selector.pipeline_
+    model = selector._cluster_model
+    if hasattr(model, "subcluster_centers_"):  # Birch
+        centroids = model.subcluster_centers_
+        labels = selector.cluster_labels_[model.subcluster_labels_]
+    else:  # KMeans / MeanShift
+        centroids = model.cluster_centers_
+        labels = selector.cluster_labels_
+    transformer: SparseDistributionTransformer | None = pipe._transformer
+    pca: PCA | None = pipe._pca
+    scaler: MinMaxScaler = pipe._scaler
+    return FrozenSelector(
+        transform_kind=transformer.kind if transformer is not None else None,
+        transform_shift=(
+            transformer.shift_.copy() if transformer is not None else None
+        ),
+        transform_apply=(
+            transformer.apply_.copy() if transformer is not None else None
+        ),
+        scaler_min=scaler.min_.copy(),
+        scaler_span=scaler.span_.copy(),
+        pca_mean=pca.mean_.copy() if pca is not None else None,
+        pca_components=(
+            pca.components_.copy() if pca is not None else None
+        ),
+        centroids=np.asarray(centroids, dtype=np.float64).copy(),
+        centroid_labels=np.asarray(labels, dtype=object).copy(),
+    )
+
+
+def _rebuild_pipeline(frozen: FrozenSelector) -> FeaturePipeline:
+    """Reconstruct a FeaturePipeline equivalent to the frozen arrays
+    (used by tests to cross-check the frozen transform)."""
+    pipe = FeaturePipeline(
+        transform=frozen.transform_kind,
+        n_components=(
+            frozen.pca_components.shape[0]
+            if frozen.pca_components is not None
+            else None
+        ),
+    )
+    if frozen.transform_kind is not None:
+        tr = SparseDistributionTransformer(kind=frozen.transform_kind)
+        tr.shift_ = frozen.transform_shift
+        tr.apply_ = frozen.transform_apply
+        pipe._transformer = tr
+    else:
+        pipe._transformer = None
+    scaler = MinMaxScaler()
+    scaler.min_ = frozen.scaler_min
+    scaler.max_ = frozen.scaler_min + frozen.scaler_span
+    scaler.span_ = frozen.scaler_span
+    pipe._scaler = scaler
+    if frozen.pca_components is not None:
+        pca = PCA(frozen.pca_components.shape[0])
+        pca.mean_ = frozen.pca_mean
+        pca.components_ = frozen.pca_components
+        pca.n_components_ = frozen.pca_components.shape[0]
+        pipe._pca = pca
+    else:
+        pipe._pca = None
+    pipe.n_features_in_ = frozen.scaler_min.shape[0]
+    return pipe

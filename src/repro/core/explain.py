@@ -1,0 +1,140 @@
+"""Explainability tooling for the semi-supervised selector.
+
+The paper's pitch (§1, §7): the clustering *"separates determining the
+similarity between matrices from the selection of the optimal format and
+exposes these aspects to the user ... providing explainable
+classifications."*  This module turns a fitted selector into human-readable
+explanations: why a matrix got its format, what its cluster looks like,
+and which features drive each cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.semisupervised import ClusterFormatSelector
+from repro.ml.knn import pairwise_sq_dists
+
+
+@dataclass(frozen=True)
+class ClusterProfile:
+    """Summary of one cluster over the original (untransformed) features."""
+
+    cluster: int
+    size: int
+    label: str
+    #: feature name -> (min, median, max) over cluster members.
+    feature_ranges: dict = field(default_factory=dict)
+    #: Names of the features whose cluster distribution deviates most from
+    #: the global distribution (z-score of cluster median), descending.
+    distinguishing_features: list = field(default_factory=list)
+
+
+def cluster_profile(
+    selector: ClusterFormatSelector,
+    cluster: int,
+    X: np.ndarray,
+    feature_names: list[str],
+    top_k: int = 5,
+) -> ClusterProfile:
+    """Describe a cluster in terms of the raw Table-1 features."""
+    selector._require_clustered()
+    members = selector.train_assignments_ == cluster
+    if not members.any():
+        raise ValueError(f"cluster {cluster} has no training members")
+    Xc = np.asarray(X, dtype=np.float64)[members]
+    ranges = {
+        name: (
+            float(Xc[:, j].min()),
+            float(np.median(Xc[:, j])),
+            float(Xc[:, j].max()),
+        )
+        for j, name in enumerate(feature_names)
+    }
+    # Rank features by how far the cluster median sits from the global
+    # median in robust (MAD) units.
+    X_all = np.asarray(X, dtype=np.float64)
+    med_all = np.median(X_all, axis=0)
+    mad = np.median(np.abs(X_all - med_all), axis=0)
+    mad = np.where(mad > 0, mad, 1.0)
+    z = np.abs(np.median(Xc, axis=0) - med_all) / mad
+    order = np.argsort(z)[::-1][:top_k]
+    label = (
+        str(selector.cluster_labels_[cluster])
+        if hasattr(selector, "cluster_labels_")
+        else "<unlabeled>"
+    )
+    return ClusterProfile(
+        cluster=int(cluster),
+        size=int(members.sum()),
+        label=label,
+        feature_ranges=ranges,
+        distinguishing_features=[feature_names[i] for i in order],
+    )
+
+
+@dataclass(frozen=True)
+class PredictionExplanation:
+    cluster: int
+    label: str
+    distance_to_centroid: float
+    cluster_size: int
+    cluster_purity_hint: str
+    nearest_training_names: list
+
+
+def explain_prediction(
+    selector: ClusterFormatSelector,
+    x: np.ndarray,
+    training_names: list[str],
+    training_labels: np.ndarray | None = None,
+    n_neighbors: int = 3,
+) -> PredictionExplanation:
+    """Explain one prediction: its cluster, the evidence, the neighbours."""
+    if not hasattr(selector, "cluster_labels_"):
+        raise ValueError("selector clusters must be labeled first")
+    x = np.asarray(x, dtype=np.float64).reshape(1, -1)
+    z = selector.pipeline_.transform_features(x)
+    cluster = int(selector.assign_clusters(x)[0])
+    centroid = selector.centroids_[cluster : cluster + 1]
+    dist = float(np.sqrt(pairwise_sq_dists(z, centroid)[0, 0]))
+    members = np.flatnonzero(selector.train_assignments_ == cluster)
+    # Nearest training matrices inside the cluster.
+    if members.size:
+        d2 = pairwise_sq_dists(z, selector._Z_train[members]).ravel()
+        order = members[np.argsort(d2)[:n_neighbors]]
+        nearest = [training_names[i] for i in order]
+    else:
+        nearest = []
+    if training_labels is not None and members.size:
+        labels = np.asarray(training_labels, dtype=object)[members]
+        agreeing = float(np.mean(labels == selector.cluster_labels_[cluster]))
+        hint = f"{agreeing:.0%} of {members.size} training members agree"
+    else:
+        hint = "no labeled members available"
+    return PredictionExplanation(
+        cluster=cluster,
+        label=str(selector.cluster_labels_[cluster]),
+        distance_to_centroid=dist,
+        cluster_size=int(members.size),
+        cluster_purity_hint=hint,
+        nearest_training_names=nearest,
+    )
+
+
+def format_explanation(expl: PredictionExplanation) -> str:
+    """Render a :class:`PredictionExplanation` as a short report."""
+    lines = [
+        f"predicted format: {expl.label}",
+        f"  cluster #{expl.cluster} ({expl.cluster_size} training matrices, "
+        f"{expl.cluster_purity_hint})",
+        f"  distance to centroid: {expl.distance_to_centroid:.4f}",
+    ]
+    if expl.nearest_training_names:
+        lines.append(
+            "  most similar training matrices: "
+            + ", ".join(expl.nearest_training_names)
+        )
+    return "\n".join(lines)

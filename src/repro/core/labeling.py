@@ -1,0 +1,121 @@
+"""Benchmark results → labeled learning problems.
+
+A :class:`LabeledDataset` couples the architecture-invariant feature table
+with one architecture's best-format labels and per-format times.  The
+paper's setup (§5.1, Table 3) needs three of these (one per GPU) plus the
+*common subset* of matrices runnable on all three, which backs the
+transfer experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.features.table import FeatureTable
+from repro.gpu.kernels import MODELED_FORMATS
+from repro.gpu.simulator import BenchmarkResult
+
+
+@dataclass
+class LabeledDataset:
+    """Feature matrix + best-format labels for one architecture."""
+
+    arch: str
+    features: FeatureTable
+    #: Best format per matrix, aligned with ``features.names``.
+    labels: np.ndarray
+    #: Per-matrix {format: seconds} for speedup metrics.
+    times: list[dict[str, float]]
+
+    def __post_init__(self) -> None:
+        n = len(self.features)
+        if self.labels.shape != (n,):
+            raise ValueError(
+                f"labels shape {self.labels.shape} != ({n},)"
+            )
+        if len(self.times) != n:
+            raise ValueError("times length must match features")
+
+    def __len__(self) -> int:
+        return len(self.features)
+
+    @property
+    def X(self) -> np.ndarray:
+        return self.features.values
+
+    @property
+    def names(self) -> list[str]:
+        return self.features.names
+
+    def class_distribution(self) -> dict[str, int]:
+        """Label counts in Table-3 format order."""
+        return {
+            fmt: int(np.sum(self.labels == fmt)) for fmt in MODELED_FORMATS
+        }
+
+    def subset(self, indices: np.ndarray | list[int]) -> "LabeledDataset":
+        indices = list(indices)
+        return LabeledDataset(
+            arch=self.arch,
+            features=self.features.subset(indices),
+            labels=self.labels[indices],
+            times=[self.times[i] for i in indices],
+        )
+
+    def subset_by_names(self, names: list[str]) -> "LabeledDataset":
+        index = {n: i for i, n in enumerate(self.names)}
+        return self.subset([index[n] for n in names])
+
+
+def build_labeled_dataset(
+    arch: str,
+    features: FeatureTable,
+    results: list[BenchmarkResult],
+) -> LabeledDataset:
+    """Assemble the dataset of runnable matrices for one architecture.
+
+    Mirrors §5.1: matrices with any infeasible format on this architecture
+    are omitted from this architecture's dataset.
+    """
+    by_name = {r.name: r for r in results}
+    keep: list[int] = []
+    labels: list[str] = []
+    times: list[dict[str, float]] = []
+    for i, name in enumerate(features.names):
+        res = by_name.get(name)
+        if res is None or not res.runnable:
+            continue
+        keep.append(i)
+        labels.append(res.best_format)
+        times.append(dict(res.times))
+    if not keep:
+        raise ValueError(f"no runnable matrices for architecture {arch!r}")
+    return LabeledDataset(
+        arch=arch,
+        features=features.subset(keep),
+        labels=np.asarray(labels, dtype=object),
+        times=times,
+    )
+
+
+def common_subset(datasets: dict[str, LabeledDataset]) -> dict[str, LabeledDataset]:
+    """Restrict every dataset to the matrices runnable on all architectures.
+
+    §5.1: *"The Common Subset columns indicate the overlapping set of
+    matrices that executed successfully on all three GPUs and formed the
+    basis of our transfer learning experiments."*
+    """
+    if not datasets:
+        raise ValueError("datasets must be non-empty")
+    name_sets = [set(ds.names) for ds in datasets.values()]
+    shared = set.intersection(*name_sets)
+    if not shared:
+        raise ValueError("architectures share no runnable matrices")
+    # Keep a deterministic order: the first dataset's ordering.
+    first = next(iter(datasets.values()))
+    ordered = [n for n in first.names if n in shared]
+    return {
+        arch: ds.subset_by_names(ordered) for arch, ds in datasets.items()
+    }

@@ -1,0 +1,179 @@
+"""Online / incremental format selection (the paper's future work).
+
+§7: *"the semi-supervised approach would also be suitable for an online
+learning scenario where new matrices are added, and new clusters are
+formed continuously. However, this would require an incremental clustering
+algorithm."*
+
+:class:`OnlineFormatSelector` implements that scenario: matrices arrive
+one at a time with (optionally) an observed best format from the SpMV runs
+the application is executing anyway.  A new point joins the nearest
+cluster if it is within ``radius``; otherwise it seeds a new cluster.
+Cluster labels are running majority votes, and clusters whose label
+distribution turns impure are split.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.pipeline import FeaturePipeline
+from repro.ml.knn import pairwise_sq_dists
+
+
+@dataclass
+class _OnlineCluster:
+    centroid: np.ndarray
+    count: int = 0
+    label_counts: Counter = field(default_factory=Counter)
+    #: Recent member points, kept for splitting.
+    members: list = field(default_factory=list)
+
+    @property
+    def label(self) -> str | None:
+        if not self.label_counts:
+            return None
+        return self.label_counts.most_common(1)[0][0]
+
+    @property
+    def purity(self) -> float:
+        total = sum(self.label_counts.values())
+        if total == 0:
+            return 1.0
+        return self.label_counts.most_common(1)[0][1] / total
+
+
+class OnlineFormatSelector:
+    """Incremental cluster-based selector.
+
+    Parameters
+    ----------
+    pipeline
+        A *fitted* :class:`FeaturePipeline` (fit it on an initial batch —
+        the transform must be stable while streaming).
+    radius
+        Join distance in the transformed space.
+    min_purity, min_split_size
+        A cluster observed with purity below ``min_purity`` and at least
+        ``min_split_size`` labeled members is split into per-label
+        subclusters — the incremental analogue of refining NC.
+    default_format
+        Prediction for points that land in an unlabeled cluster.
+    """
+
+    def __init__(
+        self,
+        pipeline: FeaturePipeline,
+        radius: float = 0.15,
+        min_purity: float = 0.7,
+        min_split_size: int = 8,
+        memory: int = 64,
+        default_format: str = "csr",
+    ) -> None:
+        if not hasattr(pipeline, "_scaler"):
+            raise ValueError("pipeline must be fitted before streaming")
+        if radius <= 0:
+            raise ValueError("radius must be positive")
+        self.pipeline = pipeline
+        self.radius = radius
+        self.min_purity = min_purity
+        self.min_split_size = min_split_size
+        self.memory = memory
+        self.default_format = default_format
+        self.clusters: list[_OnlineCluster] = []
+        self.n_observed = 0
+        self.n_splits = 0
+
+    # -- streaming interface -----------------------------------------------
+
+    def _transform_one(self, x: np.ndarray) -> np.ndarray:
+        return self.pipeline.transform_features(
+            np.asarray(x, dtype=np.float64).reshape(1, -1)
+        )[0]
+
+    def _nearest(self, z: np.ndarray) -> tuple[int, float]:
+        centroids = np.vstack([c.centroid for c in self.clusters])
+        d2 = pairwise_sq_dists(z[None, :], centroids).ravel()
+        i = int(np.argmin(d2))
+        return i, float(np.sqrt(d2[i]))
+
+    def predict_one(self, x: np.ndarray) -> str:
+        """Predict without updating state."""
+        if not self.clusters:
+            return self.default_format
+        z = self._transform_one(x)
+        i, _ = self._nearest(z)
+        return self.clusters[i].label or self.default_format
+
+    def observe(self, x: np.ndarray, best_format: str | None = None) -> str:
+        """Ingest one matrix; returns the (pre-update) prediction.
+
+        ``best_format`` is the label learned from the application's own
+        SpMV runs; pass ``None`` for unlabeled traffic (it still shapes
+        the clusters).
+        """
+        z = self._transform_one(x)
+        if self.clusters:
+            i, dist = self._nearest(z)
+            prediction = self.clusters[i].label or self.default_format
+        else:
+            i, dist = -1, np.inf
+            prediction = self.default_format
+        if dist <= self.radius:
+            cluster = self.clusters[i]
+            # Running-mean centroid update.
+            cluster.count += 1
+            cluster.centroid += (z - cluster.centroid) / cluster.count
+            if len(cluster.members) < self.memory:
+                cluster.members.append((z, best_format))
+            if best_format is not None:
+                cluster.label_counts[best_format] += 1
+                self._maybe_split(i)
+        else:
+            fresh = _OnlineCluster(centroid=z.copy(), count=1)
+            fresh.members.append((z, best_format))
+            if best_format is not None:
+                fresh.label_counts[best_format] += 1
+            self.clusters.append(fresh)
+        self.n_observed += 1
+        return prediction
+
+    def _maybe_split(self, index: int) -> None:
+        cluster = self.clusters[index]
+        labeled = [m for m in cluster.members if m[1] is not None]
+        if (
+            len(labeled) < self.min_split_size
+            or cluster.purity >= self.min_purity
+        ):
+            return
+        # Split into one subcluster per label among the remembered members.
+        by_label: dict[str, list[np.ndarray]] = {}
+        for z, lab in labeled:
+            by_label.setdefault(lab, []).append(z)
+        if len(by_label) < 2:
+            return
+        replacements: list[_OnlineCluster] = []
+        for lab, points in by_label.items():
+            pts = np.vstack(points)
+            sub = _OnlineCluster(
+                centroid=pts.mean(axis=0), count=len(points)
+            )
+            sub.label_counts[lab] = len(points)
+            sub.members = [(p, lab) for p in points]
+            replacements.append(sub)
+        self.clusters.pop(index)
+        self.clusters.extend(replacements)
+        self.n_splits += 1
+
+    # -- summaries ---------------------------------------------------------
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.clusters)
+
+    def label_distribution(self) -> Counter:
+        """Counts of cluster labels (None for unlabeled clusters)."""
+        return Counter(c.label for c in self.clusters)

@@ -1,0 +1,89 @@
+"""Overhead-conscious format selection (related-work extension).
+
+The paper's related work (§6) highlights *"overhead-conscious format
+selection which requires quantitative rather than qualitative
+predictions"* (Zhao et al. [39], Zhou et al. [40]): switching away from the
+format a matrix is already stored in only pays off if the per-SpMV saving,
+times the number of SpMV calls the application will make, exceeds the
+conversion cost.
+
+This module layers that amortisation logic over any qualitative selector,
+using the Table-8 conversion-cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.features.stats import MatrixStats
+from repro.gpu.arch import GPUArchitecture
+from repro.gpu.kernels import predict_times
+from repro.gpu.simulator import CONVERSION_COST_RELATIVE
+
+
+@dataclass(frozen=True)
+class OverheadDecision:
+    """Outcome of an amortisation-aware selection."""
+
+    chosen_format: str
+    qualitative_best: str
+    conversion_cost: float
+    per_spmv_saving: float
+    breakeven_calls: float
+
+    @property
+    def converted(self) -> bool:
+        return self.chosen_format != "csr"
+
+
+def conversion_cost_seconds(fmt: str, csr_spmv_time: float) -> float:
+    """Conversion cost from CSR into ``fmt`` (Table 8's relative model)."""
+    try:
+        return CONVERSION_COST_RELATIVE[fmt] * csr_spmv_time
+    except KeyError:
+        raise ValueError(f"unknown format {fmt!r}") from None
+
+
+def select_with_overhead(
+    stats: MatrixStats,
+    arch: GPUArchitecture,
+    n_spmv_calls: int,
+    base_format: str = "csr",
+) -> OverheadDecision:
+    """Pick the format minimising conversion + ``n_spmv_calls`` × SpMV time.
+
+    ``base_format`` is the format the matrix is currently stored in
+    (conversion-free); matrices are read from .mtx files into CSR in the
+    paper's pipeline.
+    """
+    if n_spmv_calls < 1:
+        raise ValueError("n_spmv_calls must be >= 1")
+    times = predict_times(stats, arch)
+    if base_format not in times:
+        raise ValueError(
+            f"base format {base_format!r} infeasible for this matrix"
+        )
+    csr_time = times.get("csr", times[base_format])
+    qualitative_best = min(times, key=times.__getitem__)
+
+    def total(fmt: str) -> float:
+        conv = (
+            0.0
+            if fmt == base_format
+            else conversion_cost_seconds(fmt, csr_time)
+        )
+        return conv + n_spmv_calls * times[fmt]
+
+    chosen = min(times, key=total)
+    conv_cost = (
+        0.0 if chosen == base_format else conversion_cost_seconds(chosen, csr_time)
+    )
+    saving = times[base_format] - times[chosen]
+    breakeven = conv_cost / saving if saving > 0 else float("inf")
+    return OverheadDecision(
+        chosen_format=chosen,
+        qualitative_best=qualitative_best,
+        conversion_cost=conv_cost,
+        per_spmv_saving=saving,
+        breakeven_calls=breakeven,
+    )

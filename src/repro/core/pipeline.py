@@ -1,0 +1,88 @@
+"""The §4 feature-preprocessing pipeline.
+
+*"a log transform or a square root transform is applied to all features
+which have a sparse distribution ... Afterward, min-max scaling is used to
+scale each feature to a range of [0, 1] ... We then use Principal Component
+Analysis (PCA) to decompose the features to a feature vector of size 8."*
+
+The pipeline is fit once on training features and reused across
+architectures — the features, and therefore the transformed space and the
+clusters, are architecture-invariant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import NotFittedError
+from repro.ml.pca import PCA
+from repro.ml.preprocessing import MinMaxScaler, SparseDistributionTransformer
+
+
+class FeaturePipeline:
+    """transform → scale → project, with each stage optional.
+
+    Parameters
+    ----------
+    transform
+        ``"log"`` (paper default), ``"sqrt"``, or ``None`` to skip — the
+        ablation benches toggle this to show the paper's point that naive
+        clustering on raw features fails.
+    n_components
+        PCA output size (paper: 8); ``None`` skips PCA.
+    """
+
+    def __init__(
+        self,
+        transform: str | None = "log",
+        n_components: int | None = 8,
+        sparse_threshold: float = 5.0,
+    ) -> None:
+        self.transform = transform
+        self.n_components = n_components
+        self.sparse_threshold = sparse_threshold
+
+    def fit(self, X: np.ndarray) -> "FeaturePipeline":
+        X = np.asarray(X, dtype=np.float64)
+        self._transformer = (
+            SparseDistributionTransformer(
+                kind=self.transform, threshold=self.sparse_threshold
+            )
+            if self.transform is not None
+            else None
+        )
+        stage = X
+        if self._transformer is not None:
+            stage = self._transformer.fit_transform(stage)
+        self._scaler = MinMaxScaler()
+        stage = self._scaler.fit_transform(stage)
+        self._pca = (
+            PCA(self.n_components) if self.n_components is not None else None
+        )
+        if self._pca is not None:
+            self._pca.fit(stage)
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def transform_features(self, X: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "_scaler"):
+            raise NotFittedError("FeaturePipeline must be fitted first")
+        X = np.asarray(X, dtype=np.float64)
+        stage = X
+        if self._transformer is not None:
+            stage = self._transformer.transform(stage)
+        stage = self._scaler.transform(stage)
+        if self._pca is not None:
+            stage = self._pca.transform(stage)
+        return stage
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform_features(X)
+
+    @property
+    def output_dim(self) -> int:
+        if not hasattr(self, "_scaler"):
+            raise NotFittedError("FeaturePipeline must be fitted first")
+        if self._pca is not None:
+            return self._pca.n_components_
+        return self.n_features_in_

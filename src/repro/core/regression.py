@@ -1,0 +1,110 @@
+"""Regression-based format selection: predict times, pick the argmin.
+
+The quantitative alternative to classification that the paper's related
+work requires (§6: *"overhead-conscious format selection ... requires
+quantitative rather than qualitative predictions"* [39, 40]).  One
+regressor per format learns ``log(time)`` from the Table-1 features; the
+selector picks the format with the smallest predicted time, and — unlike
+a classifier — can also feed the overhead-conscious decision rule with
+predicted per-format times for matrices that were never benchmarked.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pipeline import FeaturePipeline
+from repro.gpu.kernels import MODELED_FORMATS
+from repro.ml.base import BaseEstimator, NotFittedError
+from repro.ml.regression import RandomForestRegressor
+
+
+class RegressionFormatSelector(BaseEstimator):
+    """Per-format log-time regressors with argmin selection.
+
+    Parameters
+    ----------
+    formats
+        Formats to model (default: the paper's four).
+    n_estimators, max_depth
+        Forwarded to each :class:`RandomForestRegressor`.
+    """
+
+    def __init__(
+        self,
+        formats: tuple[str, ...] = MODELED_FORMATS,
+        n_estimators: int = 60,
+        max_depth: int | None = 10,
+        seed: int = 0,
+    ) -> None:
+        if not formats:
+            raise ValueError("formats must be non-empty")
+        self.formats = tuple(formats)
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.seed = seed
+
+    def fit(
+        self, X: np.ndarray, times: list[dict[str, float]]
+    ) -> "RegressionFormatSelector":
+        """Fit from per-matrix ``{format: seconds}`` benchmark maps.
+
+        Matrices missing a format (infeasible there) are excluded from
+        that format's regressor only.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        if X.shape[0] != len(times):
+            raise ValueError("X and times must be aligned")
+        self._pipeline = FeaturePipeline(transform="log", n_components=None)
+        Z = self._pipeline.fit(X).transform_features(X)
+        self._models: dict[str, RandomForestRegressor] = {}
+        for k, fmt in enumerate(self.formats):
+            rows = [i for i, t in enumerate(times) if fmt in t]
+            if not rows:
+                continue
+            y = np.log(np.array([times[i][fmt] for i in rows]))
+            model = RandomForestRegressor(
+                n_estimators=self.n_estimators,
+                max_depth=self.max_depth,
+                seed=self.seed + k,
+            )
+            model.fit(Z[rows], y)
+            self._models[fmt] = model
+        if not self._models:
+            raise ValueError("no format had any benchmarked matrix")
+        return self
+
+    def predict_times(self, X: np.ndarray) -> dict[str, np.ndarray]:
+        """Predicted SpMV seconds per modeled format."""
+        if not hasattr(self, "_models"):
+            raise NotFittedError(
+                "RegressionFormatSelector must be fitted first"
+            )
+        Z = self._pipeline.transform_features(
+            np.asarray(X, dtype=np.float64)
+        )
+        return {
+            fmt: np.exp(model.predict(Z))
+            for fmt, model in self._models.items()
+        }
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Format with the smallest predicted time per matrix."""
+        predictions = self.predict_times(X)
+        fmts = list(predictions)
+        stacked = np.vstack([predictions[f] for f in fmts])
+        winners = np.argmin(stacked, axis=0)
+        return np.array([fmts[w] for w in winners], dtype=object)
+
+    def predicted_speedup_over(
+        self, X: np.ndarray, baseline: str = "csr"
+    ) -> np.ndarray:
+        """Predicted time(baseline) / time(best) — the quantitative signal
+        the overhead-conscious rule consumes."""
+        predictions = self.predict_times(X)
+        if baseline not in predictions:
+            raise ValueError(f"baseline {baseline!r} not modeled")
+        fmts = list(predictions)
+        stacked = np.vstack([predictions[f] for f in fmts])
+        best = stacked.min(axis=0)
+        return predictions[baseline] / best

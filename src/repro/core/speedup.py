@@ -1,0 +1,65 @@
+"""Speedup metrics of Table 6: GT, CSR, and the slowdown Threshold.
+
+§5.3: *"the GT column shows the speedup from the model predictions
+compared to an oracle scheme, which always makes the correct prediction.
+Consequently, all entries are 1 or lower. The CSR column shows the speedup
+achieved over the strategy of always using the CSR format as the default.
+Values in both columns represent the geometric mean over all the matrices.
+The column Threshold shows the number of matrices that experience a
+significant slowdown of ≥1.5X over the CSR baseline due to
+mispredictions."*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Table 6's slowdown threshold.
+SLOWDOWN_THRESHOLD = 1.5
+
+
+@dataclass(frozen=True)
+class SpeedupMetrics:
+    gt_speedup: float
+    csr_speedup: float
+    threshold_count: int
+
+
+def _geomean(values: np.ndarray) -> float:
+    return float(np.exp(np.mean(np.log(values))))
+
+
+def speedup_metrics(
+    predictions: np.ndarray,
+    times: list[dict[str, float]],
+    threshold: float = SLOWDOWN_THRESHOLD,
+) -> SpeedupMetrics:
+    """Compute GT/CSR speedups and the slowdown count.
+
+    ``times[i]`` maps each feasible format of matrix ``i`` to its measured
+    SpMV time.  A prediction of an infeasible format is charged the
+    worst feasible time (the run would fail and fall back).
+    """
+    predictions = np.asarray(predictions, dtype=object)
+    if predictions.shape[0] != len(times):
+        raise ValueError("predictions and times must be aligned")
+    if predictions.shape[0] == 0:
+        raise ValueError("empty evaluation set")
+    gt_ratios = np.empty(predictions.shape[0])
+    csr_ratios = np.empty(predictions.shape[0])
+    exceed = 0
+    for i, (pred, t) in enumerate(zip(predictions, times)):
+        oracle = min(t.values())
+        chosen = t.get(str(pred), max(t.values()))
+        gt_ratios[i] = oracle / chosen
+        csr = t["csr"]
+        csr_ratios[i] = csr / chosen
+        if chosen / csr >= threshold:
+            exceed += 1
+    return SpeedupMetrics(
+        gt_speedup=_geomean(gt_ratios),
+        csr_speedup=_geomean(csr_ratios),
+        threshold_count=exceed,
+    )

@@ -1,0 +1,26 @@
+"""Synthetic sparse-matrix collection standing in for SuiteSparse.
+
+The paper trains and evaluates on 1929 matrices from the SuiteSparse Matrix
+Collection (augmented with row/column permutations).  SuiteSparse is not
+available offline, so :mod:`repro.datasets.generators` provides twelve
+structural families spanning the axes that drive format choice — row-length
+uniformity vs. skew, diagonal locality, density, aspect ratio — and
+:mod:`repro.datasets.suite` assembles a reproducible collection from them.
+:mod:`repro.datasets.augment` reproduces the paper's permutation
+augmentation.
+"""
+
+from repro.datasets.augment import permutation_augment
+from repro.datasets.generators import GENERATORS, MatrixRecord
+from repro.datasets.io import export_collection, load_collection
+from repro.datasets.suite import SyntheticCollection, build_collection
+
+__all__ = [
+    "GENERATORS",
+    "MatrixRecord",
+    "SyntheticCollection",
+    "build_collection",
+    "export_collection",
+    "load_collection",
+    "permutation_augment",
+]

@@ -1,0 +1,108 @@
+"""Collection persistence: directories of MatrixMarket files + metadata.
+
+Two purposes:
+
+- Export a synthetic collection to disk so external tools (or a real GPU
+  benchmarking harness) can consume it.
+- Load a directory of ``.mtx`` files — e.g. a locally downloaded slice of
+  the real SuiteSparse collection — into :class:`MatrixRecord` objects,
+  so the entire pipeline (features → labels → selectors → tables) runs
+  unchanged on real data when it is available.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.datasets.generators import MatrixRecord
+from repro.formats.io import read_matrix_market, write_matrix_market
+
+_META_NAME = "collection.json"
+
+
+def export_collection(
+    records: list[MatrixRecord], directory: str | Path
+) -> Path:
+    """Write each matrix as ``<name>.mtx`` plus a metadata JSON.
+
+    Returns the directory path.  Refuses to overwrite an existing
+    metadata file — exports are immutable campaign inputs.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    meta_path = directory / _META_NAME
+    if meta_path.exists():
+        raise FileExistsError(f"{meta_path} already exists")
+    meta = []
+    for rec in records:
+        filename = f"{rec.name}.mtx"
+        write_matrix_market(
+            rec.matrix,
+            directory / filename,
+            comment=f"family: {rec.family}",
+        )
+        meta.append(
+            {
+                "name": rec.name,
+                "family": rec.family,
+                "file": filename,
+                "params": _jsonable(rec.params),
+            }
+        )
+    meta_path.write_text(json.dumps(meta, indent=2), encoding="utf-8")
+    return directory
+
+
+def load_collection(directory: str | Path) -> list[MatrixRecord]:
+    """Load a collection directory.
+
+    With a ``collection.json`` (our own exports) names/families/params are
+    restored; without one (e.g. a folder of SuiteSparse downloads) every
+    ``*.mtx`` file is loaded with its stem as the name and family
+    ``"external"``.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise FileNotFoundError(f"{directory} is not a directory")
+    meta_path = directory / _META_NAME
+    records: list[MatrixRecord] = []
+    if meta_path.exists():
+        meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        for entry in meta:
+            matrix = read_matrix_market(directory / entry["file"])
+            records.append(
+                MatrixRecord(
+                    name=entry["name"],
+                    family=entry["family"],
+                    matrix=matrix,
+                    params=entry.get("params", {}),
+                )
+            )
+        return records
+    mtx_files = sorted(directory.glob("*.mtx"))
+    if not mtx_files:
+        raise FileNotFoundError(f"no .mtx files in {directory}")
+    for path in mtx_files:
+        records.append(
+            MatrixRecord(
+                name=path.stem,
+                family="external",
+                matrix=read_matrix_market(path),
+                params={"source": str(path)},
+            )
+        )
+    return records
+
+
+def _jsonable(params: dict) -> dict:
+    """Coerce generator params (tuples, numpy scalars) to JSON types."""
+    out = {}
+    for key, value in params.items():
+        if isinstance(value, tuple):
+            out[key] = list(value)
+        elif hasattr(value, "item"):
+            out[key] = value.item()
+        else:
+            out[key] = value
+    return out

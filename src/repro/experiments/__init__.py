@@ -1,0 +1,17 @@
+"""Experiment harness: one generator per table of the paper's evaluation.
+
+Every module exposes ``generate(data, config) -> TableResult``; the
+:mod:`repro.experiments.runner` regenerates the full evaluation and the
+``benchmarks/`` suite times each table individually.
+"""
+
+from repro.experiments.common import TableResult
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.data import ExperimentData, build_experiment_data
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentData",
+    "TableResult",
+    "build_experiment_data",
+]

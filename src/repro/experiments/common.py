@@ -1,0 +1,66 @@
+"""Shared result container for the experiment tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TableResult:
+    """A rendered experiment table: header row plus data rows."""
+
+    table_id: str
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        row = list(values)
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def column(self, header: str) -> list:
+        j = self.headers.index(header)
+        return [row[j] for row in self.rows]
+
+    def format_text(self) -> str:
+        """Plain-text rendering in the style of the paper's tables."""
+
+        def fmt(v) -> str:
+            if isinstance(v, float):
+                return f"{v:.3f}"
+            return str(v)
+
+        cells = [self.headers] + [[fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(r[j]) for r in cells) for j in range(len(self.headers))
+        ]
+        lines = [f"{self.table_id}: {self.title}"]
+        lines.append(
+            "  ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells[1:]:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        def fmt(v) -> str:
+            if isinstance(v, float):
+                return f"{v:.3f}"
+            return str(v)
+
+        lines = [f"### {self.table_id}: {self.title}", ""]
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(fmt(v) for v in row) + " |")
+        for note in self.notes:
+            lines.append(f"\n_{note}_")
+        return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Build (and cache) the shared experiment dataset.
+
+Everything downstream of the simulated benchmarking campaign — features,
+per-architecture labels, common subsets — is deterministic in the
+configuration, so one build is shared by all tables and benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.labeling import LabeledDataset, build_labeled_dataset, common_subset
+from repro.datasets import build_collection, permutation_augment
+from repro.datasets.generators import MatrixRecord
+from repro.experiments.config import ExperimentConfig
+from repro.features import extract_features_collection
+from repro.features.stats import MatrixStats, compute_stats
+from repro.features.table import FeatureTable
+from repro.gpu import ARCHITECTURES, GPUSimulator
+from repro.gpu.simulator import BenchmarkResult
+
+
+@dataclass
+class ExperimentData:
+    """Everything the table generators consume."""
+
+    config: ExperimentConfig
+    records: list[MatrixRecord]
+    stats: list[MatrixStats]
+    features: FeatureTable
+    #: arch name → benchmark results (all matrices, incl. excluded ones).
+    results: dict[str, list[BenchmarkResult]]
+    #: arch name → per-architecture labeled dataset (runnable matrices).
+    datasets: dict[str, LabeledDataset]
+    #: arch name → dataset restricted to the cross-arch common subset.
+    common: dict[str, LabeledDataset]
+
+    @property
+    def arch_names(self) -> list[str]:
+        return list(self.datasets)
+
+
+_CACHE: dict[ExperimentConfig, ExperimentData] = {}
+
+
+def build_experiment_data(
+    config: ExperimentConfig | None = None, use_cache: bool = True
+) -> ExperimentData:
+    """Run the simulated benchmarking campaign for ``config``."""
+    if config is None:
+        config = ExperimentConfig()
+    if use_cache and config in _CACHE:
+        return _CACHE[config]
+    collection = build_collection(
+        seed=config.seed, size=config.collection_size
+    )
+    records = (
+        permutation_augment(
+            collection.records, copies=config.augment_copies, seed=config.seed
+        )
+        if config.augment_copies
+        else list(collection.records)
+    )
+    stats = [compute_stats(r.matrix) for r in records]
+    features = extract_features_collection(records, stats)
+    results: dict[str, list[BenchmarkResult]] = {}
+    datasets: dict[str, LabeledDataset] = {}
+    for name, arch in ARCHITECTURES.items():
+        sim = GPUSimulator(arch, trials=config.trials, seed=config.seed)
+        res = sim.benchmark_collection(records, stats)
+        results[name] = res
+        datasets[name] = build_labeled_dataset(name, features, res)
+    data = ExperimentData(
+        config=config,
+        records=records,
+        stats=stats,
+        features=features,
+        results=results,
+        datasets=datasets,
+        common=common_subset(datasets),
+    )
+    if use_cache:
+        _CACHE[config] = data
+    return data

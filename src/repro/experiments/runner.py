@@ -1,0 +1,88 @@
+"""Regenerate the paper's full evaluation.
+
+Usage::
+
+    python -m repro.experiments.runner            # full (paper preset)
+    python -m repro.experiments.runner --small    # quick pass
+
+Prints every table and optionally writes a Markdown report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+    table9,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.data import build_experiment_data
+
+TABLE_MODULES = {
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "table6": table6,
+    "table7": table7,
+    "table8": table8,
+    "table9": table9,
+}
+
+
+def run_all(
+    config: ExperimentConfig,
+    only: list[str] | None = None,
+    markdown_path: str | None = None,
+) -> dict[str, "TableResult"]:
+    names = only or list(TABLE_MODULES)
+    data = build_experiment_data(config)
+    results = {}
+    md_parts = []
+    for name in names:
+        module = TABLE_MODULES[name]
+        t0 = time.perf_counter()
+        result = module.generate(data, config)
+        dt = time.perf_counter() - t0
+        results[name] = result
+        print(result.format_text())
+        print(f"[{name} generated in {dt:.1f}s]\n")
+        md_parts.append(result.to_markdown())
+    if markdown_path:
+        with open(markdown_path, "w", encoding="utf-8") as fh:
+            fh.write("\n\n".join(md_parts) + "\n")
+        print(f"markdown report written to {markdown_path}")
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--small", action="store_true", help="use the fast test preset"
+    )
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        choices=sorted(TABLE_MODULES),
+        help="generate only these tables",
+    )
+    parser.add_argument(
+        "--markdown", default=None, help="also write a Markdown report here"
+    )
+    args = parser.parse_args(argv)
+    config = ExperimentConfig.small() if args.small else ExperimentConfig.paper()
+    run_all(config, only=args.only, markdown_path=args.markdown)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

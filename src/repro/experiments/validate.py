@@ -1,0 +1,222 @@
+"""Shape validation: do the paper's qualitative findings hold here?
+
+The reproduction targets the *shape* of the paper's results — who wins,
+by roughly what factor, where the crossovers fall — not absolute numbers
+(the substrate is a performance-model simulator, the dataset synthetic).
+This module encodes each headline finding as a checkable claim, evaluates
+all of them against generated tables, and prints a verdict sheet.
+
+Run:  python -m repro.experiments.validate [--small]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments import table3, table4, table6, table7
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.data import ExperimentData, build_experiment_data
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    claim: str
+    paper_evidence: str
+    measured: str
+    holds: bool
+
+
+def _mean_by_algo(result, value_col: str) -> dict[str, float]:
+    out: dict[str, list[float]] = {}
+    idx = result.headers.index(value_col)
+    algo_idx = result.headers.index(
+        "Algorithm" if "Algorithm" in result.headers else "MLM"
+    )
+    for row in result.rows:
+        out.setdefault(row[algo_idx], []).append(row[idx])
+    return {k: float(np.mean(v)) for k, v in out.items()}
+
+
+def check_claims(data: ExperimentData) -> list[ClaimResult]:
+    claims: list[ClaimResult] = []
+
+    # ---- Table 3 shape -------------------------------------------------
+    dist = {a: data.datasets[a].class_distribution() for a in data.arch_names}
+
+    def frac(arch: str, fmt: str) -> float:
+        return dist[arch][fmt] / sum(dist[arch].values())
+
+    claims.append(
+        ClaimResult(
+            claim="CSR is the majority class on every architecture",
+            paper_evidence="Table 3: CSR 66/67/75% on Pascal/Volta/Turing",
+            measured=", ".join(
+                f"{a}: {frac(a, 'csr'):.0%}" for a in data.arch_names
+            ),
+            holds=all(
+                max(dist[a], key=dist[a].get) == "csr" for a in data.arch_names
+            ),
+        )
+    )
+    claims.append(
+        ClaimResult(
+            claim="COO wins far more often on Turing than on Volta",
+            paper_evidence="Table 3: 415 COO on Turing vs 4 on Volta",
+            measured=f"turing {dist['turing']['coo']} vs volta "
+            f"{dist['volta']['coo']}",
+            holds=dist["turing"]["coo"] > 3 * max(dist["volta"]["coo"], 1),
+        )
+    )
+    claims.append(
+        ClaimResult(
+            claim="HYB wins are concentrated on Pascal",
+            paper_evidence="Table 3: 217 HYB on Pascal vs 3 (Volta), 40 (Turing)",
+            measured=", ".join(
+                f"{a}: {dist[a]['hyb']}" for a in data.arch_names
+            ),
+            holds=dist["pascal"]["hyb"]
+            >= max(dist["volta"]["hyb"], dist["turing"]["hyb"]),
+        )
+    )
+
+    # ---- Table 4 shape ---------------------------------------------------
+    t4 = table4.generate(data)
+    mcc4 = _mean_by_algo(t4, "MCC")
+    kmeans_best = max(
+        mcc4["K-Means-VOTE"], mcc4["K-Means-RF"], mcc4["K-Means-LR"]
+    )
+    meanshift_best = max(
+        v for k, v in mcc4.items() if k.startswith("Mean-Shift")
+    )
+    claims.append(
+        ClaimResult(
+            claim="every Mean-Shift variant loses to the best K-Means variant",
+            paper_evidence="Table 4: Mean-Shift MCC 0.08-0.21 vs K-Means 0.31-0.63",
+            measured=f"K-Means best {kmeans_best:.3f} vs Mean-Shift best "
+            f"{meanshift_best:.3f}",
+            holds=kmeans_best > meanshift_best,
+        )
+    )
+    claims.append(
+        ClaimResult(
+            claim="Mean-Shift finds far fewer clusters than tuned K-Means",
+            paper_evidence="Table 4: NC ~30 for Mean-Shift vs 100-400 for K-Means",
+            measured=f"NCs: "
+            f"{ {k: int(v) for k, v in _mean_by_algo(t4, 'NC').items()} }",
+            holds=_mean_by_algo(t4, "NC")["Mean-Shift-VOTE"]
+            < _mean_by_algo(t4, "NC")["K-Means-VOTE"],
+        )
+    )
+
+    # ---- Table 6 shape -------------------------------------------------
+    t6 = table6.generate(data, models=("DT", "RF", "KNN", "XGBoost", "CNN"))
+    mcc6 = _mean_by_algo(t6, "MCC")
+    claims.append(
+        ClaimResult(
+            claim="tree ensembles (RF/XGBoost) beat the CNN on MCC",
+            paper_evidence="Table 6: RF/XGBoost MCC 0.53-0.87 vs CNN 0.20-0.72",
+            measured=f"RF {mcc6['RF']:.3f}, XGBoost {mcc6['XGBoost']:.3f}, "
+            f"CNN {mcc6['CNN']:.3f}",
+            holds=max(mcc6["RF"], mcc6["XGBoost"]) > mcc6["CNN"],
+        )
+    )
+    gt6 = _mean_by_algo(t6, "GT")
+    claims.append(
+        ClaimResult(
+            claim="no model beats the oracle (GT <= 1)",
+            paper_evidence="Table 6: all GT entries are 1 or lower",
+            measured=f"max GT {max(gt6.values()):.3f}",
+            holds=max(gt6.values()) <= 1.0 + 1e-9,
+        )
+    )
+    csr6 = _mean_by_algo(t6, "CSR")
+    claims.append(
+        ClaimResult(
+            claim="good supervised models beat the always-CSR baseline",
+            paper_evidence="Table 6: CSR speedups 1.02-1.07",
+            measured=f"RF CSR speedup {csr6['RF']:.3f}",
+            holds=csr6["RF"] > 1.0,
+        )
+    )
+
+    # ---- semi-supervised vs supervised (the headline) ---------------------
+    claims.append(
+        ClaimResult(
+            claim="semi-supervised K-Means is competitive with supervised "
+            "models (within ~70% of RF's MCC)",
+            paper_evidence="§5.3/§7: 'our method attains comparable performance'",
+            measured=f"K-Means best {kmeans_best:.3f} vs RF {mcc6['RF']:.3f}",
+            holds=kmeans_best > 0.7 * mcc6["RF"],
+        )
+    )
+
+    # ---- Table 7 shape ----------------------------------------------------
+    t7 = table7.generate(data, models=("RF", "XGBoost"))
+    i0 = t7.headers.index("MCC@0%")
+    i50 = t7.headers.index("MCC@50%")
+    gains = [row[i50] - row[i0] for row in t7.rows]
+    claims.append(
+        ClaimResult(
+            claim="retraining with target data improves supervised transfer",
+            paper_evidence="Table 7: 'performance improvement when going "
+            "from 0 to 25%' (§5.3)",
+            measured=f"mean MCC gain 0%->50%: {np.mean(gains):+.3f}",
+            holds=float(np.mean(gains)) > -0.02,
+        )
+    )
+    transfer_mcc = float(np.mean([row[i0] for row in t7.rows]))
+    local_mcc = float(np.mean([mcc6["RF"], mcc6["XGBoost"]]))
+    claims.append(
+        ClaimResult(
+            claim="0%-transfer MCC sits below the local MCC",
+            paper_evidence="§5.3: 'the MCC scores are noticeably lower than "
+            "those presented in Table 6'",
+            measured=f"transfer {transfer_mcc:.3f} vs local {local_mcc:.3f}",
+            holds=transfer_mcc < local_mcc,
+        )
+    )
+    return claims
+
+
+def render(claims: list[ClaimResult]) -> str:
+    lines = ["Paper-shape validation", "=" * 70]
+    for c in claims:
+        status = "HOLDS " if c.holds else "FAILS "
+        lines.append(f"[{status}] {c.claim}")
+        lines.append(f"    paper:    {c.paper_evidence}")
+        lines.append(f"    measured: {c.measured}")
+    held = sum(c.holds for c in claims)
+    lines.append("=" * 70)
+    lines.append(f"{held}/{len(claims)} claims hold")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--small", action="store_true")
+    parser.add_argument(
+        "--size", type=int, default=None,
+        help="override collection size (with 3-fold CV) for faster runs",
+    )
+    args = parser.parse_args(argv)
+    if args.size is not None:
+        config = ExperimentConfig(
+            collection_size=args.size, augment_copies=0, trials=10,
+            n_folds=3,
+        )
+    elif args.small:
+        config = ExperimentConfig.small()
+    else:
+        config = ExperimentConfig.paper()
+    data = build_experiment_data(config)
+    claims = check_claims(data)
+    print(render(claims))
+    return 0 if all(c.holds for c in claims) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

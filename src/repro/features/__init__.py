@@ -1,0 +1,18 @@
+"""Statistical matrix features (Table 1 of the paper) and the shared
+structural-statistics layer that also feeds the GPU performance model."""
+
+from repro.features.extract import (
+    FEATURE_NAMES,
+    extract_features,
+    extract_features_collection,
+)
+from repro.features.stats import MatrixStats
+from repro.features.table import FeatureTable
+
+__all__ = [
+    "FEATURE_NAMES",
+    "FeatureTable",
+    "MatrixStats",
+    "extract_features",
+    "extract_features_collection",
+]

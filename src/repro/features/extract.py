@@ -1,0 +1,110 @@
+"""The 21 statistical features of Table 1.
+
+All features are computable in O(nnz) and are architecture-invariant, which
+is what makes the paper's clustering portable: *"these features are
+completely invariant across architectures, so they have to be computed only
+once"* (§4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.generators import MatrixRecord
+from repro.features.stats import MatrixStats, compute_stats
+from repro.features.table import FeatureTable
+from repro.formats.coo import COOMatrix
+
+#: Feature order follows Table 1 of the paper.
+FEATURE_NAMES: tuple[str, ...] = (
+    "nrows",
+    "ncols",
+    "nnz",
+    "nnz_frac",
+    "nnz_mu",
+    "nnz_min",
+    "nnz_max",
+    "nnz_sig",
+    "max_mu",
+    "mu_min",
+    "csr_max",
+    "sig_lower",
+    "sig_higher",
+    "hyb_ell_size",
+    "hyb_coo",
+    "hyb_ell_frac",
+    "diagonals",
+    "dia_size",
+    "dia_frac",
+    "ell_frac",
+    "ell_size",
+)
+
+
+def _rms(deviations: np.ndarray) -> float:
+    """Root mean square; 0 for an empty selection."""
+    if deviations.size == 0:
+        return 0.0
+    return float(np.sqrt(np.mean(deviations * deviations)))
+
+
+def features_from_stats(stats: MatrixStats) -> np.ndarray:
+    """Feature vector (length 21, Table-1 order) from structural stats."""
+    lengths = stats.row_lengths.astype(np.float64)
+    mu = stats.mean_row
+    below = lengths[lengths < mu]
+    above = lengths[lengths > mu]
+    dia_size = stats.dia_size
+    ell_size = stats.ell_padded
+    return np.array(
+        [
+            stats.nrows,
+            stats.ncols,
+            stats.nnz,
+            stats.nnz / (stats.nrows * stats.ncols),
+            mu,
+            stats.min_row,
+            stats.max_row,
+            stats.std_row,
+            stats.max_row - mu,
+            mu - stats.min_row,
+            stats.csr_max,
+            _rms(mu - below),
+            _rms(above - mu),
+            stats.hyb_ell_slots,
+            stats.hyb_coo_entries,
+            stats.hyb_ell_entries,
+            stats.n_diagonals,
+            dia_size,
+            stats.nnz / dia_size if dia_size else 0.0,
+            stats.nnz / ell_size if ell_size else 0.0,
+            ell_size,
+        ],
+        dtype=np.float64,
+    )
+
+
+def extract_features(matrix: COOMatrix) -> np.ndarray:
+    """Feature vector for a single matrix."""
+    return features_from_stats(compute_stats(matrix))
+
+
+def extract_features_collection(
+    records: list[MatrixRecord],
+    stats: list[MatrixStats] | None = None,
+) -> FeatureTable:
+    """Feature table for a whole collection.
+
+    ``stats`` may be shared with the GPU simulator to avoid recomputing
+    the structural pass.
+    """
+    if stats is None:
+        stats = [compute_stats(r.matrix) for r in records]
+    if len(stats) != len(records):
+        raise ValueError("stats and records lengths differ")
+    values = np.vstack([features_from_stats(s) for s in stats])
+    return FeatureTable(
+        names=[r.name for r in records],
+        feature_names=list(FEATURE_NAMES),
+        values=values,
+    )

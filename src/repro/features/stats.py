@@ -1,0 +1,202 @@
+"""Structural statistics computed once per matrix.
+
+Both the Table-1 feature extractor and the GPU kernel cost models consume
+the same structural quantities (row-length distribution, padding sizes, HYB
+split, diagonal occupancy, locality).  Computing them in one O(nnz) pass
+keeps benchmarking the full collection cheap — the paper makes the same
+point about its features: *"We have chosen only features that can be
+computed in time proportional to the number of nonzeros."*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.formats.base import INDEX_BYTES, VALUE_BYTES
+from repro.formats.coo import COOMatrix
+from repro.formats.ell import DEFAULT_MAX_FILL
+from repro.formats.hyb import optimal_ell_width
+
+#: GPU warp width: CSR-scalar assigns one thread per row, 32 consecutive
+#: rows per warp, so a warp's latency is set by its longest row.
+WARP_SIZE = 32
+
+#: Column distance within which an x-vector gather is considered local
+#: (same neighbourhood of cache lines as the diagonal).
+BAND_LOCALITY_WINDOW = 256
+
+
+@dataclass(frozen=True)
+class MatrixStats:
+    """Immutable bag of structural statistics for one sparse matrix."""
+
+    nrows: int
+    ncols: int
+    nnz: int
+    row_lengths: np.ndarray
+    #: Number of distinct occupied diagonals.
+    n_diagonals: int
+    #: Fraction of entries with |col - row| <= BAND_LOCALITY_WINDOW.
+    band_fraction: float
+    #: Mean |col - row| over stored entries (0 for empty matrices).
+    mean_abs_offset: float
+    #: Sum over warps of (WARP_SIZE * longest row in warp): the number of
+    #: lane-slots the CSR-scalar kernel occupies including divergence idle.
+    warp_divergence_slots: int
+    #: Max number of rows a single warp-sized chunk of nonzeros spans in an
+    #: nnz-balanced CSR kernel (the paper's csr_max feature).
+    csr_max: int
+    #: HYB split under CUSP's heuristic.
+    hyb_width: int
+    hyb_ell_entries: int
+    hyb_coo_entries: int
+
+    # -- row-length scalars ------------------------------------------------
+
+    @cached_property
+    def max_row(self) -> int:
+        return int(self.row_lengths.max(initial=0))
+
+    @cached_property
+    def min_row(self) -> int:
+        return int(self.row_lengths.min(initial=0)) if self.nrows else 0
+
+    @cached_property
+    def mean_row(self) -> float:
+        return float(self.nnz / self.nrows) if self.nrows else 0.0
+
+    @cached_property
+    def std_row(self) -> float:
+        return float(self.row_lengths.std()) if self.nrows else 0.0
+
+    # -- ELL geometry --------------------------------------------------------
+
+    @property
+    def ell_width(self) -> int:
+        return self.max_row
+
+    @property
+    def ell_padded(self) -> int:
+        """Stored slot count of the full-ELL structure."""
+        return self.nrows * self.max_row
+
+    def ell_convertible(self, max_fill: float = DEFAULT_MAX_FILL) -> bool:
+        """Whether CUSP's ELL conversion would accept this matrix."""
+        if self.nnz == 0:
+            return True
+        padded = self.ell_padded
+        return padded <= max_fill * self.nnz or padded <= 4096
+
+    # -- HYB geometry ----------------------------------------------------
+
+    @property
+    def hyb_ell_slots(self) -> int:
+        """Padded slot count of the HYB's ELL part."""
+        return self.nrows * self.hyb_width
+
+    # -- DIA geometry -----------------------------------------------------
+
+    @property
+    def dia_size(self) -> int:
+        return self.n_diagonals * self.nrows
+
+    # -- storage footprints (bytes, GPU-resident) ---------------------------
+
+    def bytes_csr(self) -> int:
+        return (self.nrows + 1 + self.nnz) * INDEX_BYTES + self.nnz * VALUE_BYTES
+
+    def bytes_coo(self) -> int:
+        return self.nnz * (2 * INDEX_BYTES + VALUE_BYTES)
+
+    def bytes_ell(self) -> int:
+        return self.ell_padded * (INDEX_BYTES + VALUE_BYTES)
+
+    def bytes_hyb(self) -> int:
+        return self.hyb_ell_slots * (
+            INDEX_BYTES + VALUE_BYTES
+        ) + self.hyb_coo_entries * (2 * INDEX_BYTES + VALUE_BYTES)
+
+    def format_bytes(self, fmt: str) -> int:
+        return {
+            "csr": self.bytes_csr,
+            "coo": self.bytes_coo,
+            "ell": self.bytes_ell,
+            "hyb": self.bytes_hyb,
+        }[fmt]()
+
+
+def compute_stats(matrix: COOMatrix) -> MatrixStats:
+    """One-pass structural analysis of a COO matrix."""
+    lengths = matrix.row_lengths()
+    nrows, ncols = matrix.shape
+    nnz = matrix.nnz
+
+    # Diagonal occupancy and locality.
+    if nnz:
+        offs = matrix.cols - matrix.rows
+        n_diagonals = int(np.unique(offs).shape[0])
+        abs_offs = np.abs(offs)
+        band_fraction = float(np.mean(abs_offs <= BAND_LOCALITY_WINDOW))
+        mean_abs_offset = float(abs_offs.mean())
+    else:
+        n_diagonals = 0
+        band_fraction = 1.0
+        mean_abs_offset = 0.0
+
+    # CSR-scalar warp divergence: group rows in warps of 32.
+    if nrows:
+        pad = (-nrows) % WARP_SIZE
+        padded_lengths = np.concatenate(
+            [lengths, np.zeros(pad, dtype=lengths.dtype)]
+        )
+        per_warp_max = padded_lengths.reshape(-1, WARP_SIZE).max(axis=1)
+        warp_divergence_slots = int(per_warp_max.sum()) * WARP_SIZE
+    else:
+        warp_divergence_slots = 0
+
+    csr_max = _csr_max(lengths, nnz)
+
+    hyb_width = optimal_ell_width(lengths)
+    hyb_ell_entries = int(np.minimum(lengths, hyb_width).sum())
+    hyb_coo_entries = nnz - hyb_ell_entries
+
+    return MatrixStats(
+        nrows=nrows,
+        ncols=ncols,
+        nnz=nnz,
+        row_lengths=lengths,
+        n_diagonals=n_diagonals,
+        band_fraction=band_fraction,
+        mean_abs_offset=mean_abs_offset,
+        warp_divergence_slots=warp_divergence_slots,
+        csr_max=csr_max,
+        hyb_width=hyb_width,
+        hyb_ell_entries=hyb_ell_entries,
+        hyb_coo_entries=hyb_coo_entries,
+    )
+
+
+def _csr_max(lengths: np.ndarray, nnz: int) -> int:
+    """Table-1 ``csr_max``: *"maximum number of rows a particular warp will
+    process in the CSR kernel."*
+
+    We interpret the nnz-balanced CSR kernel: nonzeros are divided into
+    contiguous chunks of ``WARP_SIZE * ceil(mean row length)`` entries (one
+    warp's quota), and ``csr_max`` is the largest number of rows any chunk
+    spans.  Matrices with many short/empty rows yield large values.
+    """
+    nrows = lengths.shape[0]
+    if nnz == 0 or nrows == 0:
+        return 0
+    chunk = WARP_SIZE * max(1, int(np.ceil(nnz / nrows)))
+    ends = np.cumsum(lengths)
+    # For each chunk boundary b (multiples of `chunk`), the row containing
+    # entry b is searchsorted(ends, b, side='right').
+    bounds = np.arange(0, nnz + chunk, chunk)
+    rows_at = np.searchsorted(ends, bounds, side="right")
+    rows_at = np.minimum(rows_at, nrows - 1)
+    spans = np.diff(rows_at) + 1
+    return int(spans.max(initial=1))

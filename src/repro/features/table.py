@@ -1,0 +1,69 @@
+"""Tabular container for per-matrix feature vectors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass
+class FeatureTable:
+    """Feature matrix with named rows (matrices) and columns (features)."""
+
+    names: list[str]
+    feature_names: list[str]
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if self.values.ndim != 2:
+            raise ValueError("values must be 2-D (samples × features)")
+        if self.values.shape != (len(self.names), len(self.feature_names)):
+            raise ValueError(
+                f"values shape {self.values.shape} does not match "
+                f"{len(self.names)} names × {len(self.feature_names)} features"
+            )
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    @property
+    def n_features(self) -> int:
+        return len(self.feature_names)
+
+    def column(self, feature: str) -> np.ndarray:
+        """Values of one named feature across all matrices."""
+        try:
+            j = self.feature_names.index(feature)
+        except ValueError as exc:
+            raise KeyError(
+                f"unknown feature {feature!r}; have {self.feature_names}"
+            ) from exc
+        return self.values[:, j]
+
+    def select(self, features: Sequence[str]) -> "FeatureTable":
+        """Project onto a feature subset (order preserved as given)."""
+        idx = [self.feature_names.index(f) for f in features]
+        return FeatureTable(
+            names=list(self.names),
+            feature_names=list(features),
+            values=self.values[:, idx].copy(),
+        )
+
+    def subset(self, indices: Sequence[int]) -> "FeatureTable":
+        """Select a row subset by positional indices."""
+        indices = list(indices)
+        return FeatureTable(
+            names=[self.names[i] for i in indices],
+            feature_names=list(self.feature_names),
+            values=self.values[indices, :].copy(),
+        )
+
+    def row(self, name: str) -> np.ndarray:
+        try:
+            i = self.names.index(name)
+        except ValueError as exc:
+            raise KeyError(f"unknown matrix {name!r}") from exc
+        return self.values[i, :]

@@ -1,0 +1,44 @@
+"""Sparse matrix storage formats and SpMV kernels.
+
+This subpackage re-implements, from scratch, the storage formats the paper
+benchmarks through CUSP: COO, CSR, ELL, HYB, plus CSC and DIA, which back
+some of the Table-1 features (``dia_size`` etc.).  Every format supports:
+
+- construction from a canonical COO triple set,
+- conversion back to COO (lossless),
+- a NumPy-vectorised SpMV kernel (``spmv``),
+- a storage footprint estimate (``memory_bytes``).
+
+The module-level helpers :func:`repro.formats.convert.convert` and
+:func:`repro.formats.spmv.spmv` dispatch on the format name.
+"""
+
+from repro.formats.base import FormatError, SparseMatrix
+from repro.formats.convert import FORMATS, convert
+from repro.formats.coo import COOMatrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.dia import DIAMatrix
+from repro.formats.ell import ELLMatrix, EllSizeError
+from repro.formats.hyb import HYBMatrix
+from repro.formats.io import read_matrix_market, write_matrix_market
+from repro.formats.sell import SELLMatrix
+from repro.formats.spmv import spmv
+
+__all__ = [
+    "COOMatrix",
+    "CSCMatrix",
+    "CSRMatrix",
+    "DIAMatrix",
+    "ELLMatrix",
+    "EllSizeError",
+    "FORMATS",
+    "FormatError",
+    "HYBMatrix",
+    "SELLMatrix",
+    "SparseMatrix",
+    "convert",
+    "read_matrix_market",
+    "spmv",
+    "write_matrix_market",
+]

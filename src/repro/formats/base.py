@@ -1,0 +1,89 @@
+"""Abstract base class shared by all sparse storage formats."""
+
+from __future__ import annotations
+
+import abc
+from typing import ClassVar
+
+import numpy as np
+
+INDEX_DTYPE = np.int64
+VALUE_DTYPE = np.float64
+
+#: Bytes per stored index / value, used by the storage-footprint estimates
+#: that feed the GPU performance model.
+INDEX_BYTES = 4  # CUSP uses 32-bit indices on the GPU
+VALUE_BYTES = 8  # double precision, as in the paper's CUSP benchmarks
+
+
+class FormatError(ValueError):
+    """Raised when a matrix cannot be represented in the requested format."""
+
+
+def check_shape(shape: tuple[int, int]) -> tuple[int, int]:
+    """Validate and normalise a matrix shape tuple."""
+    if len(shape) != 2:
+        raise FormatError(f"shape must be 2-D, got {shape!r}")
+    nrows, ncols = int(shape[0]), int(shape[1])
+    if nrows <= 0 or ncols <= 0:
+        raise FormatError(f"shape must be positive, got {shape!r}")
+    return nrows, ncols
+
+
+def check_vector(x: np.ndarray, ncols: int) -> np.ndarray:
+    """Validate the dense input vector of an SpMV call."""
+    x = np.asarray(x, dtype=VALUE_DTYPE)
+    if x.ndim != 1 or x.shape[0] != ncols:
+        raise FormatError(
+            f"SpMV input vector must have shape ({ncols},), got {x.shape}"
+        )
+    return x
+
+
+class SparseMatrix(abc.ABC):
+    """A sparse matrix stored in one specific format.
+
+    Subclasses are immutable containers: all arrays are normalised at
+    construction time and never mutated afterwards, so instances can be
+    shared freely between the benchmark harness and the feature extractor.
+    """
+
+    #: Short lowercase name used in dispatch tables and result rows.
+    format_name: ClassVar[str] = ""
+
+    shape: tuple[int, int]
+
+    @property
+    def nrows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def ncols(self) -> int:
+        return self.shape[1]
+
+    @property
+    @abc.abstractmethod
+    def nnz(self) -> int:
+        """Number of stored (structurally nonzero) entries."""
+
+    @abc.abstractmethod
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """Compute ``y = A @ x`` using this format's kernel."""
+
+    @abc.abstractmethod
+    def to_coo(self) -> "COOMatrix":  # noqa: F821 - circular at type time
+        """Convert losslessly to canonical COO."""
+
+    @abc.abstractmethod
+    def memory_bytes(self) -> int:
+        """Storage footprint in bytes (GPU-resident arrays only)."""
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise as a dense 2-D array (testing / small matrices only)."""
+        return self.to_coo().to_dense()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<{type(self).__name__} shape={self.shape} nnz={self.nnz} "
+            f"bytes={self.memory_bytes()}>"
+        )

@@ -1,0 +1,46 @@
+"""Format-conversion dispatch: any format → any format via canonical COO."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.formats.base import FormatError, SparseMatrix
+from repro.formats.coo import COOMatrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.dia import DIAMatrix
+from repro.formats.ell import ELLMatrix
+from repro.formats.hyb import HYBMatrix
+from repro.formats.sell import SELLMatrix
+
+#: Registry of all formats by name.  The four CUSP-benchmarked formats the
+#: paper evaluates come first.
+FORMATS: dict[str, Callable[[COOMatrix], SparseMatrix]] = {
+    "csr": CSRMatrix.from_coo,
+    "coo": lambda coo: coo,
+    "ell": ELLMatrix.from_coo,
+    "hyb": HYBMatrix.from_coo,
+    "csc": CSCMatrix.from_coo,
+    "dia": DIAMatrix.from_coo,
+    "sell": SELLMatrix.from_coo,
+}
+
+#: The formats the paper benchmarks (§5.1): "We limit benchmarking to four
+#: sparse formats, namely CSR, COO, ELL, and HYB".
+BENCHMARK_FORMATS: tuple[str, ...] = ("coo", "csr", "ell", "hyb")
+
+
+def convert(matrix: SparseMatrix, fmt: str, **kwargs) -> SparseMatrix:
+    """Convert ``matrix`` to the format named ``fmt``.
+
+    Keyword arguments are forwarded to the target format's ``from_coo``
+    (e.g. ``max_fill`` for ELL/DIA, ``width`` for HYB).
+    """
+    fmt = fmt.lower()
+    if fmt not in FORMATS:
+        raise FormatError(
+            f"unknown format {fmt!r}; available: {sorted(FORMATS)}"
+        )
+    if matrix.format_name == fmt and not kwargs:
+        return matrix
+    return FORMATS[fmt](matrix.to_coo(), **kwargs)

@@ -1,0 +1,94 @@
+"""Compressed Sparse Column (CSC).
+
+Not benchmarked by the paper, but part of the substrate: the MatrixMarket
+reader uses it to transpose efficiently, and it rounds out the conversion
+registry so downstream users get a complete format library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.base import (
+    INDEX_BYTES,
+    INDEX_DTYPE,
+    VALUE_BYTES,
+    VALUE_DTYPE,
+    FormatError,
+    SparseMatrix,
+    check_shape,
+    check_vector,
+)
+from repro.formats.coo import COOMatrix
+
+
+class CSCMatrix(SparseMatrix):
+    """CSC container: ``indptr`` (ncols+1), ``indices`` and ``data`` (nnz)."""
+
+    format_name = "csc"
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+    ) -> None:
+        self.shape = check_shape(shape)
+        self.indptr = np.asarray(indptr, dtype=INDEX_DTYPE)
+        self.indices = np.asarray(indices, dtype=INDEX_DTYPE)
+        self.data = np.asarray(data, dtype=VALUE_DTYPE)
+        nrows, ncols = self.shape
+        if self.indptr.ndim != 1 or self.indptr.shape[0] != ncols + 1:
+            raise FormatError(f"indptr must have length {ncols + 1}")
+        if self.indptr[0] != 0 or np.any(np.diff(self.indptr) < 0):
+            raise FormatError("indptr must be non-decreasing and start at 0")
+        if self.indices.shape != self.data.shape or self.indices.ndim != 1:
+            raise FormatError("indices and data must be 1-D of equal length")
+        if self.indptr[-1] != self.indices.shape[0]:
+            raise FormatError("indptr[-1] must equal nnz")
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= nrows
+        ):
+            raise FormatError("CSC row index out of range")
+
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "CSCMatrix":
+        # Sort triples column-major, then compress the column array.
+        order = np.lexsort((coo.rows, coo.cols))
+        rows = coo.rows[order]
+        cols = coo.cols[order]
+        vals = coo.vals[order]
+        lengths = np.bincount(cols, minlength=coo.ncols)
+        indptr = np.zeros(coo.ncols + 1, dtype=INDEX_DTYPE)
+        np.cumsum(lengths, out=indptr[1:])
+        return cls(coo.shape, indptr, rows, vals)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.data.shape[0])
+
+    def col_lengths(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """CSC SpMV: scale each column by ``x[j]`` and scatter-add by row."""
+        x = check_vector(x, self.ncols)
+        if self.nnz == 0:
+            return np.zeros(self.nrows, dtype=VALUE_DTYPE)
+        col_ids = np.repeat(
+            np.arange(self.ncols, dtype=INDEX_DTYPE), self.col_lengths()
+        )
+        products = self.data * x[col_ids]
+        return np.bincount(
+            self.indices, weights=products, minlength=self.nrows
+        ).astype(VALUE_DTYPE, copy=False)
+
+    def to_coo(self) -> COOMatrix:
+        col_ids = np.repeat(
+            np.arange(self.ncols, dtype=INDEX_DTYPE), self.col_lengths()
+        )
+        return COOMatrix(self.shape, self.indices, col_ids, self.data)
+
+    def memory_bytes(self) -> int:
+        return (self.ncols + 1 + self.nnz) * INDEX_BYTES + self.nnz * VALUE_BYTES

@@ -1,0 +1,112 @@
+"""Compressed Sparse Row (CSR): the paper's baseline format.
+
+The paper (§2.1): *"The compressed sparse row (CSR) format, which is the
+most popular format, compresses the row array to store the start positions
+of all rows in the corresponding column and value arrays."*
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.base import (
+    INDEX_BYTES,
+    INDEX_DTYPE,
+    VALUE_BYTES,
+    VALUE_DTYPE,
+    FormatError,
+    SparseMatrix,
+    check_shape,
+    check_vector,
+)
+from repro.formats.coo import COOMatrix
+
+
+class CSRMatrix(SparseMatrix):
+    """CSR container: ``indptr`` (nrows+1), ``indices`` and ``data`` (nnz)."""
+
+    format_name = "csr"
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+    ) -> None:
+        self.shape = check_shape(shape)
+        self.indptr = np.asarray(indptr, dtype=INDEX_DTYPE)
+        self.indices = np.asarray(indices, dtype=INDEX_DTYPE)
+        self.data = np.asarray(data, dtype=VALUE_DTYPE)
+        _validate_csr(self.shape, self.indptr, self.indices, self.data)
+
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "CSRMatrix":
+        lengths = coo.row_lengths()
+        indptr = np.zeros(coo.nrows + 1, dtype=INDEX_DTYPE)
+        np.cumsum(lengths, out=indptr[1:])
+        # Canonical COO is already row-major sorted, so indices/data can be
+        # taken verbatim.
+        return cls(coo.shape, indptr, coo.cols, coo.vals)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.data.shape[0])
+
+    def row_lengths(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """CSR SpMV via expansion to row ids + bincount reduction.
+
+        The GPU CSR-scalar kernel assigns one thread per row; in NumPy the
+        equivalent O(nnz) formulation expands the compressed row pointer back
+        to per-entry row ids and reduces with ``bincount``.
+        """
+        x = check_vector(x, self.ncols)
+        if self.nnz == 0:
+            return np.zeros(self.nrows, dtype=VALUE_DTYPE)
+        row_ids = np.repeat(
+            np.arange(self.nrows, dtype=INDEX_DTYPE), self.row_lengths()
+        )
+        products = self.data * x[self.indices]
+        return np.bincount(
+            row_ids, weights=products, minlength=self.nrows
+        ).astype(VALUE_DTYPE, copy=False)
+
+    def to_coo(self) -> COOMatrix:
+        row_ids = np.repeat(
+            np.arange(self.nrows, dtype=INDEX_DTYPE), self.row_lengths()
+        )
+        return COOMatrix(self.shape, row_ids, self.indices, self.data)
+
+    def memory_bytes(self) -> int:
+        return (self.nrows + 1 + self.nnz) * INDEX_BYTES + self.nnz * VALUE_BYTES
+
+    def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """Column indices and values of row ``i`` (views, do not mutate)."""
+        if not 0 <= i < self.nrows:
+            raise FormatError(f"row index {i} out of range for {self.nrows} rows")
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+
+def _validate_csr(
+    shape: tuple[int, int],
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+) -> None:
+    nrows, ncols = shape
+    if indptr.ndim != 1 or indptr.shape[0] != nrows + 1:
+        raise FormatError(f"indptr must have length {nrows + 1}")
+    if indptr[0] != 0:
+        raise FormatError("indptr must start at 0")
+    if np.any(np.diff(indptr) < 0):
+        raise FormatError("indptr must be non-decreasing")
+    if indices.shape != data.shape or indices.ndim != 1:
+        raise FormatError("indices and data must be 1-D arrays of equal length")
+    if indptr[-1] != indices.shape[0]:
+        raise FormatError("indptr[-1] must equal nnz")
+    if indices.size and (indices.min() < 0 or indices.max() >= ncols):
+        raise FormatError("CSR column index out of range")

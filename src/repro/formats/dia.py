@@ -1,0 +1,125 @@
+"""Diagonal (DIA) format.
+
+The paper (§2.1): *"Other formats, like diagonal (DIA), take advantage of
+specific sparsity patterns but can also take O(n^2) space in the worst
+case."*  The paper does not benchmark DIA (CUSP's four benchmarked formats
+are CSR/COO/ELL/HYB) but three of the Table-1 features describe the DIA
+structure (``diagonals``, ``dia_size``, ``dia_frac``), so the format is part
+of the substrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.base import (
+    INDEX_BYTES,
+    INDEX_DTYPE,
+    VALUE_BYTES,
+    VALUE_DTYPE,
+    FormatError,
+    SparseMatrix,
+    check_shape,
+    check_vector,
+)
+from repro.formats.coo import COOMatrix
+
+#: Refuse DIA structures whose stored size exceeds this multiple of nnz
+#: (mirrors CUSP's conversion guard against the O(n^2) blow-up).
+DEFAULT_MAX_FILL = 10.0
+
+
+class DiaSizeError(FormatError):
+    """DIA conversion refused: too many occupied diagonals."""
+
+
+class DIAMatrix(SparseMatrix):
+    """DIA container: sorted ``offsets`` (ndiags,) and ``data`` (nrows, ndiags).
+
+    ``data[i, d]`` holds ``A[i, i + offsets[d]]``; slots falling outside the
+    matrix or not occupied are zero.
+    """
+
+    format_name = "dia"
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        offsets: np.ndarray,
+        data: np.ndarray,
+    ) -> None:
+        self.shape = check_shape(shape)
+        self.offsets = np.asarray(offsets, dtype=INDEX_DTYPE)
+        self.data = np.asarray(data, dtype=VALUE_DTYPE)
+        if self.offsets.ndim != 1:
+            raise FormatError("DIA offsets must be 1-D")
+        if np.any(np.diff(self.offsets) <= 0):
+            raise FormatError("DIA offsets must be strictly increasing")
+        if self.data.shape != (self.nrows, self.offsets.shape[0]):
+            raise FormatError(
+                f"DIA data must be (nrows, ndiags) = "
+                f"({self.nrows}, {self.offsets.shape[0]}), got {self.data.shape}"
+            )
+
+    @classmethod
+    def from_coo(
+        cls, coo: COOMatrix, max_fill: float | None = DEFAULT_MAX_FILL
+    ) -> "DIAMatrix":
+        offsets = coo.diagonal_offsets()
+        ndiags = int(offsets.shape[0])
+        stored = ndiags * coo.nrows
+        if (
+            max_fill is not None
+            and coo.nnz > 0
+            and stored > max_fill * coo.nnz
+            and stored > 4096
+        ):
+            raise DiaSizeError(
+                f"DIA fill {stored / max(coo.nnz, 1):.2f}x exceeds bound "
+                f"{max_fill}x ({ndiags} diagonals)"
+            )
+        data = np.zeros((coo.nrows, ndiags), dtype=VALUE_DTYPE)
+        if coo.nnz:
+            diag_pos = np.searchsorted(offsets, coo.cols - coo.rows)
+            data[coo.rows, diag_pos] = coo.vals
+        return cls(coo.shape, offsets, data)
+
+    @property
+    def ndiags(self) -> int:
+        return int(self.offsets.shape[0])
+
+    @property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self.data))
+
+    @property
+    def stored_size(self) -> int:
+        """Total stored slots, ``ndiags * nrows`` (feature ``dia_size``)."""
+        return self.ndiags * self.nrows
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """DIA SpMV: one shifted AXPY per occupied diagonal."""
+        x = check_vector(x, self.ncols)
+        y = np.zeros(self.nrows, dtype=VALUE_DTYPE)
+        for d, off in enumerate(self.offsets):
+            off = int(off)
+            # Rows i with a valid column j = i + off inside the matrix.
+            i_lo = max(0, -off)
+            i_hi = min(self.nrows, self.ncols - off)
+            if i_hi <= i_lo:
+                continue
+            rows = slice(i_lo, i_hi)
+            cols = slice(i_lo + off, i_hi + off)
+            y[rows] += self.data[rows, d] * x[cols]
+        return y
+
+    def to_coo(self) -> COOMatrix:
+        rows, diag_pos = np.nonzero(self.data)
+        cols = rows + self.offsets[diag_pos]
+        keep = (cols >= 0) & (cols < self.ncols)
+        return COOMatrix(
+            self.shape, rows[keep], cols[keep], self.data[rows, diag_pos][keep]
+        )
+
+    def memory_bytes(self) -> int:
+        return self.ndiags * INDEX_BYTES + self.stored_size * VALUE_BYTES

@@ -1,0 +1,145 @@
+"""ELLPACK (ELL) format.
+
+The paper (§2.1): *"The ELLPACK (ELL) format stores a sparse matrix A as a
+dense rectangular matrix by shifting the nonzeros in each row to the left
+and zero-padding all rows that have fewer nonzeros than the maximum. The
+storage size of ELL thus depends on the maximum number of nonzeros in a row
+of A, which is problematic for matrices with a large deviation in the
+number of nonzeros per row."*
+
+CUSP refuses to build ELL structures whose padded size explodes relative to
+the number of nonzeros; the paper omits matrices *"where the CUSP library
+failed to generate the ELL variant because of restrictions on the size"*.
+We reproduce that behaviour with :class:`EllSizeError` controlled by
+``max_fill`` (CUSP's ``ell_matrix`` conversion uses a 3× fill bound).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.base import (
+    INDEX_BYTES,
+    INDEX_DTYPE,
+    VALUE_BYTES,
+    VALUE_DTYPE,
+    FormatError,
+    SparseMatrix,
+    check_shape,
+    check_vector,
+)
+from repro.formats.coo import COOMatrix
+
+#: CUSP's default bound on padded-size / nnz during ELL conversion.
+DEFAULT_MAX_FILL = 3.0
+
+#: Padding marker in the column-index array (CUSP uses -1).
+PAD = -1
+
+
+class EllSizeError(FormatError):
+    """ELL conversion refused: padding would exceed the fill bound."""
+
+
+class ELLMatrix(SparseMatrix):
+    """ELL container: dense ``(nrows, width)`` index and value arrays.
+
+    ``indices[i, k] == PAD`` marks padding slots; the corresponding value is
+    zero.  ``width`` equals the maximum row length of the source matrix.
+    """
+
+    format_name = "ell"
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        indices: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        self.shape = check_shape(shape)
+        self.indices = np.asarray(indices, dtype=INDEX_DTYPE)
+        self.values = np.asarray(values, dtype=VALUE_DTYPE)
+        if self.indices.ndim != 2 or self.indices.shape[0] != self.nrows:
+            raise FormatError("ELL indices must be (nrows, width)")
+        if self.indices.shape != self.values.shape:
+            raise FormatError("ELL indices and values shapes differ")
+        valid = self.indices != PAD
+        if valid.any():
+            idx = self.indices[valid]
+            if idx.min() < 0 or idx.max() >= self.ncols:
+                raise FormatError("ELL column index out of range")
+        if np.any(self.values[~valid] != 0.0):
+            raise FormatError("ELL padding slots must hold zero values")
+        self._valid = valid
+
+    @classmethod
+    def from_coo(
+        cls, coo: COOMatrix, max_fill: float | None = DEFAULT_MAX_FILL
+    ) -> "ELLMatrix":
+        lengths = coo.row_lengths()
+        width = int(lengths.max(initial=0))
+        padded = width * coo.nrows
+        if (
+            max_fill is not None
+            and coo.nnz > 0
+            and padded > max_fill * coo.nnz
+            # CUSP only applies the bound beyond a small absolute size.
+            and padded > 4096
+        ):
+            raise EllSizeError(
+                f"ELL fill {padded / max(coo.nnz, 1):.2f}x exceeds bound "
+                f"{max_fill}x (width={width}, nrows={coo.nrows}, nnz={coo.nnz})"
+            )
+        indices = np.full((coo.nrows, width), PAD, dtype=INDEX_DTYPE)
+        values = np.zeros((coo.nrows, width), dtype=VALUE_DTYPE)
+        if coo.nnz:
+            # Canonical COO is row-major sorted: the slot of each entry is
+            # its ordinal position within its row.
+            starts = np.zeros(coo.nrows + 1, dtype=INDEX_DTYPE)
+            np.cumsum(lengths, out=starts[1:])
+            slot = np.arange(coo.nnz, dtype=INDEX_DTYPE) - starts[coo.rows]
+            indices[coo.rows, slot] = coo.cols
+            values[coo.rows, slot] = coo.vals
+        return cls(coo.shape, indices, values)
+
+    @property
+    def width(self) -> int:
+        return int(self.indices.shape[1])
+
+    @property
+    def nnz(self) -> int:
+        return int(self._valid.sum())
+
+    @property
+    def padded_size(self) -> int:
+        """Total number of stored slots including padding."""
+        return int(self.indices.size)
+
+    def fill_ratio(self) -> float:
+        """padded_size / nnz; 1.0 means no padding at all."""
+        return self.padded_size / self.nnz if self.nnz else float("inf")
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """ELL SpMV: one fused multiply per slot, masked over padding.
+
+        Mirrors the GPU kernel: thread ``i`` walks the ``width`` slots of row
+        ``i``; slot-major array layout gives coalesced loads, which is why
+        the GPU cost model charges ELL a low per-byte cost but the full
+        padded volume.
+        """
+        x = check_vector(x, self.ncols)
+        safe_idx = np.where(self._valid, self.indices, 0)
+        gathered = np.where(self._valid, x[safe_idx], 0.0)
+        return (self.values * gathered).sum(axis=1)
+
+    def to_coo(self) -> COOMatrix:
+        rows, slots = np.nonzero(self._valid)
+        return COOMatrix(
+            self.shape,
+            rows,
+            self.indices[rows, slots],
+            self.values[rows, slots],
+        )
+
+    def memory_bytes(self) -> int:
+        return self.padded_size * (INDEX_BYTES + VALUE_BYTES)

@@ -1,0 +1,160 @@
+"""Hybrid (HYB) format: ELL for the regular part, COO for the overflow.
+
+The paper (§2.1): *"The hybrid (HYB) format alleviates this problem by using
+ELL for storing most of the matrix A and COO to store additional entries in
+rows with many nonzeros. This reduces the required amount of padding while
+maintaining some advantages of ELL."*
+
+The ELL width is chosen with CUSP's heuristic: the smallest width ``k`` such
+that the number of rows longer than ``k`` is small enough that handing their
+overflow to the (slower, ``relative_speed``×) COO kernel is profitable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.base import (
+    INDEX_DTYPE,
+    VALUE_DTYPE,
+    FormatError,
+    SparseMatrix,
+    check_shape,
+    check_vector,
+)
+from repro.formats.coo import COOMatrix
+from repro.formats.ell import PAD, ELLMatrix
+
+#: CUSP's assumed speed ratio of the ELL kernel over the COO kernel.
+RELATIVE_SPEED = 3.0
+
+#: Below this many overflow rows, COO handling is always acceptable.  CUSP
+#: uses 4096 for GPU-scale matrices; we keep it as a parameter because the
+#: synthetic collection also contains small matrices.
+BREAKEVEN_THRESHOLD = 4096
+
+
+def optimal_ell_width(
+    row_lengths: np.ndarray,
+    relative_speed: float = RELATIVE_SPEED,
+    breakeven_threshold: int | None = None,
+) -> int:
+    """CUSP's ``compute_optimal_entries_per_row`` heuristic.
+
+    Returns the smallest width ``k`` such that the number of rows with more
+    than ``k`` entries is either below ``breakeven_threshold`` or small
+    enough that ``relative_speed`` × fewer rows are handled by COO than by
+    ELL.  ``breakeven_threshold=None`` scales CUSP's constant with the
+    matrix size (``min(4096, nrows // 16)``) so the heuristic stays
+    meaningful for laptop-scale matrices.
+    """
+    row_lengths = np.asarray(row_lengths)
+    nrows = int(row_lengths.shape[0])
+    if nrows == 0:
+        return 0
+    if breakeven_threshold is None:
+        breakeven_threshold = min(BREAKEVEN_THRESHOLD, max(nrows // 16, 0))
+    max_len = int(row_lengths.max(initial=0))
+    # exceeding[k] = number of rows with length > k, for k = 0..max_len.
+    hist = np.bincount(row_lengths, minlength=max_len + 1)
+    exceeding = nrows - np.cumsum(hist)
+    for k in range(max_len + 1):
+        if (
+            relative_speed * exceeding[k] < nrows
+            or exceeding[k] <= breakeven_threshold
+        ):
+            return k
+    return max_len
+
+
+class HYBMatrix(SparseMatrix):
+    """HYB container wrapping an :class:`ELLMatrix` and a :class:`COOMatrix`.
+
+    The two parts partition the stored entries: the first ``width`` entries
+    of each row live in the ELL part, any overflow in the COO part.
+    """
+
+    format_name = "hyb"
+
+    def __init__(self, ell: ELLMatrix, coo: COOMatrix) -> None:
+        if ell.shape != coo.shape:
+            raise FormatError(
+                f"HYB part shapes differ: ELL {ell.shape} vs COO {coo.shape}"
+            )
+        self.shape = check_shape(ell.shape)
+        self.ell = ell
+        self.coo = coo
+
+    @classmethod
+    def from_coo(
+        cls,
+        coo: COOMatrix,
+        width: int | None = None,
+        relative_speed: float = RELATIVE_SPEED,
+        breakeven_threshold: int | None = None,
+    ) -> "HYBMatrix":
+        lengths = coo.row_lengths()
+        if width is None:
+            width = optimal_ell_width(
+                lengths, relative_speed, breakeven_threshold
+            )
+        nrows = coo.nrows
+        indices = np.full((nrows, width), PAD, dtype=INDEX_DTYPE)
+        values = np.zeros((nrows, width), dtype=VALUE_DTYPE)
+        if coo.nnz:
+            starts = np.zeros(nrows + 1, dtype=INDEX_DTYPE)
+            np.cumsum(lengths, out=starts[1:])
+            slot = np.arange(coo.nnz, dtype=INDEX_DTYPE) - starts[coo.rows]
+            in_ell = slot < width
+            if width:
+                r, s = coo.rows[in_ell], slot[in_ell]
+                indices[r, s] = coo.cols[in_ell]
+                values[r, s] = coo.vals[in_ell]
+            overflow = ~in_ell
+            coo_part = COOMatrix(
+                coo.shape,
+                coo.rows[overflow],
+                coo.cols[overflow],
+                coo.vals[overflow],
+            )
+        else:
+            coo_part = COOMatrix.empty(coo.shape)
+        # ELL part is built directly (no fill bound: HYB exists precisely to
+        # cap the padding).
+        ell_part = ELLMatrix(coo.shape, indices, values)
+        return cls(ell_part, coo_part)
+
+    @property
+    def nnz(self) -> int:
+        return self.ell.nnz + self.coo.nnz
+
+    @property
+    def ell_nnz(self) -> int:
+        """True nonzeros stored in the ELL part (feature ``hyb_ell_frac``)."""
+        return self.ell.nnz
+
+    @property
+    def coo_nnz(self) -> int:
+        """Entries stored in the COO overflow part (feature ``hyb_coo``)."""
+        return self.coo.nnz
+
+    @property
+    def ell_size(self) -> int:
+        """Padded slot count of the ELL part (feature ``hyb_ell_size``)."""
+        return self.ell.padded_size
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        x = check_vector(x, self.ncols)
+        return self.ell.spmv(x) + self.coo.spmv(x)
+
+    def to_coo(self) -> COOMatrix:
+        a, b = self.ell.to_coo(), self.coo
+        return COOMatrix(
+            self.shape,
+            np.concatenate([a.rows, b.rows]),
+            np.concatenate([a.cols, b.cols]),
+            np.concatenate([a.vals, b.vals]),
+        )
+
+    def memory_bytes(self) -> int:
+        return self.ell.memory_bytes() + self.coo.memory_bytes()

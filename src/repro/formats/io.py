@@ -1,0 +1,131 @@
+"""MatrixMarket (.mtx) I/O.
+
+The paper's benchmark pipeline reads SuiteSparse matrices from ``.mtx``
+files (§5.4 lists file reading as a dominant benchmarking cost).  This
+module implements the coordinate MatrixMarket exchange format: real /
+integer / pattern fields with general / symmetric / skew-symmetric
+symmetry, which covers the SuiteSparse collection.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO
+
+import numpy as np
+
+from repro.formats.base import FormatError, INDEX_DTYPE, VALUE_DTYPE
+from repro.formats.coo import COOMatrix
+
+_HEADER_PREFIX = "%%MatrixMarket"
+_SUPPORTED_FIELDS = {"real", "integer", "pattern"}
+_SUPPORTED_SYMMETRY = {"general", "symmetric", "skew-symmetric"}
+
+
+class MatrixMarketError(FormatError):
+    """Raised on malformed MatrixMarket input."""
+
+
+def read_matrix_market(source: str | Path | TextIO) -> COOMatrix:
+    """Read a coordinate MatrixMarket file into a :class:`COOMatrix`."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="ascii") as fh:
+            return _read(fh)
+    return _read(source)
+
+
+def write_matrix_market(
+    matrix: COOMatrix, target: str | Path | TextIO, comment: str = ""
+) -> None:
+    """Write a :class:`COOMatrix` as coordinate real general MatrixMarket."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="ascii") as fh:
+            _write(matrix, fh, comment)
+    else:
+        _write(matrix, target, comment)
+
+
+def matrix_market_string(matrix: COOMatrix, comment: str = "") -> str:
+    """Serialise to an in-memory MatrixMarket string."""
+    buf = io.StringIO()
+    _write(matrix, buf, comment)
+    return buf.getvalue()
+
+
+def _read(fh: TextIO) -> COOMatrix:
+    header = fh.readline()
+    if not header.startswith(_HEADER_PREFIX):
+        raise MatrixMarketError(f"missing MatrixMarket banner: {header!r}")
+    parts = header.strip().split()
+    if len(parts) != 5:
+        raise MatrixMarketError(f"malformed banner: {header!r}")
+    _, obj, fmt, field, symmetry = (p.lower() for p in parts)
+    if obj != "matrix" or fmt != "coordinate":
+        raise MatrixMarketError(
+            f"only 'matrix coordinate' is supported, got {obj!r} {fmt!r}"
+        )
+    if field not in _SUPPORTED_FIELDS:
+        raise MatrixMarketError(f"unsupported field {field!r}")
+    if symmetry not in _SUPPORTED_SYMMETRY:
+        raise MatrixMarketError(f"unsupported symmetry {symmetry!r}")
+
+    # Skip comments and blank lines; the first data line is the size line.
+    size_line = ""
+    for line in fh:
+        stripped = line.strip()
+        if stripped and not stripped.startswith("%"):
+            size_line = stripped
+            break
+    if not size_line:
+        raise MatrixMarketError("missing size line")
+    try:
+        nrows, ncols, nnz = (int(tok) for tok in size_line.split())
+    except ValueError as exc:
+        raise MatrixMarketError(f"malformed size line: {size_line!r}") from exc
+
+    rows = np.empty(nnz, dtype=INDEX_DTYPE)
+    cols = np.empty(nnz, dtype=INDEX_DTYPE)
+    vals = np.empty(nnz, dtype=VALUE_DTYPE)
+    count = 0
+    for line in fh:
+        stripped = line.strip()
+        if not stripped or stripped.startswith("%"):
+            continue
+        toks = stripped.split()
+        if count >= nnz:
+            raise MatrixMarketError("more entries than declared nnz")
+        try:
+            rows[count] = int(toks[0]) - 1  # MatrixMarket is 1-based
+            cols[count] = int(toks[1]) - 1
+            if field == "pattern":
+                vals[count] = 1.0
+            else:
+                vals[count] = float(toks[2])
+        except (ValueError, IndexError) as exc:
+            raise MatrixMarketError(f"malformed entry line: {stripped!r}") from exc
+        count += 1
+    if count != nnz:
+        raise MatrixMarketError(f"declared {nnz} entries, found {count}")
+
+    if symmetry in ("symmetric", "skew-symmetric"):
+        # Mirror every off-diagonal entry across the diagonal.
+        off_diag = rows != cols
+        sign = -1.0 if symmetry == "skew-symmetric" else 1.0
+        mirrored_rows = cols[off_diag]
+        mirrored_cols = rows[off_diag]
+        mirrored_vals = sign * vals[off_diag]
+        rows = np.concatenate([rows, mirrored_rows])
+        cols = np.concatenate([cols, mirrored_cols])
+        vals = np.concatenate([vals, mirrored_vals])
+    return COOMatrix((nrows, ncols), rows, cols, vals)
+
+
+def _write(matrix: COOMatrix, fh: TextIO, comment: str) -> None:
+    coo = matrix.to_coo()
+    fh.write(f"{_HEADER_PREFIX} matrix coordinate real general\n")
+    for line in comment.splitlines():
+        fh.write(f"% {line}\n")
+    fh.write(f"{coo.nrows} {coo.ncols} {coo.nnz}\n")
+    for r, c, v in zip(coo.rows, coo.cols, coo.vals):
+        fh.write(f"{int(r) + 1} {int(c) + 1} {float(v)!r}\n")

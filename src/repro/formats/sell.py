@@ -1,0 +1,244 @@
+"""Sliced ELLPACK (SELL-C-σ).
+
+The paper's related work (§6) discusses this family explicitly: *"formats
+such as sliced ELL, which reorder the rows, may reduce cache reuse, thus
+causing a performance tradeoff"* (Kreutzer et al. [15]).  SELL-C-σ fixes
+plain ELL's padding blow-up by
+
+- partitioning the rows into *slices* of ``C`` consecutive rows, each
+  padded only to its own longest row, and
+- optionally pre-sorting rows by length within windows of ``sigma`` rows
+  (σ ≥ C), so similar-length rows share a slice and padding shrinks
+  further, at the cost of a row permutation that must be undone after
+  SpMV.
+
+SELL is not one of the four formats the paper benchmarks (CUSP does not
+ship it), so the GPU simulator does not model it; it is provided as a
+library extension with exact storage accounting, which the ablation
+benches use to quantify how much padding σ-sorting saves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.base import (
+    INDEX_BYTES,
+    INDEX_DTYPE,
+    VALUE_BYTES,
+    VALUE_DTYPE,
+    FormatError,
+    SparseMatrix,
+    check_shape,
+    check_vector,
+)
+from repro.formats.coo import COOMatrix
+from repro.formats.ell import PAD
+
+
+class SELLMatrix(SparseMatrix):
+    """SELL-C-σ container.
+
+    Attributes
+    ----------
+    slice_height
+        ``C``: rows per slice (GPU implementations use the warp size).
+    sigma
+        Sorting window; ``1`` disables row sorting (plain SELL-C).
+    row_perm
+        Permutation applied to rows before slicing: stored row ``i`` is
+        original row ``row_perm[i]``.
+    slice_ptr
+        Start offset of each slice in the packed arrays, length
+        ``n_slices + 1``.
+    slice_width
+        Padded width of each slice.
+    indices, values
+        Packed slice-major storage: slice ``s`` occupies
+        ``[slice_ptr[s], slice_ptr[s+1])`` as a ``(height, width)`` block
+        laid out column-major (slot-major), mirroring the coalesced GPU
+        layout.
+    """
+
+    format_name = "sell"
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        slice_height: int,
+        sigma: int,
+        row_perm: np.ndarray,
+        slice_ptr: np.ndarray,
+        slice_width: np.ndarray,
+        indices: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        self.shape = check_shape(shape)
+        if slice_height < 1:
+            raise FormatError("slice_height must be >= 1")
+        if sigma < 1:
+            raise FormatError("sigma must be >= 1")
+        self.slice_height = int(slice_height)
+        self.sigma = int(sigma)
+        self.row_perm = np.asarray(row_perm, dtype=INDEX_DTYPE)
+        self.slice_ptr = np.asarray(slice_ptr, dtype=INDEX_DTYPE)
+        self.slice_width = np.asarray(slice_width, dtype=INDEX_DTYPE)
+        self.indices = np.asarray(indices, dtype=INDEX_DTYPE)
+        self.values = np.asarray(values, dtype=VALUE_DTYPE)
+        n_slices = self.slice_width.shape[0]
+        if self.slice_ptr.shape[0] != n_slices + 1:
+            raise FormatError("slice_ptr must have n_slices + 1 entries")
+        if self.row_perm.shape[0] != self.nrows:
+            raise FormatError("row_perm must cover all rows")
+        if not np.array_equal(
+            np.sort(self.row_perm), np.arange(self.nrows)
+        ):
+            raise FormatError("row_perm must be a permutation")
+        if self.indices.shape != self.values.shape or self.indices.ndim != 1:
+            raise FormatError("indices/values must be aligned 1-D arrays")
+        if self.slice_ptr[-1] != self.indices.shape[0]:
+            raise FormatError("slice_ptr[-1] must equal the packed length")
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_coo(
+        cls,
+        coo: COOMatrix,
+        slice_height: int = 32,
+        sigma: int = 1,
+    ) -> "SELLMatrix":
+        if slice_height < 1:
+            raise FormatError("slice_height must be >= 1")
+        if sigma < 1:
+            raise FormatError("sigma must be >= 1")
+        if sigma > 1 and sigma < slice_height:
+            raise FormatError("sigma must be >= slice_height when sorting")
+        nrows = coo.nrows
+        lengths = coo.row_lengths()
+        # σ-sorting: descending row length within windows of sigma rows.
+        row_perm = np.arange(nrows, dtype=INDEX_DTYPE)
+        if sigma > 1:
+            for start in range(0, nrows, sigma):
+                window = slice(start, min(start + sigma, nrows))
+                order = np.argsort(lengths[window], kind="stable")[::-1]
+                row_perm[window] = row_perm[window][order]
+        perm_lengths = lengths[row_perm]
+
+        n_slices = (nrows + slice_height - 1) // slice_height
+        slice_width = np.zeros(n_slices, dtype=INDEX_DTYPE)
+        for s in range(n_slices):
+            block = perm_lengths[s * slice_height : (s + 1) * slice_height]
+            slice_width[s] = int(block.max(initial=0))
+        heights = np.minimum(
+            slice_height, nrows - np.arange(n_slices) * slice_height
+        )
+        sizes = slice_width * heights
+        slice_ptr = np.zeros(n_slices + 1, dtype=INDEX_DTYPE)
+        np.cumsum(sizes, out=slice_ptr[1:])
+
+        indices = np.full(int(slice_ptr[-1]), PAD, dtype=INDEX_DTYPE)
+        values = np.zeros(int(slice_ptr[-1]), dtype=VALUE_DTYPE)
+        if coo.nnz:
+            # Entry positions within their (original) rows.
+            starts = np.zeros(nrows + 1, dtype=INDEX_DTYPE)
+            np.cumsum(lengths, out=starts[1:])
+            slot = np.arange(coo.nnz, dtype=INDEX_DTYPE) - starts[coo.rows]
+            # Map original row -> stored (permuted) position.
+            inv_perm = np.empty(nrows, dtype=INDEX_DTYPE)
+            inv_perm[row_perm] = np.arange(nrows, dtype=INDEX_DTYPE)
+            stored_row = inv_perm[coo.rows]
+            s_idx = stored_row // slice_height
+            lane = stored_row - s_idx * slice_height
+            # Column-major (slot-major) layout within the slice block.
+            offset = (
+                slice_ptr[s_idx]
+                + slot * heights[s_idx]
+                + lane
+            )
+            indices[offset] = coo.cols
+            values[offset] = coo.vals
+        return cls(
+            coo.shape,
+            slice_height,
+            sigma,
+            row_perm,
+            slice_ptr,
+            slice_width,
+            indices,
+            values,
+        )
+
+    # -- geometry ---------------------------------------------------------
+
+    @property
+    def n_slices(self) -> int:
+        return int(self.slice_width.shape[0])
+
+    @property
+    def padded_size(self) -> int:
+        """Total stored slots including padding."""
+        return int(self.slice_ptr[-1])
+
+    @property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self.indices != PAD))
+
+    def fill_ratio(self) -> float:
+        nnz = self.nnz
+        return self.padded_size / nnz if nnz else float("inf")
+
+    def memory_bytes(self) -> int:
+        return (
+            self.padded_size * (INDEX_BYTES + VALUE_BYTES)
+            + (self.n_slices + 1) * INDEX_BYTES
+            + self.n_slices * INDEX_BYTES
+            # the permutation must travel with the matrix when sigma > 1
+            + (self.nrows * INDEX_BYTES if self.sigma > 1 else 0)
+        )
+
+    # -- kernels ------------------------------------------------------------
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """SELL SpMV: per-slice masked multiply, then undo the permutation."""
+        x = check_vector(x, self.ncols)
+        y_perm = np.zeros(self.nrows, dtype=VALUE_DTYPE)
+        for s in range(self.n_slices):
+            lo, hi = int(self.slice_ptr[s]), int(self.slice_ptr[s + 1])
+            width = int(self.slice_width[s])
+            if width == 0:
+                continue
+            height = (hi - lo) // width
+            block_idx = self.indices[lo:hi].reshape(width, height)
+            block_val = self.values[lo:hi].reshape(width, height)
+            valid = block_idx != PAD
+            gathered = np.where(valid, x[np.where(valid, block_idx, 0)], 0.0)
+            base = s * self.slice_height
+            y_perm[base : base + height] = (block_val * gathered).sum(axis=0)
+        y = np.zeros(self.nrows, dtype=VALUE_DTYPE)
+        y[self.row_perm] = y_perm
+        return y
+
+    def to_coo(self) -> COOMatrix:
+        rows_list, cols_list, vals_list = [], [], []
+        for s in range(self.n_slices):
+            lo, hi = int(self.slice_ptr[s]), int(self.slice_ptr[s + 1])
+            width = int(self.slice_width[s])
+            if width == 0:
+                continue
+            height = (hi - lo) // width
+            block_idx = self.indices[lo:hi].reshape(width, height)
+            block_val = self.values[lo:hi].reshape(width, height)
+            slot, lane = np.nonzero(block_idx != PAD)
+            stored_row = s * self.slice_height + lane
+            rows_list.append(self.row_perm[stored_row])
+            cols_list.append(block_idx[slot, lane])
+            vals_list.append(block_val[slot, lane])
+        if not rows_list:
+            return COOMatrix.empty(self.shape)
+        return COOMatrix(
+            self.shape,
+            np.concatenate(rows_list),
+            np.concatenate(cols_list),
+            np.concatenate(vals_list),
+        )

@@ -1,0 +1,19 @@
+"""Uniform SpMV entry point: ``y = A @ x`` for any format, plus a reference
+dense implementation used by the test-suite oracles."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.base import SparseMatrix, check_vector
+
+
+def spmv(matrix: SparseMatrix, x: np.ndarray) -> np.ndarray:
+    """Dispatch ``y = A @ x`` to the matrix's own format kernel."""
+    return matrix.spmv(x)
+
+
+def spmv_dense_reference(matrix: SparseMatrix, x: np.ndarray) -> np.ndarray:
+    """Oracle: densify and use ``np.dot``.  Only for small test matrices."""
+    x = check_vector(x, matrix.ncols)
+    return matrix.to_dense() @ x

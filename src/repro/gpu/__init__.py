@@ -1,0 +1,26 @@
+"""Analytical GPU performance-model simulator.
+
+Substitutes for the paper's benchmarking substrate (CUSP SpMV kernels on
+NVIDIA GTX 1080 / V100 / RTX 8000).  The simulator predicts per-format SpMV
+time from structural matrix statistics and architecture parameters, adds
+measurement noise, and averages over trials — producing the per-matrix
+best-format labels that the ML layers learn, with the same qualitative
+shape as the paper's Table 3 (CSR-dominated, architecture-dependent
+COO/HYB minorities).
+"""
+
+from repro.gpu.arch import ARCHITECTURES, GPUArchitecture, PASCAL, TURING, VOLTA
+from repro.gpu.kernels import KernelModel, predict_times
+from repro.gpu.simulator import BenchmarkResult, GPUSimulator
+
+__all__ = [
+    "ARCHITECTURES",
+    "BenchmarkResult",
+    "GPUArchitecture",
+    "GPUSimulator",
+    "KernelModel",
+    "PASCAL",
+    "TURING",
+    "VOLTA",
+    "predict_times",
+]

@@ -1,0 +1,140 @@
+"""GPU architecture parameter sets (Table 2 of the paper).
+
+Hardware parameters (SM count, caches, memory, bandwidth) come straight
+from Table 2.  The kernel-efficiency dials encode the architecture effects
+the paper describes in §3 and §5: Pascal's weaker latency hiding punishes
+skewed rows (more HYB wins), Turing's cheap atomics favour COO (Table 3
+shows 415 COO wins on Turing vs 4 on Volta), and Volta's huge bandwidth and
+thread count make the row-based formats dominate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GPUArchitecture:
+    """One simulated GPU platform."""
+
+    name: str
+    microarchitecture: str
+    model: str
+    # --- Table 2 hardware parameters ---
+    num_sms: int
+    l1_kib_per_sm: int
+    l2_kib: int
+    memory_gb: int
+    bandwidth_gbs: float
+    # --- kernel model dials ---
+    #: Sustained fraction of peak bandwidth for streaming sparse kernels.
+    bandwidth_efficiency: float
+    #: CSR coalescing floor: the efficiency of the CSR kernel on
+    #: single-entry rows relative to long streaming rows.  Newer memory
+    #: systems (better sector caching) have a higher floor; this is the
+    #: main source of architecture-dependent CSR/ELL label boundaries.
+    csr_coalesce_min: float
+    #: Aggregate lane throughput (simple kernel slots per second).
+    lane_rate: float
+    #: Exposed per-entry latency of a serial per-thread row walk (seconds);
+    #: governs how badly long rows hurt CSR/ELL when occupancy is low.
+    serial_entry_latency: float
+    #: Per-entry lane-cost multiplier of the COO segmented-reduction /
+    #: atomics kernel relative to a coalesced ELL slot.
+    coo_lane_cost: float
+    #: How many times the COO kernel's multi-pass segmented reduction
+    #: re-streams the matrix data (1.0 = single pass).  Architectures with
+    #: fast atomics (Turing) keep this near 1, which is what lets COO win
+    #: on short scattered rows there.
+    coo_pass_factor: float
+    #: Kernel launch overhead (seconds).
+    launch_overhead: float
+    #: Extra overhead of HYB's two-kernel dispatch (seconds).
+    hyb_extra_overhead: float
+    #: Simulated device-memory capacity available to one matrix, in bytes.
+    #: The paper's matrices occupy a few % of real GPU memory; the synthetic
+    #: collection is ~1000× smaller, so capacity is scaled by the same
+    #: factor to preserve the "very large matrices cannot be run on some
+    #: GPUs" exclusion behaviour (§5.1).
+    capacity_bytes: int
+
+    @property
+    def l2_bytes(self) -> int:
+        return self.l2_kib * 1024
+
+    @property
+    def max_resident_threads(self) -> int:
+        return self.num_sms * 2048
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Sustained bytes/second."""
+        return self.bandwidth_gbs * 1e9 * self.bandwidth_efficiency
+
+
+_CAPACITY_SCALE = 1_000  # collection matrices are ~1000x smaller than SuiteSparse
+
+PASCAL = GPUArchitecture(
+    name="pascal",
+    microarchitecture="Pascal",
+    model="GeForce GTX 1080",
+    num_sms=20,
+    l1_kib_per_sm=48,
+    l2_kib=2048,
+    memory_gb=8,
+    bandwidth_gbs=320.0,
+    bandwidth_efficiency=0.68,
+    csr_coalesce_min=0.68,
+    lane_rate=0.55e12,
+    serial_entry_latency=5.0e-9,
+    coo_lane_cost=2.4,
+    coo_pass_factor=1.55,
+    launch_overhead=5.0e-6,
+    hyb_extra_overhead=1.0e-6,
+    capacity_bytes=8 * 10**9 // _CAPACITY_SCALE,
+)
+
+VOLTA = GPUArchitecture(
+    name="volta",
+    microarchitecture="Volta",
+    model="V100 SXM3",
+    num_sms=80,
+    l1_kib_per_sm=128,
+    l2_kib=6144,
+    memory_gb=32,
+    bandwidth_gbs=897.0,
+    bandwidth_efficiency=0.74,
+    csr_coalesce_min=0.76,
+    lane_rate=1.6e12,
+    serial_entry_latency=2.2e-9,
+    coo_lane_cost=3.2,
+    coo_pass_factor=1.65,
+    launch_overhead=4.0e-6,
+    hyb_extra_overhead=9.0e-6,
+    capacity_bytes=32 * 10**9 // _CAPACITY_SCALE,
+)
+
+TURING = GPUArchitecture(
+    name="turing",
+    microarchitecture="Turing",
+    model="Quadro RTX 8000",
+    num_sms=72,
+    l1_kib_per_sm=64,
+    l2_kib=6144,
+    memory_gb=48,
+    bandwidth_gbs=672.0,
+    bandwidth_efficiency=0.72,
+    csr_coalesce_min=0.70,
+    lane_rate=1.3e12,
+    serial_entry_latency=2.6e-9,
+    coo_lane_cost=1.45,
+    coo_pass_factor=1.28,
+    launch_overhead=4.0e-6,
+    hyb_extra_overhead=6.0e-6,
+    capacity_bytes=48 * 10**9 // _CAPACITY_SCALE,
+)
+
+#: Registry by architecture name.
+ARCHITECTURES: dict[str, GPUArchitecture] = {
+    a.name: a for a in (PASCAL, VOLTA, TURING)
+}

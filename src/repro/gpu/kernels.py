@@ -1,0 +1,258 @@
+"""Per-format SpMV kernel cost models.
+
+Each model predicts the noiseless execution time of one SpMV as
+
+    T = launch + max(T_mem, T_exec)
+
+``T_mem`` is memory-traffic time: bytes moved over the *format-specific*
+sustained bandwidth.  SpMV is memory-bandwidth-bound (§1), so most label
+decisions happen here; the per-format effects are:
+
+- **CSR** (CUSP row-per-thread/warp kernels): coalescing quality depends on
+  the mean row length — long rows stream, short scattered rows waste
+  sectors.  Additionally, at low occupancy a warp's lanes idle until the
+  longest row finishes, and the single longest row becomes a serial
+  critical path (the source of the paper's 194.85× CSR worst case).
+- **ELL**: slot-major layout gives perfect coalescing (best effective
+  bandwidth), but the kernel is charged the full padded volume
+  ``nrows × nnz_max`` and is infeasible when CUSP's fill bound rejects the
+  conversion or the structure exceeds device memory (§5.1 exclusions).
+- **COO**: entry-parallel segmented reduction — immune to row skew, but
+  the multi-pass reduction re-streams data by an architecture-dependent
+  factor (``coo_pass_factor``; Turing's cheap atomics make it low, which
+  reproduces Table 3's 415 COO winners on Turing vs 4 on Volta).
+- **HYB**: ELL model on the regular part + COO model on the overflow +
+  a two-kernel dispatch overhead.  Wins on moderately-skewed matrices,
+  more often on Pascal where the absolute overhead is smaller relative
+  to its slow memory system (Table 3: 217 HYB on Pascal vs 3 on Volta).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.features.stats import MatrixStats
+from repro.formats.base import INDEX_BYTES, VALUE_BYTES
+from repro.gpu.arch import GPUArchitecture
+
+#: Formats the simulator can time, in the paper's order.
+MODELED_FORMATS = ("coo", "csr", "ell", "hyb")
+
+#: CSR coalescing saturation: rows of at least this many entries stream at
+#: full efficiency; shorter rows degrade towards the architecture's
+#: ``csr_coalesce_min`` floor.
+_CSR_COALESCE_SATURATION = 32
+
+#: Weight of the CSR warp-divergence bandwidth waste: lanes that idle while
+#: the warp's longest row finishes still occupy a share of each memory
+#: transaction, and tail rows keep whole warps resident, so the waste grows
+#: superlinearly with the divergence ratio.
+_CSR_DIVERGENCE_WASTE = 0.18
+
+#: ELL/COO sustained-bandwidth multipliers relative to the architecture's
+#: base streaming efficiency.
+_ELL_COALESCE = 1.0
+_COO_COALESCE = 0.95
+
+
+class FormatInfeasibleError(RuntimeError):
+    """The format cannot be run for this matrix on this architecture."""
+
+
+def _csr_coalesce(mean_row: float, arch: GPUArchitecture) -> float:
+    frac = min(1.0, mean_row / _CSR_COALESCE_SATURATION)
+    return arch.csr_coalesce_min + (1.0 - arch.csr_coalesce_min) * frac
+
+
+def _gather_bytes(stats: MatrixStats, arch: GPUArchitecture, nnz: int) -> float:
+    """Bytes moved to gather ``x[col]`` for ``nnz`` entries.
+
+    If x fits comfortably in L2, gathers hit cache after the first pass
+    (8 B each).  Otherwise each non-local gather costs a 32 B sector;
+    locality is approximated by the band fraction.
+    """
+    x_bytes = stats.ncols * VALUE_BYTES
+    if x_bytes <= 0.5 * arch.l2_bytes:
+        return nnz * VALUE_BYTES
+    miss = 1.0 - stats.band_fraction
+    sector_factor = 1.0 + 3.0 * miss  # 8 B hit .. 32 B full sector miss
+    return nnz * VALUE_BYTES * sector_factor
+
+
+def _vector_io_bytes(stats: MatrixStats) -> float:
+    """Write of y plus one streaming read of x."""
+    return (stats.nrows + stats.ncols) * VALUE_BYTES
+
+
+def _exec_time(
+    slots: float,
+    critical_path_entries: float,
+    parallel_units: int,
+    arch: GPUArchitecture,
+) -> float:
+    """Lane-occupancy time with a low-occupancy critical-path floor."""
+    throughput_time = slots / arch.lane_rate
+    occupancy = min(1.0, parallel_units / arch.max_resident_threads)
+    latency_floor = (
+        critical_path_entries * arch.serial_entry_latency * (1.0 - occupancy)
+    )
+    return max(throughput_time, latency_floor)
+
+
+def time_csr(stats: MatrixStats, arch: GPUArchitecture) -> float:
+    # Divergence waste: the ratio of occupied lane-slots (including idle
+    # lanes waiting on the warp's longest row) to useful entries.
+    if stats.nnz:
+        divergence = max(1.0, stats.warp_divergence_slots / stats.nnz)
+    else:
+        divergence = 1.0
+    waste = 1.0 + _CSR_DIVERGENCE_WASTE * (divergence - 1.0) ** 2
+    bytes_moved = (
+        stats.nnz * (INDEX_BYTES + VALUE_BYTES) * waste
+        + (stats.nrows + 1) * INDEX_BYTES
+        + _gather_bytes(stats, arch, stats.nnz)
+        + _vector_io_bytes(stats)
+    )
+    bw = arch.effective_bandwidth * _csr_coalesce(stats.mean_row, arch)
+    t_mem = bytes_moved / bw
+    t_exec = _exec_time(
+        slots=float(stats.warp_divergence_slots),
+        critical_path_entries=float(stats.max_row),
+        parallel_units=stats.nrows,
+        arch=arch,
+    )
+    return arch.launch_overhead + max(t_mem, t_exec)
+
+
+def time_coo(stats: MatrixStats, arch: GPUArchitecture) -> float:
+    matrix_bytes = stats.nnz * (2 * INDEX_BYTES + VALUE_BYTES)
+    bytes_moved = (
+        matrix_bytes * arch.coo_pass_factor
+        + _gather_bytes(stats, arch, stats.nnz)
+        + _vector_io_bytes(stats)
+    )
+    bw = arch.effective_bandwidth * _COO_COALESCE
+    t_mem = bytes_moved / bw
+    t_exec = _exec_time(
+        slots=stats.nnz * arch.coo_lane_cost,
+        critical_path_entries=arch.coo_lane_cost,
+        parallel_units=stats.nnz,
+        arch=arch,
+    )
+    return arch.launch_overhead + max(t_mem, t_exec)
+
+
+def time_ell(
+    stats: MatrixStats, arch: GPUArchitecture, check_feasible: bool = True
+) -> float:
+    if check_feasible:
+        if not stats.ell_convertible():
+            raise FormatInfeasibleError(
+                "CUSP ELL conversion rejected (fill bound exceeded)"
+            )
+        if stats.bytes_ell() > arch.capacity_bytes:
+            raise FormatInfeasibleError(
+                f"ELL structure ({stats.bytes_ell()} B) exceeds device "
+                f"capacity ({arch.capacity_bytes} B)"
+            )
+    padded = stats.ell_padded
+    bytes_moved = (
+        padded * (INDEX_BYTES + VALUE_BYTES)
+        + _gather_bytes(stats, arch, stats.nnz)
+        + _vector_io_bytes(stats)
+    )
+    bw = arch.effective_bandwidth * _ELL_COALESCE
+    t_mem = bytes_moved / bw
+    t_exec = _exec_time(
+        slots=float(padded),
+        critical_path_entries=float(stats.ell_width),
+        parallel_units=stats.nrows,
+        arch=arch,
+    )
+    return arch.launch_overhead + max(t_mem, t_exec)
+
+
+def time_hyb(
+    stats: MatrixStats, arch: GPUArchitecture, check_feasible: bool = True
+) -> float:
+    if check_feasible and stats.bytes_hyb() > arch.capacity_bytes:
+        raise FormatInfeasibleError(
+            f"HYB structure ({stats.bytes_hyb()} B) exceeds device capacity"
+        )
+    # ELL part: padded slots at full coalescing.
+    ell_bytes = stats.hyb_ell_slots * (INDEX_BYTES + VALUE_BYTES) + _gather_bytes(
+        stats, arch, stats.hyb_ell_entries
+    )
+    t_ell_mem = ell_bytes / (arch.effective_bandwidth * _ELL_COALESCE)
+    t_ell = max(
+        t_ell_mem,
+        _exec_time(
+            slots=float(stats.hyb_ell_slots),
+            critical_path_entries=float(stats.hyb_width),
+            parallel_units=stats.nrows,
+            arch=arch,
+        ),
+    )
+    # COO overflow part.
+    t_coo = 0.0
+    if stats.hyb_coo_entries:
+        coo_bytes = (
+            stats.hyb_coo_entries
+            * (2 * INDEX_BYTES + VALUE_BYTES)
+            * arch.coo_pass_factor
+            + _gather_bytes(stats, arch, stats.hyb_coo_entries)
+        )
+        t_coo_mem = coo_bytes / (arch.effective_bandwidth * _COO_COALESCE)
+        t_coo = max(
+            t_coo_mem,
+            _exec_time(
+                slots=stats.hyb_coo_entries * arch.coo_lane_cost,
+                critical_path_entries=arch.coo_lane_cost,
+                parallel_units=stats.hyb_coo_entries,
+                arch=arch,
+            ),
+        )
+    t_vec = _vector_io_bytes(stats) / arch.effective_bandwidth
+    return (
+        arch.launch_overhead + arch.hyb_extra_overhead + t_ell + t_coo + t_vec
+    )
+
+
+_KERNELS = {
+    "csr": time_csr,
+    "coo": time_coo,
+    "ell": time_ell,
+    "hyb": time_hyb,
+}
+
+
+@dataclass(frozen=True)
+class KernelModel:
+    """Callable bundle: noiseless per-format SpMV time for one architecture."""
+
+    arch: GPUArchitecture
+
+    def time(self, fmt: str, stats: MatrixStats) -> float:
+        """Noiseless SpMV time in seconds; raises if infeasible."""
+        return _KERNELS[fmt](stats, self.arch)
+
+    def feasible(self, fmt: str, stats: MatrixStats) -> bool:
+        try:
+            self.time(fmt, stats)
+            return True
+        except FormatInfeasibleError:
+            return False
+
+
+def predict_times(
+    stats: MatrixStats, arch: GPUArchitecture
+) -> dict[str, float]:
+    """Noiseless time per feasible format; infeasible formats are omitted."""
+    model = KernelModel(arch)
+    out: dict[str, float] = {}
+    for fmt in MODELED_FORMATS:
+        try:
+            out[fmt] = model.time(fmt, stats)
+        except FormatInfeasibleError:
+            pass
+    return out

@@ -1,0 +1,41 @@
+"""Measurement-noise model for simulated benchmarks.
+
+Real SpMV timings jitter from clock boosting, contention, and timer
+resolution; the paper averages each (matrix, format) pair over 100 trials
+to control it.  We model multiplicative lognormal noise per trial, which
+keeps times positive and gives near-tie matrices genuinely noisy labels —
+the irreducible class confusion real benchmark data has.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Per-trial relative jitter of a single timing measurement.
+DEFAULT_SIGMA = 0.04
+
+
+def noisy_trials(
+    base_time: float,
+    trials: int,
+    rng: np.random.Generator,
+    sigma: float = DEFAULT_SIGMA,
+) -> np.ndarray:
+    """Simulate ``trials`` timing measurements around ``base_time``."""
+    if base_time <= 0:
+        raise ValueError(f"base_time must be positive, got {base_time}")
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    # E[lognormal(mu=-sigma^2/2, sigma)] == 1, so trial means are unbiased.
+    factors = rng.lognormal(mean=-0.5 * sigma * sigma, sigma=sigma, size=trials)
+    return base_time * factors
+
+
+def averaged_measurement(
+    base_time: float,
+    trials: int,
+    rng: np.random.Generator,
+    sigma: float = DEFAULT_SIGMA,
+) -> float:
+    """Mean of ``trials`` noisy measurements (the paper's §5.1 protocol)."""
+    return float(noisy_trials(base_time, trials, rng, sigma).mean())

@@ -1,0 +1,50 @@
+"""From-scratch NumPy machine-learning library.
+
+Stands in for scikit-learn, XGBoost and TensorFlow, which the paper uses
+but which are unavailable offline.  Everything the evaluation needs is
+implemented here:
+
+- clustering: :mod:`repro.ml.cluster` (K-Means, Mean-Shift, Birch)
+- classifiers: decision tree, random forest, KNN, SVM (linear/RBF,
+  one-vs-rest SMO), multinomial logistic regression, XGBoost-style
+  second-order gradient boosting, and a small CNN over density images
+- preprocessing: log/sqrt transforms, min-max scaling, PCA
+- evaluation: accuracy / macro-F1 / multiclass MCC / confusion matrices,
+  stratified K-fold cross-validation
+"""
+
+from repro.ml.base import BaseEstimator, check_X_y, check_array
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    f1_macro,
+    matthews_corrcoef,
+)
+from repro.ml.model_selection import (
+    KFold,
+    StratifiedKFold,
+    train_test_split,
+)
+from repro.ml.pca import PCA
+from repro.ml.preprocessing import (
+    MinMaxScaler,
+    SparseDistributionTransformer,
+    StandardScaler,
+)
+
+__all__ = [
+    "BaseEstimator",
+    "KFold",
+    "MinMaxScaler",
+    "PCA",
+    "SparseDistributionTransformer",
+    "StandardScaler",
+    "StratifiedKFold",
+    "accuracy_score",
+    "check_X_y",
+    "check_array",
+    "confusion_matrix",
+    "f1_macro",
+    "matthews_corrcoef",
+    "train_test_split",
+]

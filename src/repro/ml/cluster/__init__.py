@@ -1,0 +1,12 @@
+"""Clustering algorithms used by the semi-supervised selector.
+
+The paper (§4): *"we implement and test our approach with a variety of
+clustering algorithms, including the well-known K-Means, as well as
+Mean-Shift and Birch clustering."*
+"""
+
+from repro.ml.cluster.birch import Birch
+from repro.ml.cluster.kmeans import KMeans
+from repro.ml.cluster.meanshift import MeanShift, estimate_bandwidth
+
+__all__ = ["Birch", "KMeans", "MeanShift", "estimate_bandwidth"]

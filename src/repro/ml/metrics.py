@@ -1,0 +1,129 @@
+"""Classification metrics: ACC, macro-F1, multiclass MCC, confusion matrix.
+
+The paper reports accuracy and F1 like prior work, and argues (§5.2, citing
+Chicco & Jurman 2020) for Matthews correlation coefficient because the
+format classes are highly unbalanced: *"MCC is a statistical rate that
+produces a high score only if the predictions obtained good results in all
+the cells of the confusion matrix, proportional to the number of elements
+in each class of the dataset."*
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check_pair(
+    y_true: np.ndarray, y_pred: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.ndim != 1 or y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"label arrays must be 1-D and aligned, got {y_true.shape} "
+            f"vs {y_pred.shape}"
+        )
+    if y_true.shape[0] == 0:
+        raise ValueError("label arrays must be non-empty")
+    return y_true, y_pred
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exact label matches."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    labels: np.ndarray | list | None = None,
+) -> np.ndarray:
+    """C[i, j] = count of samples with true label i predicted as j."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    else:
+        labels = np.asarray(labels)
+    index = {lab: i for i, lab in enumerate(labels.tolist())}
+    k = len(labels)
+    cm = np.zeros((k, k), dtype=np.int64)
+    for t, p in zip(y_true.tolist(), y_pred.tolist()):
+        cm[index[t], index[p]] += 1
+    return cm
+
+
+def precision_recall_f1_per_class(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    labels: np.ndarray | list | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-class precision, recall and F1 (0 where undefined)."""
+    cm = confusion_matrix(y_true, y_pred, labels)
+    tp = np.diag(cm).astype(np.float64)
+    pred_pos = cm.sum(axis=0).astype(np.float64)
+    true_pos = cm.sum(axis=1).astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        precision = np.where(pred_pos > 0, tp / pred_pos, 0.0)
+        recall = np.where(true_pos > 0, tp / true_pos, 0.0)
+        denom = precision + recall
+        f1 = np.where(denom > 0, 2 * precision * recall / denom, 0.0)
+    return precision, recall, f1
+
+
+def f1_macro(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    labels: np.ndarray | list | None = None,
+) -> float:
+    """Unweighted mean of per-class F1 over classes present in y_true.
+
+    Classes that never occur as a true label (they can appear in ``labels``
+    or as spurious predictions) are excluded from the average, so a model
+    is not rewarded or punished for classes absent from the test fold.
+    """
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    else:
+        labels = np.asarray(labels)
+    _, _, f1 = precision_recall_f1_per_class(y_true, y_pred, labels)
+    present = np.isin(labels, np.unique(y_true))
+    if not present.any():
+        return 0.0
+    return float(f1[present].mean())
+
+
+def f1_weighted(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Support-weighted mean of per-class F1."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    labels = np.unique(np.concatenate([y_true, y_pred]))
+    _, _, f1 = precision_recall_f1_per_class(y_true, y_pred, labels)
+    support = np.array([(y_true == lab).sum() for lab in labels], dtype=float)
+    return float(np.average(f1, weights=support)) if support.sum() else 0.0
+
+
+def matthews_corrcoef(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Multiclass MCC (Gorodkin's R_K statistic).
+
+    Computed from the confusion matrix C as
+
+        (c*s - Σ_k p_k t_k) /
+        sqrt((s² - Σ p_k²)(s² - Σ t_k²))
+
+    where c = trace(C), s = total samples, p_k = column sums (predicted),
+    t_k = row sums (true).  Returns 0 when either variance term vanishes
+    (all-one-class predictions or labels), matching scikit-learn.
+    """
+    cm = confusion_matrix(y_true, y_pred).astype(np.float64)
+    t_k = cm.sum(axis=1)
+    p_k = cm.sum(axis=0)
+    c = np.trace(cm)
+    s = cm.sum()
+    cov_ytyp = c * s - float(t_k @ p_k)
+    cov_ypyp = s * s - float(p_k @ p_k)
+    cov_ytyt = s * s - float(t_k @ t_k)
+    denom = np.sqrt(cov_ypyp) * np.sqrt(cov_ytyt)
+    if denom == 0:
+        return 0.0
+    return float(cov_ytyp / denom)

@@ -1,0 +1,123 @@
+"""Data-splitting utilities: K-fold CV (plain and stratified), holdout.
+
+The paper evaluates everything with 5-fold cross-validation (§5.1) and its
+transfer experiments retrain on 0/25/50% fractions of the target platform's
+training data, which maps to :func:`train_test_split` with stratification.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+
+class KFold:
+    """Plain K-fold split over sample indices."""
+
+    def __init__(
+        self, n_splits: int = 5, shuffle: bool = True, seed: int = 0
+    ) -> None:
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.seed = seed
+
+    def split(
+        self, n_samples: int
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        if n_samples < self.n_splits:
+            raise ValueError(
+                f"cannot split {n_samples} samples into {self.n_splits} folds"
+            )
+        indices = np.arange(n_samples)
+        if self.shuffle:
+            np.random.default_rng(self.seed).shuffle(indices)
+        folds = np.array_split(indices, self.n_splits)
+        for i in range(self.n_splits):
+            test = folds[i]
+            train = np.concatenate(
+                [folds[j] for j in range(self.n_splits) if j != i]
+            )
+            yield train, test
+
+
+class StratifiedKFold:
+    """K-fold preserving per-class proportions in every fold.
+
+    Classes with fewer members than folds still work: their members are
+    spread over the first folds round-robin.
+    """
+
+    def __init__(
+        self, n_splits: int = 5, shuffle: bool = True, seed: int = 0
+    ) -> None:
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.seed = seed
+
+    def split(
+        self, y: np.ndarray
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        y = np.asarray(y)
+        if y.ndim != 1:
+            raise ValueError("y must be 1-D")
+        if y.shape[0] < self.n_splits:
+            raise ValueError(
+                f"cannot split {y.shape[0]} samples into {self.n_splits} folds"
+            )
+        rng = np.random.default_rng(self.seed)
+        fold_of = np.empty(y.shape[0], dtype=np.int64)
+        for cls in np.unique(y):
+            members = np.flatnonzero(y == cls)
+            if self.shuffle:
+                rng.shuffle(members)
+            fold_of[members] = np.arange(members.shape[0]) % self.n_splits
+        for i in range(self.n_splits):
+            test = np.flatnonzero(fold_of == i)
+            train = np.flatnonzero(fold_of != i)
+            if test.size == 0 or train.size == 0:
+                raise ValueError(
+                    "stratified split produced an empty fold; "
+                    "use fewer splits"
+                )
+            yield train, test
+
+
+def train_test_split(
+    n_samples: int,
+    test_fraction: float,
+    y: np.ndarray | None = None,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Index split into (train, test); stratified when ``y`` is given.
+
+    ``test_fraction`` may be 0 (empty test set) — the transfer experiments
+    use a 0% retraining case.
+    """
+    if not 0.0 <= test_fraction < 1.0:
+        raise ValueError("test_fraction must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    indices = np.arange(n_samples)
+    n_test = int(round(test_fraction * n_samples))
+    if n_test == 0:
+        return indices, np.empty(0, dtype=np.int64)
+    if y is None:
+        rng.shuffle(indices)
+        return indices[n_test:], indices[:n_test]
+    y = np.asarray(y)
+    if y.shape[0] != n_samples:
+        raise ValueError("y length must equal n_samples")
+    test_parts: list[np.ndarray] = []
+    for cls in np.unique(y):
+        members = np.flatnonzero(y == cls)
+        rng.shuffle(members)
+        k = int(round(test_fraction * members.shape[0]))
+        test_parts.append(members[:k])
+    test = np.sort(np.concatenate(test_parts))
+    mask = np.ones(n_samples, dtype=bool)
+    mask[test] = False
+    return np.flatnonzero(mask), test

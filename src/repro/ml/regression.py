@@ -1,0 +1,184 @@
+"""Regression models: CART regression trees and forests.
+
+§2.2 of the paper: *"The ML models can be either regression or
+classification based."*  Prior work (Benatia et al. [3]; the
+overhead-conscious line [39, 40]) predicts per-format execution *times*
+rather than a class label — which is what
+:class:`repro.core.regression.RegressionFormatSelector` builds on top of
+these estimators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, NotFittedError, check_array, check_X_y
+
+
+@dataclass
+class _RegNode:
+    value: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_RegNode | None" = None
+    right: "_RegNode | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class DecisionTreeRegressor(BaseEstimator):
+    """CART regression tree minimising within-leaf squared error."""
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+
+    def _n_candidates(self, d: int) -> int:
+        mf = self.max_features
+        if mf is None:
+            return d
+        if mf == "sqrt":
+            return max(1, int(np.sqrt(d)))
+        if mf == "log2":
+            return max(1, int(np.log2(d)))
+        return max(1, min(int(mf), d))
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        X, y = check_X_y(X, y)
+        y = y.astype(np.float64)
+        self._rng = np.random.default_rng(self.seed)
+        self.n_features_ = X.shape[1]
+        self._k = self._n_candidates(self.n_features_)
+        self.root_ = self._build(X, y, 0)
+        return self
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _RegNode:
+        node = _RegNode(value=float(y.mean()))
+        n = y.shape[0]
+        if (
+            (self.max_depth is not None and depth >= self.max_depth)
+            or n < self.min_samples_split
+            or np.all(y == y[0])
+        ):
+            return node
+        if self._k < self.n_features_:
+            feats = self._rng.choice(self.n_features_, self._k, replace=False)
+        else:
+            feats = np.arange(self.n_features_)
+        # Exact greedy: for each feature, cumulative sums give every cut's
+        # SSE reduction in O(n) after the sort.
+        total_sum = y.sum()
+        total_sq = float(y @ y)
+        parent_sse = total_sq - total_sum * total_sum / n
+        best_gain, best_feature, best_threshold = 1e-12, -1, 0.0
+        for j in feats:
+            order = np.argsort(X[:, j], kind="stable")
+            xs = X[order, j]
+            ys = y[order]
+            csum = np.cumsum(ys)
+            csq = np.cumsum(ys * ys)
+            distinct = xs[1:] != xs[:-1]
+            pos = np.flatnonzero(distinct) + 1
+            pos = pos[
+                (pos >= self.min_samples_leaf)
+                & (n - pos >= self.min_samples_leaf)
+            ]
+            if pos.size == 0:
+                continue
+            nl = pos.astype(np.float64)
+            nr = n - nl
+            sum_l = csum[pos - 1]
+            sq_l = csq[pos - 1]
+            sse_l = sq_l - sum_l * sum_l / nl
+            sum_r = total_sum - sum_l
+            sq_r = total_sq - sq_l
+            sse_r = sq_r - sum_r * sum_r / nr
+            gains = parent_sse - (sse_l + sse_r)
+            i = int(np.argmax(gains))
+            if gains[i] > best_gain:
+                best_gain = float(gains[i])
+                best_feature = int(j)
+                best_threshold = 0.5 * (xs[pos[i] - 1] + xs[pos[i]])
+        if best_feature < 0:
+            return node
+        mask = X[:, best_feature] <= best_threshold
+        node.feature = best_feature
+        node.threshold = best_threshold
+        node.left = self._build(X[mask], y[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted("root_")
+        X = check_array(X)
+        if X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"expected {self.n_features_} features, got {X.shape[1]}"
+            )
+        out = np.empty(X.shape[0])
+        for i in range(X.shape[0]):
+            node = self.root_
+            while not node.is_leaf:
+                node = (
+                    node.left
+                    if X[i, node.feature] <= node.threshold
+                    else node.right
+                )
+            out[i] = node.value
+        return out
+
+
+class RandomForestRegressor(BaseEstimator):
+    """Bagged regression trees with feature subsampling."""
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        max_depth: int | None = 8,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = "sqrt",
+        seed: int = 0,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        X, y = check_X_y(X, y)
+        rng = np.random.default_rng(self.seed)
+        n = X.shape[0]
+        self.trees_: list[DecisionTreeRegressor] = []
+        for _ in range(self.n_estimators):
+            idx = rng.integers(0, n, size=n)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                seed=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(X[idx], y[idx])
+            self.trees_.append(tree)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "trees_"):
+            raise NotFittedError("RandomForestRegressor must be fitted first")
+        return np.mean([t.predict(X) for t in self.trees_], axis=0)

@@ -1,0 +1,194 @@
+"""CART decision-tree classifier (Gini impurity, exact greedy splits).
+
+Backs both the paper's DT baseline and the Random Forest (prior work
+Sedaghati et al. [30] used trees/forests for format selection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, check_X_y, check_array, encode_labels
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves carry class-count distributions."""
+
+    counts: np.ndarray  # per-class sample counts reaching this node
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini(counts: np.ndarray) -> float:
+    n = counts.sum()
+    if n == 0:
+        return 0.0
+    p = counts / n
+    return float(1.0 - (p * p).sum())
+
+
+def _best_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    n_classes: int,
+    feature_indices: np.ndarray,
+    min_samples_leaf: int,
+) -> tuple[int, float, float]:
+    """Best (feature, threshold, gain) over candidate features.
+
+    For each feature the samples are sorted once and class counts are
+    accumulated cumulatively, so all thresholds are evaluated in O(n·k)
+    after the O(n log n) sort — the standard exact-greedy formulation.
+    """
+    n = y.shape[0]
+    parent_gini = _gini(np.bincount(y, minlength=n_classes).astype(float))
+    best = (-1, 0.0, 0.0)
+    onehot = np.zeros((n, n_classes))
+    onehot[np.arange(n), y] = 1.0
+    for j in feature_indices:
+        order = np.argsort(X[:, j], kind="stable")
+        xs = X[order, j]
+        # Cumulative class counts for the "left" side of each cut.
+        left_counts = np.cumsum(onehot[order], axis=0)
+        total = left_counts[-1]
+        # Valid cut positions: between distinct adjacent values, with at
+        # least min_samples_leaf on each side.
+        distinct = xs[1:] != xs[:-1]
+        pos = np.flatnonzero(distinct) + 1  # left side has `pos` samples
+        pos = pos[(pos >= min_samples_leaf) & (n - pos >= min_samples_leaf)]
+        if pos.size == 0:
+            continue
+        lc = left_counts[pos - 1]
+        rc = total - lc
+        nl = pos.astype(float)
+        nr = n - nl
+        gini_l = 1.0 - ((lc / nl[:, None]) ** 2).sum(axis=1)
+        gini_r = 1.0 - ((rc / nr[:, None]) ** 2).sum(axis=1)
+        weighted = (nl * gini_l + nr * gini_r) / n
+        gains = parent_gini - weighted
+        i = int(np.argmax(gains))
+        if gains[i] > best[2]:
+            thr = 0.5 * (xs[pos[i] - 1] + xs[pos[i]])
+            best = (int(j), float(thr), float(gains[i]))
+    return best
+
+
+class DecisionTreeClassifier(BaseEstimator):
+    """CART classifier.
+
+    Parameters follow the scikit-learn names the paper's setup mentions
+    (``max_depth``, ``min_samples_split``, ``max_features``).
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+
+    def _n_candidate_features(self, n_features: int) -> int:
+        mf = self.max_features
+        if mf is None:
+            return n_features
+        if mf == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if mf == "log2":
+            return max(1, int(np.log2(n_features)))
+        return max(1, min(int(mf), n_features))
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        X, y = check_X_y(X, y)
+        self.classes_, encoded = encode_labels(y)
+        self._rng = np.random.default_rng(self.seed)
+        self.n_features_ = X.shape[1]
+        self._k = self._n_candidate_features(self.n_features_)
+        self.root_ = self._build(X, encoded, depth=0)
+        return self
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        n_classes = self.classes_.shape[0]
+        counts = np.bincount(y, minlength=n_classes).astype(float)
+        node = _Node(counts=counts)
+        if (
+            (self.max_depth is not None and depth >= self.max_depth)
+            or y.shape[0] < self.min_samples_split
+            or np.count_nonzero(counts) <= 1
+        ):
+            return node
+        if self._k < self.n_features_:
+            feats = self._rng.choice(self.n_features_, self._k, replace=False)
+        else:
+            feats = np.arange(self.n_features_)
+        feature, threshold, gain = _best_split(
+            X, y, n_classes, feats, self.min_samples_leaf
+        )
+        if feature < 0 or gain <= 0.0:
+            return node
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted("root_")
+        X = check_array(X)
+        if X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"expected {self.n_features_} features, got {X.shape[1]}"
+            )
+        out = np.empty((X.shape[0], self.classes_.shape[0]))
+        for i in range(X.shape[0]):
+            node = self.root_
+            while not node.is_leaf:
+                node = (
+                    node.left
+                    if X[i, node.feature] <= node.threshold
+                    else node.right
+                )
+            total = node.counts.sum()
+            out[i] = node.counts / total if total else node.counts
+        return out
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    def depth(self) -> int:
+        """Realised depth of the fitted tree."""
+        self._require_fitted("root_")
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self.root_)
+
+    def n_leaves(self) -> int:
+        self._require_fitted("root_")
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            return walk(node.left) + walk(node.right)
+
+        return walk(self.root_)

@@ -1,0 +1,54 @@
+"""Shared fixtures: small matrices, RNGs, and a tiny experiment dataset."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import build_collection
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.data import build_experiment_data
+from repro.formats import COOMatrix
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_dense(rng) -> np.ndarray:
+    """A 23x17 dense matrix with ~20% nonzeros, some empty rows/cols."""
+    dense = (rng.random((23, 17)) < 0.2) * rng.standard_normal((23, 17))
+    dense[5, :] = 0.0  # force an empty row
+    dense[:, 3] = 0.0  # force an empty column
+    return dense
+
+
+@pytest.fixture
+def small_coo(small_dense) -> COOMatrix:
+    return COOMatrix.from_dense(small_dense)
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> ExperimentConfig:
+    # ~200 matrices (~140 runnable per arch): small enough for fast tests,
+    # large enough that the paper's qualitative relations are stable.
+    return ExperimentConfig(
+        collection_size=200,
+        augment_copies=0,
+        trials=5,
+        n_folds=3,
+        nc_grid=(10, 25),
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_data(tiny_config):
+    """Session-scoped: the full simulated campaign on a 60-matrix collection."""
+    return build_experiment_data(tiny_config)
+
+
+@pytest.fixture(scope="session")
+def tiny_collection():
+    return build_collection(seed=7, size=25)

@@ -1,0 +1,102 @@
+"""Frozen selectors: freeze / predict-parity / save / load / relabel."""
+
+import numpy as np
+import pytest
+
+from repro.core.deploy import FrozenSelector, _rebuild_pipeline, freeze
+from repro.core.semisupervised import ClusterFormatSelector
+
+
+@pytest.fixture(scope="module", params=["kmeans", "meanshift", "birch"])
+def frozen_pair(request, tiny_data):
+    ds = tiny_data.datasets["volta"]
+    nc = None if request.param == "meanshift" else 12
+    sel = ClusterFormatSelector(request.param, "vote", nc, seed=0)
+    sel.fit(ds.X, ds.labels)
+    return sel, freeze(sel), ds
+
+
+def test_frozen_predictions_match_live(frozen_pair):
+    sel, frozen, ds = frozen_pair
+    np.testing.assert_array_equal(frozen.predict(ds.X), sel.predict(ds.X))
+
+
+def test_frozen_transform_matches_pipeline(frozen_pair):
+    sel, frozen, ds = frozen_pair
+    np.testing.assert_allclose(
+        frozen.transform(ds.X),
+        sel.pipeline_.transform_features(ds.X),
+        atol=1e-12,
+    )
+
+
+def test_save_load_roundtrip(frozen_pair, tmp_path):
+    _, frozen, ds = frozen_pair
+    path = tmp_path / "selector.npz"
+    frozen.save(path)
+    loaded = FrozenSelector.load(path)
+    np.testing.assert_array_equal(loaded.predict(ds.X), frozen.predict(ds.X))
+    np.testing.assert_allclose(loaded.centroids, frozen.centroids)
+
+
+def test_relabel_swaps_labels_only(frozen_pair, tiny_data):
+    _, frozen, ds = frozen_pair
+    # Port to Pascal: relabel centroids with pascal's labels via a live
+    # selector vote on the common matrices.
+    new_labels = np.array(
+        ["coo"] * frozen.n_centroids, dtype=object
+    )
+    ported = frozen.relabel(new_labels)
+    assert set(ported.predict(ds.X)) == {"coo"}
+    np.testing.assert_allclose(ported.centroids, frozen.centroids)
+
+
+def test_relabel_validates_length(frozen_pair):
+    _, frozen, _ = frozen_pair
+    with pytest.raises(ValueError):
+        frozen.relabel(np.array(["csr"], dtype=object))
+
+
+def test_freeze_requires_labeled_selector(tiny_data):
+    ds = tiny_data.datasets["volta"]
+    sel = ClusterFormatSelector("kmeans", "vote", 8, seed=0)
+    sel.fit_clusters(ds.X)
+    with pytest.raises(ValueError):
+        freeze(sel)
+
+
+def test_rebuilt_pipeline_equivalent(frozen_pair):
+    _, frozen, ds = frozen_pair
+    pipe = _rebuild_pipeline(frozen)
+    np.testing.assert_allclose(
+        pipe.transform_features(ds.X), frozen.transform(ds.X), atol=1e-12
+    )
+
+
+def test_no_pca_no_transform_variant(tiny_data, tmp_path):
+    from repro.core.pipeline import FeaturePipeline
+
+    ds = tiny_data.datasets["volta"]
+    sel = ClusterFormatSelector(
+        "kmeans", "vote", 8,
+        pipeline=FeaturePipeline(transform=None, n_components=None),
+        seed=0,
+    )
+    sel.fit(ds.X, ds.labels)
+    frozen = freeze(sel)
+    path = tmp_path / "plain.npz"
+    frozen.save(path)
+    loaded = FrozenSelector.load(path)
+    np.testing.assert_array_equal(loaded.predict(ds.X), sel.predict(ds.X))
+
+
+def test_version_check(tmp_path, frozen_pair):
+    _, frozen, _ = frozen_pair
+    path = tmp_path / "bad.npz"
+    frozen.save(path)
+    # Corrupt the version field.
+    data = dict(np.load(path, allow_pickle=False))
+    data["version"] = np.array([999])
+    np.savez(path, **data)
+    with pytest.raises(ValueError):
+        FrozenSelector.load(path)

@@ -1,0 +1,170 @@
+"""Explainability, online selection, and overhead-conscious selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.explain import (
+    cluster_profile,
+    explain_prediction,
+    format_explanation,
+)
+from repro.core.online import OnlineFormatSelector
+from repro.core.overhead import (
+    OverheadDecision,
+    conversion_cost_seconds,
+    select_with_overhead,
+)
+from repro.core.pipeline import FeaturePipeline
+from repro.core.semisupervised import ClusterFormatSelector
+from repro.datasets.generators import power_law_rows, stencil_2d
+from repro.features.stats import compute_stats
+from repro.gpu import PASCAL
+
+
+@pytest.fixture(scope="module")
+def fitted_selector(tiny_data):
+    ds = tiny_data.datasets["pascal"]
+    sel = ClusterFormatSelector("kmeans", "vote", 10, seed=0)
+    sel.fit(ds.X, ds.labels)
+    return sel, ds
+
+
+class TestExplain:
+    def test_cluster_profile_fields(self, fitted_selector, tiny_data):
+        sel, ds = fitted_selector
+        prof = cluster_profile(
+            sel, 0, ds.X, list(tiny_data.features.feature_names)
+        )
+        assert prof.size >= 1
+        assert prof.label in {"csr", "ell", "coo", "hyb"}
+        assert len(prof.feature_ranges) == 21
+        lo, med, hi = prof.feature_ranges["nnz"]
+        assert lo <= med <= hi
+        assert len(prof.distinguishing_features) == 5
+
+    def test_empty_cluster_rejected(self, fitted_selector, tiny_data):
+        sel, ds = fitted_selector
+        with pytest.raises(ValueError):
+            cluster_profile(
+                sel, 9999, ds.X, list(tiny_data.features.feature_names)
+            )
+
+    def test_explain_prediction(self, fitted_selector):
+        sel, ds = fitted_selector
+        expl = explain_prediction(sel, ds.X[0], ds.names, ds.labels)
+        assert expl.label == sel.predict(ds.X[:1])[0]
+        assert expl.distance_to_centroid >= 0
+        assert 1 <= len(expl.nearest_training_names) <= 3
+        # The sample itself is in the training set, so it must be its own
+        # nearest neighbour.
+        assert ds.names[0] in expl.nearest_training_names
+
+    def test_format_explanation_text(self, fitted_selector):
+        sel, ds = fitted_selector
+        text = format_explanation(
+            explain_prediction(sel, ds.X[0], ds.names, ds.labels)
+        )
+        assert "predicted format" in text
+        assert "cluster #" in text
+
+
+class TestOnline:
+    def _pipeline(self, tiny_data):
+        return FeaturePipeline().fit(tiny_data.features.values)
+
+    def test_requires_fitted_pipeline(self):
+        with pytest.raises(ValueError):
+            OnlineFormatSelector(FeaturePipeline())
+
+    def test_streaming_learns_labels(self, tiny_data):
+        ds = tiny_data.datasets["turing"]
+        pipe = self._pipeline(tiny_data)
+        online = OnlineFormatSelector(pipe, radius=0.3)
+        # First pass: observe everything with labels.
+        for x, lab in zip(ds.X, ds.labels):
+            online.observe(x, str(lab))
+        assert online.n_clusters >= 1
+        # Second pass: predictions should now beat always-CSR... at least
+        # match the majority baseline.
+        pred = np.array([online.predict_one(x) for x in ds.X], dtype=object)
+        acc = np.mean(pred == ds.labels)
+        majority = max(
+            np.mean(ds.labels == f) for f in ("csr", "ell", "coo", "hyb")
+        )
+        assert acc >= majority - 0.05
+
+    def test_unlabeled_traffic_shapes_clusters(self, tiny_data):
+        ds = tiny_data.datasets["turing"]
+        pipe = self._pipeline(tiny_data)
+        online = OnlineFormatSelector(pipe, radius=0.3)
+        for x in ds.X[:20]:
+            online.observe(x, None)
+        assert online.n_clusters >= 1
+        assert online.label_distribution()[None] == online.n_clusters
+
+    def test_default_prediction_when_empty(self, tiny_data):
+        pipe = self._pipeline(tiny_data)
+        online = OnlineFormatSelector(pipe, default_format="csr")
+        assert online.predict_one(tiny_data.features.values[0]) == "csr"
+
+    def test_impure_cluster_splits(self, tiny_data):
+        pipe = self._pipeline(tiny_data)
+        # Giant radius: everything lands in one cluster; alternating labels
+        # force a split once min_split_size labeled members accumulate.
+        online = OnlineFormatSelector(
+            pipe, radius=100.0, min_purity=0.9, min_split_size=6
+        )
+        X = tiny_data.features.values
+        for i in range(12):
+            online.observe(X[i % len(X)], "csr" if i % 2 else "ell")
+        assert online.n_splits >= 1
+        assert online.n_clusters >= 2
+
+    def test_validation(self, tiny_data):
+        pipe = self._pipeline(tiny_data)
+        with pytest.raises(ValueError):
+            OnlineFormatSelector(pipe, radius=0.0)
+
+
+class TestOverhead:
+    def test_conversion_cost_model(self):
+        assert conversion_cost_seconds("ell", 1e-5) == pytest.approx(102e-5)
+        with pytest.raises(ValueError):
+            conversion_cost_seconds("bsr", 1e-5)
+
+    def test_one_call_never_converts(self, rng):
+        s = compute_stats(stencil_2d(rng, nx=40, ny=40))
+        decision = select_with_overhead(s, PASCAL, n_spmv_calls=1)
+        assert decision.chosen_format == "csr"
+        assert not decision.converted
+
+    def test_many_calls_converts_to_best(self, rng):
+        s = compute_stats(stencil_2d(rng, nx=40, ny=40))
+        decision = select_with_overhead(s, PASCAL, n_spmv_calls=100_000)
+        assert decision.chosen_format == decision.qualitative_best
+        assert decision.chosen_format == "ell"
+        assert decision.converted
+
+    def test_breakeven_monotone(self, rng):
+        s = compute_stats(stencil_2d(rng, nx=40, ny=40))
+        d = select_with_overhead(s, PASCAL, n_spmv_calls=100_000)
+        # At the breakeven call count, conversion cost equals total saving.
+        assert d.breakeven_calls == pytest.approx(
+            d.conversion_cost / d.per_spmv_saving
+        )
+
+    def test_csr_best_matrix_stays_csr(self, rng):
+        s = compute_stats(
+            power_law_rows(rng, nrows=800, avg_nnz_per_row=16, alpha=2.0,
+                           max_over_mean=1.8)
+        )
+        decision = select_with_overhead(s, PASCAL, n_spmv_calls=10)
+        assert isinstance(decision, OverheadDecision)
+        assert decision.breakeven_calls >= 0
+
+    def test_validation(self, rng):
+        s = compute_stats(stencil_2d(rng, nx=10, ny=10))
+        with pytest.raises(ValueError):
+            select_with_overhead(s, PASCAL, n_spmv_calls=0)
+        with pytest.raises(ValueError):
+            select_with_overhead(s, PASCAL, 5, base_format="bsr")

@@ -1,0 +1,89 @@
+"""Labeled-dataset assembly and common subsets."""
+
+import numpy as np
+import pytest
+
+from repro.core.labeling import (
+    LabeledDataset,
+    build_labeled_dataset,
+    common_subset,
+)
+from repro.gpu.simulator import BenchmarkResult
+
+
+def test_datasets_only_contain_runnable(tiny_data):
+    for arch, ds in tiny_data.datasets.items():
+        by_name = {r.name: r for r in tiny_data.results[arch]}
+        for name in ds.names:
+            assert by_name[name].runnable
+
+
+def test_labels_are_argmin_of_times(tiny_data):
+    ds = tiny_data.datasets["pascal"]
+    for label, times in zip(ds.labels, ds.times):
+        assert label == min(times, key=times.get)
+
+
+def test_class_distribution_sums_to_len(tiny_data):
+    ds = tiny_data.datasets["volta"]
+    assert sum(ds.class_distribution().values()) == len(ds)
+
+
+def test_subset_by_names(tiny_data):
+    ds = tiny_data.datasets["turing"]
+    picked = ds.names[2:5]
+    sub = ds.subset_by_names(picked)
+    assert sub.names == picked
+    np.testing.assert_array_equal(sub.labels, ds.labels[2:5])
+
+
+def test_common_subset_alignment(tiny_data):
+    names = None
+    for arch, ds in tiny_data.common.items():
+        if names is None:
+            names = ds.names
+        assert ds.names == names
+
+
+def test_common_subset_is_intersection(tiny_data):
+    shared = set.intersection(
+        *(set(ds.names) for ds in tiny_data.datasets.values())
+    )
+    assert set(tiny_data.common["pascal"].names) == shared
+
+
+def test_common_no_shared_matrices_raises(tiny_data):
+    a = tiny_data.datasets["pascal"].subset([0, 1])
+    b = tiny_data.datasets["volta"]
+    b_disjoint = b.subset_by_names(
+        [n for n in b.names if n not in a.names][:2]
+    )
+    with pytest.raises(ValueError):
+        common_subset({"a": a, "b": b_disjoint})
+
+
+def test_build_rejects_all_excluded(tiny_data):
+    results = [
+        BenchmarkResult(n, "x", {"csr": 1.0}, excluded={"ell": "nope"})
+        for n in tiny_data.features.names
+    ]
+    with pytest.raises(ValueError):
+        build_labeled_dataset("x", tiny_data.features, results)
+
+
+def test_labeled_dataset_validation(tiny_data):
+    ds = tiny_data.datasets["pascal"]
+    with pytest.raises(ValueError):
+        LabeledDataset(
+            arch="x",
+            features=ds.features,
+            labels=ds.labels[:-1],
+            times=ds.times,
+        )
+    with pytest.raises(ValueError):
+        LabeledDataset(
+            arch="x",
+            features=ds.features,
+            labels=ds.labels,
+            times=ds.times[:-1],
+        )

@@ -1,0 +1,141 @@
+"""Feature pipeline, purity, and speedup metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import FeaturePipeline
+from repro.core.purity import cluster_purity, purity_report
+from repro.core.speedup import speedup_metrics
+from repro.ml.base import NotFittedError
+
+
+class TestFeaturePipeline:
+    def test_output_dim_with_pca(self, tiny_data):
+        X = tiny_data.features.values
+        pipe = FeaturePipeline(n_components=8).fit(X)
+        Z = pipe.transform_features(X)
+        assert Z.shape == (X.shape[0], 8)
+        assert pipe.output_dim == 8
+
+    def test_no_pca(self, tiny_data):
+        X = tiny_data.features.values
+        pipe = FeaturePipeline(n_components=None).fit(X)
+        Z = pipe.transform_features(X)
+        assert Z.shape == X.shape
+        # Without PCA the scaled output stays in the unit box.
+        assert Z.min() >= 0.0 and Z.max() <= 1.0
+
+    def test_no_transform_stage(self, tiny_data):
+        X = tiny_data.features.values
+        pipe = FeaturePipeline(transform=None, n_components=4).fit(X)
+        assert pipe.transform_features(X).shape == (X.shape[0], 4)
+
+    def test_transform_reduces_dynamic_range(self, tiny_data):
+        # The paper's point: nnz-like features span orders of magnitude;
+        # the log transform compresses them.
+        X = tiny_data.features.values
+        raw = FeaturePipeline(transform=None, n_components=None).fit(X)
+        logd = FeaturePipeline(transform="log", n_components=None).fit(X)
+        j = tiny_data.features.feature_names.index("nnz")
+        spread_raw = np.std(raw.transform_features(X)[:, j])
+        spread_log = np.std(logd.transform_features(X)[:, j])
+        # Min-max scaled: log-transformed nnz occupies the range far more
+        # evenly (higher std) than the outlier-squashed raw scaling.
+        assert spread_log > spread_raw
+
+    def test_not_fitted(self, tiny_data):
+        with pytest.raises(NotFittedError):
+            FeaturePipeline().transform_features(tiny_data.features.values)
+
+    def test_deterministic(self, tiny_data):
+        X = tiny_data.features.values
+        Z1 = FeaturePipeline().fit(X).transform_features(X)
+        Z2 = FeaturePipeline().fit(X).transform_features(X)
+        np.testing.assert_allclose(Z1, Z2)
+
+
+class TestPurity:
+    def test_pure_clusters(self):
+        labels = np.array(["a", "a", "b", "b"], dtype=object)
+        assignments = np.array([0, 0, 1, 1])
+        assert cluster_purity(labels, assignments) == 1.0
+
+    def test_mixed_cluster(self):
+        labels = np.array(["a", "a", "b", "b"], dtype=object)
+        assignments = np.array([0, 0, 0, 1])
+        # Cluster 0: majority a (2/3); cluster 1: pure. (2+1)/4.
+        assert cluster_purity(labels, assignments) == pytest.approx(0.75)
+
+    def test_single_cluster_equals_majority_fraction(self):
+        labels = np.array(["csr"] * 7 + ["ell"] * 3, dtype=object)
+        assignments = np.zeros(10, dtype=int)
+        assert cluster_purity(labels, assignments) == pytest.approx(0.7)
+
+    def test_purity_is_vote_upper_bound(self, tiny_data):
+        from repro.core.semisupervised import ClusterFormatSelector
+        from repro.ml.metrics import accuracy_score
+
+        ds = tiny_data.datasets["volta"]
+        sel = ClusterFormatSelector("kmeans", "vote", 10, seed=0)
+        sel.fit(ds.X, ds.labels)
+        train_acc = accuracy_score(ds.labels, sel.predict(ds.X))
+        purity = cluster_purity(ds.labels, sel.train_assignments_)
+        assert train_acc <= purity + 1e-9
+
+    def test_report_sorted_by_size(self):
+        labels = np.array(["a"] * 5 + ["b"] * 2, dtype=object)
+        assignments = np.array([0, 0, 0, 1, 1, 2, 2])
+        report = purity_report(labels, assignments)
+        assert [s.size for s in report] == [3, 2, 2]
+        assert report[0].majority_format == "a"
+        assert report[0].purity == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cluster_purity(np.array(["a"]), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            cluster_purity(np.array([]), np.array([]))
+
+
+class TestSpeedupMetrics:
+    def _times(self):
+        return [
+            {"csr": 1.0, "ell": 0.5, "coo": 2.0},  # ell best
+            {"csr": 1.0, "ell": 2.0, "coo": 3.0},  # csr best
+        ]
+
+    def test_oracle_predictions(self):
+        m = speedup_metrics(np.array(["ell", "csr"], dtype=object), self._times())
+        assert m.gt_speedup == pytest.approx(1.0)
+        # csr/pred: 1/0.5=2 and 1/1=1 -> geomean sqrt(2)
+        assert m.csr_speedup == pytest.approx(np.sqrt(2.0))
+        assert m.threshold_count == 0
+
+    def test_always_csr(self):
+        m = speedup_metrics(np.array(["csr", "csr"], dtype=object), self._times())
+        assert m.csr_speedup == pytest.approx(1.0)
+        assert m.gt_speedup == pytest.approx(np.sqrt(0.5))
+
+    def test_bad_prediction_counts_threshold(self):
+        m = speedup_metrics(np.array(["coo", "coo"], dtype=object), self._times())
+        # coo is 2x and 3x slower than csr: both >= 1.5 slowdowns.
+        assert m.threshold_count == 2
+        assert m.gt_speedup < 1.0
+
+    def test_infeasible_prediction_charged_worst(self):
+        times = [{"csr": 1.0, "coo": 4.0}]
+        m = speedup_metrics(np.array(["ell"], dtype=object), times)
+        assert m.csr_speedup == pytest.approx(0.25)
+
+    def test_gt_never_exceeds_one(self, tiny_data):
+        ds = tiny_data.datasets["pascal"]
+        rng = np.random.default_rng(0)
+        random_pred = rng.choice(
+            np.array(["csr", "ell", "coo", "hyb"], dtype=object), len(ds)
+        )
+        m = speedup_metrics(random_pred, ds.times)
+        assert m.gt_speedup <= 1.0 + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            speedup_metrics(np.array(["csr"], dtype=object), [])

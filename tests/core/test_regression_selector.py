@@ -1,0 +1,70 @@
+"""Regression-based (quantitative) format selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.regression import RegressionFormatSelector
+from repro.ml.base import NotFittedError
+from repro.ml.metrics import accuracy_score
+
+
+@pytest.fixture(scope="module")
+def fitted(tiny_data):
+    ds = tiny_data.datasets["pascal"]
+    sel = RegressionFormatSelector(n_estimators=30, seed=0)
+    sel.fit(ds.X, ds.times)
+    return sel, ds
+
+
+def test_predicted_times_positive_and_complete(fitted):
+    sel, ds = fitted
+    pred = sel.predict_times(ds.X[:20])
+    assert set(pred) <= {"coo", "csr", "ell", "hyb"}
+    for fmt, t in pred.items():
+        assert t.shape == (20,)
+        assert np.all(t > 0)
+
+
+def test_time_predictions_correlate_with_truth(fitted):
+    sel, ds = fitted
+    pred = sel.predict_times(ds.X)
+    true_csr = np.array([t["csr"] for t in ds.times])
+    r = np.corrcoef(np.log(pred["csr"]), np.log(true_csr))[0, 1]
+    assert r > 0.9  # in-sample log-time fit must be strong
+
+
+def test_argmin_selection_competitive(fitted):
+    sel, ds = fitted
+    acc = accuracy_score(ds.labels, sel.predict(ds.X))
+    majority = max(
+        np.mean(ds.labels == f) for f in ("csr", "ell", "coo", "hyb")
+    )
+    assert acc > majority
+
+
+def test_predicted_speedup_over_csr(fitted):
+    sel, ds = fitted
+    sp = sel.predicted_speedup_over(ds.X, baseline="csr")
+    assert np.all(sp >= 1.0 - 1e-9)  # best <= baseline by construction
+    with pytest.raises(ValueError):
+        sel.predicted_speedup_over(ds.X, baseline="bsr")
+
+
+def test_missing_format_rows_excluded(tiny_data):
+    ds = tiny_data.datasets["pascal"]
+    times = [dict(t) for t in ds.times]
+    for t in times[: len(times) // 2]:
+        t.pop("hyb", None)
+    sel = RegressionFormatSelector(n_estimators=10, seed=0)
+    sel.fit(ds.X, times)
+    assert "hyb" in sel.predict_times(ds.X[:2])
+
+
+def test_validation(tiny_data):
+    ds = tiny_data.datasets["pascal"]
+    with pytest.raises(ValueError):
+        RegressionFormatSelector(formats=())
+    with pytest.raises(ValueError):
+        RegressionFormatSelector().fit(ds.X[:3], ds.times[:2])
+    with pytest.raises(NotFittedError):
+        RegressionFormatSelector().predict(ds.X)

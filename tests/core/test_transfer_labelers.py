@@ -1,0 +1,53 @@
+"""Transfer with the model-based cluster labelers (LR / RF)."""
+
+import numpy as np
+import pytest
+
+from repro.core.semisupervised import ClusterFormatSelector
+from repro.core.transfer import transfer_semisupervised
+from repro.ml.model_selection import train_test_split
+
+
+@pytest.mark.parametrize("labeler", ["lr", "rf"])
+def test_model_labelers_in_transfer(labeler, tiny_data):
+    src = tiny_data.common["pascal"]
+    tgt = tiny_data.common["turing"]
+    train, test = train_test_split(len(src), 0.3, y=src.labels, seed=0)
+    sel = ClusterFormatSelector("kmeans", labeler, 10, seed=0)
+    scores = transfer_semisupervised(sel, src, tgt, train, test, 0.25)
+    assert 0.0 <= scores.accuracy <= 1.0
+    assert -1.0 <= scores.mcc <= 1.0
+
+
+@pytest.mark.parametrize("labeler", ["lr", "rf"])
+def test_model_labeler_uses_combined_evidence(labeler, tiny_data):
+    """With source_y, the model labeler trains on source + target labels."""
+    ds = tiny_data.common["volta"]
+    other = tiny_data.common["pascal"]
+    sel = ClusterFormatSelector("kmeans", labeler, 10, seed=0)
+    sel.fit_clusters(ds.X)
+    mask = np.zeros(len(ds), dtype=bool)
+    mask[:10] = True
+    sel.label_clusters(ds.labels, benchmarked=mask, source_y=other.labels)
+    assert len(sel.cluster_labels_) == sel.n_clusters_
+    assert set(sel.cluster_labels_) <= {"csr", "ell", "coo", "hyb"}
+
+
+def test_zero_fraction_equals_source_only_vote(tiny_data):
+    """At 0% retraining the VOTE transfer must reproduce pure source labels."""
+    src = tiny_data.common["turing"]
+    tgt = tiny_data.common["volta"]
+    train, test = train_test_split(len(src), 0.3, y=src.labels, seed=0)
+
+    sel_a = ClusterFormatSelector("kmeans", "vote", 10, seed=0)
+    scores_a = transfer_semisupervised(sel_a, src, tgt, train, test, 0.0)
+
+    sel_b = ClusterFormatSelector("kmeans", "vote", 10, seed=0)
+    sel_b.fit_clusters(src.X[train])
+    sel_b.label_clusters(src.labels[train])
+    pred_b = sel_b.predict(tgt.X[test])
+    from repro.ml.metrics import accuracy_score
+
+    assert scores_a.accuracy == pytest.approx(
+        accuracy_score(tgt.labels[test], pred_b)
+    )

@@ -1,0 +1,74 @@
+"""Collection export / load roundtrips."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.io import export_collection, load_collection
+from repro.formats import write_matrix_market
+
+
+def test_export_load_roundtrip(tmp_path, tiny_collection):
+    records = tiny_collection.records[:6]
+    out = export_collection(records, tmp_path / "col")
+    loaded = load_collection(out)
+    assert [r.name for r in loaded] == [r.name for r in records]
+    assert [r.family for r in loaded] == [r.family for r in records]
+    for a, b in zip(loaded, records):
+        np.testing.assert_allclose(a.matrix.to_dense(), b.matrix.to_dense())
+
+
+def test_export_refuses_overwrite(tmp_path, tiny_collection):
+    records = tiny_collection.records[:2]
+    export_collection(records, tmp_path / "col")
+    with pytest.raises(FileExistsError):
+        export_collection(records, tmp_path / "col")
+
+
+def test_params_survive_json(tmp_path, tiny_collection):
+    records = [
+        r for r in tiny_collection.records if r.family == "row_blocks"
+    ][:1] or tiny_collection.records[:1]
+    out = export_collection(records, tmp_path / "col")
+    loaded = load_collection(out)
+    # Tuples become lists, but the values survive.
+    for key, value in records[0].params.items():
+        got = loaded[0].params[key]
+        if isinstance(value, tuple):
+            assert got == list(value)
+        else:
+            assert got == pytest.approx(value)
+
+
+def test_load_external_directory(tmp_path, tiny_collection):
+    # A bare folder of .mtx files without metadata (SuiteSparse style).
+    for rec in tiny_collection.records[:3]:
+        write_matrix_market(rec.matrix, tmp_path / f"{rec.name}.mtx")
+    loaded = load_collection(tmp_path)
+    assert len(loaded) == 3
+    assert all(r.family == "external" for r in loaded)
+
+
+def test_load_errors(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_collection(tmp_path / "missing")
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    with pytest.raises(FileNotFoundError):
+        load_collection(empty)
+
+
+def test_external_collection_feeds_pipeline(tmp_path, tiny_collection):
+    """Real-data hook: a bare .mtx directory runs the full pipeline."""
+    from repro.core.labeling import build_labeled_dataset
+    from repro.features import extract_features_collection
+    from repro.gpu import GPUSimulator, VOLTA
+
+    for rec in tiny_collection.records[:8]:
+        write_matrix_market(rec.matrix, tmp_path / f"{rec.name}.mtx")
+    records = load_collection(tmp_path)
+    features = extract_features_collection(records)
+    sim = GPUSimulator(VOLTA, trials=3)
+    dataset = build_labeled_dataset(
+        "volta", features, sim.benchmark_collection(records)
+    )
+    assert len(dataset) >= 1

@@ -1,0 +1,104 @@
+"""Collection builder and permutation augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import build_collection, permutation_augment
+from repro.datasets.suite import FAMILY_WEIGHTS, _sample_params
+from repro.datasets.generators import GENERATORS
+
+
+class TestBuildCollection:
+    def test_size_and_names_unique(self, tiny_collection):
+        assert len(tiny_collection) == 25
+        assert len(set(tiny_collection.names)) == 25
+
+    def test_deterministic(self):
+        a = build_collection(seed=3, size=12)
+        b = build_collection(seed=3, size=12)
+        for ra, rb in zip(a, b):
+            assert ra.name == rb.name
+            np.testing.assert_allclose(ra.matrix.vals, rb.matrix.vals)
+
+    def test_prefix_stable_under_resize(self):
+        big = build_collection(seed=3, size=20)
+        small = build_collection(seed=3, size=10)
+        for ra, rb in zip(small, big.records[:10]):
+            assert ra.name == rb.name
+            assert ra.nnz == rb.nnz
+
+    def test_seed_changes_collection(self):
+        a = build_collection(seed=1, size=10)
+        b = build_collection(seed=2, size=10)
+        assert a.names != b.names or any(
+            ra.nnz != rb.nnz for ra, rb in zip(a, b)
+        )
+
+    def test_families_subset_respected(self):
+        col = build_collection(seed=0, size=15, families=["banded", "rmat"])
+        assert set(col.families()) <= {"banded", "rmat"}
+
+    def test_family_weights_cover_all_generators(self):
+        assert set(FAMILY_WEIGHTS) == set(GENERATORS)
+
+    def test_subset(self, tiny_collection):
+        sub = tiny_collection.subset([0, 2, 4])
+        assert len(sub) == 3
+        assert sub.names == [tiny_collection.names[i] for i in (0, 2, 4)]
+
+    def test_total_nnz_positive(self, tiny_collection):
+        assert tiny_collection.total_nnz() > 0
+
+    def test_sample_params_known_families(self):
+        rng = np.random.default_rng(0)
+        for family in GENERATORS:
+            params = _sample_params(family, rng)
+            assert isinstance(params, dict)
+        with pytest.raises(KeyError):
+            _sample_params("nonexistent", rng)
+
+
+class TestPermutationAugment:
+    def test_doubles_collection(self, tiny_collection):
+        out = permutation_augment(tiny_collection.records, copies=1)
+        assert len(out) == 2 * len(tiny_collection)
+
+    def test_copies_parameter(self, tiny_collection):
+        out = permutation_augment(tiny_collection.records[:4], copies=3)
+        assert len(out) == 16
+
+    def test_augmented_names_distinct(self, tiny_collection):
+        out = permutation_augment(tiny_collection.records, copies=2)
+        names = [r.name for r in out]
+        assert len(set(names)) == len(names)
+
+    def test_permutation_preserves_nnz(self, tiny_collection):
+        out = permutation_augment(tiny_collection.records, copies=1, seed=5)
+        originals = {r.name: r for r in tiny_collection.records}
+        for rec in out:
+            base = rec.params.get("augmented_from")
+            if base is not None:
+                assert rec.nnz == originals[base].nnz
+                assert rec.shape == originals[base].shape
+
+    def test_row_only_permutation_preserves_row_length_multiset(
+        self, tiny_collection
+    ):
+        out = permutation_augment(
+            tiny_collection.records[:3], copies=1, permute_cols=False
+        )
+        for rec in out[3:]:
+            base = next(
+                r for r in tiny_collection.records
+                if r.name == rec.params["augmented_from"]
+            )
+            np.testing.assert_array_equal(
+                np.sort(rec.matrix.row_lengths()),
+                np.sort(base.matrix.row_lengths()),
+            )
+
+    def test_deterministic(self, tiny_collection):
+        a = permutation_augment(tiny_collection.records, copies=1, seed=9)
+        b = permutation_augment(tiny_collection.records, copies=1, seed=9)
+        for ra, rb in zip(a, b):
+            np.testing.assert_array_equal(ra.matrix.rows, rb.matrix.rows)

@@ -1,0 +1,70 @@
+"""Experiment configuration, data caching, and the CLI runner."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.data import _CACHE, build_experiment_data
+from repro.experiments.runner import TABLE_MODULES, main, run_all
+
+
+class TestConfig:
+    def test_presets(self):
+        small = ExperimentConfig.small()
+        paper = ExperimentConfig.paper()
+        assert small.collection_size < paper.collection_size
+        assert small.n_folds <= paper.n_folds
+
+    def test_hashable_for_caching(self):
+        a = ExperimentConfig.small()
+        b = ExperimentConfig.small()
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestDataBuilder:
+    def test_cache_hit_returns_same_object(self, tiny_config, tiny_data):
+        again = build_experiment_data(tiny_config)
+        assert again is tiny_data
+
+    def test_cache_bypass(self, tiny_config):
+        fresh = build_experiment_data(tiny_config, use_cache=False)
+        assert fresh is not _CACHE[tiny_config]
+        np.testing.assert_array_equal(
+            fresh.datasets["volta"].labels,
+            _CACHE[tiny_config].datasets["volta"].labels,
+        )
+
+    def test_augmentation_grows_records(self):
+        cfg = ExperimentConfig(
+            collection_size=10, augment_copies=2, trials=2, n_folds=2,
+            nc_grid=(4,),
+        )
+        data = build_experiment_data(cfg, use_cache=False)
+        assert len(data.records) == 30
+
+    def test_arch_names(self, tiny_data):
+        assert tiny_data.arch_names == ["pascal", "volta", "turing"]
+
+
+class TestRunner:
+    def test_table_modules_complete(self):
+        assert sorted(TABLE_MODULES) == [f"table{i}" for i in range(2, 10)]
+
+    def test_run_subset_and_markdown(self, tmp_path, capsys):
+        cfg = ExperimentConfig(
+            collection_size=40, augment_copies=0, trials=2, n_folds=2,
+            nc_grid=(5,),
+        )
+        md = tmp_path / "report.md"
+        results = run_all(cfg, only=["table2", "table3"], markdown_path=str(md))
+        assert set(results) == {"table2", "table3"}
+        out = capsys.readouterr().out
+        assert "Table 2" in out and "Table 3" in out
+        text = md.read_text()
+        assert text.startswith("### Table 2")
+
+    def test_cli_main(self, capsys):
+        code = main(["--small", "--only", "table2"])
+        assert code == 0
+        assert "Table 2" in capsys.readouterr().out

@@ -1,0 +1,33 @@
+"""The paper-shape claims validator."""
+
+import numpy as np
+
+from repro.experiments.validate import ClaimResult, check_claims, render
+
+
+def test_claims_evaluate(tiny_data):
+    claims = check_claims(tiny_data)
+    assert len(claims) >= 10
+    for c in claims:
+        assert isinstance(c, ClaimResult)
+        assert c.measured  # every claim carries evidence strings
+        assert c.paper_evidence
+
+
+def test_core_claims_hold_on_tiny_data(tiny_data):
+    claims = {c.claim: c.holds for c in check_claims(tiny_data)}
+    # The most robust shape claims must hold even at test scale.
+    assert claims["CSR is the majority class on every architecture"]
+    assert claims["no model beats the oracle (GT <= 1)"]
+    assert claims[
+        "every Mean-Shift variant loses to the best K-Means variant"
+    ]
+    # Overall, the vast majority of shape claims hold.
+    assert np.mean(list(claims.values())) >= 0.8
+
+
+def test_render(tiny_data):
+    claims = check_claims(tiny_data)
+    text = render(claims)
+    assert "claims hold" in text
+    assert text.count("paper:") == len(claims)

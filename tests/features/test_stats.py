@@ -1,0 +1,88 @@
+"""Structural statistics shared by features and the GPU model."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import arrow, banded, power_law_rows
+from repro.features.stats import WARP_SIZE, MatrixStats, compute_stats
+from repro.formats import COOMatrix, ELLMatrix, HYBMatrix
+
+
+def test_basic_counts(small_dense, small_coo):
+    s = compute_stats(small_coo)
+    assert s.nrows, s.ncols == small_dense.shape
+    assert s.nnz == np.count_nonzero(small_dense)
+    np.testing.assert_array_equal(
+        s.row_lengths, (small_dense != 0).sum(axis=1)
+    )
+    assert s.max_row == s.row_lengths.max()
+    assert s.min_row == s.row_lengths.min()
+    assert s.mean_row == pytest.approx(s.nnz / s.nrows)
+    assert s.std_row == pytest.approx(s.row_lengths.std())
+
+
+def test_diagonal_and_band_stats(rng):
+    m = banded(rng, n=64, bandwidth=2, density=1.0)
+    s = compute_stats(m)
+    assert s.n_diagonals == 5
+    assert s.band_fraction == 1.0
+    assert 0 < s.mean_abs_offset < 2.0
+
+
+def test_warp_divergence_uniform_rows(rng):
+    m = banded(rng, n=WARP_SIZE * 4, bandwidth=1, density=1.0)
+    s = compute_stats(m)
+    # Uniform row length 3 (except 2 boundary rows): warp slots close to
+    # 32 * 3 per warp.
+    assert s.warp_divergence_slots == 4 * WARP_SIZE * 3
+
+
+def test_warp_divergence_skewed_exceeds_nnz(rng):
+    m = arrow(rng, n=512, band=1)
+    s = compute_stats(m)
+    assert s.warp_divergence_slots > 2 * s.nnz
+
+
+def test_ell_geometry_agrees_with_format(small_coo):
+    s = compute_stats(small_coo)
+    ell = ELLMatrix.from_coo(small_coo, max_fill=None)
+    assert s.ell_width == ell.width
+    assert s.ell_padded == ell.padded_size
+    assert s.bytes_ell() == ell.memory_bytes()
+
+
+def test_hyb_geometry_agrees_with_format(rng):
+    m = power_law_rows(rng, nrows=400, avg_nnz_per_row=6, alpha=1.8)
+    s = compute_stats(m)
+    hyb = HYBMatrix.from_coo(m)
+    assert s.hyb_width == hyb.ell.width
+    assert s.hyb_ell_entries == hyb.ell_nnz
+    assert s.hyb_coo_entries == hyb.coo_nnz
+    assert s.bytes_hyb() == hyb.memory_bytes()
+
+
+def test_format_bytes_dispatch(small_coo):
+    s = compute_stats(small_coo)
+    for fmt in ("csr", "coo", "ell", "hyb"):
+        assert s.format_bytes(fmt) > 0
+
+
+def test_ell_convertible_logic(rng):
+    assert compute_stats(banded(rng, n=600, bandwidth=2)).ell_convertible()
+    assert not compute_stats(arrow(rng, n=600, band=1)).ell_convertible()
+
+
+def test_csr_max_uniform_vs_skewed(rng):
+    uniform = compute_stats(banded(rng, n=640, bandwidth=2, density=1.0))
+    skewed = compute_stats(arrow(rng, n=640, band=1))
+    # Arrow: many empty-ish rows => one nnz-chunk spans far more rows.
+    assert skewed.csr_max > uniform.csr_max
+
+
+def test_empty_matrix_stats():
+    s = compute_stats(COOMatrix.empty((5, 5)))
+    assert s.nnz == 0
+    assert s.max_row == 0
+    assert s.mean_row == 0.0
+    assert s.n_diagonals == 0
+    assert s.ell_convertible()

@@ -1,0 +1,54 @@
+"""FeatureTable container."""
+
+import numpy as np
+import pytest
+
+from repro.features.table import FeatureTable
+
+
+@pytest.fixture
+def table():
+    return FeatureTable(
+        names=["a", "b", "c"],
+        feature_names=["f1", "f2"],
+        values=np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]]),
+    )
+
+
+def test_shape_validation():
+    with pytest.raises(ValueError):
+        FeatureTable(["a"], ["f1"], np.zeros((2, 1)))
+    with pytest.raises(ValueError):
+        FeatureTable(["a"], ["f1"], np.zeros(3))
+
+
+def test_column(table):
+    np.testing.assert_array_equal(table.column("f2"), [2.0, 4.0, 6.0])
+    with pytest.raises(KeyError):
+        table.column("missing")
+
+
+def test_select(table):
+    sub = table.select(["f2"])
+    assert sub.feature_names == ["f2"]
+    np.testing.assert_array_equal(sub.values, [[2.0], [4.0], [6.0]])
+    # Projection copies: mutating the subset must not touch the original.
+    sub.values[0, 0] = 99.0
+    assert table.values[0, 1] == 2.0
+
+
+def test_subset(table):
+    sub = table.subset([2, 0])
+    assert sub.names == ["c", "a"]
+    np.testing.assert_array_equal(sub.values, [[5.0, 6.0], [1.0, 2.0]])
+
+
+def test_row(table):
+    np.testing.assert_array_equal(table.row("b"), [3.0, 4.0])
+    with pytest.raises(KeyError):
+        table.row("zzz")
+
+
+def test_len_and_n_features(table):
+    assert len(table) == 3
+    assert table.n_features == 2

@@ -1,0 +1,49 @@
+"""Base-layer helpers and the uniform SpMV entry point."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix, FormatError, convert, spmv
+from repro.formats.base import check_shape, check_vector
+from repro.formats.spmv import spmv_dense_reference
+
+
+class TestCheckShape:
+    def test_valid(self):
+        assert check_shape((3, 4)) == (3, 4)
+        assert check_shape((np.int64(3), np.int64(4))) == (3, 4)
+
+    @pytest.mark.parametrize("shape", [(0, 3), (3, 0), (-1, 2), (3,), (1, 2, 3)])
+    def test_invalid(self, shape):
+        with pytest.raises(FormatError):
+            check_shape(shape)
+
+
+class TestCheckVector:
+    def test_casts_dtype(self):
+        out = check_vector(np.ones(4, dtype=np.float32), 4)
+        assert out.dtype == np.float64
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(FormatError):
+            check_vector(np.ones(3), 4)
+        with pytest.raises(FormatError):
+            check_vector(np.ones((4, 1)), 4)
+
+
+class TestSpmvDispatch:
+    def test_dispatch_equals_method(self, small_coo, rng):
+        x = rng.standard_normal(small_coo.ncols)
+        np.testing.assert_allclose(spmv(small_coo, x), small_coo.spmv(x))
+
+    def test_dense_reference_oracle(self, small_coo, rng):
+        x = rng.standard_normal(small_coo.ncols)
+        for fmt in ("csr", "ell", "hyb"):
+            m = convert(small_coo, fmt, **({"max_fill": None} if fmt == "ell" else {}))
+            np.testing.assert_allclose(
+                spmv(m, x), spmv_dense_reference(m, x), atol=1e-9
+            )
+
+    def test_repr_contains_stats(self, small_coo):
+        text = repr(small_coo)
+        assert "COOMatrix" in text and f"nnz={small_coo.nnz}" in text

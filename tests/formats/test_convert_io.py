@@ -1,0 +1,97 @@
+"""Conversion dispatch and MatrixMarket I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.formats import FORMATS, COOMatrix, FormatError, convert
+from repro.formats.convert import BENCHMARK_FORMATS
+from repro.formats.io import (
+    MatrixMarketError,
+    matrix_market_string,
+    read_matrix_market,
+    write_matrix_market,
+)
+
+
+class TestConvert:
+    def test_all_formats_roundtrip(self, small_dense, small_coo):
+        for fmt in FORMATS:
+            kwargs = {"max_fill": None} if fmt in ("ell", "dia") else {}
+            m = convert(small_coo, fmt, **kwargs)
+            assert m.format_name == fmt
+            np.testing.assert_allclose(m.to_dense(), small_dense)
+
+    def test_identity_conversion_returns_same_object(self, small_coo):
+        assert convert(small_coo, "coo") is small_coo
+
+    def test_unknown_format(self, small_coo):
+        with pytest.raises(FormatError):
+            convert(small_coo, "bsr")
+
+    def test_benchmark_formats_are_the_papers_four(self):
+        assert set(BENCHMARK_FORMATS) == {"coo", "csr", "ell", "hyb"}
+
+    def test_cross_conversion(self, small_dense, small_coo):
+        csr = convert(small_coo, "csr")
+        hyb = convert(csr, "hyb")
+        np.testing.assert_allclose(hyb.to_dense(), small_dense)
+
+
+class TestMatrixMarket:
+    def test_roundtrip(self, small_coo, small_dense):
+        text = matrix_market_string(small_coo, comment="unit test")
+        back = read_matrix_market(io.StringIO(text))
+        np.testing.assert_allclose(back.to_dense(), small_dense)
+
+    def test_file_roundtrip(self, tmp_path, small_coo, small_dense):
+        path = tmp_path / "m.mtx"
+        write_matrix_market(small_coo, path)
+        back = read_matrix_market(path)
+        np.testing.assert_allclose(back.to_dense(), small_dense)
+
+    def test_symmetric(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "% comment line\n"
+            "3 3 3\n1 1 2.0\n2 1 -1.5\n3 2 4.0\n"
+        )
+        m = read_matrix_market(io.StringIO(text))
+        d = m.to_dense()
+        assert d[0, 1] == d[1, 0] == -1.5
+        assert d[1, 2] == d[2, 1] == 4.0
+        assert m.nnz == 5
+
+    def test_skew_symmetric(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+            "2 2 1\n2 1 3.0\n"
+        )
+        d = read_matrix_market(io.StringIO(text)).to_dense()
+        assert d[1, 0] == 3.0 and d[0, 1] == -3.0
+
+    def test_pattern(self):
+        text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n2 1\n"
+        m = read_matrix_market(io.StringIO(text))
+        assert m.nnz == 2
+        assert m.to_dense()[0, 1] == 1.0
+
+    def test_integer_field(self):
+        text = "%%MatrixMarket matrix coordinate integer general\n1 1 1\n1 1 7\n"
+        m = read_matrix_market(io.StringIO(text))
+        assert m.to_dense()[0, 0] == 7.0
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "not a banner\n1 1 0\n",
+            "%%MatrixMarket matrix array real general\n1 1\n1.0\n",
+            "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+            "%%MatrixMarket matrix coordinate real general\n1 1 2\n1 1 1.0\n",
+            "%%MatrixMarket matrix coordinate real general\nbad size\n",
+        ],
+    )
+    def test_malformed_inputs(self, text):
+        with pytest.raises(MatrixMarketError):
+            read_matrix_market(io.StringIO(text))

@@ -1,0 +1,71 @@
+"""CSR container: construction, validation, SpMV, row access."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix, CSRMatrix, FormatError
+
+
+@pytest.fixture
+def csr(small_coo) -> CSRMatrix:
+    return CSRMatrix.from_coo(small_coo)
+
+
+def test_roundtrip(small_dense, csr):
+    np.testing.assert_allclose(csr.to_dense(), small_dense)
+
+
+def test_indptr_consistency(csr, small_coo):
+    assert csr.indptr[0] == 0
+    assert csr.indptr[-1] == small_coo.nnz
+    np.testing.assert_array_equal(
+        np.diff(csr.indptr), small_coo.row_lengths()
+    )
+
+
+def test_spmv_matches_dense(small_dense, csr, rng):
+    x = rng.standard_normal(small_dense.shape[1])
+    np.testing.assert_allclose(csr.spmv(x), small_dense @ x)
+
+
+def test_spmv_empty_rows_give_zero(csr):
+    y = csr.spmv(np.ones(csr.ncols))
+    assert y[5] == 0.0  # row 5 forced empty by the fixture
+
+
+def test_row_accessor(small_dense, csr):
+    for i in range(csr.nrows):
+        idx, vals = csr.row(i)
+        expected_cols = np.flatnonzero(small_dense[i])
+        np.testing.assert_array_equal(idx, expected_cols)
+        np.testing.assert_allclose(vals, small_dense[i, expected_cols])
+
+
+def test_row_accessor_out_of_range(csr):
+    with pytest.raises(FormatError):
+        csr.row(csr.nrows)
+
+
+def test_validation_bad_indptr():
+    with pytest.raises(FormatError):
+        CSRMatrix((2, 2), indptr=[0, 2], indices=[0, 1], data=[1.0, 2.0])
+    with pytest.raises(FormatError):
+        CSRMatrix((2, 2), indptr=[1, 1, 2], indices=[0, 1], data=[1.0, 2.0])
+    with pytest.raises(FormatError):
+        CSRMatrix((2, 2), indptr=[0, 2, 1], indices=[0, 1], data=[1.0, 2.0])
+
+
+def test_validation_column_out_of_range():
+    with pytest.raises(FormatError):
+        CSRMatrix((2, 2), indptr=[0, 1, 2], indices=[0, 2], data=[1.0, 2.0])
+
+
+def test_memory_bytes(csr):
+    expected = (csr.nrows + 1 + csr.nnz) * 4 + csr.nnz * 8
+    assert csr.memory_bytes() == expected
+
+
+def test_empty_matrix():
+    csr = CSRMatrix.from_coo(COOMatrix.empty((3, 4)))
+    assert csr.nnz == 0
+    np.testing.assert_array_equal(csr.spmv(np.ones(4)), np.zeros(3))

@@ -1,0 +1,75 @@
+"""DIA and CSC containers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import multi_diagonal, random_uniform
+from repro.formats import COOMatrix, CSCMatrix, DIAMatrix, FormatError
+from repro.formats.dia import DiaSizeError
+
+
+class TestDIA:
+    def test_roundtrip_banded(self, rng):
+        m = multi_diagonal(rng, n=200, ndiags=5)
+        dia = DIAMatrix.from_coo(m)
+        np.testing.assert_allclose(dia.to_dense(), m.to_dense())
+
+    def test_spmv_matches_dense(self, rng):
+        m = multi_diagonal(rng, n=150, ndiags=7)
+        dia = DIAMatrix.from_coo(m)
+        x = rng.standard_normal(150)
+        np.testing.assert_allclose(dia.spmv(x), m.to_dense() @ x)
+
+    def test_rectangular_spmv(self, rng):
+        dense = np.zeros((6, 9))
+        dense[np.arange(6), np.arange(6) + 2] = 3.0  # offset +2
+        dense[np.arange(1, 6), np.arange(5)] = -1.0  # offset -1
+        coo = COOMatrix.from_dense(dense)
+        dia = DIAMatrix.from_coo(coo, max_fill=None)
+        x = rng.standard_normal(9)
+        np.testing.assert_allclose(dia.spmv(x), dense @ x)
+
+    def test_offsets_sorted_and_counted(self, rng):
+        m = multi_diagonal(rng, n=100, ndiags=6)
+        dia = DIAMatrix.from_coo(m)
+        assert np.all(np.diff(dia.offsets) > 0)
+        assert dia.ndiags == len(m.diagonal_offsets())
+
+    def test_scattered_matrix_rejected(self, rng):
+        m = random_uniform(rng, nrows=1200, density=0.004)
+        with pytest.raises(DiaSizeError):
+            DIAMatrix.from_coo(m)
+
+    def test_stored_size(self, rng):
+        m = multi_diagonal(rng, n=100, ndiags=4)
+        dia = DIAMatrix.from_coo(m)
+        assert dia.stored_size == dia.ndiags * 100
+
+    def test_validation_unsorted_offsets(self):
+        with pytest.raises(FormatError):
+            DIAMatrix((2, 2), offsets=[1, 0], data=np.zeros((2, 2)))
+
+
+class TestCSC:
+    def test_roundtrip(self, small_dense, small_coo):
+        csc = CSCMatrix.from_coo(small_coo)
+        np.testing.assert_allclose(csc.to_dense(), small_dense)
+
+    def test_spmv_matches_dense(self, small_dense, small_coo, rng):
+        csc = CSCMatrix.from_coo(small_coo)
+        x = rng.standard_normal(small_dense.shape[1])
+        np.testing.assert_allclose(csc.spmv(x), small_dense @ x)
+
+    def test_col_lengths(self, small_dense, small_coo):
+        csc = CSCMatrix.from_coo(small_coo)
+        np.testing.assert_array_equal(
+            csc.col_lengths(), (small_dense != 0).sum(axis=0)
+        )
+
+    def test_empty(self):
+        csc = CSCMatrix.from_coo(COOMatrix.empty((3, 4)))
+        np.testing.assert_array_equal(csc.spmv(np.ones(4)), np.zeros(3))
+
+    def test_validation(self):
+        with pytest.raises(FormatError):
+            CSCMatrix((2, 2), indptr=[0, 1], indices=[0], data=[1.0])

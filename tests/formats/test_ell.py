@@ -1,0 +1,79 @@
+"""ELL container: padding geometry, fill-bound rejection, SpMV."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import arrow, banded
+from repro.formats import COOMatrix, ELLMatrix, EllSizeError, FormatError
+from repro.formats.ell import PAD
+
+
+@pytest.fixture
+def ell(small_coo) -> ELLMatrix:
+    return ELLMatrix.from_coo(small_coo, max_fill=None)
+
+
+def test_roundtrip(small_dense, ell):
+    np.testing.assert_allclose(ell.to_dense(), small_dense)
+
+
+def test_width_is_max_row_length(small_coo, ell):
+    assert ell.width == int(small_coo.row_lengths().max())
+
+
+def test_padding_slots_marked(small_coo, ell):
+    lengths = small_coo.row_lengths()
+    for i in range(ell.nrows):
+        row_idx = ell.indices[i]
+        assert np.all(row_idx[: lengths[i]] != PAD)
+        assert np.all(row_idx[lengths[i] :] == PAD)
+
+
+def test_nnz_and_fill_ratio(small_coo, ell):
+    assert ell.nnz == small_coo.nnz
+    assert ell.fill_ratio() == ell.padded_size / small_coo.nnz
+    assert ell.fill_ratio() >= 1.0
+
+
+def test_spmv_matches_dense(small_dense, ell, rng):
+    x = rng.standard_normal(small_dense.shape[1])
+    np.testing.assert_allclose(ell.spmv(x), small_dense @ x)
+
+
+def test_fill_bound_rejects_arrow(rng):
+    # Arrowhead: one dense row makes width ~ n, fill ratio ~ n/5 >> 3.
+    m = arrow(rng, n=600, band=1)
+    with pytest.raises(EllSizeError):
+        ELLMatrix.from_coo(m)
+
+
+def test_fill_bound_accepts_banded(rng):
+    m = banded(rng, n=600, bandwidth=3)
+    ell = ELLMatrix.from_coo(m)
+    assert ell.fill_ratio() < 3.0
+
+
+def test_small_matrices_bypass_fill_bound():
+    # The absolute 4096-slot floor admits small skewed matrices, as CUSP
+    # only applies the relative bound beyond a minimum size.
+    dense = np.zeros((8, 64))
+    dense[0, :] = 1.0  # one full row, others empty except diagonal
+    for i in range(1, 8):
+        dense[i, i] = 1.0
+    coo = COOMatrix.from_dense(dense)
+    ell = ELLMatrix.from_coo(coo)  # padded = 8*64 = 512 <= 4096
+    assert ell.width == 64
+
+
+def test_validation_rejects_nonzero_padding():
+    indices = np.array([[0, PAD]])
+    values = np.array([[1.0, 2.0]])  # nonzero under a PAD slot
+    with pytest.raises(FormatError):
+        ELLMatrix((1, 2), indices, values)
+
+
+def test_empty_matrix():
+    ell = ELLMatrix.from_coo(COOMatrix.empty((3, 4)))
+    assert ell.width == 0
+    assert ell.nnz == 0
+    np.testing.assert_array_equal(ell.spmv(np.ones(4)), np.zeros(3))

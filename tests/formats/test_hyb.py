@@ -1,0 +1,82 @@
+"""HYB container: width heuristic, ELL/COO split, SpMV."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import arrow, power_law_rows
+from repro.formats import COOMatrix, HYBMatrix
+from repro.formats.hyb import optimal_ell_width
+
+
+@pytest.fixture
+def hyb(small_coo) -> HYBMatrix:
+    return HYBMatrix.from_coo(small_coo)
+
+
+def test_roundtrip(small_dense, hyb):
+    np.testing.assert_allclose(hyb.to_dense(), small_dense)
+
+
+def test_parts_partition_entries(small_coo, hyb):
+    assert hyb.ell_nnz + hyb.coo_nnz == small_coo.nnz
+
+
+def test_spmv_matches_dense(small_dense, hyb, rng):
+    x = rng.standard_normal(small_dense.shape[1])
+    np.testing.assert_allclose(hyb.spmv(x), small_dense @ x)
+
+
+def test_explicit_width_respected(small_coo):
+    hyb = HYBMatrix.from_coo(small_coo, width=2)
+    assert hyb.ell.width == 2
+    lengths = small_coo.row_lengths()
+    assert hyb.coo_nnz == int(np.maximum(lengths - 2, 0).sum())
+
+
+def test_width_zero_puts_everything_in_coo(small_coo):
+    hyb = HYBMatrix.from_coo(small_coo, width=0)
+    assert hyb.ell_nnz == 0
+    assert hyb.coo_nnz == small_coo.nnz
+
+
+def test_arrow_overflow_goes_to_coo(rng):
+    m = arrow(rng, n=500, band=1)
+    hyb = HYBMatrix.from_coo(m)
+    # The dense first row must overflow into COO, keeping ELL narrow.
+    assert hyb.ell.width < 20
+    assert hyb.coo_nnz > 400
+
+
+def test_memory_less_than_ell_for_skewed(rng):
+    m = power_law_rows(
+        rng, nrows=800, avg_nnz_per_row=6, alpha=1.8, max_over_mean=2.9
+    )
+    from repro.formats import ELLMatrix
+
+    hyb = HYBMatrix.from_coo(m)
+    ell = ELLMatrix.from_coo(m, max_fill=None)
+    assert hyb.memory_bytes() < ell.memory_bytes()
+
+
+class TestOptimalEllWidth:
+    def test_uniform_rows_full_width(self):
+        lengths = np.full(320, 7)
+        assert optimal_ell_width(lengths) == 7
+
+    def test_skewed_rows_truncate(self):
+        lengths = np.full(3200, 2)
+        lengths[:16] = 1000
+        width = optimal_ell_width(lengths)
+        assert width < 1000
+
+    def test_empty(self):
+        assert optimal_ell_width(np.array([], dtype=int)) == 0
+
+    def test_monotone_in_relative_speed(self):
+        rng = np.random.default_rng(0)
+        lengths = rng.poisson(8, size=1000)
+        # Faster assumed ELL (higher relative_speed) => push more rows into
+        # ELL => width can only grow.
+        w_slow = optimal_ell_width(lengths, relative_speed=1.5)
+        w_fast = optimal_ell_width(lengths, relative_speed=10.0)
+        assert w_fast >= w_slow

@@ -1,0 +1,83 @@
+"""Further property-based invariants on format internals."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import COOMatrix, HYBMatrix
+from repro.formats.hyb import optimal_ell_width
+from repro.formats.sell import SELLMatrix
+
+
+@st.composite
+def row_length_vectors(draw):
+    return np.array(
+        draw(st.lists(st.integers(0, 60), min_size=1, max_size=200)),
+        dtype=np.int64,
+    )
+
+
+@given(row_length_vectors())
+@settings(max_examples=80, deadline=None)
+def test_optimal_ell_width_bounds(lengths):
+    width = optimal_ell_width(lengths)
+    assert 0 <= width <= lengths.max(initial=0)
+
+
+@st.composite
+def random_coo(draw):
+    nrows = draw(st.integers(1, 30))
+    ncols = draw(st.integers(1, 30))
+    positions = draw(
+        st.lists(
+            st.integers(0, nrows * ncols - 1),
+            max_size=min(nrows * ncols, 100),
+            unique=True,
+        )
+    )
+    rows = np.array([p // ncols for p in positions], dtype=np.int64)
+    cols = np.array([p % ncols for p in positions], dtype=np.int64)
+    vals = np.arange(1.0, len(positions) + 1.0)
+    return COOMatrix((nrows, ncols), rows, cols, vals)
+
+
+@given(random_coo(), st.integers(0, 12))
+@settings(max_examples=60, deadline=None)
+def test_hyb_partition_for_any_width(coo, width):
+    """For every explicit width the ELL/COO parts partition the entries."""
+    hyb = HYBMatrix.from_coo(coo, width=width)
+    assert hyb.ell_nnz + hyb.coo_nnz == coo.nnz
+    np.testing.assert_allclose(hyb.to_dense(), coo.to_dense())
+    # Every row keeps at most `width` entries in the ELL part.
+    if width == 0:
+        assert hyb.ell_nnz == 0
+    else:
+        per_row = (hyb.ell.indices != -1).sum(axis=1)
+        assert per_row.max(initial=0) <= width
+
+
+@given(random_coo(), st.integers(1, 8))
+@settings(max_examples=60, deadline=None)
+def test_sell_roundtrip_any_slice_height(coo, slice_height):
+    sell = SELLMatrix.from_coo(coo, slice_height=slice_height, sigma=1)
+    np.testing.assert_allclose(sell.to_dense(), coo.to_dense())
+    assert sell.nnz == coo.nnz
+    assert sell.padded_size >= coo.nnz
+
+
+@given(random_coo())
+@settings(max_examples=40, deadline=None)
+def test_sell_sigma_sorting_never_increases_padding(coo):
+    """Descending σ-sort minimises the sum of per-slice maxima — but only
+    when all slices have equal height (a short trailing slice can gain
+    entries from sorting and grow), so pad the matrix to a multiple of
+    the slice height first."""
+    slice_height = 4
+    nrows = ((coo.nrows + slice_height - 1) // slice_height) * slice_height
+    padded = COOMatrix((nrows, coo.ncols), coo.rows, coo.cols, coo.vals)
+    plain = SELLMatrix.from_coo(padded, slice_height=slice_height, sigma=1)
+    sorted_ = SELLMatrix.from_coo(
+        padded, slice_height=slice_height, sigma=2 * slice_height
+    )
+    assert sorted_.padded_size <= plain.padded_size
+    np.testing.assert_allclose(sorted_.to_dense(), plain.to_dense())

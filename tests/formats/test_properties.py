@@ -1,0 +1,97 @@
+"""Property-based tests: all formats agree with the dense oracle."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import FORMATS, COOMatrix, convert
+
+
+@st.composite
+def sparse_matrices(draw) -> COOMatrix:
+    """Random small COO matrices, including empty and single-entry ones."""
+    nrows = draw(st.integers(1, 24))
+    ncols = draw(st.integers(1, 24))
+    # Unique positions: duplicate entries would be summed by the COO
+    # canonicalisation and could cancel to an explicit zero, which DIA
+    # (values-only storage) cannot represent.
+    positions = draw(
+        st.lists(
+            st.integers(0, nrows * ncols - 1),
+            max_size=min(nrows * ncols, 120),
+            unique=True,
+        )
+    )
+    nnz = len(positions)
+    if nnz:
+        rows = [p // ncols for p in positions]
+        cols = [p % ncols for p in positions]
+        # Values bounded away from zero: DIA stores values only (no
+        # occupancy mask), so explicit-zero entries are not representable
+        # there and are excluded from the cross-format properties.
+        magnitudes = draw(
+            st.lists(
+                st.floats(min_value=1e-3, max_value=100),
+                min_size=nnz,
+                max_size=nnz,
+            )
+        )
+        signs = draw(
+            st.lists(st.sampled_from([-1.0, 1.0]), min_size=nnz, max_size=nnz)
+        )
+        vals = [m * s for m, s in zip(magnitudes, signs)]
+    else:
+        rows, cols, vals = [], [], []
+    return COOMatrix((nrows, ncols), np.array(rows, dtype=np.int64),
+                     np.array(cols, dtype=np.int64), np.array(vals))
+
+
+@given(sparse_matrices(), st.integers(0, 2**32 - 1))
+@settings(max_examples=60, deadline=None)
+def test_every_format_spmv_matches_dense(coo, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(coo.ncols)
+    reference = coo.to_dense() @ x
+    for fmt in FORMATS:
+        kwargs = {"max_fill": None} if fmt in ("ell", "dia") else {}
+        m = convert(coo, fmt, **kwargs)
+        np.testing.assert_allclose(
+            m.spmv(x), reference, rtol=1e-9, atol=1e-9
+        )
+
+
+@given(sparse_matrices())
+@settings(max_examples=60, deadline=None)
+def test_every_format_roundtrips_to_same_dense(coo):
+    reference = coo.to_dense()
+    for fmt in FORMATS:
+        kwargs = {"max_fill": None} if fmt in ("ell", "dia") else {}
+        m = convert(coo, fmt, **kwargs)
+        np.testing.assert_allclose(m.to_dense(), reference)
+        assert m.nnz == coo.nnz
+
+
+@given(sparse_matrices())
+@settings(max_examples=40, deadline=None)
+def test_nnz_preserved_and_memory_positive(coo):
+    for fmt in FORMATS:
+        kwargs = {"max_fill": None} if fmt in ("ell", "dia") else {}
+        m = convert(coo, fmt, **kwargs)
+        assert m.memory_bytes() >= 0
+        if coo.nnz:
+            assert m.memory_bytes() > 0
+
+
+@given(sparse_matrices(), st.integers(0, 2**32 - 1))
+@settings(max_examples=40, deadline=None)
+def test_spmv_linearity(coo, seed):
+    """SpMV is linear: A(ax + by) == a·Ax + b·Ay for every format."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(coo.ncols)
+    y = rng.standard_normal(coo.ncols)
+    a, b = 2.5, -1.25
+    for fmt in ("csr", "coo", "hyb"):
+        m = convert(coo, fmt)
+        lhs = m.spmv(a * x + b * y)
+        rhs = a * m.spmv(x) + b * m.spmv(y)
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-9, atol=1e-9)

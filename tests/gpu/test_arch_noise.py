@@ -1,0 +1,53 @@
+"""Architecture parameter sets and derived properties."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import ARCHITECTURES, PASCAL, TURING, VOLTA
+
+
+def test_registry_contents():
+    assert set(ARCHITECTURES) == {"pascal", "volta", "turing"}
+    assert ARCHITECTURES["pascal"] is PASCAL
+
+
+def test_table2_hardware_parameters():
+    # The paper's Table 2, verbatim.
+    assert (PASCAL.num_sms, PASCAL.l1_kib_per_sm, PASCAL.l2_kib) == (20, 48, 2048)
+    assert (VOLTA.num_sms, VOLTA.l1_kib_per_sm, VOLTA.l2_kib) == (80, 128, 6144)
+    assert (TURING.num_sms, TURING.l1_kib_per_sm, TURING.l2_kib) == (72, 64, 6144)
+    assert (PASCAL.memory_gb, VOLTA.memory_gb, TURING.memory_gb) == (8, 32, 48)
+    assert (PASCAL.bandwidth_gbs, VOLTA.bandwidth_gbs, TURING.bandwidth_gbs) == (
+        320.0,
+        897.0,
+        672.0,
+    )
+
+
+def test_derived_properties():
+    assert PASCAL.l2_bytes == 2048 * 1024
+    assert VOLTA.max_resident_threads == 80 * 2048
+    assert PASCAL.effective_bandwidth == pytest.approx(
+        320e9 * PASCAL.bandwidth_efficiency
+    )
+
+
+def test_capacity_ordering_matches_memory():
+    assert PASCAL.capacity_bytes < VOLTA.capacity_bytes < TURING.capacity_bytes
+
+
+def test_kernel_dials_encode_paper_mechanisms():
+    # Turing's cheap atomics (COO winners), Volta's expensive COO path.
+    assert TURING.coo_pass_factor < PASCAL.coo_pass_factor
+    assert TURING.coo_pass_factor < VOLTA.coo_pass_factor
+    # Pascal's weaker latency hiding punishes serial row walks hardest.
+    assert PASCAL.serial_entry_latency > VOLTA.serial_entry_latency
+    # HYB dispatch is cheapest on Pascal (Table 3: HYB is Pascal-only).
+    assert PASCAL.hyb_extra_overhead < VOLTA.hyb_extra_overhead
+    # Newer memory systems have a higher CSR coalescing floor.
+    assert VOLTA.csr_coalesce_min > PASCAL.csr_coalesce_min
+
+
+def test_architectures_frozen():
+    with pytest.raises(Exception):
+        PASCAL.num_sms = 1

@@ -1,0 +1,143 @@
+"""GPU simulator: noise model, benchmarking protocol, label distributions."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import build_collection
+from repro.datasets.generators import arrow, banded
+from repro.features.stats import compute_stats
+from repro.gpu import ARCHITECTURES, GPUSimulator, PASCAL, TURING, VOLTA
+from repro.gpu.noise import averaged_measurement, noisy_trials
+from repro.gpu.simulator import (
+    CONVERSION_COST_RELATIVE,
+    BenchmarkResult,
+    label_distribution,
+)
+
+
+class TestNoise:
+    def test_trials_shape_and_positivity(self, rng):
+        t = noisy_trials(1e-5, 50, rng)
+        assert t.shape == (50,)
+        assert np.all(t > 0)
+
+    def test_mean_unbiased(self, rng):
+        t = noisy_trials(2e-6, 200_000, rng, sigma=0.05)
+        assert t.mean() == pytest.approx(2e-6, rel=1e-3)
+
+    def test_more_trials_tighter_average(self):
+        singles = [
+            averaged_measurement(1.0, 1, np.random.default_rng(i))
+            for i in range(300)
+        ]
+        averaged = [
+            averaged_measurement(1.0, 100, np.random.default_rng(i))
+            for i in range(300)
+        ]
+        assert np.std(averaged) < np.std(singles) / 5
+
+    def test_input_validation(self, rng):
+        with pytest.raises(ValueError):
+            noisy_trials(-1.0, 10, rng)
+        with pytest.raises(ValueError):
+            noisy_trials(1.0, 0, rng)
+
+
+class TestSimulator:
+    def test_benchmark_single_matrix(self, rng):
+        sim = GPUSimulator(VOLTA, trials=10)
+        m = banded(rng, n=300, bandwidth=3)
+        res = sim.benchmark("m0", m)
+        assert res.runnable
+        assert set(res.times) == {"coo", "csr", "ell", "hyb"}
+        assert res.best_format in res.times
+
+    def test_measurements_deterministic_given_seed(self, rng):
+        m = banded(rng, n=300, bandwidth=3)
+        r1 = GPUSimulator(VOLTA, trials=10, seed=4).benchmark("m0", m)
+        r2 = GPUSimulator(VOLTA, trials=10, seed=4).benchmark("m0", m)
+        assert r1.times == r2.times
+
+    def test_measurements_name_keyed(self, rng):
+        # Different names draw different noise streams.
+        m = banded(rng, n=300, bandwidth=3)
+        sim = GPUSimulator(VOLTA, trials=3, seed=4)
+        assert sim.benchmark("a", m).times != sim.benchmark("b", m).times
+
+    def test_subset_benchmarking_consistent(self, tiny_collection):
+        sim = GPUSimulator(TURING, trials=5, seed=1)
+        stats = [compute_stats(r.matrix) for r in tiny_collection.records]
+        full = sim.benchmark_collection(tiny_collection.records, stats)
+        partial = sim.benchmark_collection(
+            tiny_collection.records[:5], stats[:5]
+        )
+        for a, b in zip(full[:5], partial):
+            assert a.times == b.times
+
+    def test_excluded_matrix_not_runnable(self, rng):
+        m = arrow(rng, n=2000, band=1)
+        res = GPUSimulator(PASCAL, trials=5).benchmark("arrow", m)
+        assert not res.runnable
+        assert "ell" in res.excluded
+        assert "csr" in res.times  # the other formats still run
+
+    def test_speedup_over(self, rng):
+        m = banded(rng, n=300, bandwidth=3)
+        res = GPUSimulator(VOLTA, trials=10).benchmark("m0", m)
+        assert res.speedup_over(res.best_format) == pytest.approx(1.0)
+        for fmt in res.times:
+            assert res.speedup_over(fmt) >= 1.0
+
+    def test_stats_records_mismatch_rejected(self, tiny_collection):
+        sim = GPUSimulator(VOLTA, trials=2)
+        stats = [compute_stats(r.matrix) for r in tiny_collection.records]
+        with pytest.raises(ValueError):
+            sim.benchmark_collection(tiny_collection.records, stats[:-1])
+
+    def test_trials_validation(self):
+        with pytest.raises(ValueError):
+            GPUSimulator(VOLTA, trials=0)
+
+
+class TestLabelDistribution:
+    def test_distribution_counts_runnable_only(self):
+        results = [
+            BenchmarkResult("a", "volta", {"csr": 1.0, "coo": 2.0}),
+            BenchmarkResult("b", "volta", {"csr": 2.0, "coo": 1.0}),
+            BenchmarkResult(
+                "c", "volta", {"csr": 1.0}, excluded={"ell": "too big"}
+            ),
+        ]
+        dist = label_distribution(results)
+        assert dist["csr"] == 1 and dist["coo"] == 1
+        assert sum(dist.values()) == 2
+
+    def test_collection_is_csr_majority_everywhere(self, tiny_data):
+        for arch in tiny_data.arch_names:
+            dist = tiny_data.datasets[arch].class_distribution()
+            assert max(dist, key=dist.get) == "csr"
+
+    def test_turing_coo_at_least_volta(self, tiny_data):
+        # The full-size relation is turing >> pascal > volta (Table 3);
+        # on the tiny test collection only the strong end is stable.
+        coo = {
+            a: tiny_data.datasets[a].class_distribution()["coo"]
+            for a in tiny_data.arch_names
+        }
+        assert coo["turing"] >= coo["volta"]
+
+
+class TestCampaignCost:
+    def test_conversion_constants_match_table8(self):
+        assert CONVERSION_COST_RELATIVE["coo"] == 9.0
+        assert CONVERSION_COST_RELATIVE["ell"] == 102.0
+        assert CONVERSION_COST_RELATIVE["hyb"] == 147.0
+
+    def test_campaign_seconds_scales_with_reads(self, tiny_collection):
+        sim = GPUSimulator(VOLTA, trials=10, seed=0)
+        stats = [compute_stats(r.matrix) for r in tiny_collection.records]
+        results = sim.benchmark_collection(tiny_collection.records, stats)
+        base = sim.campaign_seconds(results, read_seconds=0.0)
+        with_reads = sim.campaign_seconds(results, read_seconds=5.0)
+        runnable_csr = sum(1 for r in results if "csr" in r.times)
+        assert with_reads == pytest.approx(base + 5.0 * runnable_csr)

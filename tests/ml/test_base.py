@@ -1,0 +1,75 @@
+"""Array validation and estimator-protocol helpers."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import (
+    BaseEstimator,
+    NotFittedError,
+    check_array,
+    check_X_y,
+    encode_labels,
+)
+
+
+class TestCheckArray:
+    def test_accepts_and_casts(self):
+        out = check_array([[1, 2], [3, 4]])
+        assert out.dtype == np.float64
+        assert out.shape == (2, 2)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            check_array(np.ones(3))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            check_array(np.ones((0, 2)))
+
+    def test_rejects_nan_inf(self):
+        with pytest.raises(ValueError):
+            check_array(np.array([[np.nan]]))
+        with pytest.raises(ValueError):
+            check_array(np.array([[np.inf]]))
+
+
+class TestCheckXY:
+    def test_aligned(self):
+        X, y = check_X_y([[1.0], [2.0]], [0, 1])
+        assert X.shape == (2, 1) and y.shape == (2,)
+
+    def test_misaligned(self):
+        with pytest.raises(ValueError):
+            check_X_y([[1.0], [2.0]], [0])
+        with pytest.raises(ValueError):
+            check_X_y([[1.0]], [[0]])
+
+
+class TestEncodeLabels:
+    def test_strings(self):
+        classes, enc = encode_labels(np.array(["ell", "csr", "ell"]))
+        np.testing.assert_array_equal(classes, ["csr", "ell"])
+        np.testing.assert_array_equal(enc, [1, 0, 1])
+
+    def test_roundtrip(self):
+        y = np.array(["b", "a", "c", "a"])
+        classes, enc = encode_labels(y)
+        np.testing.assert_array_equal(classes[enc], y)
+
+
+class TestBaseEstimator:
+    def test_fit_predict_and_require_fitted(self):
+        class Dummy(BaseEstimator):
+            def fit(self, X, y):
+                self.y_ = np.asarray(y)
+                return self
+
+            def predict(self, X):
+                self._require_fitted("y_")
+                return self.y_[: len(X)]
+
+        d = Dummy()
+        with pytest.raises(NotFittedError):
+            d.predict(np.zeros((1, 1)))
+        out = d.fit_predict(np.zeros((2, 1)), [5, 6])
+        np.testing.assert_array_equal(out, [5, 6])

@@ -1,0 +1,176 @@
+"""Clustering algorithms: K-Means, Mean-Shift, Birch."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.base import NotFittedError
+from repro.ml.cluster import Birch, KMeans, MeanShift, estimate_bandwidth
+from repro.ml.cluster.kmeans import kmeans_plusplus
+
+
+def _blobs(rng, k=4, n_per=50, spread=0.3):
+    centers = rng.standard_normal((k, 3)) * 5
+    X = np.vstack([rng.normal(c, spread, size=(n_per, 3)) for c in centers])
+    return X[rng.permutation(len(X))], centers
+
+
+class TestKMeans:
+    def test_recovers_blobs(self, rng):
+        X, centers = _blobs(rng)
+        km = KMeans(4, seed=0).fit(X)
+        assert len(np.unique(km.labels_)) == 4
+        # Each found centroid is near some true center.
+        d = np.linalg.norm(
+            km.cluster_centers_[:, None, :] - centers[None, :, :], axis=2
+        )
+        assert d.min(axis=1).max() < 0.5
+
+    def test_inertia_decreases_with_k(self, rng):
+        X, _ = _blobs(rng)
+        inertias = [
+            KMeans(k, seed=0, n_init=2).fit(X).inertia_ for k in (2, 4, 8)
+        ]
+        assert inertias[0] > inertias[1] > inertias[2]
+
+    def test_exact_cluster_count_even_with_duplicates(self):
+        # More clusters than distinct points forces empty-cluster reseeding.
+        X = np.repeat(np.array([[0.0, 0.0], [10.0, 10.0]]), 10, axis=0)
+        km = KMeans(4, seed=0).fit(X)
+        assert km.cluster_centers_.shape == (4, 2)
+        assert km.labels_.max() < 4
+
+    def test_predict_nearest_centroid(self, rng):
+        X, _ = _blobs(rng)
+        km = KMeans(4, seed=0).fit(X)
+        pred = km.predict(km.cluster_centers_)
+        np.testing.assert_array_equal(pred, np.arange(4))
+
+    def test_labels_consistent_with_predict(self, rng):
+        X, _ = _blobs(rng)
+        km = KMeans(4, seed=0).fit(X)
+        np.testing.assert_array_equal(km.labels_, km.predict(X))
+
+    def test_seed_reproducible(self, rng):
+        X, _ = _blobs(rng)
+        a = KMeans(4, seed=7).fit(X)
+        b = KMeans(4, seed=7).fit(X)
+        np.testing.assert_allclose(a.cluster_centers_, b.cluster_centers_)
+
+    def test_validation(self, rng):
+        X, _ = _blobs(rng)
+        with pytest.raises(ValueError):
+            KMeans(0)
+        with pytest.raises(ValueError):
+            KMeans(10_000).fit(X)
+        with pytest.raises(NotFittedError):
+            KMeans(2).predict(X)
+
+    def test_plusplus_picks_distinct_points(self, rng):
+        # Four well-separated deterministic blobs: D^2-weighted seeding
+        # must land one centre in each.
+        grid = np.array([[0.0, 0.0], [20.0, 0.0], [0.0, 20.0], [20.0, 20.0]])
+        X = np.vstack([rng.normal(c, 0.2, size=(30, 2)) for c in grid])
+        centers = kmeans_plusplus(X, 4, rng)
+        d = np.linalg.norm(
+            centers[:, None, :] - grid[None, :, :], axis=2
+        )
+        # Each blob corner has exactly one seed nearby.
+        assert sorted(np.argmin(d, axis=1).tolist()) == [0, 1, 2, 3]
+
+
+class TestMeanShift:
+    def test_finds_blob_modes(self, rng):
+        X, centers = _blobs(rng, k=3, spread=0.2)
+        ms = MeanShift(bandwidth=1.5).fit(X)
+        assert ms.n_clusters_ == 3
+        d = np.linalg.norm(
+            ms.cluster_centers_[:, None, :] - centers[None, :, :], axis=2
+        )
+        assert d.min(axis=1).max() < 0.5
+
+    def test_bandwidth_estimation_positive(self, rng):
+        X, _ = _blobs(rng)
+        bw = estimate_bandwidth(X, quantile=0.3)
+        assert bw > 0
+
+    def test_auto_bandwidth_runs(self, rng):
+        X, _ = _blobs(rng, k=3)
+        ms = MeanShift(seed=0).fit(X)
+        assert 1 <= ms.n_clusters_ <= len(X)
+
+    def test_degenerate_identical_points(self):
+        X = np.zeros((10, 2))
+        ms = MeanShift().fit(X)
+        assert ms.n_clusters_ == 1
+        np.testing.assert_array_equal(ms.labels_, 0)
+
+    def test_huge_bandwidth_single_cluster(self, rng):
+        X, _ = _blobs(rng)
+        ms = MeanShift(bandwidth=1000.0).fit(X)
+        assert ms.n_clusters_ == 1
+
+    def test_predict_matches_labels(self, rng):
+        X, _ = _blobs(rng, k=3)
+        ms = MeanShift(bandwidth=1.5).fit(X)
+        np.testing.assert_array_equal(ms.labels_, ms.predict(X))
+
+
+class TestBirch:
+    def test_recovers_blobs(self, rng):
+        X, centers = _blobs(rng)
+        bi = Birch(n_clusters=4, threshold=0.5).fit(X)
+        assert bi.n_clusters_ == 4
+        assert len(np.unique(bi.labels_)) == 4
+
+    def test_subclusters_refine_with_threshold(self, rng):
+        X, _ = _blobs(rng)
+        coarse = Birch(n_clusters=None, threshold=2.0).fit(X)
+        fine = Birch(n_clusters=None, threshold=0.1).fit(X)
+        assert len(fine.subcluster_counts_) > len(coarse.subcluster_counts_)
+
+    def test_subcluster_counts_sum_to_n(self, rng):
+        X, _ = _blobs(rng)
+        bi = Birch(n_clusters=4, threshold=0.3).fit(X)
+        assert bi.subcluster_counts_.sum() == len(X)
+
+    def test_none_n_clusters_uses_leaf_subclusters(self, rng):
+        X, _ = _blobs(rng)
+        bi = Birch(n_clusters=None, threshold=0.5).fit(X)
+        assert bi.n_clusters_ == len(bi.subcluster_counts_)
+
+    def test_branching_factor_forces_splits(self, rng):
+        X, _ = _blobs(rng, k=8, n_per=40)
+        bi = Birch(n_clusters=8, threshold=0.05, branching_factor=4).fit(X)
+        # With tiny threshold and branching factor, the tree must split
+        # but still cluster correctly at the global step.
+        assert bi.n_clusters_ == 8
+        assert bi.subcluster_counts_.sum() == len(X)
+
+    def test_predict_consistency(self, rng):
+        X, _ = _blobs(rng)
+        bi = Birch(n_clusters=4, threshold=0.3).fit(X)
+        np.testing.assert_array_equal(bi.labels_, bi.predict(X))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Birch(threshold=0.0)
+        with pytest.raises(ValueError):
+            Birch(branching_factor=1)
+
+
+@given(
+    st.integers(2, 6),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=20, deadline=None)
+def test_kmeans_partitions_all_points(k, seed):
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((40, 2))
+    km = KMeans(k, seed=seed, n_init=1).fit(X)
+    assert km.labels_.shape == (40,)
+    assert km.labels_.min() >= 0 and km.labels_.max() < k
+    # Inertia equals the sum of squared distances to assigned centroids.
+    d = X - km.cluster_centers_[km.labels_]
+    assert km.inertia_ == pytest.approx(np.sum(d * d), rel=1e-6)

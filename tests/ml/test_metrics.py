@@ -1,0 +1,133 @@
+"""Classification metrics, including hypothesis-checked invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    f1_macro,
+    f1_weighted,
+    matthews_corrcoef,
+    precision_recall_f1_per_class,
+)
+
+
+class TestAccuracy:
+    def test_perfect_and_zero(self):
+        y = np.array(["a", "b", "a"])
+        assert accuracy_score(y, y) == 1.0
+        assert accuracy_score(y, np.array(["b", "a", "b"])) == 0.0
+
+    def test_fraction(self):
+        assert accuracy_score([0, 1, 2, 3], [0, 1, 0, 0]) == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            accuracy_score([1, 2], [1])
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+
+class TestConfusion:
+    def test_matrix_entries(self):
+        cm = confusion_matrix(["a", "a", "b"], ["a", "b", "b"])
+        np.testing.assert_array_equal(cm, [[1, 1], [0, 1]])
+
+    def test_explicit_labels_order(self):
+        cm = confusion_matrix([0, 1], [1, 0], labels=[1, 0])
+        np.testing.assert_array_equal(cm, [[0, 1], [1, 0]])
+
+    def test_row_sums_are_true_counts(self):
+        y_true = np.array([0, 0, 1, 2, 2, 2])
+        y_pred = np.array([0, 1, 1, 0, 2, 2])
+        cm = confusion_matrix(y_true, y_pred)
+        np.testing.assert_array_equal(cm.sum(axis=1), [2, 1, 3])
+
+
+class TestF1:
+    def test_perfect(self):
+        assert f1_macro([0, 1, 1], [0, 1, 1]) == 1.0
+
+    def test_binary_known_value(self):
+        # precision=2/3, recall=1.0 for class 1; class 0: p=1.0, r=0.5
+        y_true = [1, 1, 0, 0]
+        y_pred = [1, 1, 1, 0]
+        p, r, f1 = precision_recall_f1_per_class(y_true, y_pred)
+        assert p[1] == pytest.approx(2 / 3)
+        assert r[1] == 1.0
+        assert f1[1] == pytest.approx(0.8)
+
+    def test_absent_true_class_excluded_from_macro(self):
+        # Predictions contain class 'c' never present in y_true.
+        score = f1_macro(["a", "a", "b"], ["a", "c", "b"])
+        # Classes a (f1=2/3... p=1, r=.5 → 2/3) and b (f1=1); c excluded.
+        assert score == pytest.approx((2 / 3 + 1.0) / 2)
+
+    def test_weighted_at_least_reflects_support(self):
+        y_true = ["a"] * 9 + ["b"]
+        y_pred = ["a"] * 10
+        assert f1_weighted(y_true, y_pred) > f1_macro(y_true, y_pred)
+
+
+class TestMCC:
+    def test_perfect_is_one(self):
+        assert matthews_corrcoef([0, 1, 2], [0, 1, 2]) == pytest.approx(1.0)
+
+    def test_constant_prediction_is_zero(self):
+        assert matthews_corrcoef([0, 1, 0, 1], [1, 1, 1, 1]) == 0.0
+
+    def test_binary_inversion_is_minus_one(self):
+        assert matthews_corrcoef([0, 1, 0, 1], [1, 0, 1, 0]) == pytest.approx(
+            -1.0
+        )
+
+    def test_majority_class_guessing_scores_zero_but_acc_high(self):
+        # The paper's argument for MCC on unbalanced data.
+        y_true = ["csr"] * 95 + ["ell"] * 5
+        y_pred = ["csr"] * 100
+        assert accuracy_score(y_true, y_pred) == 0.95
+        assert matthews_corrcoef(y_true, y_pred) == 0.0
+
+    def test_known_binary_value(self):
+        # TP=4, TN=3, FP=1, FN=2 -> MCC = (12-2)/sqrt(5*6*7*5)
+        y_true = [1] * 6 + [0] * 4
+        y_pred = [1, 1, 1, 1, 0, 0, 0, 0, 0, 1]
+        expected = (4 * 3 - 1 * 2) / np.sqrt((4 + 1) * (4 + 2) * (3 + 1) * (3 + 2))
+        assert matthews_corrcoef(y_true, y_pred) == pytest.approx(expected)
+
+
+@given(
+    st.lists(st.integers(0, 3), min_size=2, max_size=60),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=80, deadline=None)
+def test_metric_bounds_and_symmetries(y_true_list, seed):
+    y_true = np.array(y_true_list)
+    rng = np.random.default_rng(seed)
+    y_pred = rng.integers(0, 4, size=y_true.shape[0])
+    acc = accuracy_score(y_true, y_pred)
+    f1 = f1_macro(y_true, y_pred)
+    mcc = matthews_corrcoef(y_true, y_pred)
+    assert 0.0 <= acc <= 1.0
+    assert 0.0 <= f1 <= 1.0
+    assert -1.0 <= mcc <= 1.0 + 1e-12
+    # Relabeling classes consistently leaves every metric unchanged.
+    relabel = {0: 10, 1: 11, 2: 12, 3: 13}
+    yt2 = np.array([relabel[v] for v in y_true])
+    yp2 = np.array([relabel[v] for v in y_pred])
+    assert accuracy_score(yt2, yp2) == pytest.approx(acc)
+    assert f1_macro(yt2, yp2) == pytest.approx(f1)
+    assert matthews_corrcoef(yt2, yp2) == pytest.approx(mcc)
+
+
+@given(st.lists(st.integers(0, 3), min_size=2, max_size=40))
+@settings(max_examples=50, deadline=None)
+def test_perfect_prediction_maximises_everything(y_list):
+    y = np.array(y_list)
+    assert accuracy_score(y, y) == 1.0
+    assert f1_macro(y, y) == 1.0
+    mcc = matthews_corrcoef(y, y)
+    assert mcc == pytest.approx(1.0) or mcc == 0.0  # 0 iff single class

@@ -1,0 +1,86 @@
+"""K-fold splitters and holdout splits."""
+
+import numpy as np
+import pytest
+
+from repro.ml.model_selection import KFold, StratifiedKFold, train_test_split
+
+
+class TestKFold:
+    def test_partition(self):
+        kf = KFold(4, seed=1)
+        seen = []
+        for train, test in kf.split(20):
+            assert set(train) | set(test) == set(range(20))
+            assert not set(train) & set(test)
+            seen.extend(test.tolist())
+        assert sorted(seen) == list(range(20))
+
+    def test_fold_count(self):
+        assert sum(1 for _ in KFold(5).split(25)) == 5
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            list(KFold(5).split(3))
+
+    def test_no_shuffle_contiguous(self):
+        folds = [test for _, test in KFold(2, shuffle=False).split(6)]
+        np.testing.assert_array_equal(folds[0], [0, 1, 2])
+
+    def test_seed_reproducible(self):
+        a = [t.tolist() for _, t in KFold(3, seed=9).split(12)]
+        b = [t.tolist() for _, t in KFold(3, seed=9).split(12)]
+        assert a == b
+
+
+class TestStratifiedKFold:
+    def test_partition_and_stratification(self):
+        y = np.array([0] * 40 + [1] * 10)
+        for train, test in StratifiedKFold(5, seed=0).split(y):
+            assert not set(train) & set(test)
+            # Each fold gets 8 of class 0 and 2 of class 1.
+            assert (y[test] == 0).sum() == 8
+            assert (y[test] == 1).sum() == 2
+
+    def test_rare_class_spread(self):
+        y = np.array([0] * 18 + [1, 1])  # class 1 rarer than n_splits
+        covered = 0
+        for train, test in StratifiedKFold(5, seed=0).split(y):
+            covered += (y[test] == 1).sum()
+        assert covered == 2  # both rare members appear in some test fold
+
+    def test_string_labels(self):
+        y = np.array(["csr"] * 9 + ["ell"] * 6)
+        folds = list(StratifiedKFold(3, seed=1).split(y))
+        assert len(folds) == 3
+        for _, test in folds:
+            assert (y[test] == "csr").sum() == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StratifiedKFold(1)
+        with pytest.raises(ValueError):
+            list(StratifiedKFold(5).split(np.array([0, 1])))
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        train, test = train_test_split(100, 0.3, seed=0)
+        assert len(test) == 30 and len(train) == 70
+        assert not set(train) & set(test)
+
+    def test_zero_fraction(self):
+        train, test = train_test_split(10, 0.0)
+        assert len(test) == 0 and len(train) == 10
+
+    def test_stratified(self):
+        y = np.array(["a"] * 80 + ["b"] * 20)
+        train, test = train_test_split(100, 0.25, y=y, seed=0)
+        assert (y[test] == "a").sum() == 20
+        assert (y[test] == "b").sum() == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            train_test_split(10, 1.0)
+        with pytest.raises(ValueError):
+            train_test_split(10, 0.5, y=np.zeros(5))

@@ -1,0 +1,108 @@
+"""Density images and the from-scratch CNN."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import banded, random_uniform
+from repro.formats import COOMatrix
+from repro.ml.base import NotFittedError
+from repro.ml.neural import CNNClassifier, density_image, _im2col
+
+
+class TestDensityImage:
+    def test_shape_and_range(self, small_coo):
+        img = density_image(small_coo, resolution=16)
+        assert img.shape == (16, 16)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_diagonal_matrix_maps_to_diagonal(self):
+        n = 64
+        coo = COOMatrix((n, n), np.arange(n), np.arange(n), np.ones(n))
+        img = density_image(coo, resolution=8)
+        np.testing.assert_array_equal(np.flatnonzero(img.sum(axis=1) > 0),
+                                      np.arange(8))
+        off_diag = img - np.diag(np.diag(img))
+        assert off_diag.sum() == 0.0
+
+    def test_empty_matrix(self):
+        img = density_image(COOMatrix.empty((10, 10)))
+        assert img.max() == 0.0
+
+    def test_resolution_validation(self, small_coo):
+        with pytest.raises(ValueError):
+            density_image(small_coo, resolution=0)
+
+    def test_invariant_to_value_scale(self, small_coo):
+        m2 = COOMatrix(
+            small_coo.shape, small_coo.rows, small_coo.cols,
+            small_coo.vals * 100,
+        )
+        np.testing.assert_allclose(
+            density_image(small_coo), density_image(m2)
+        )
+
+
+class TestIm2col:
+    def test_patch_contents(self):
+        X = np.arange(16, dtype=float).reshape(1, 4, 4, 1)
+        cols = _im2col(X, 3)
+        assert cols.shape == (1, 2, 2, 9)
+        np.testing.assert_array_equal(
+            cols[0, 0, 0], [0, 1, 2, 4, 5, 6, 8, 9, 10]
+        )
+
+    def test_matches_naive_convolution(self, rng):
+        X = rng.standard_normal((2, 6, 6, 3))
+        W = rng.standard_normal((3 * 3 * 3, 4))
+        out = _im2col(X, 3) @ W
+        # Naive reference.
+        ref = np.zeros((2, 4, 4, 4))
+        for n in range(2):
+            for i in range(4):
+                for j in range(4):
+                    patch = X[n, i : i + 3, j : j + 3, :].reshape(-1)
+                    ref[n, i, j] = patch @ W
+        np.testing.assert_allclose(out, ref, atol=1e-10)
+
+
+class TestCNN:
+    def _image_dataset(self, rng, n=50):
+        imgs, labels = [], []
+        for _ in range(n):
+            m = banded(rng, n=int(rng.integers(80, 300)),
+                       bandwidth=int(rng.integers(1, 6)))
+            imgs.append(density_image(m))
+            labels.append("banded")
+            m = random_uniform(rng, nrows=int(rng.integers(80, 300)),
+                               density=0.03)
+            imgs.append(density_image(m))
+            labels.append("random")
+        return np.stack(imgs), np.array(labels, dtype=object)
+
+    def test_learns_structure_classes(self, rng):
+        X, y = self._image_dataset(rng, n=40)
+        cnn = CNNClassifier(epochs=4, seed=0)
+        cnn.fit(X[:60], y[:60])
+        acc = np.mean(cnn.predict(X[60:]) == y[60:])
+        assert acc > 0.85
+
+    def test_proba_normalised(self, rng):
+        X, y = self._image_dataset(rng, n=15)
+        cnn = CNNClassifier(epochs=2, seed=0).fit(X, y)
+        proba = cnn.predict_proba(X[:5])
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            CNNClassifier().predict_proba(np.zeros((1, 32, 32)))
+
+    def test_input_shape_validation(self, rng):
+        cnn = CNNClassifier(resolution=32)
+        with pytest.raises(ValueError):
+            cnn.fit(np.zeros((4, 16, 16)), np.zeros(4))
+
+    def test_seed_reproducible(self, rng):
+        X, y = self._image_dataset(rng, n=10)
+        p1 = CNNClassifier(epochs=2, seed=5).fit(X, y).predict(X)
+        p2 = CNNClassifier(epochs=2, seed=5).fit(X, y).predict(X)
+        np.testing.assert_array_equal(p1, p2)

@@ -1,0 +1,90 @@
+"""Regression trees / forests."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import NotFittedError
+from repro.ml.regression import DecisionTreeRegressor, RandomForestRegressor
+
+
+@pytest.fixture
+def sine_data(rng):
+    X = rng.uniform(0, 6, size=(400, 1))
+    y = np.sin(X[:, 0]) + rng.normal(0, 0.05, 400)
+    return X, y
+
+
+class TestDecisionTreeRegressor:
+    def test_fits_nonlinear_function(self, sine_data):
+        X, y = sine_data
+        tree = DecisionTreeRegressor(max_depth=8).fit(X, y)
+        pred = tree.predict(X)
+        mse = np.mean((pred - y) ** 2)
+        assert mse < 0.02
+
+    def test_depth_limits_capacity(self, sine_data):
+        X, y = sine_data
+        stump = DecisionTreeRegressor(max_depth=1).fit(X, y)
+        deep = DecisionTreeRegressor(max_depth=8).fit(X, y)
+        mse_stump = np.mean((stump.predict(X) - y) ** 2)
+        mse_deep = np.mean((deep.predict(X) - y) ** 2)
+        assert mse_deep < mse_stump
+
+    def test_constant_target_single_leaf(self, rng):
+        X = rng.standard_normal((30, 2))
+        y = np.full(30, 3.5)
+        tree = DecisionTreeRegressor().fit(X, y)
+        assert tree.root_.is_leaf
+        np.testing.assert_allclose(tree.predict(X), 3.5)
+
+    def test_prediction_is_leaf_mean(self):
+        X = np.array([[0.0], [1.0], [10.0], [11.0]])
+        y = np.array([1.0, 2.0, 9.0, 10.0])
+        tree = DecisionTreeRegressor(max_depth=1).fit(X, y)
+        pred = tree.predict(np.array([[0.5], [10.5]]))
+        np.testing.assert_allclose(pred, [1.5, 9.5])
+
+    def test_min_samples_leaf(self, sine_data):
+        X, y = sine_data
+        tree = DecisionTreeRegressor(min_samples_leaf=100).fit(X, y)
+
+        def leaf_counts(node, X_local, y_local):
+            if node.is_leaf:
+                return [y_local.shape[0]]
+            mask = X_local[:, node.feature] <= node.threshold
+            return leaf_counts(node.left, X_local[mask], y_local[mask]) + \
+                leaf_counts(node.right, X_local[~mask], y_local[~mask])
+
+        assert min(leaf_counts(tree.root_, X, y)) >= 100
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeRegressor().predict(np.zeros((1, 1)))
+
+
+class TestRandomForestRegressor:
+    def test_beats_single_tree_on_noise(self, rng):
+        X = rng.uniform(0, 6, size=(300, 1))
+        y_true = np.sin(X[:, 0])
+        y = y_true + rng.normal(0, 0.4, 300)
+        X_test = np.linspace(0.2, 5.8, 100)[:, None]
+        tree = DecisionTreeRegressor(max_depth=None).fit(X, y)
+        forest = RandomForestRegressor(n_estimators=40, max_depth=None,
+                                       seed=0).fit(X, y)
+        err_tree = np.mean((tree.predict(X_test) - np.sin(X_test[:, 0])) ** 2)
+        err_forest = np.mean(
+            (forest.predict(X_test) - np.sin(X_test[:, 0])) ** 2
+        )
+        assert err_forest < err_tree
+
+    def test_seed_reproducible(self, sine_data):
+        X, y = sine_data
+        a = RandomForestRegressor(n_estimators=5, seed=1).fit(X, y).predict(X)
+        b = RandomForestRegressor(n_estimators=5, seed=1).fit(X, y).predict(X)
+        np.testing.assert_allclose(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_estimators=0)
+        with pytest.raises(NotFittedError):
+            RandomForestRegressor().predict(np.zeros((1, 1)))

@@ -1,0 +1,54 @@
+"""Command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.datasets.generators import banded, stencil_2d
+from repro.formats import write_matrix_market
+
+
+@pytest.fixture
+def mtx_file(tmp_path, rng):
+    path = tmp_path / "m.mtx"
+    write_matrix_market(stencil_2d(rng, nx=20, ny=20), path)
+    return str(path)
+
+
+def test_features_command(mtx_file, capsys):
+    assert main(["features", mtx_file]) == 0
+    out = capsys.readouterr().out
+    assert "nnz" in out and "ell_size" in out
+    assert len(out.strip().splitlines()) == 21
+
+
+def test_benchmark_command(mtx_file, capsys):
+    assert main(["benchmark", mtx_file, "--arch", "turing", "--trials", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "csr:" in out and "<- best" in out
+    assert "Turing" in out
+
+
+def test_train_and_predict_roundtrip(tmp_path, mtx_file, capsys):
+    model = str(tmp_path / "selector.npz")
+    assert main([
+        "train", "--size", "60", "--clusters", "10", "--trials", "5",
+        "--arch", "volta", "--out", model,
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "saved 10 labeled centroids" in out
+    assert main(["predict", mtx_file, "--model", model]) == 0
+    out = capsys.readouterr().out
+    assert "recommended format:" in out
+    fmt = out.split("recommended format:")[1].split()[0]
+    assert fmt in {"csr", "coo", "ell", "hyb"}
+
+
+def test_tables_command(capsys):
+    assert main(["tables", "--small", "--only", "table2"]) == 0
+    assert "Table 2" in capsys.readouterr().out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

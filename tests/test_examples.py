@@ -1,0 +1,46 @@
+"""Every example script must run end-to-end and produce its key output."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = _run("quickstart.py", capsys)
+    assert "predicted format:" in out
+    assert "simulated ground truth:" in out
+
+
+def test_transfer_across_gpus(capsys):
+    out = _run("transfer_across_gpus.py", capsys)
+    assert "zero-shot (Pascal labels)" in out
+    assert "ported with 1 benchmark(s) per cluster" in out
+    assert "Random Forest, 0% retraining" in out
+
+
+def test_explain_clusters(capsys):
+    out = _run("explain_clusters.py", capsys)
+    assert "overall purity" in out
+    assert "most distinguishing features" in out
+    assert "permutation importance" in out
+
+
+def test_online_selection(capsys):
+    out = _run("online_selection.py", capsys)
+    assert "rolling ACC" in out
+    assert "final clusters:" in out
+
+
+def test_overhead_aware_selection(capsys):
+    out = _run("overhead_aware_selection.py", capsys)
+    assert "qualitative best format" in out
+    assert "<- converts" in out

@@ -8,6 +8,11 @@ Subcommands:
   collection, benchmark it, train a K-Means-VOTE selector, freeze it.
 - ``predict <file.mtx> --model selector.npz`` — format recommendation.
 - ``tables [--small] [--only table3 ...]`` — regenerate the paper tables.
+- ``stats <trace.jsonl>`` — hot-path report from a ``--profile`` trace.
+
+Every subcommand accepts ``--profile [PATH]``: telemetry is switched on
+for the run, and on exit the span tree plus a metrics snapshot is printed
+to stderr (and the Chrome-trace JSONL written to PATH when given).
 
 Run ``python -m repro <subcommand> --help`` for options.
 """
@@ -19,6 +24,7 @@ import sys
 
 import numpy as np
 
+from repro._version import __version__
 from repro.core.deploy import FrozenSelector, freeze
 from repro.core.labeling import build_labeled_dataset
 from repro.core.semisupervised import ClusterFormatSelector
@@ -105,25 +111,62 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     return runner_main(forwarded)
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs import TraceParseError, stats_report
+
+    try:
+        print(stats_report(args.trace, top=args.top))
+    except FileNotFoundError:
+        print(f"repro stats: no such trace file: {args.trace}",
+              file=sys.stderr)
+        return 1
+    except TraceParseError as exc:
+        print(f"repro stats: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+#: Sentinel for ``--profile`` given without a PATH operand.
+_PROFILE_STDERR_ONLY = "-"
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    # Shared by every subcommand (argparse only honours flags placed
+    # after the subcommand name when they live on the subparser).
+    profile_parent = argparse.ArgumentParser(add_help=False)
+    profile_parent.add_argument(
+        "--profile",
+        nargs="?",
+        const=_PROFILE_STDERR_ONLY,
+        default=None,
+        metavar="PATH",
+        help="enable telemetry; dump span tree + metrics on exit "
+             "(and write a Chrome-trace JSONL to PATH when given)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("features", help="print Table-1 features of a matrix")
+    p = sub.add_parser("features", parents=[profile_parent],
+                       help="print Table-1 features of a matrix")
     p.add_argument("matrix", help=".mtx file")
     p.set_defaults(func=_cmd_features)
 
-    p = sub.add_parser("benchmark", help="simulated per-format SpMV times")
+    p = sub.add_parser("benchmark", parents=[profile_parent],
+                       help="simulated per-format SpMV times")
     p.add_argument("matrix", help=".mtx file")
     p.add_argument("--arch", choices=sorted(ARCHITECTURES), default="volta")
     p.add_argument("--trials", type=int, default=100)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_benchmark)
 
-    p = sub.add_parser("train", help="train and freeze a selector")
+    p = sub.add_parser("train", parents=[profile_parent],
+                       help="train and freeze a selector")
     p.add_argument("--size", type=int, default=200)
     p.add_argument("--arch", choices=sorted(ARCHITECTURES), default="volta")
     p.add_argument("--labeler", choices=("vote", "lr", "rf"), default="vote")
@@ -133,23 +176,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", required=True, help="output .npz path")
     p.set_defaults(func=_cmd_train)
 
-    p = sub.add_parser("predict", help="recommend a format for a matrix")
+    p = sub.add_parser("predict", parents=[profile_parent],
+                       help="recommend a format for a matrix")
     p.add_argument("matrix", help=".mtx file")
     p.add_argument("--model", required=True, help="frozen selector .npz")
     p.set_defaults(func=_cmd_predict)
 
-    p = sub.add_parser("tables", help="regenerate the paper's tables")
+    p = sub.add_parser("tables", parents=[profile_parent],
+                       help="regenerate the paper's tables")
     p.add_argument("--small", action="store_true")
     p.add_argument("--only", nargs="*", default=None)
     p.add_argument("--markdown", default=None)
     p.set_defaults(func=_cmd_tables)
+
+    p = sub.add_parser("stats",
+                       help="aggregate a --profile trace into a hot-path "
+                            "report")
+    p.add_argument("trace", help="trace .jsonl written by --profile")
+    p.add_argument("--top", type=int, default=None,
+                   help="show only the N hottest spans")
+    p.set_defaults(func=_cmd_stats)
 
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    profile = getattr(args, "profile", None)
+    if profile is None:
+        return args.func(args)
+
+    from repro.obs import TELEMETRY, dump_profile
+
+    TELEMETRY.enable()
+    TELEMETRY.reset()
+    try:
+        with TELEMETRY.span(f"cli.{args.command}"):
+            rc = args.func(args)
+    finally:
+        trace_path = None if profile == _PROFILE_STDERR_ONLY else profile
+        dump_profile(TELEMETRY, trace_path)
+        TELEMETRY.disable()
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

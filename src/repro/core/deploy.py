@@ -15,6 +15,7 @@ the paper's porting story.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -25,6 +26,7 @@ from repro.core.semisupervised import ClusterFormatSelector
 from repro.ml.knn import pairwise_sq_dists
 from repro.ml.pca import PCA
 from repro.ml.preprocessing import MinMaxScaler, SparseDistributionTransformer
+from repro.obs import TELEMETRY
 
 _FORMAT_VERSION = 1
 
@@ -78,7 +80,13 @@ class FrozenSelector:
         return np.argmin(pairwise_sq_dists(Z, self.centroids), axis=1)
 
     def predict(self, X: np.ndarray) -> np.ndarray:
-        return self.centroid_labels[self.assign(X)]
+        if not TELEMETRY.enabled:
+            return self.centroid_labels[self.assign(X)]
+        t0 = time.perf_counter()
+        out = self.centroid_labels[self.assign(X)]
+        TELEMETRY.observe("deploy.predict_seconds", time.perf_counter() - t0)
+        TELEMETRY.inc("deploy.predictions", out.shape[0])
+        return out
 
     @property
     def n_centroids(self) -> int:

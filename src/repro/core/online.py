@@ -15,6 +15,7 @@ distribution turns impure are split.
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from dataclasses import dataclass, field
 
@@ -22,6 +23,7 @@ import numpy as np
 
 from repro.core.pipeline import FeaturePipeline
 from repro.ml.knn import pairwise_sq_dists
+from repro.obs import TELEMETRY
 
 
 @dataclass
@@ -114,7 +116,16 @@ class OnlineFormatSelector:
         ``best_format`` is the label learned from the application's own
         SpMV runs; pass ``None`` for unlabeled traffic (it still shapes
         the clusters).
+
+        Telemetry (enabled mode): ``online.observations`` counts every
+        call, ``online.assignments`` the points absorbed by an existing
+        cluster, ``online.clusters_created`` the points that seeded a new
+        one, ``online.relabels`` the updates that flipped a cluster's
+        majority label, and the per-update latency goes to the
+        ``online.update_seconds`` histogram.
         """
+        observing = TELEMETRY.enabled
+        t0 = time.perf_counter() if observing else 0.0
         z = self._transform_one(x)
         if self.clusters:
             i, dist = self._nearest(z)
@@ -124,6 +135,7 @@ class OnlineFormatSelector:
             prediction = self.default_format
         if dist <= self.radius:
             cluster = self.clusters[i]
+            label_before = cluster.label
             # Running-mean centroid update.
             cluster.count += 1
             cluster.centroid += (z - cluster.centroid) / cluster.count
@@ -131,14 +143,30 @@ class OnlineFormatSelector:
                 cluster.members.append((z, best_format))
             if best_format is not None:
                 cluster.label_counts[best_format] += 1
+                if observing:
+                    TELEMETRY.inc("online.labeled_updates")
+                    if (
+                        label_before is not None
+                        and cluster.label != label_before
+                    ):
+                        TELEMETRY.inc("online.relabels")
                 self._maybe_split(i)
+            if observing:
+                TELEMETRY.inc("online.assignments")
         else:
             fresh = _OnlineCluster(centroid=z.copy(), count=1)
             fresh.members.append((z, best_format))
             if best_format is not None:
                 fresh.label_counts[best_format] += 1
             self.clusters.append(fresh)
+            if observing:
+                TELEMETRY.inc("online.clusters_created")
         self.n_observed += 1
+        if observing:
+            TELEMETRY.inc("online.observations")
+            TELEMETRY.observe(
+                "online.update_seconds", time.perf_counter() - t0
+            )
         return prediction
 
     def _maybe_split(self, index: int) -> None:
@@ -167,6 +195,7 @@ class OnlineFormatSelector:
         self.clusters.pop(index)
         self.clusters.extend(replacements)
         self.n_splits += 1
+        TELEMETRY.inc("online.splits")
 
     # -- summaries ---------------------------------------------------------
 

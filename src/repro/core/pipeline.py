@@ -17,6 +17,7 @@ import numpy as np
 from repro.ml.base import NotFittedError
 from repro.ml.pca import PCA
 from repro.ml.preprocessing import MinMaxScaler, SparseDistributionTransformer
+from repro.obs import TELEMETRY
 
 
 class FeaturePipeline:
@@ -44,36 +45,46 @@ class FeaturePipeline:
 
     def fit(self, X: np.ndarray) -> "FeaturePipeline":
         X = np.asarray(X, dtype=np.float64)
-        self._transformer = (
-            SparseDistributionTransformer(
-                kind=self.transform, threshold=self.sparse_threshold
+        with TELEMETRY.span("pipeline.fit", n_samples=X.shape[0]):
+            self._transformer = (
+                SparseDistributionTransformer(
+                    kind=self.transform, threshold=self.sparse_threshold
+                )
+                if self.transform is not None
+                else None
             )
-            if self.transform is not None
-            else None
-        )
-        stage = X
-        if self._transformer is not None:
-            stage = self._transformer.fit_transform(stage)
-        self._scaler = MinMaxScaler()
-        stage = self._scaler.fit_transform(stage)
-        self._pca = (
-            PCA(self.n_components) if self.n_components is not None else None
-        )
-        if self._pca is not None:
-            self._pca.fit(stage)
-        self.n_features_in_ = X.shape[1]
+            stage = X
+            if self._transformer is not None:
+                with TELEMETRY.span("pipeline.transform"):
+                    stage = self._transformer.fit_transform(stage)
+            self._scaler = MinMaxScaler()
+            with TELEMETRY.span("pipeline.scale"):
+                stage = self._scaler.fit_transform(stage)
+            self._pca = (
+                PCA(self.n_components)
+                if self.n_components is not None
+                else None
+            )
+            if self._pca is not None:
+                with TELEMETRY.span("pipeline.pca"):
+                    self._pca.fit(stage)
+            self.n_features_in_ = X.shape[1]
         return self
 
     def transform_features(self, X: np.ndarray) -> np.ndarray:
         if not hasattr(self, "_scaler"):
             raise NotFittedError("FeaturePipeline must be fitted first")
         X = np.asarray(X, dtype=np.float64)
-        stage = X
-        if self._transformer is not None:
-            stage = self._transformer.transform(stage)
-        stage = self._scaler.transform(stage)
-        if self._pca is not None:
-            stage = self._pca.transform(stage)
+        with TELEMETRY.span("pipeline.transform_features", n_samples=X.shape[0]):
+            stage = X
+            if self._transformer is not None:
+                with TELEMETRY.span("pipeline.transform"):
+                    stage = self._transformer.transform(stage)
+            with TELEMETRY.span("pipeline.scale"):
+                stage = self._scaler.transform(stage)
+            if self._pca is not None:
+                with TELEMETRY.span("pipeline.pca"):
+                    stage = self._pca.transform(stage)
         return stage
 
     def fit_transform(self, X: np.ndarray) -> np.ndarray:

@@ -16,6 +16,7 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from repro.datasets.generators import GENERATORS, MatrixRecord
+from repro.obs import TELEMETRY
 
 #: Relative weight of each family in the collection.  Skewed families are
 #: weighted so the induced label distribution is CSR-heavy with meaningful
@@ -176,16 +177,20 @@ def build_collection(
     master = np.random.default_rng(seed)
     child_seeds = master.spawn(size)
     records: list[MatrixRecord] = []
-    for i, child in enumerate(child_seeds):
-        family = str(child.choice(np.asarray(families, dtype=object), p=weights))
-        params = _sample_params(family, child)
-        matrix = GENERATORS[family](child, **params)
-        records.append(
-            MatrixRecord(
-                name=f"{family}_{i:05d}",
-                family=family,
-                matrix=matrix,
-                params=params,
+    with TELEMETRY.span("datasets.build_collection", size=size):
+        for i, child in enumerate(child_seeds):
+            family = str(
+                child.choice(np.asarray(families, dtype=object), p=weights)
             )
-        )
+            params = _sample_params(family, child)
+            matrix = GENERATORS[family](child, **params)
+            records.append(
+                MatrixRecord(
+                    name=f"{family}_{i:05d}",
+                    family=family,
+                    matrix=matrix,
+                    params=params,
+                )
+            )
+        TELEMETRY.inc("datasets.matrices_generated", size)
     return SyntheticCollection(records, seed=seed)

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 from repro.experiments import (
     table2,
@@ -26,6 +25,7 @@ from repro.experiments import (
 )
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.data import build_experiment_data
+from repro.obs import TELEMETRY
 
 TABLE_MODULES = {
     "table2": table2,
@@ -45,17 +45,20 @@ def run_all(
     markdown_path: str | None = None,
 ) -> dict[str, "TableResult"]:
     names = only or list(TABLE_MODULES)
-    data = build_experiment_data(config)
+    # timer() measures even with telemetry off (so the per-table report
+    # lines always appear) and contributes spans to the trace when on.
+    with TELEMETRY.timer("experiments.build_data") as t:
+        data = build_experiment_data(config)
+    print(f"[experiment data built in {t.duration:.1f}s]\n")
     results = {}
     md_parts = []
     for name in names:
         module = TABLE_MODULES[name]
-        t0 = time.perf_counter()
-        result = module.generate(data, config)
-        dt = time.perf_counter() - t0
+        with TELEMETRY.timer(f"experiments.{name}") as t:
+            result = module.generate(data, config)
         results[name] = result
         print(result.format_text())
-        print(f"[{name} generated in {dt:.1f}s]\n")
+        print(f"[{name} generated in {t.duration:.1f}s]\n")
         md_parts.append(result.to_markdown())
     if markdown_path:
         with open(markdown_path, "w", encoding="utf-8") as fh:

@@ -10,8 +10,6 @@ else.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.core.semisupervised import ClusterFormatSelector
@@ -26,6 +24,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.data import ExperimentData, build_experiment_data
 from repro.ml.model_selection import train_test_split
 from repro.ml.neural import CNNClassifier, density_image
+from repro.obs import TELEMETRY
 
 #: Rows of the paper's Table 9.
 MODEL_ORDER = (
@@ -65,20 +64,26 @@ def _time_model(
     X_train, y_train = transfer_training_set(source, target, train_idx, mask)
     elapsed = []
     for rep in range(repeats):
+        # TELEMETRY.timer measures via time.perf_counter whether or not
+        # telemetry is enabled (monotonic — the table's numbers must not
+        # jump with wall-clock adjustments), and contributes
+        # ``table9.train`` spans to the trace when profiling.
         if model.startswith("K-Means"):
             labeler = {"VOTE": "vote", "LR": "lr", "RF": "rf"}[
                 model.split("-")[-1]
             ]
             nc = min(cfg.nc_grid[len(cfg.nc_grid) // 2], len(train_idx) // 2)
-            t0 = time.perf_counter()
-            sel = ClusterFormatSelector("kmeans", labeler, nc, seed=rep)
-            sel.fit_clusters(source.X[train_idx])
-            sel.label_clusters(
-                target.labels[train_idx],
-                benchmarked=mask,
-                source_y=source.labels[train_idx],
-            )
-            elapsed.append(time.perf_counter() - t0)
+            with TELEMETRY.timer(
+                "table9.train", model=model, fraction=fraction
+            ) as t:
+                sel = ClusterFormatSelector("kmeans", labeler, nc, seed=rep)
+                sel.fit_clusters(source.X[train_idx])
+                sel.label_clusters(
+                    target.labels[train_idx],
+                    benchmarked=mask,
+                    source_y=source.labels[train_idx],
+                )
+            elapsed.append(t.duration)
         elif model == "CNN":
             by_name = {r.name: r for r in data.records}
             images = np.stack(
@@ -87,15 +92,21 @@ def _time_model(
                     for i in train_idx
                 ]
             )
-            t0 = time.perf_counter()
-            CNNClassifier(epochs=8, seed=rep).fit(
-                images, source.labels[train_idx]
-            )
-            elapsed.append(time.perf_counter() - t0)
+            with TELEMETRY.timer(
+                "table9.train", model=model, fraction=fraction
+            ) as t:
+                CNNClassifier(epochs=8, seed=rep).fit(
+                    images, source.labels[train_idx]
+                )
+            elapsed.append(t.duration)
         else:
-            t0 = time.perf_counter()
-            SupervisedFormatSelector(model, seed=rep).fit(X_train, y_train)
-            elapsed.append(time.perf_counter() - t0)
+            with TELEMETRY.timer(
+                "table9.train", model=model, fraction=fraction
+            ) as t:
+                SupervisedFormatSelector(model, seed=rep).fit(
+                    X_train, y_train
+                )
+            elapsed.append(t.duration)
     return float(np.mean(elapsed))
 
 

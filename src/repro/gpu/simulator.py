@@ -10,6 +10,7 @@ variant").
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -24,6 +25,7 @@ from repro.gpu.kernels import (
     KernelModel,
 )
 from repro.gpu.noise import DEFAULT_SIGMA, averaged_measurement
+from repro.obs import TELEMETRY
 
 #: Table 8's relative conversion costs, normalised to one CSR SpMV:
 #: "COO 9, ELL 102, HYB 147" (adapted from prior work [39]).
@@ -106,19 +108,40 @@ class GPUSimulator:
         return np.random.default_rng([self._seed, *h.tolist()])
 
     def benchmark_stats(self, name: str, stats: MatrixStats) -> BenchmarkResult:
-        """Benchmark from precomputed structural statistics."""
+        """Benchmark from precomputed structural statistics.
+
+        With telemetry enabled, every call counts into
+        ``gpu.benchmark_calls`` and each format records both the
+        *simulated* SpMV time it predicts and the *wall* time the model
+        evaluation itself costs — the simulated-vs-wall ratio is the
+        simulator's whole reason to exist (Table 8's two-day campaign
+        compressed to milliseconds).
+        """
+        observing = TELEMETRY.enabled
         rng = self._rng_for(name)
         times: dict[str, float] = {}
         excluded: dict[str, str] = {}
         for fmt in MODELED_FORMATS:
+            wall0 = time.perf_counter() if observing else 0.0
             try:
                 base = self.model.time(fmt, stats)
             except FormatInfeasibleError as exc:
                 excluded[fmt] = str(exc)
+                if observing:
+                    TELEMETRY.inc(f"gpu.excluded.{fmt}")
                 continue
             times[fmt] = averaged_measurement(
                 base, self.trials, rng, self.sigma
             )
+            if observing:
+                TELEMETRY.inc(f"gpu.format_calls.{fmt}")
+                TELEMETRY.observe(
+                    f"gpu.simulated_seconds.{fmt}", self.trials * times[fmt]
+                )
+                TELEMETRY.observe(
+                    f"gpu.wall_seconds.{fmt}", time.perf_counter() - wall0
+                )
+        TELEMETRY.inc("gpu.benchmark_calls")
         return BenchmarkResult(
             name=name, arch=self.arch.name, times=times, excluded=excluded
         )
@@ -132,14 +155,19 @@ class GPUSimulator:
         stats: list[MatrixStats] | None = None,
     ) -> list[BenchmarkResult]:
         """Benchmark every record; ``stats`` may be precomputed and shared."""
-        if stats is None:
-            stats = [compute_stats(r.matrix) for r in records]
-        if len(stats) != len(records):
-            raise ValueError("stats and records lengths differ")
-        return [
-            self.benchmark_stats(rec.name, st)
-            for rec, st in zip(records, stats)
-        ]
+        with TELEMETRY.span(
+            "gpu.benchmark_collection",
+            arch=self.arch.name,
+            n_matrices=len(records),
+        ):
+            if stats is None:
+                stats = [compute_stats(r.matrix) for r in records]
+            if len(stats) != len(records):
+                raise ValueError("stats and records lengths differ")
+            return [
+                self.benchmark_stats(rec.name, st)
+                for rec, st in zip(records, stats)
+            ]
 
     # -- benchmarking-campaign cost model (Table 8) --------------------------
 

@@ -17,6 +17,7 @@ import numpy as np
 from repro.ml.base import NotFittedError, check_array
 from repro.ml.cluster.kmeans import KMeans
 from repro.ml.knn import pairwise_sq_dists
+from repro.obs import TELEMETRY
 
 
 class _CF:
@@ -161,27 +162,35 @@ class Birch:
         X = check_array(X)
         dim = X.shape[1]
         root = _Node(is_leaf=True)
-        for x in X:
-            sibling = self._insert(root, x)
-            if sibling is not None:
-                # Grow a new root one level up.
-                old_cf = _CF(dim, child=root)
-                if root.is_leaf:
-                    # Wrap the old root's entries directly.
-                    old_cf.n = sum(e.n for e in root.entries)
-                    old_cf.ls = np.sum([e.ls for e in root.entries], axis=0)
-                    old_cf.ss = float(sum(e.ss for e in root.entries))
-                else:
-                    self._refresh_entry(old_cf)
-                new_root = _Node(is_leaf=False)
-                new_root.entries = [old_cf, sibling]
-                root = new_root
-        self._root = root
-        leaves = self._collect_leaf_entries(root)
-        self.subcluster_centers_ = np.vstack([cf.centroid for cf in leaves])
-        self.subcluster_counts_ = np.array([cf.n for cf in leaves])
-        self._global_step()
-        self.labels_ = self.predict(X)
+        with TELEMETRY.span("birch.fit", n_samples=X.shape[0]):
+            for x in X:
+                sibling = self._insert(root, x)
+                if sibling is not None:
+                    # Grow a new root one level up.
+                    old_cf = _CF(dim, child=root)
+                    if root.is_leaf:
+                        # Wrap the old root's entries directly.
+                        old_cf.n = sum(e.n for e in root.entries)
+                        old_cf.ls = np.sum(
+                            [e.ls for e in root.entries], axis=0
+                        )
+                        old_cf.ss = float(sum(e.ss for e in root.entries))
+                    else:
+                        self._refresh_entry(old_cf)
+                    new_root = _Node(is_leaf=False)
+                    new_root.entries = [old_cf, sibling]
+                    root = new_root
+            self._root = root
+            leaves = self._collect_leaf_entries(root)
+            self.subcluster_centers_ = np.vstack(
+                [cf.centroid for cf in leaves]
+            )
+            self.subcluster_counts_ = np.array([cf.n for cf in leaves])
+            self._global_step()
+            self.labels_ = self.predict(X)
+        # Birch converges in one pass; its convergence signal is the tree
+        # size the pass produced.
+        TELEMETRY.gauge_set("birch.subclusters", len(leaves))
         return self
 
     def _collect_leaf_entries(self, node: _Node) -> list[_CF]:

@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.ml.base import NotFittedError, check_array
 from repro.ml.knn import pairwise_sq_dists
+from repro.obs import TELEMETRY
 
 
 def kmeans_plusplus(
@@ -63,22 +64,28 @@ class KMeans:
             )
         rng = np.random.default_rng(self.seed)
         best_inertia = np.inf
-        for _ in range(self.n_init):
-            centers, labels, inertia = self._single_run(X, rng)
-            if inertia < best_inertia:
-                best_inertia = inertia
-                self.cluster_centers_ = centers
-                self.labels_ = labels
-                self.inertia_ = float(inertia)
+        with TELEMETRY.span(
+            "kmeans.fit", n_clusters=self.n_clusters, n_samples=X.shape[0]
+        ):
+            for _ in range(self.n_init):
+                centers, labels, inertia, n_iter = self._single_run(X, rng)
+                if inertia < best_inertia:
+                    best_inertia = inertia
+                    self.cluster_centers_ = centers
+                    self.labels_ = labels
+                    self.inertia_ = float(inertia)
+                    self.n_iter_ = n_iter
+        TELEMETRY.gauge_set("kmeans.iterations", self.n_iter_)
         return self
 
     def _single_run(
         self, X: np.ndarray, rng: np.random.Generator
-    ) -> tuple[np.ndarray, np.ndarray, float]:
+    ) -> tuple[np.ndarray, np.ndarray, float, int]:
         centers = kmeans_plusplus(X, self.n_clusters, rng)
         labels = np.zeros(X.shape[0], dtype=np.int64)
         prev_inertia = np.inf
-        for _ in range(self.max_iter):
+        n_iter = 0
+        for n_iter in range(1, self.max_iter + 1):
             d2 = pairwise_sq_dists(X, centers)
             labels = np.argmin(d2, axis=1)
             inertia = float(d2[np.arange(X.shape[0]), labels].sum())
@@ -99,7 +106,7 @@ class KMeans:
         d2 = pairwise_sq_dists(X, centers)
         labels = np.argmin(d2, axis=1)
         inertia = float(d2[np.arange(X.shape[0]), labels].sum())
-        return centers, labels, inertia
+        return centers, labels, inertia, n_iter
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Nearest-centroid assignment (the paper's inference rule)."""

@@ -12,6 +12,7 @@ import numpy as np
 
 from repro.ml.base import NotFittedError, check_array
 from repro.ml.knn import pairwise_sq_dists
+from repro.obs import TELEMETRY
 
 
 def estimate_bandwidth(
@@ -68,29 +69,37 @@ class MeanShift:
             self.bandwidth_ = 0.0
             self.cluster_centers_ = X[:1].copy()
             self.labels_ = np.zeros(X.shape[0], dtype=np.int64)
+            self.n_iter_ = 0
             return self
         self.bandwidth_ = float(bw)
         bw2 = bw * bw
         # Shift every seed to its local mode (vectorised over all seeds).
         modes = X.copy()
         active = np.ones(modes.shape[0], dtype=bool)
-        for _ in range(self.max_iter):
-            if not active.any():
-                break
-            d2 = pairwise_sq_dists(modes[active], X)
-            within = d2 <= bw2
-            counts = within.sum(axis=1)
-            # Every seed is within bw of itself, so counts >= 1.
-            new_modes = (within @ X) / counts[:, None]
-            shift2 = np.einsum(
-                "ij,ij->i", new_modes - modes[active], new_modes - modes[active]
-            )
-            modes[active] = new_modes
-            still = shift2 > (self.tol * bw) ** 2
-            idx = np.flatnonzero(active)
-            active[idx[~still]] = False
-        self.cluster_centers_ = self._merge_modes(modes, bw)
-        self.labels_ = self.predict(X)
+        n_iter = 0
+        with TELEMETRY.span("meanshift.fit", n_samples=X.shape[0]):
+            for n_iter in range(1, self.max_iter + 1):
+                if not active.any():
+                    n_iter -= 1
+                    break
+                d2 = pairwise_sq_dists(modes[active], X)
+                within = d2 <= bw2
+                counts = within.sum(axis=1)
+                # Every seed is within bw of itself, so counts >= 1.
+                new_modes = (within @ X) / counts[:, None]
+                shift2 = np.einsum(
+                    "ij,ij->i",
+                    new_modes - modes[active],
+                    new_modes - modes[active],
+                )
+                modes[active] = new_modes
+                still = shift2 > (self.tol * bw) ** 2
+                idx = np.flatnonzero(active)
+                active[idx[~still]] = False
+            self.cluster_centers_ = self._merge_modes(modes, bw)
+            self.labels_ = self.predict(X)
+        self.n_iter_ = n_iter
+        TELEMETRY.gauge_set("meanshift.iterations", n_iter)
         return self
 
     def _merge_modes(self, modes: np.ndarray, bw: float) -> np.ndarray:

@@ -1,0 +1,77 @@
+"""repro.obs — tracing, metrics, and profiling for the selection pipeline.
+
+Three layers:
+
+- :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket histograms in
+  a thread-safe registry, exportable as JSON and Prometheus text format.
+- :mod:`repro.obs.trace` — a tree of timed spans (``perf_counter``-based),
+  exportable as Chrome-trace-compatible JSONL.
+- :mod:`repro.obs.telemetry` — the global :data:`TELEMETRY` facade that
+  instrumented call sites use.  **No-op by default**: with telemetry
+  disabled, ``TELEMETRY.span()`` returns one shared no-op object and the
+  metric helpers return after a single predicate, so instrumentation on
+  hot paths (feature extraction, online updates, frozen-selector
+  predict) is effectively free until a profiling run turns it on.
+
+Typical use::
+
+    from repro.obs import TELEMETRY
+
+    TELEMETRY.enable()
+    with TELEMETRY.span("pipeline.fit", n=len(X)):
+        ...
+    TELEMETRY.tracer.write_jsonl("trace.jsonl")
+    print(TELEMETRY.registry.to_prometheus())
+
+The CLI exposes the same machinery as ``repro <cmd> --profile [PATH]``
+and ``repro stats <trace.jsonl>``.
+"""
+
+from repro.obs.export import dump_profile, render_metrics, render_span_tree
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.stats import (
+    HotPath,
+    TraceParseError,
+    aggregate,
+    load_trace,
+    render_hot_paths,
+    stats_report,
+    total_root_seconds,
+)
+from repro.obs.telemetry import (
+    NOOP_SPAN,
+    Stopwatch,
+    Telemetry,
+    TELEMETRY,
+)
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "HotPath",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "Span",
+    "Stopwatch",
+    "TELEMETRY",
+    "Telemetry",
+    "TraceParseError",
+    "Tracer",
+    "aggregate",
+    "dump_profile",
+    "load_trace",
+    "render_hot_paths",
+    "render_metrics",
+    "render_span_tree",
+    "stats_report",
+    "total_root_seconds",
+]

@@ -1,0 +1,91 @@
+"""Human- and machine-readable exports of a telemetry session.
+
+Used by the CLI's ``--profile`` flag: the machine half is the Chrome-trace
+JSONL written by :meth:`Tracer.write_jsonl`; the human half is the span
+tree and metrics snapshot rendered here.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import Span, Tracer
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f} s "
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:8.3f} ms"
+    return f"{seconds * 1e6:8.3f} us"
+
+
+def render_span_tree(tracer: Tracer, max_depth: int = 12) -> str:
+    """Indented tree of finished spans with durations and attributes."""
+    lines: list[str] = []
+
+    def visit(span: Span, depth: int) -> None:
+        if depth > max_depth:
+            return
+        attrs = {
+            k: v for k, v in span.attrs.items() if k not in ("id", "parent")
+        }
+        suffix = (
+            "  " + " ".join(f"{k}={v}" for k, v in attrs.items())
+            if attrs
+            else ""
+        )
+        lines.append(
+            f"{_fmt_seconds(span.duration)}  {'  ' * depth}{span.name}{suffix}"
+        )
+        for child in span.children:
+            visit(child, depth + 1)
+
+    for root in tracer.roots:
+        visit(root, 0)
+    if not lines:
+        return "(no spans recorded)"
+    return "\n".join(lines)
+
+
+def render_metrics(registry: MetricsRegistry) -> str:
+    """One line per instrument; histograms show count/mean/min/max."""
+    lines: list[str] = []
+    for name in registry.names():
+        inst = registry.get(name)
+        if isinstance(inst, Histogram):
+            if inst.count:
+                lines.append(
+                    f"{name}: count={inst.count} mean={inst.mean:.6g}s "
+                    f"min={inst._min:.6g}s max={inst._max:.6g}s"
+                )
+            else:
+                lines.append(f"{name}: count=0")
+        else:
+            lines.append(f"{name}: {inst.value:g}")
+    if not lines:
+        return "(no metrics recorded)"
+    return "\n".join(lines)
+
+
+def dump_profile(
+    telemetry: Telemetry,
+    trace_path: str | None = None,
+    stream: IO[str] | None = None,
+) -> None:
+    """Write the JSONL trace (if a path was given) and print the report.
+
+    The human-readable report — span tree plus metrics snapshot — goes to
+    ``stream`` (default stderr, keeping stdout clean for command output).
+    """
+    out = stream if stream is not None else sys.stderr
+    if trace_path:
+        n = telemetry.tracer.write_jsonl(trace_path)
+        print(f"[obs] {n} span events written to {trace_path}", file=out)
+    print("[obs] span tree:", file=out)
+    print(render_span_tree(telemetry.tracer), file=out)
+    print("[obs] metrics:", file=out)
+    print(render_metrics(telemetry.registry), file=out)

@@ -1,0 +1,259 @@
+"""Zero-dependency metrics primitives: counters, gauges, histograms.
+
+The registry is the numeric half of :mod:`repro.obs` (the tracing half
+lives in :mod:`repro.obs.trace`).  All instruments are process-local,
+thread-safe, and exportable two ways:
+
+- :meth:`MetricsRegistry.to_json` — a snapshot dict serialised to JSON,
+  the format consumed by the test goldens and the ``--profile`` dump.
+- :meth:`MetricsRegistry.to_prometheus` — the Prometheus text exposition
+  format (``# TYPE``/``# HELP`` headers, ``_bucket``/``_sum``/``_count``
+  series for histograms), scrapeable by any Prometheus-compatible agent.
+
+Histograms use *fixed* upper-edge buckets chosen at creation time, so
+observation is O(log buckets) with no rebalancing — the right trade-off
+for latency distributions on hot paths.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import math
+import threading
+
+#: Default histogram upper edges (seconds): 1 us .. 100 s, log-spaced.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0,
+)
+
+
+def _sanitize(name: str) -> str:
+    """Prometheus metric names allow ``[a-zA-Z0-9_:]`` only."""
+    return "".join(c if (c.isalnum() or c in "_:") else "_" for c in name)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self._value}
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self._value}
+
+
+class Histogram:
+    """Fixed-bucket histogram of observed values.
+
+    ``buckets`` are *upper* edges in increasing order; an implicit
+    ``+Inf`` bucket catches the overflow, matching Prometheus semantics
+    (``le`` = less-than-or-equal, cumulative on export).
+    """
+
+    __slots__ = ("name", "help", "buckets", "_counts", "_sum", "_count",
+                 "_min", "_max", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        help: str = "",
+    ) -> None:
+        edges = tuple(float(b) for b in buckets)
+        if not edges:
+            raise ValueError("at least one bucket edge required")
+        if list(edges) != sorted(set(edges)):
+            raise ValueError("bucket edges must be strictly increasing")
+        self.name = name
+        self.help = help
+        self.buckets = edges
+        self._counts = [0] * (len(edges) + 1)  # +1 for +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._min = math.inf
+        self._max = -math.inf
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        idx = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def bucket_counts(self) -> dict[str, int]:
+        """Per-bucket (non-cumulative) counts keyed by upper edge."""
+        keys = [repr(edge) for edge in self.buckets] + ["+Inf"]
+        return dict(zip(keys, self._counts))
+
+    def snapshot(self) -> dict:
+        out = {
+            "type": "histogram",
+            "count": self._count,
+            "sum": self._sum,
+            "buckets": self.bucket_counts(),
+        }
+        if self._count:
+            out["min"] = self._min
+            out["max"] = self._max
+        return out
+
+
+class MetricsRegistry:
+    """Thread-safe, name-keyed home of every instrument.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: calling
+    sites never need to coordinate on registration order.  Re-requesting
+    a name with a different instrument kind is a programming error and
+    raises.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, cls, **kwargs):
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = cls(name, **kwargs)
+                self._instruments[name] = inst
+            elif not isinstance(inst, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(inst).__name__}, not {cls.__name__}"
+                )
+            return inst
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, Counter, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, Gauge, help=help)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        help: str = "",
+    ) -> Histogram:
+        return self._get_or_create(name, Histogram, buckets=buckets, help=help)
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        return self._instruments.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._instruments.clear()
+
+    # -- export ------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, dict]:
+        """Stable-ordered dict of per-instrument snapshots."""
+        return {
+            name: self._instruments[name].snapshot()
+            for name in sorted(self._instruments)
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        for name in sorted(self._instruments):
+            inst = self._instruments[name]
+            pname = _sanitize(name)
+            if inst.help:
+                lines.append(f"# HELP {pname} {inst.help}")
+            if isinstance(inst, Counter):
+                lines.append(f"# TYPE {pname} counter")
+                lines.append(f"{pname} {_fmt(inst.value)}")
+            elif isinstance(inst, Gauge):
+                lines.append(f"# TYPE {pname} gauge")
+                lines.append(f"{pname} {_fmt(inst.value)}")
+            else:
+                lines.append(f"# TYPE {pname} histogram")
+                cumulative = 0
+                for edge, count in zip(inst.buckets, inst._counts):
+                    cumulative += count
+                    lines.append(
+                        f'{pname}_bucket{{le="{_fmt(edge)}"}} {cumulative}'
+                    )
+                cumulative += inst._counts[-1]
+                lines.append(f'{pname}_bucket{{le="+Inf"}} {cumulative}')
+                lines.append(f"{pname}_sum {_fmt(inst.sum)}")
+                lines.append(f"{pname}_count {inst.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _fmt(value: float) -> str:
+    """Render floats the Prometheus way: integers without the dot."""
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))

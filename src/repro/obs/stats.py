@@ -1,0 +1,144 @@
+"""Aggregate a span trace into a hot-path report.
+
+``repro stats <trace.jsonl>`` lands here.  The input is the JSONL written
+by :meth:`repro.obs.trace.Tracer.write_jsonl`: one Chrome-trace complete
+event per line, each carrying ``args.id``/``args.parent`` so the span
+tree can be rebuilt exactly (no reliance on timestamp containment).
+
+Per span *name* we report:
+
+- **calls** — number of spans,
+- **cum** — cumulative time (sum of durations),
+- **self** — cum minus time spent in child spans, i.e. where the time
+  actually goes,
+- **self%** — share of the total self time across all names.
+
+Sorted by self time, this is the "where does selection time go?" table.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+
+class TraceParseError(ValueError):
+    """The file is not a span-event JSONL trace."""
+
+
+@dataclass
+class HotPath:
+    """Aggregated timing for one span name."""
+
+    name: str
+    calls: int
+    cum_seconds: float
+    self_seconds: float
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.cum_seconds / self.calls if self.calls else 0.0
+
+
+def load_trace(path: str) -> list[dict]:
+    """Parse a JSONL trace; raises :class:`TraceParseError` on bad input."""
+    events: list[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceParseError(
+                    f"{path}:{lineno}: not JSON: {exc}"
+                ) from exc
+            if not isinstance(event, dict) or "name" not in event \
+                    or "dur" not in event:
+                raise TraceParseError(
+                    f"{path}:{lineno}: not a span event (need name/dur)"
+                )
+            events.append(event)
+    return events
+
+
+def aggregate(events: list[dict]) -> list[HotPath]:
+    """Group events by name; self time = duration − children durations."""
+    dur_by_id: dict[int, float] = {}
+    child_seconds: dict[int, float] = {}
+    for event in events:
+        args = event.get("args", {})
+        span_id = args.get("id")
+        dur = float(event["dur"]) / 1e6
+        if span_id is not None:
+            dur_by_id[span_id] = dur
+    for event in events:
+        args = event.get("args", {})
+        parent = args.get("parent", -1)
+        if parent is not None and parent != -1:
+            child_seconds[parent] = (
+                child_seconds.get(parent, 0.0) + float(event["dur"]) / 1e6
+            )
+    grouped: dict[str, HotPath] = {}
+    for event in events:
+        name = event["name"]
+        args = event.get("args", {})
+        span_id = args.get("id")
+        dur = float(event["dur"]) / 1e6
+        self_dur = max(0.0, dur - child_seconds.get(span_id, 0.0))
+        hp = grouped.get(name)
+        if hp is None:
+            grouped[name] = HotPath(name, 1, dur, self_dur)
+        else:
+            hp.calls += 1
+            hp.cum_seconds += dur
+            hp.self_seconds += self_dur
+    return sorted(
+        grouped.values(), key=lambda h: h.self_seconds, reverse=True
+    )
+
+
+def total_root_seconds(events: list[dict]) -> float:
+    """Wall time covered by the trace (sum of root-span durations)."""
+    return sum(
+        float(e["dur"]) / 1e6
+        for e in events
+        if e.get("args", {}).get("parent", -1) == -1
+    )
+
+
+def render_hot_paths(hot: list[HotPath], top: int | None = None) -> str:
+    """Fixed-width hot-path table (self-time descending)."""
+    rows = hot[:top] if top else hot
+    total_self = sum(h.self_seconds for h in hot) or 1.0
+    name_w = max([len(h.name) for h in rows] + [len("span")])
+    header = (
+        f"{'span':<{name_w}}  {'calls':>7}  {'cum (s)':>10}  "
+        f"{'self (s)':>10}  {'self%':>6}  {'mean (s)':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for h in rows:
+        lines.append(
+            f"{h.name:<{name_w}}  {h.calls:>7}  {h.cum_seconds:>10.4f}  "
+            f"{h.self_seconds:>10.4f}  "
+            f"{100 * h.self_seconds / total_self:>5.1f}%  "
+            f"{h.mean_seconds:>10.6f}"
+        )
+    return "\n".join(lines)
+
+
+def stats_report(path: str, top: int | None = None) -> str:
+    """Full ``repro stats`` report for one trace file."""
+    events = load_trace(path)
+    if not events:
+        return f"{path}: empty trace"
+    hot = aggregate(events)
+    lines = [
+        f"trace: {path}",
+        f"events: {len(events)}  span names: {len(hot)}  "
+        f"covered wall time: {total_root_seconds(events):.4f}s",
+        "",
+        render_hot_paths(hot, top=top),
+    ]
+    return "\n".join(lines)

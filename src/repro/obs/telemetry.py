@@ -1,0 +1,143 @@
+"""The global telemetry facade: one switch, zero cost when off.
+
+Instrumented call sites throughout the package go through the module
+singleton :data:`TELEMETRY`.  The contract that keeps hot paths honest:
+
+- **Disabled (the default)** — ``span()`` returns a single cached no-op
+  context manager (no per-call allocation), and ``inc``/``observe``/
+  ``gauge_set`` return after one attribute check.  Instrumentation in a
+  per-matrix or per-update loop costs a predicate, nothing more.
+- **Enabled** — ``span()`` mints real :class:`~repro.obs.trace.Span`
+  objects, and the metric helpers forward to the registry.
+
+Sites with non-trivial setup work (building an attribute dict, reading a
+clock) should guard on :attr:`Telemetry.enabled` explicitly so the setup
+itself is skipped when telemetry is off.
+
+``timer()`` is the exception to "no-op when disabled": it *always*
+measures, returning either a traced span or a plain :class:`Stopwatch`.
+Use it where the elapsed time is a computed result (e.g. Table 9
+training times), not just diagnostics.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+from repro.obs.trace import Span, Tracer
+
+
+class _NoopSpan:
+    """Shared, stateless stand-in for a disabled span."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NoopSpan":
+        return self
+
+    @property
+    def duration(self) -> float:
+        return 0.0
+
+
+#: The one no-op span every disabled ``span()`` call returns.
+NOOP_SPAN = _NoopSpan()
+
+
+class Stopwatch:
+    """Minimal always-on timer with the same ``duration`` surface as Span."""
+
+    __slots__ = ("start", "end")
+
+    def __enter__(self) -> "Stopwatch":
+        self.start = time.perf_counter()
+        self.end = None
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end = time.perf_counter()
+        return False
+
+    def set(self, **attrs) -> "Stopwatch":
+        return self
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            return time.perf_counter() - self.start
+        return self.end - self.start
+
+
+class Telemetry:
+    """Facade bundling a :class:`Tracer` and a :class:`MetricsRegistry`."""
+
+    def __init__(self) -> None:
+        self._enabled = False
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer()
+
+    # -- switch ------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> "Telemetry":
+        self._enabled = True
+        return self
+
+    def disable(self) -> "Telemetry":
+        self._enabled = False
+        return self
+
+    def reset(self) -> None:
+        """Drop all spans and metrics (the switch state is kept)."""
+        self.registry.reset()
+        self.tracer.reset()
+
+    # -- tracing -----------------------------------------------------------
+
+    def span(self, name: str, **attrs):
+        """A traced span when enabled, the shared no-op otherwise."""
+        if not self._enabled:
+            return NOOP_SPAN
+        return self.tracer.span(name, **attrs)
+
+    def timer(self, name: str, **attrs):
+        """Always measures: a traced span when enabled, a Stopwatch not."""
+        if not self._enabled:
+            return Stopwatch()
+        return self.tracer.span(name, **attrs)
+
+    def current_span(self) -> Span | None:
+        return self.tracer.current() if self._enabled else None
+
+    # -- metrics -----------------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        if self._enabled:
+            self.registry.counter(name).inc(amount)
+
+    def gauge_set(self, name: str, value: float) -> None:
+        if self._enabled:
+            self.registry.gauge(name).set(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        if self._enabled:
+            self.registry.histogram(name, buckets=buckets).observe(value)
+
+
+#: Process-wide singleton used by all instrumented call sites.
+TELEMETRY = Telemetry()

@@ -1,0 +1,189 @@
+"""Tracing: a tree of timed spans, exportable as Chrome-trace JSONL.
+
+A :class:`Span` is a context manager; entering pushes it onto a
+per-thread stack (so nested ``with`` blocks form a tree), exiting records
+the duration from :func:`time.perf_counter` — monotonic, immune to
+wall-clock steps.  Finished root spans accumulate on the :class:`Tracer`.
+
+Export is JSON Lines: one event dict per line, each compatible with the
+Chrome ``chrome://tracing`` / Perfetto complete-event schema (``ph: "X"``
+with microsecond ``ts``/``dur``), plus ``id``/``parent`` args so
+:mod:`repro.obs.stats` can rebuild the tree and compute self-times
+without relying on timestamp containment.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from typing import IO, Iterator
+
+
+class Span:
+    """One timed region.  Use via ``with tracer.span("name"): ...``.
+
+    Attributes set before exit (via keyword arguments or :meth:`set`)
+    travel into the exported event's ``args``.  ``duration`` is in
+    seconds and is valid after ``__exit__`` (or mid-flight, as elapsed
+    time so far).
+    """
+
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "tid",
+                 "start", "end", "children", "_tracer")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        attrs: dict | None = None,
+    ) -> None:
+        self.name = name
+        self.attrs = dict(attrs) if attrs else {}
+        self._tracer = tracer
+        self.span_id = -1
+        self.parent_id = -1
+        self.tid = 0
+        self.start = 0.0
+        self.end: float | None = None
+        self.children: list[Span] = []
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes; chainable."""
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def duration(self) -> float:
+        """Seconds; elapsed-so-far if the span is still open."""
+        if self.end is None:
+            return time.perf_counter() - self.start
+        return self.end - self.start
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end = time.perf_counter()
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self)
+        return False
+
+
+class Tracer:
+    """Span factory and store.
+
+    Thread-safe: each thread keeps its own open-span stack (spans nest
+    per thread), while the finished-roots list and the id counter are
+    shared under a lock.
+    """
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._roots: list[Span] = []
+        #: perf_counter origin for microsecond ``ts`` values.
+        self._epoch = time.perf_counter()
+
+    # -- span lifecycle ----------------------------------------------------
+
+    def span(self, name: str, **attrs) -> Span:
+        return Span(self, name, attrs)
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span: Span) -> None:
+        with self._lock:
+            span.span_id = next(self._ids)
+        span.tid = threading.get_ident()
+        stack = self._stack()
+        if stack:
+            parent = stack[-1]
+            span.parent_id = parent.span_id
+            parent.children.append(span)
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        # Tolerate out-of-order exits (generators, leaked spans): unwind
+        # to the span being closed rather than corrupting the stack.
+        while stack:
+            top = stack.pop()
+            if top is span:
+                break
+        if span.parent_id == -1:
+            with self._lock:
+                self._roots.append(span)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def roots(self) -> list[Span]:
+        """Finished top-level spans, in completion order."""
+        with self._lock:
+            return list(self._roots)
+
+    def current(self) -> Span | None:
+        """The innermost open span on this thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def walk(self) -> Iterator[Span]:
+        """Every finished span, parents before children."""
+        pending = self.roots
+        while pending:
+            span = pending.pop(0)
+            yield span
+            pending = span.children + pending
+
+    def total_seconds(self) -> float:
+        """Sum of root-span durations (the traced share of wall time)."""
+        return sum(s.duration for s in self.roots)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._roots.clear()
+            self._epoch = time.perf_counter()
+        self._local = threading.local()
+
+    # -- export ------------------------------------------------------------
+
+    def _event(self, span: Span) -> dict:
+        args = {"id": span.span_id, "parent": span.parent_id}
+        args.update(span.attrs)
+        return {
+            "name": span.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": round((span.start - self._epoch) * 1e6, 3),
+            "dur": round(span.duration * 1e6, 3),
+            "pid": 0,
+            "tid": span.tid,
+            "args": args,
+        }
+
+    def events(self) -> list[dict]:
+        """Chrome-trace complete events for every finished span."""
+        return [self._event(s) for s in self.walk()]
+
+    def to_jsonl(self, fh: IO[str]) -> int:
+        """Write one event per line; returns the number of events."""
+        n = 0
+        for event in self.events():
+            fh.write(json.dumps(event, sort_keys=True))
+            fh.write("\n")
+            n += 1
+        return n
+
+    def write_jsonl(self, path: str) -> int:
+        with open(path, "w", encoding="utf-8") as fh:
+            return self.to_jsonl(fh)

@@ -1,0 +1,102 @@
+"""Telemetry counters of the online selector: a scripted update sequence
+with known cluster births, joins, a split, and a relabel, checked against
+the exact counter values."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.online import OnlineFormatSelector
+from repro.core.pipeline import FeaturePipeline
+from repro.obs import TELEMETRY
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    TELEMETRY.disable()
+    TELEMETRY.reset()
+    yield
+    TELEMETRY.disable()
+    TELEMETRY.reset()
+
+
+def _make_selector() -> OnlineFormatSelector:
+    # Identity-ish pipeline: no transform, no PCA, min-max over [0, 10]
+    # so raw coordinates map to [0, 1] and distances are easy to script.
+    pipe = FeaturePipeline(transform=None, n_components=None)
+    pipe.fit(np.array([[0.0, 0.0], [10.0, 10.0]]))
+    return OnlineFormatSelector(
+        pipe, radius=0.15, min_purity=0.7, min_split_size=4
+    )
+
+
+#: (point, label) script.  Scaled coordinates are raw / 10.
+SCRIPT = [
+    # Cluster A near the origin: 2 csr + 2 coo -> purity 0.5 at the 4th
+    # labeled member -> split into per-label subclusters.
+    ((0.0, 0.0), "csr"),   # creates A
+    ((0.3, 0.0), "csr"),   # joins A
+    ((0.0, 0.3), "coo"),   # joins A
+    ((0.3, 0.3), "coo"),   # joins A, triggers the split
+    # Cluster B far away: ell then 2x hyb -> majority flips to hyb at the
+    # third labeled member (a relabel event), too few members to split.
+    ((9.0, 9.0), "ell"),   # creates B
+    ((9.3, 9.0), "hyb"),   # joins B (tie keeps 'ell')
+    ((9.0, 9.3), "hyb"),   # joins B, relabels B to 'hyb'
+    # Cluster C: unlabeled traffic still shapes the clustering.
+    ((5.0, 5.0), None),    # creates C
+    ((5.2, 5.0), None),    # joins C
+]
+
+
+def _run_script(selector: OnlineFormatSelector) -> None:
+    for point, label in SCRIPT:
+        selector.observe(np.array(point), label)
+
+
+def test_scripted_sequence_matches_counters():
+    selector = _make_selector()
+    TELEMETRY.enable()
+    _run_script(selector)
+
+    reg = TELEMETRY.registry
+    assert reg.counter("online.observations").value == 9
+    assert reg.counter("online.clusters_created").value == 3
+    assert reg.counter("online.assignments").value == 6
+    assert reg.counter("online.splits").value == 1
+    assert reg.counter("online.relabels").value == 1
+    # Labeled updates only count the join path (creations carry their
+    # label into the fresh cluster instead).
+    assert reg.counter("online.labeled_updates").value == 5
+    assert reg.histogram("online.update_seconds").count == 9
+
+    # Counters agree with the selector's own bookkeeping.
+    assert selector.n_observed == 9
+    assert selector.n_splits == 1
+    # A split into csr+coo, B, C.
+    assert selector.n_clusters == 4
+
+
+def test_counters_match_state_mid_stream():
+    selector = _make_selector()
+    TELEMETRY.enable()
+    for point, label in SCRIPT[:4]:
+        selector.observe(np.array(point), label)
+    reg = TELEMETRY.registry
+    assert reg.counter("online.clusters_created").value == 1
+    assert reg.counter("online.splits").value == 1
+    assert reg.counter("online.relabels").value == 0
+    assert selector.n_clusters == 2  # A split into csr/coo subclusters
+    labels = {c.label for c in selector.clusters}
+    assert labels == {"csr", "coo"}
+
+
+def test_disabled_telemetry_records_nothing():
+    selector = _make_selector()
+    _run_script(selector)
+    assert TELEMETRY.registry.names() == []
+    # Behaviour itself is unchanged.
+    assert selector.n_observed == 9
+    assert selector.n_clusters == 4
+    assert selector.n_splits == 1

@@ -1,0 +1,16 @@
+"""Telemetry tests must not leak global state into each other."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import TELEMETRY
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    TELEMETRY.disable()
+    TELEMETRY.reset()
+    yield
+    TELEMETRY.disable()
+    TELEMETRY.reset()

@@ -1,0 +1,128 @@
+"""Counters, gauges, histograms, and their exports."""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+GOLDEN = Path(__file__).parent / "golden"
+
+
+def test_counter_increments_and_rejects_negative():
+    c = Counter("c")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_set_and_inc():
+    g = Gauge("g")
+    g.set(4.0)
+    g.inc(-1.5)
+    assert g.value == 2.5
+
+
+def test_histogram_bucket_edges_are_le_inclusive():
+    h = Histogram("h", buckets=(1.0, 2.0, 4.0))
+    # A value exactly on an edge lands in that edge's bucket (le semantics).
+    for v in (0.5, 1.0, 1.5, 2.0, 4.0, 4.00001, 100.0):
+        h.observe(v)
+    counts = h.bucket_counts()
+    assert counts["1.0"] == 2          # 0.5, 1.0
+    assert counts["2.0"] == 2          # 1.5, 2.0
+    assert counts["4.0"] == 1          # 4.0
+    assert counts["+Inf"] == 2         # 4.00001, 100.0
+    assert h.count == 7
+    assert h.sum == pytest.approx(0.5 + 1.0 + 1.5 + 2.0 + 4.0 + 4.00001 + 100)
+    assert h.mean == pytest.approx(h.sum / 7)
+
+
+def test_histogram_rejects_bad_buckets():
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=())
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=(2.0, 1.0))
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=(1.0, 1.0))
+
+
+def test_registry_get_or_create_and_kind_conflict():
+    reg = MetricsRegistry()
+    c1 = reg.counter("x")
+    assert reg.counter("x") is c1
+    with pytest.raises(TypeError):
+        reg.gauge("x")
+    assert reg.get("missing") is None
+    assert reg.names() == ["x"]
+    reg.reset()
+    assert reg.names() == []
+
+
+def test_json_snapshot_roundtrips():
+    reg = MetricsRegistry()
+    reg.counter("a.calls").inc(3)
+    reg.gauge("b.level").set(0.5)
+    reg.histogram("c.lat", buckets=(0.1, 1.0)).observe(0.05)
+    snap = json.loads(reg.to_json())
+    assert snap["a.calls"] == {"type": "counter", "value": 3.0}
+    assert snap["b.level"] == {"type": "gauge", "value": 0.5}
+    assert snap["c.lat"]["count"] == 1
+    assert snap["c.lat"]["buckets"]["0.1"] == 1
+    assert snap["c.lat"]["min"] == 0.05
+
+
+def test_prometheus_export_matches_golden():
+    reg = MetricsRegistry()
+    reg.counter("pipeline.fit_calls", help="fit invocations").inc(2)
+    reg.gauge("kmeans.iterations").set(17)
+    h = reg.histogram("online.update_seconds", buckets=(0.001, 0.01, 0.1))
+    for v in (0.0005, 0.002, 0.002, 0.5):
+        h.observe(v)
+    produced = reg.to_prometheus()
+    golden = (GOLDEN / "metrics.prom").read_text(encoding="utf-8")
+    assert produced == golden
+
+
+def test_prometheus_histogram_buckets_are_cumulative():
+    reg = MetricsRegistry()
+    h = reg.histogram("h", buckets=(1.0, 2.0))
+    h.observe(0.5)
+    h.observe(1.5)
+    h.observe(5.0)
+    text = reg.to_prometheus()
+    assert 'h_bucket{le="1"} 1' in text
+    assert 'h_bucket{le="2"} 2' in text
+    assert 'h_bucket{le="+Inf"} 3' in text
+    assert "h_sum 7" in text
+    assert "h_count 3" in text
+
+
+def test_thread_safety_of_counter():
+    reg = MetricsRegistry()
+
+    def work():
+        for _ in range(1000):
+            reg.counter("t").inc()
+
+    threads = [threading.Thread(target=work) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert reg.counter("t").value == 8000
+
+
+def test_empty_histogram_snapshot_has_no_min_max():
+    h = Histogram("h", buckets=(1.0,))
+    snap = h.snapshot()
+    assert snap["count"] == 0
+    assert "min" not in snap and "max" not in snap
+    assert math.isinf(h._min)

@@ -1,0 +1,141 @@
+"""Trace aggregation: self vs cumulative time, rendering, parsing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    TraceParseError,
+    aggregate,
+    load_trace,
+    render_hot_paths,
+    stats_report,
+    total_root_seconds,
+)
+
+
+def _event(name, span_id, parent, dur_us, ts=0.0):
+    return {
+        "name": name,
+        "cat": "repro",
+        "ph": "X",
+        "ts": ts,
+        "dur": dur_us,
+        "pid": 0,
+        "tid": 1,
+        "args": {"id": span_id, "parent": parent},
+    }
+
+
+@pytest.fixture
+def sample_events():
+    # root (10ms) -> a (6ms) -> a1 (1ms); root -> b (2ms); second a (4ms,
+    # its own root) with no children.
+    return [
+        _event("root", 1, -1, 10_000),
+        _event("a", 2, 1, 6_000),
+        _event("a1", 3, 2, 1_000),
+        _event("b", 4, 1, 2_000),
+        _event("a", 5, -1, 4_000),
+    ]
+
+
+def test_aggregate_self_vs_cumulative(sample_events):
+    by_name = {h.name: h for h in aggregate(sample_events)}
+    assert by_name["root"].calls == 1
+    assert by_name["root"].cum_seconds == pytest.approx(0.010)
+    # root self = 10 - (6 + 2) = 2ms
+    assert by_name["root"].self_seconds == pytest.approx(0.002)
+    # 'a' groups both spans: cum = 6 + 4, self = (6 - 1) + 4
+    assert by_name["a"].calls == 2
+    assert by_name["a"].cum_seconds == pytest.approx(0.010)
+    assert by_name["a"].self_seconds == pytest.approx(0.009)
+    assert by_name["a"].mean_seconds == pytest.approx(0.005)
+    # Leaves: self == cum.
+    assert by_name["a1"].self_seconds == by_name["a1"].cum_seconds
+    assert by_name["b"].self_seconds == pytest.approx(0.002)
+
+
+def test_aggregate_sorts_by_self_time(sample_events):
+    hot = aggregate(sample_events)
+    self_times = [h.self_seconds for h in hot]
+    assert self_times == sorted(self_times, reverse=True)
+    assert hot[0].name == "a"
+
+
+def test_total_root_seconds(sample_events):
+    assert total_root_seconds(sample_events) == pytest.approx(0.014)
+
+
+def test_self_time_never_negative():
+    # A child reported longer than its parent (clock skew): clamp to 0.
+    events = [
+        _event("p", 1, -1, 1_000),
+        _event("c", 2, 1, 2_000),
+    ]
+    by_name = {h.name: h for h in aggregate(events)}
+    assert by_name["p"].self_seconds == 0.0
+
+
+def test_render_hot_paths_table(sample_events):
+    table = render_hot_paths(aggregate(sample_events))
+    lines = table.splitlines()
+    assert "span" in lines[0] and "self%" in lines[0]
+    assert len(lines) == 2 + 4  # header + rule + 4 names
+    assert lines[2].startswith("a ")
+    table_top = render_hot_paths(aggregate(sample_events), top=2)
+    assert len(table_top.splitlines()) == 2 + 2
+    # Percentages are computed over ALL names, even when truncated.
+    assert "%" in table_top
+
+
+def test_load_trace_roundtrip(tmp_path, sample_events):
+    path = tmp_path / "t.jsonl"
+    path.write_text(
+        "\n".join(json.dumps(e) for e in sample_events) + "\n",
+        encoding="utf-8",
+    )
+    events = load_trace(str(path))
+    assert events == sample_events
+
+
+def test_load_trace_skips_blank_lines(tmp_path, sample_events):
+    path = tmp_path / "t.jsonl"
+    path.write_text(
+        "\n\n" + json.dumps(sample_events[0]) + "\n\n", encoding="utf-8"
+    )
+    assert len(load_trace(str(path))) == 1
+
+
+def test_load_trace_rejects_non_json(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text("not json\n", encoding="utf-8")
+    with pytest.raises(TraceParseError):
+        load_trace(str(path))
+
+
+def test_load_trace_rejects_wrong_schema(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"foo": 1}\n', encoding="utf-8")
+    with pytest.raises(TraceParseError):
+        load_trace(str(path))
+
+
+def test_stats_report_end_to_end(tmp_path, sample_events):
+    path = tmp_path / "t.jsonl"
+    path.write_text(
+        "\n".join(json.dumps(e) for e in sample_events) + "\n",
+        encoding="utf-8",
+    )
+    report = stats_report(str(path))
+    assert "events: 5" in report
+    assert "covered wall time: 0.0140s" in report
+    assert "root" in report and "a1" in report
+
+
+def test_stats_report_empty_trace(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("", encoding="utf-8")
+    assert "empty trace" in stats_report(str(path))

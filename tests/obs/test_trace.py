@@ -1,0 +1,178 @@
+"""Span trees, nesting/reentrancy, and the Chrome-trace JSONL export."""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+import repro.obs.trace as trace_mod
+from repro.obs import Tracer
+
+GOLDEN = Path(__file__).parent / "golden"
+
+
+class FakeClock:
+    """perf_counter stand-in ticking 1.0s per call — deterministic traces."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        self.t += 1.0
+        return self.t
+
+
+def _deterministic_tracer(monkeypatch) -> Tracer:
+    monkeypatch.setattr(trace_mod.time, "perf_counter", FakeClock())
+    monkeypatch.setattr(trace_mod.threading, "get_ident", lambda: 1)
+    return Tracer()
+
+
+def test_span_nesting_builds_a_tree():
+    tracer = Tracer()
+    with tracer.span("root") as root:
+        with tracer.span("a") as a:
+            with tracer.span("a.1"):
+                pass
+        with tracer.span("b"):
+            pass
+    assert [r.name for r in tracer.roots] == ["root"]
+    assert [c.name for c in root.children] == ["a", "b"]
+    assert [c.name for c in a.children] == ["a.1"]
+    assert a.parent_id == root.span_id
+    assert root.parent_id == -1
+    assert root.duration >= a.duration + root.children[1].duration
+
+
+def test_span_reentrancy_same_name():
+    """The same span name can nest within itself (recursive call sites)."""
+    tracer = Tracer()
+    with tracer.span("recurse") as outer:
+        with tracer.span("recurse") as inner:
+            pass
+    assert inner.parent_id == outer.span_id
+    assert outer.parent_id == -1
+    # Only the outer is a root; ids distinguish the instances.
+    assert len(tracer.roots) == 1
+    assert inner.span_id != outer.span_id
+
+
+def test_sequential_roots_accumulate():
+    tracer = Tracer()
+    for i in range(3):
+        with tracer.span(f"r{i}"):
+            pass
+    assert [r.name for r in tracer.roots] == ["r0", "r1", "r2"]
+    assert tracer.total_seconds() >= 0
+
+
+def test_attributes_and_error_flag():
+    tracer = Tracer()
+    with tracer.span("ok", n=3) as s:
+        s.set(extra="yes")
+    assert s.attrs == {"n": 3, "extra": "yes"}
+    try:
+        with tracer.span("boom"):
+            raise RuntimeError("x")
+    except RuntimeError:
+        pass
+    assert tracer.roots[-1].attrs["error"] == "RuntimeError"
+
+
+def test_walk_yields_parents_before_children():
+    tracer = Tracer()
+    with tracer.span("root"):
+        with tracer.span("child"):
+            with tracer.span("grand"):
+                pass
+    names = [s.name for s in tracer.walk()]
+    assert names == ["root", "child", "grand"]
+
+
+def test_events_are_chrome_trace_complete_events(monkeypatch):
+    tracer = _deterministic_tracer(monkeypatch)
+    with tracer.span("root", kind="test"):
+        with tracer.span("child"):
+            pass
+    events = tracer.events()
+    assert len(events) == 2
+    for ev in events:
+        assert ev["ph"] == "X"
+        assert set(ev) >= {"name", "cat", "ph", "ts", "dur", "pid", "tid",
+                           "args"}
+    root_ev = next(e for e in events if e["name"] == "root")
+    child_ev = next(e for e in events if e["name"] == "child")
+    assert child_ev["args"]["parent"] == root_ev["args"]["id"]
+    assert root_ev["args"]["kind"] == "test"
+    # FakeClock: epoch=1, root start=2, child start=3, child end=4, root
+    # end=5 (one extra tick for child duration read at export is avoided
+    # because end is recorded).
+    assert root_ev["ts"] == 1e6
+    assert root_ev["dur"] == 3e6
+    assert child_ev["dur"] == 1e6
+
+
+def test_jsonl_export_matches_golden(monkeypatch, tmp_path):
+    tracer = _deterministic_tracer(monkeypatch)
+    with tracer.span("cli.train", size=50):
+        with tracer.span("features.extract_collection"):
+            pass
+        with tracer.span("kmeans.fit"):
+            pass
+    path = tmp_path / "trace.jsonl"
+    n = tracer.write_jsonl(str(path))
+    assert n == 3
+    produced = path.read_text(encoding="utf-8")
+    golden = (GOLDEN / "trace.jsonl").read_text(encoding="utf-8")
+    assert produced == golden
+    # Every line is standalone JSON.
+    for line in produced.strip().splitlines():
+        assert json.loads(line)["ph"] == "X"
+
+
+def test_out_of_order_exit_does_not_corrupt_stack():
+    tracer = Tracer()
+    outer = tracer.span("outer")
+    inner = tracer.span("inner")
+    outer.__enter__()
+    inner.__enter__()
+    # Close the outer first (leaked inner): the stack unwinds past it.
+    outer.__exit__(None, None, None)
+    assert tracer.current() is None
+    with tracer.span("next"):
+        pass
+    assert [r.name for r in tracer.roots] == ["outer", "next"]
+
+
+def test_threads_get_independent_stacks():
+    tracer = Tracer()
+    seen = {}
+
+    def work(tag):
+        with tracer.span(f"root.{tag}"):
+            with tracer.span(f"child.{tag}") as c:
+                seen[tag] = c
+
+    threads = [threading.Thread(target=work, args=(i,)) for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    roots = tracer.roots
+    assert sorted(r.name for r in roots) == [f"root.{i}" for i in range(4)]
+    for root in roots:
+        # Each root has exactly its own thread's child.
+        assert len(root.children) == 1
+        tag = int(root.name.split(".")[1])
+        assert root.children[0] is seen[tag]
+
+
+def test_reset_clears_roots():
+    tracer = Tracer()
+    with tracer.span("x"):
+        pass
+    assert tracer.roots
+    tracer.reset()
+    assert tracer.roots == []
+    assert tracer.events() == []

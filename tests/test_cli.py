@@ -52,3 +52,100 @@ def test_tables_command(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def test_version_flag(capsys):
+    from repro import __version__
+
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0
+    assert f"repro {__version__}" in capsys.readouterr().out
+
+
+def test_no_args_exits_2_with_usage(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main([])
+    assert exc.value.code == 2
+    assert "usage: repro" in capsys.readouterr().err
+
+
+class TestProfile:
+    @pytest.fixture(autouse=True)
+    def clean_telemetry(self):
+        from repro.obs import TELEMETRY
+
+        yield
+        TELEMETRY.disable()
+        TELEMETRY.reset()
+
+    def test_train_profile_emits_parseable_trace(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import aggregate, load_trace, total_root_seconds
+
+        trace = str(tmp_path / "trace.jsonl")
+        model = str(tmp_path / "selector.npz")
+        assert main([
+            "train", "--size", "50", "--clusters", "8", "--trials", "5",
+            "--out", model, "--profile", trace,
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "span events written" in err
+        assert "cli.train" in err
+        assert "[obs] metrics:" in err
+        events = load_trace(trace)
+        assert events, "trace must not be empty"
+        for event in events:
+            assert event["ph"] == "X"
+            json.dumps(event)  # every event is JSON-serialisable
+        names = {e["name"] for e in events}
+        assert "cli.train" in names
+        assert "kmeans.fit" in names
+        assert "pipeline.fit" in names
+        # The root span covers the whole command, so the trace accounts
+        # for (well over) 90% of the command's wall time.
+        root = next(e for e in events if e["name"] == "cli.train")
+        assert root["dur"] >= 0.9 * total_root_seconds(events) * 1e6
+        assert aggregate(events)[0].calls >= 1
+
+    def test_profile_without_path_prints_report_only(
+        self, tmp_path, mtx_file, capsys
+    ):
+        assert main(["features", mtx_file, "--profile"]) == 0
+        out, err = capsys.readouterr()
+        assert "nnz" in out  # command output still lands on stdout
+        assert "[obs] span tree:" in err
+        assert "cli.features" in err
+        assert "span events written" not in err
+
+    def test_stats_renders_hot_path_table(self, tmp_path, capsys):
+        model = str(tmp_path / "selector.npz")
+        trace = str(tmp_path / "trace.jsonl")
+        assert main([
+            "train", "--size", "50", "--clusters", "8", "--trials", "5",
+            "--out", model, "--profile", trace,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["stats", trace]) == 0
+        out = capsys.readouterr().out
+        assert "covered wall time" in out
+        assert "self%" in out
+        assert "cli.train" in out
+
+    def test_stats_missing_file(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "nope.jsonl")]) == 1
+        assert "no such trace file" in capsys.readouterr().err
+
+    def test_stats_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("definitely not json\n", encoding="utf-8")
+        assert main(["stats", str(bad)]) == 1
+        assert "not JSON" in capsys.readouterr().err
+
+    def test_default_run_leaves_telemetry_disabled(self, mtx_file):
+        from repro.obs import TELEMETRY
+
+        assert main(["features", mtx_file]) == 0
+        assert not TELEMETRY.enabled
+        assert TELEMETRY.registry.names() == []

@@ -1,0 +1,96 @@
+"""Campaign engine benchmark: cold/warm cache and 1-vs-N-job timings.
+
+The paper's §5.4 point is that the benchmarking campaign dominates
+everything (two days of GPU time); this harness records what the runtime
+subsystem buys back:
+
+- ``cold@jobs=1``   — the serial baseline campaign
+- ``cold@jobs=N``   — the process-pool campaign (``REPRO_BENCH_JOBS``,
+  default 4; speedup is bounded by the machine's core count)
+- ``store``         — cold campaign that also persists artifacts
+- ``warm``          — a run served entirely from the artifact cache
+
+Artifacts are asserted byte-identical across every variant — the
+determinism contract is part of what is being benchmarked.
+
+Run directly (``python benchmarks/bench_campaign_parallel.py``) or via
+``pytest benchmarks/bench_campaign_parallel.py -s``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.data import build_experiment_data
+
+
+def _jobs() -> int:
+    return int(os.environ.get("REPRO_BENCH_JOBS", "4"))
+
+
+def _config() -> ExperimentConfig:
+    size = os.environ.get("REPRO_BENCH_SIZE")
+    if size is None:
+        return ExperimentConfig.paper()
+    return ExperimentConfig.paper(collection_size=int(size))
+
+
+def run_campaign_bench(config: ExperimentConfig | None = None) -> dict[str, float]:
+    """Time the campaign variants; returns {variant: seconds}."""
+    config = config or _config()
+    jobs = _jobs()
+    timings: dict[str, float] = {}
+
+    def timed(variant: str, **kwargs):
+        start = time.perf_counter()
+        data = build_experiment_data(config, use_cache=False, **kwargs)
+        timings[variant] = time.perf_counter() - start
+        return data
+
+    serial = timed("cold@jobs=1", jobs=1)
+    parallel = timed(f"cold@jobs={jobs}", jobs=jobs)
+    assert serial.features.values.tobytes() == parallel.features.values.tobytes()
+    for arch in serial.arch_names:
+        np.testing.assert_array_equal(
+            serial.datasets[arch].labels, parallel.datasets[arch].labels
+        )
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        stored = timed("cold+store", jobs=jobs, cache_dir=tmp)
+        warm = timed("warm", jobs=jobs, cache_dir=tmp)
+        assert warm.features.values.tobytes() == stored.features.values.tobytes()
+        for arch in stored.arch_names:
+            np.testing.assert_array_equal(
+                stored.datasets[arch].labels, warm.datasets[arch].labels
+            )
+
+    return timings
+
+
+def print_report(timings: dict[str, float]) -> None:
+    cold = timings["cold@jobs=1"]
+    print()
+    print(f"{'variant':<14} {'seconds':>9} {'vs cold@jobs=1':>15}")
+    for variant, seconds in timings.items():
+        rel = cold / seconds if seconds > 0 else float("inf")
+        print(f"{variant:<14} {seconds:9.2f} {rel:14.2f}x")
+
+
+def test_campaign_parallel_and_cache_timings():
+    timings = run_campaign_bench()
+    print_report(timings)
+    # The warm run replays pickled artifacts; anything close to campaign
+    # cost means the cache is broken.  (The parallel-speedup numbers are
+    # reported, not asserted: they depend on the machine's core count.)
+    assert timings["warm"] < 0.5 * timings["cold@jobs=1"]
+
+
+if __name__ == "__main__":
+    print_report(run_campaign_bench())
+    sys.exit(0)

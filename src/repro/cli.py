@@ -9,10 +9,16 @@ Subcommands:
 - ``predict <file.mtx> --model selector.npz`` — format recommendation.
 - ``tables [--small] [--only table3 ...]`` — regenerate the paper tables.
 - ``stats <trace.jsonl>`` — hot-path report from a ``--profile`` trace.
+- ``cache info|clear`` — inspect or purge the campaign artifact cache.
 
 Every subcommand accepts ``--profile [PATH]``: telemetry is switched on
 for the run, and on exit the span tree plus a metrics snapshot is printed
 to stderr (and the Chrome-trace JSONL written to PATH when given).
+
+The campaign subcommands (``train``, ``tables``) accept ``--jobs N``
+(process-pool fan-out; results are bit-identical for any N) and
+``--cache-dir PATH`` (persist campaign artifacts so warm runs skip the
+campaign; also settable via ``$REPRO_CACHE_DIR``).
 
 Run ``python -m repro <subcommand> --help`` for options.
 """
@@ -26,10 +32,8 @@ import numpy as np
 
 from repro._version import __version__
 from repro.core.deploy import FrozenSelector, freeze
-from repro.core.labeling import build_labeled_dataset
 from repro.core.semisupervised import ClusterFormatSelector
-from repro.datasets import build_collection
-from repro.features import FEATURE_NAMES, extract_features, extract_features_collection
+from repro.features import FEATURE_NAMES, extract_features
 from repro.formats import read_matrix_market
 from repro.gpu import ARCHITECTURES, GPUSimulator
 
@@ -64,15 +68,23 @@ def _cmd_benchmark(args: argparse.Namespace) -> int:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
-    print(f"building {args.size}-matrix collection (seed {args.seed}) ...")
-    collection = build_collection(seed=args.seed, size=args.size)
-    features = extract_features_collection(collection.records)
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.data import build_experiment_data
+
     arch = ARCHITECTURES[args.arch]
+    print(f"building {args.size}-matrix collection (seed {args.seed}) ...")
     print(f"benchmarking on simulated {arch.model} ...")
-    sim = GPUSimulator(arch, trials=args.trials, seed=args.seed)
-    dataset = build_labeled_dataset(
-        args.arch, features, sim.benchmark_collection(collection.records)
+    # Route through the shared campaign builder: --jobs fans the work out
+    # and --cache-dir makes repeat invocations skip the campaign.
+    config = ExperimentConfig(
+        collection_size=args.size,
+        augment_copies=0,
+        trials=args.trials,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
     )
+    dataset = build_experiment_data(config).datasets[args.arch]
     print(f"training K-Means-{args.labeler.upper()} "
           f"(NC={args.clusters}) on {len(dataset)} matrices ...")
     selector = ClusterFormatSelector(
@@ -108,7 +120,45 @@ def _cmd_tables(args: argparse.Namespace) -> int:
         forwarded += ["--only", *args.only]
     if args.markdown:
         forwarded += ["--markdown", args.markdown]
+    forwarded += ["--jobs", str(args.jobs)]
+    if args.cache_dir:
+        forwarded += ["--cache-dir", args.cache_dir]
     return runner_main(forwarded)
+
+
+def _resolve_cache_dir(args: argparse.Namespace) -> str | None:
+    from repro.runtime import default_cache_dir
+
+    return args.cache_dir or default_cache_dir()
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.runtime import ArtifactCache
+
+    cache_dir = _resolve_cache_dir(args)
+    if cache_dir is None:
+        print(
+            "repro cache: no cache directory (pass --cache-dir or set "
+            "$REPRO_CACHE_DIR)",
+            file=sys.stderr,
+        )
+        return 2
+    cache = ArtifactCache(cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached campaign(s) from {cache_dir}")
+        return 0
+    info = cache.info()
+    print(f"cache root : {info['root']}")
+    print(f"entries    : {info['entries']}")
+    print(f"total size : {info['bytes'] / 1e6:.1f} MB")
+    for meta in cache.entries():
+        key = str(meta.get("key", "?"))[:16]
+        n = meta.get("n_matrices", "?")
+        size_mb = int(meta.get("bytes", 0)) / 1e6
+        cfg = meta.get("config", {})
+        print(f"  {key}…  {n} matrices  {size_mb:.1f} MB  {cfg}")
+    return 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -150,6 +200,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable telemetry; dump span tree + metrics on exit "
              "(and write a Chrome-trace JSONL to PATH when given)",
     )
+    # Shared by the campaign-running subcommands (train, tables).
+    campaign_parent = argparse.ArgumentParser(add_help=False)
+    campaign_parent.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the campaign fan-outs (0 = all "
+             "cores); results are identical for any value",
+    )
+    campaign_parent.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="persist campaign artifacts under PATH (warm runs skip "
+             "the campaign; default $REPRO_CACHE_DIR, else off)",
+    )
+
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("features", parents=[profile_parent],
@@ -165,7 +228,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_benchmark)
 
-    p = sub.add_parser("train", parents=[profile_parent],
+    p = sub.add_parser("train", parents=[profile_parent, campaign_parent],
                        help="train and freeze a selector")
     p.add_argument("--size", type=int, default=200)
     p.add_argument("--arch", choices=sorted(ARCHITECTURES), default="volta")
@@ -182,12 +245,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", required=True, help="frozen selector .npz")
     p.set_defaults(func=_cmd_predict)
 
-    p = sub.add_parser("tables", parents=[profile_parent],
+    p = sub.add_parser("tables", parents=[profile_parent, campaign_parent],
                        help="regenerate the paper's tables")
     p.add_argument("--small", action="store_true")
     p.add_argument("--only", nargs="*", default=None)
     p.add_argument("--markdown", default=None)
     p.set_defaults(func=_cmd_tables)
+
+    p = sub.add_parser("cache", parents=[profile_parent],
+                       help="inspect or purge the campaign artifact cache")
+    p.add_argument("action", choices=("info", "clear"))
+    p.add_argument("--cache-dir", default=None, metavar="PATH",
+                   help="cache directory (default $REPRO_CACHE_DIR)")
+    p.set_defaults(func=_cmd_cache)
 
     p = sub.add_parser("stats",
                        help="aggregate a --profile trace into a hot-path "

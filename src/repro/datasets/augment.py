@@ -12,6 +12,27 @@ from __future__ import annotations
 import numpy as np
 
 from repro.datasets.generators import MatrixRecord
+from repro.obs import TELEMETRY
+from repro.runtime.parallel import parallel_map
+
+
+def _apply_permutation(
+    task: tuple[MatrixRecord, np.ndarray | None, np.ndarray | None, str],
+) -> MatrixRecord:
+    """Picklable work unit: apply pre-drawn permutations to one record.
+
+    Drawing the permutations happens serially in the parent (one shared
+    RNG stream), so only the expensive ``permute`` — the COO rebuild and
+    re-sort — runs in the pool, and results match the serial path
+    bit-for-bit.
+    """
+    rec, row_perm, col_perm, name = task
+    return MatrixRecord(
+        name=name,
+        family=rec.family,
+        matrix=rec.matrix.permute(row_perm, col_perm),
+        params={**rec.params, "augmented_from": rec.name},
+    )
 
 
 def permutation_augment(
@@ -20,6 +41,7 @@ def permutation_augment(
     seed: int = 7,
     permute_rows: bool = True,
     permute_cols: bool = True,
+    jobs: int = 1,
 ) -> list[MatrixRecord]:
     """Return the originals followed by ``copies`` permuted variants each.
 
@@ -29,18 +51,17 @@ def permutation_augment(
     to densify the training distribution.
     """
     rng = np.random.default_rng(seed)
-    out = list(records)
+    tasks: list[tuple[MatrixRecord, np.ndarray | None, np.ndarray | None, str]] = []
     for rec in records:
         for c in range(copies):
             m = rec.matrix
             row_perm = rng.permutation(m.nrows) if permute_rows else None
             col_perm = rng.permutation(m.ncols) if permute_cols else None
-            out.append(
-                MatrixRecord(
-                    name=f"{rec.name}_perm{c}",
-                    family=rec.family,
-                    matrix=m.permute(row_perm, col_perm),
-                    params={**rec.params, "augmented_from": rec.name},
-                )
-            )
-    return out
+            tasks.append((rec, row_perm, col_perm, f"{rec.name}_perm{c}"))
+    with TELEMETRY.span(
+        "datasets.permutation_augment", n_tasks=len(tasks), jobs=jobs
+    ):
+        augmented = parallel_map(
+            _apply_permutation, tasks, jobs=jobs, label="datasets.augment"
+        )
+    return list(records) + augmented

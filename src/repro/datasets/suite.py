@@ -11,12 +11,14 @@ one).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Iterator, Sequence
 
 import numpy as np
 
 from repro.datasets.generators import GENERATORS, MatrixRecord
 from repro.obs import TELEMETRY
+from repro.runtime.parallel import parallel_map
 
 #: Relative weight of each family in the collection.  Skewed families are
 #: weighted so the induced label distribution is CSR-heavy with meaningful
@@ -157,16 +159,46 @@ class SyntheticCollection:
         )
 
 
+def _generate_record(
+    task: tuple[int, np.random.SeedSequence],
+    families: tuple[str, ...],
+    weights: np.ndarray,
+) -> MatrixRecord:
+    """Picklable per-matrix work unit.
+
+    ``task`` carries the matrix index and its own spawned
+    :class:`~numpy.random.SeedSequence`, so generation is a pure function
+    of the task — the determinism seam the parallel engine relies on.
+    ``default_rng`` of a spawned SeedSequence is bit-identical to the
+    Generator that ``master.spawn(size)[i]`` would produce.
+    """
+    index, seed_seq = task
+    child = np.random.default_rng(seed_seq)
+    family = str(
+        child.choice(np.asarray(families, dtype=object), p=weights)
+    )
+    params = _sample_params(family, child)
+    matrix = GENERATORS[family](child, **params)
+    return MatrixRecord(
+        name=f"{family}_{index:05d}",
+        family=family,
+        matrix=matrix,
+        params=params,
+    )
+
+
 def build_collection(
     seed: int = 20210809,  # the workshop's opening date
     size: int = 400,
     families: Sequence[str] | None = None,
+    jobs: int = 1,
 ) -> SyntheticCollection:
     """Build a deterministic collection of ``size`` matrices.
 
     Family draws follow :data:`FAMILY_WEIGHTS`; each matrix gets its own
-    child generator, so changing ``size`` only appends/truncates rather
-    than reshuffling earlier matrices.
+    child seed, so changing ``size`` only appends/truncates rather than
+    reshuffling earlier matrices — and, with ``jobs > 1``, matrices are
+    generated by a process pool with bit-identical results.
     """
     if families is None:
         families = list(GENERATORS)
@@ -174,23 +206,17 @@ def build_collection(
         [FAMILY_WEIGHTS.get(f, 1.0) for f in families], dtype=float
     )
     weights /= weights.sum()
-    master = np.random.default_rng(seed)
-    child_seeds = master.spawn(size)
-    records: list[MatrixRecord] = []
-    with TELEMETRY.span("datasets.build_collection", size=size):
-        for i, child in enumerate(child_seeds):
-            family = str(
-                child.choice(np.asarray(families, dtype=object), p=weights)
-            )
-            params = _sample_params(family, child)
-            matrix = GENERATORS[family](child, **params)
-            records.append(
-                MatrixRecord(
-                    name=f"{family}_{i:05d}",
-                    family=family,
-                    matrix=matrix,
-                    params=params,
-                )
-            )
+    child_seeds = np.random.SeedSequence(seed).spawn(size)
+    with TELEMETRY.span("datasets.build_collection", size=size, jobs=jobs):
+        records = parallel_map(
+            partial(
+                _generate_record,
+                families=tuple(families),
+                weights=weights,
+            ),
+            list(enumerate(child_seeds)),
+            jobs=jobs,
+            label="datasets.generate",
+        )
         TELEMETRY.inc("datasets.matrices_generated", size)
     return SyntheticCollection(records, seed=seed)

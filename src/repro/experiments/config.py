@@ -8,6 +8,7 @@ the synthetic collection, while ``small()`` keeps CI/test runs fast.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 
 def _default_nc_grid() -> tuple[int, ...]:
@@ -18,7 +19,17 @@ def _default_nc_grid() -> tuple[int, ...]:
 
 @dataclass(frozen=True)
 class ExperimentConfig:
-    """Knobs shared by every experiment table."""
+    """Knobs shared by every experiment table.
+
+    Two kinds of fields live here:
+
+    - *Science* knobs (sizes, seeds, trials, folds…) that determine the
+      numbers in every table.
+    - *Execution* knobs (``jobs``, ``cache_dir``) that only control how
+      fast the campaign runs and where its artifacts persist.  They are
+      excluded from :meth:`campaign_fields` because, by the determinism
+      contract, they must not change any result.
+    """
 
     collection_size: int = 400
     augment_copies: int = 1
@@ -30,19 +41,43 @@ class ExperimentConfig:
     nc_grid: tuple[int, ...] = field(default_factory=_default_nc_grid)
     #: Fraction of each dataset held out for transfer-test evaluation.
     transfer_test_fraction: float = 0.3
+    #: Worker processes for the campaign fan-outs (1 = serial inline,
+    #: 0 = one per CPU core).  Must not affect any computed value.
+    jobs: int = 1
+    #: Directory of the persistent artifact cache (None = disk cache off).
+    cache_dir: str | None = None
+
+    def campaign_fields(self) -> dict[str, Any]:
+        """The fields the benchmarking-campaign artifacts depend on.
+
+        This is the configuration half of the artifact-cache key: only
+        knobs that change the generated matrices, their features, or
+        their benchmark results belong here.  Analysis knobs (fold
+        counts, NC grids, transfer fractions) and execution knobs
+        (``jobs``, ``cache_dir``) deliberately do not, so those runs
+        share one cached campaign.
+        """
+        return {
+            "collection_size": self.collection_size,
+            "augment_copies": self.augment_copies,
+            "trials": self.trials,
+            "seed": self.seed,
+        }
 
     @classmethod
-    def small(cls) -> "ExperimentConfig":
+    def small(cls, **overrides: Any) -> "ExperimentConfig":
         """Fast preset for tests: ~5x smaller than the benchmark preset."""
-        return cls(
+        defaults: dict[str, Any] = dict(
             collection_size=120,
             augment_copies=0,
             trials=5,
             n_folds=3,
             nc_grid=(15, 30),
         )
+        defaults.update(overrides)
+        return cls(**defaults)
 
     @classmethod
-    def paper(cls) -> "ExperimentConfig":
+    def paper(cls, **overrides: Any) -> "ExperimentConfig":
         """Benchmark-harness preset (regenerates every table)."""
-        return cls()
+        return cls(**overrides)

@@ -3,21 +3,44 @@
 Everything downstream of the simulated benchmarking campaign — features,
 per-architecture labels, common subsets — is deterministic in the
 configuration, so one build is shared by all tables and benches.
+
+Two layers make repeat builds cheap:
+
+- an in-process memo keyed by the campaign's content address, and
+- the persistent :class:`~repro.runtime.cache.ArtifactCache` (opt-in via
+  ``cache_dir`` / ``--cache-dir`` / ``$REPRO_CACHE_DIR``), which lets a
+  warm ``repro tables`` run skip the campaign entirely.
+
+The campaign fan-outs (generation, permutation, stats, per-architecture
+benchmarking) all run through :func:`repro.runtime.parallel.parallel_map`,
+so ``jobs=8`` produces byte-identical artifacts to ``jobs=1``: every work
+unit carries its own spawned seed or name-keyed noise stream.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from functools import partial
+from typing import Any
 
 from repro.core.labeling import LabeledDataset, build_labeled_dataset, common_subset
 from repro.datasets import build_collection, permutation_augment
 from repro.datasets.generators import MatrixRecord
 from repro.experiments.config import ExperimentConfig
-from repro.features import extract_features_collection
-from repro.features.stats import MatrixStats, compute_stats
+from repro.features import stats_for_record
+from repro.features.extract import FEATURE_NAMES, features_from_stats_batch
+from repro.features.stats import MatrixStats
 from repro.features.table import FeatureTable
 from repro.gpu import ARCHITECTURES, GPUSimulator
-from repro.gpu.simulator import BenchmarkResult
+from repro.gpu.simulator import BenchmarkResult, _benchmark_unit
+from repro.obs import TELEMETRY
+from repro.runtime import (
+    ArtifactCache,
+    artifact_key,
+    code_fingerprint,
+    default_cache_dir,
+    parallel_map,
+)
 
 
 @dataclass
@@ -25,7 +48,6 @@ class ExperimentData:
     """Everything the table generators consume."""
 
     config: ExperimentConfig
-    records: list[MatrixRecord]
     stats: list[MatrixStats]
     features: FeatureTable
     #: arch name → benchmark results (all matrices, incl. excluded ones).
@@ -34,51 +56,226 @@ class ExperimentData:
     datasets: dict[str, LabeledDataset]
     #: arch name → dataset restricted to the cross-arch common subset.
     common: dict[str, LabeledDataset]
+    #: Generated matrices; ``None`` after a warm-cache load (matrices are
+    #: deliberately not persisted — they dwarf every other artifact) and
+    #: regenerated on first access via :attr:`records`.
+    _records: list[MatrixRecord] | None = None
+
+    @property
+    def records(self) -> list[MatrixRecord]:
+        """The generated matrix records, rebuilding them if needed.
+
+        Warm-cache loads start without matrices; consumers that need the
+        raw structures (the CNN density images of Tables 6/9) trigger a
+        generation-only rebuild — no stats or benchmarking re-runs.
+        """
+        if self._records is None:
+            with TELEMETRY.span("experiments.records_rebuild"):
+                self._records = _build_records(self.config, self.config.jobs)
+        return self._records
 
     @property
     def arch_names(self) -> list[str]:
         return list(self.datasets)
 
 
-_CACHE: dict[ExperimentConfig, ExperimentData] = {}
+#: In-process memo: campaign content address → built data.
+_CACHE: dict[str, ExperimentData] = {}
+
+
+def campaign_key(config: ExperimentConfig) -> str:
+    """Content address of this configuration's campaign artifacts."""
+    return artifact_key(config.campaign_fields())
+
+
+def _build_records(config: ExperimentConfig, jobs: int) -> list[MatrixRecord]:
+    """Generation (+ augmentation) only: the matrices of the campaign."""
+    collection = build_collection(
+        seed=config.seed, size=config.collection_size, jobs=jobs
+    )
+    if not config.augment_copies:
+        return list(collection.records)
+    return permutation_augment(
+        collection.records,
+        copies=config.augment_copies,
+        seed=config.seed,
+        jobs=jobs,
+    )
+
+
+def _benchmark_all_architectures(
+    records: list[MatrixRecord],
+    stats: list[MatrixStats],
+    config: ExperimentConfig,
+    jobs: int,
+) -> dict[str, list[BenchmarkResult]]:
+    """Benchmark every (architecture, matrix) pair through one pool.
+
+    The three architectures' loops are flattened into a single item list
+    so they run concurrently instead of one pool drain per architecture.
+    Results are re-grouped per architecture in record order.
+    """
+    sims = {
+        name: GPUSimulator(arch, trials=config.trials, seed=config.seed)
+        for name, arch in ARCHITECTURES.items()
+    }
+    items: list[tuple[str, tuple[str, MatrixStats]]] = [
+        (arch_name, (rec.name, st))
+        for arch_name in sims
+        for rec, st in zip(records, stats)
+    ]
+    with TELEMETRY.span(
+        "experiments.benchmark_all",
+        n_arches=len(sims),
+        n_matrices=len(records),
+        jobs=jobs,
+    ):
+        flat = parallel_map(
+            partial(_arch_benchmark_unit, sims),
+            items,
+            jobs=jobs,
+            label="experiments.benchmark",
+        )
+    n = len(records)
+    return {
+        arch_name: flat[i * n : (i + 1) * n]
+        for i, arch_name in enumerate(sims)
+    }
+
+
+def _arch_benchmark_unit(
+    sims: dict[str, GPUSimulator], item: tuple[str, tuple[str, MatrixStats]]
+) -> BenchmarkResult:
+    """Picklable work unit: one (architecture, matrix) simulation."""
+    arch_name, pair = item
+    return _benchmark_unit(sims[arch_name], pair)
+
+
+def _campaign_artifact(data: ExperimentData) -> dict[str, Any]:
+    """The persistable campaign outputs (everything but the matrices)."""
+    return {
+        "names": list(data.features.names),
+        "feature_names": list(data.features.feature_names),
+        "features": data.features.values,
+        "stats": data.stats,
+        "results": data.results,
+    }
+
+
+def _data_from_artifact(
+    config: ExperimentConfig, artifact: dict[str, Any]
+) -> ExperimentData:
+    """Reassemble :class:`ExperimentData` from cached campaign outputs.
+
+    Labeling and subsetting are recomputed (they are cheap and pure in
+    the cached results); the matrices themselves stay lazy.
+    """
+    features = FeatureTable(
+        names=list(artifact["names"]),
+        feature_names=list(artifact["feature_names"]),
+        values=artifact["features"],
+    )
+    results: dict[str, list[BenchmarkResult]] = artifact["results"]
+    datasets = {
+        arch: build_labeled_dataset(arch, features, res)
+        for arch, res in results.items()
+    }
+    return ExperimentData(
+        config=config,
+        stats=artifact["stats"],
+        features=features,
+        results=results,
+        datasets=datasets,
+        common=common_subset(datasets),
+        _records=None,
+    )
 
 
 def build_experiment_data(
-    config: ExperimentConfig | None = None, use_cache: bool = True
+    config: ExperimentConfig | None = None,
+    use_cache: bool = True,
+    jobs: int | None = None,
+    cache_dir: str | None = None,
 ) -> ExperimentData:
-    """Run the simulated benchmarking campaign for ``config``."""
+    """Run the simulated benchmarking campaign for ``config``.
+
+    Parameters
+    ----------
+    config
+        Experiment configuration (default: the paper preset).
+    use_cache
+        Consult/populate the in-process memo.
+    jobs
+        Worker processes for the campaign fan-outs; ``None`` defers to
+        ``config.jobs``.  Never changes any computed value.
+    cache_dir
+        Persistent artifact-cache directory; ``None`` defers to
+        ``config.cache_dir``, then ``$REPRO_CACHE_DIR``, else the disk
+        cache stays off.
+    """
     if config is None:
         config = ExperimentConfig()
-    if use_cache and config in _CACHE:
-        return _CACHE[config]
-    collection = build_collection(
-        seed=config.seed, size=config.collection_size
-    )
-    records = (
-        permutation_augment(
-            collection.records, copies=config.augment_copies, seed=config.seed
-        )
-        if config.augment_copies
-        else list(collection.records)
-    )
-    stats = [compute_stats(r.matrix) for r in records]
-    features = extract_features_collection(records, stats)
-    results: dict[str, list[BenchmarkResult]] = {}
-    datasets: dict[str, LabeledDataset] = {}
-    for name, arch in ARCHITECTURES.items():
-        sim = GPUSimulator(arch, trials=config.trials, seed=config.seed)
-        res = sim.benchmark_collection(records, stats)
-        results[name] = res
-        datasets[name] = build_labeled_dataset(name, features, res)
+    jobs = config.jobs if jobs is None else jobs
+    if cache_dir is None:
+        cache_dir = config.cache_dir or default_cache_dir()
+    key = campaign_key(config)
+
+    if use_cache and key in _CACHE:
+        cached = _CACHE[key]
+        # The memo is keyed on campaign fields only; rebind analysis
+        # knobs (fold counts, NC grids...) to the caller's config.
+        return cached if cached.config == config else replace(cached, config=config)
+
+    disk = ArtifactCache(cache_dir) if cache_dir else None
+    if disk is not None:
+        artifact = disk.load(key)
+        if artifact is not None:
+            data = _data_from_artifact(config, artifact)
+            if use_cache:
+                _CACHE[key] = data
+            return data
+
+    with TELEMETRY.span(
+        "experiments.campaign",
+        collection_size=config.collection_size,
+        jobs=jobs,
+    ):
+        records = _build_records(config, jobs)
+        with TELEMETRY.span("experiments.stats", n_matrices=len(records)):
+            stats = parallel_map(
+                stats_for_record, records, jobs=jobs, label="experiments.stats"
+            )
+        with TELEMETRY.span("experiments.features"):
+            features = FeatureTable(
+                names=[r.name for r in records],
+                feature_names=list(FEATURE_NAMES),
+                values=features_from_stats_batch(stats),
+            )
+        results = _benchmark_all_architectures(records, stats, config, jobs)
+        datasets = {
+            arch: build_labeled_dataset(arch, features, res)
+            for arch, res in results.items()
+        }
     data = ExperimentData(
         config=config,
-        records=records,
         stats=stats,
         features=features,
         results=results,
         datasets=datasets,
         common=common_subset(datasets),
+        _records=records,
     )
+    if disk is not None:
+        disk.store(
+            key,
+            _campaign_artifact(data),
+            meta={
+                "config": config.campaign_fields(),
+                "fingerprint": code_fingerprint(),
+                "n_matrices": len(records),
+                "arches": list(results),
+            },
+        )
     if use_cache:
-        _CACHE[config] = data
+        _CACHE[key] = data
     return data

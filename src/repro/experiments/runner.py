@@ -11,6 +11,7 @@ Prints every table and optionally writes a Markdown report.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
 from repro.experiments import (
@@ -81,8 +82,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--markdown", default=None, help="also write a Markdown report here"
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the campaign (0 = all cores; results "
+             "are identical for any value)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="persist campaign artifacts here (warm runs skip the "
+             "campaign; default: $REPRO_CACHE_DIR or off)",
+    )
     args = parser.parse_args(argv)
     config = ExperimentConfig.small() if args.small else ExperimentConfig.paper()
+    config = dataclasses.replace(
+        config, jobs=args.jobs, cache_dir=args.cache_dir
+    )
     run_all(config, only=args.only, markdown_path=args.markdown)
     return 0
 

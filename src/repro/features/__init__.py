@@ -5,6 +5,9 @@ from repro.features.extract import (
     FEATURE_NAMES,
     extract_features,
     extract_features_collection,
+    features_from_stats,
+    features_from_stats_batch,
+    stats_for_record,
 )
 from repro.features.stats import MatrixStats
 from repro.features.table import FeatureTable
@@ -15,4 +18,7 @@ __all__ = [
     "MatrixStats",
     "extract_features",
     "extract_features_collection",
+    "features_from_stats",
+    "features_from_stats_batch",
+    "stats_for_record",
 ]

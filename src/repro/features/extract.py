@@ -15,6 +15,7 @@ from repro.features.stats import MatrixStats, compute_stats
 from repro.features.table import FeatureTable
 from repro.formats.coo import COOMatrix
 from repro.obs import TELEMETRY
+from repro.runtime.parallel import parallel_map
 
 #: Feature order follows Table 1 of the paper.
 FEATURE_NAMES: tuple[str, ...] = (
@@ -85,6 +86,83 @@ def features_from_stats(stats: MatrixStats) -> np.ndarray:
     )
 
 
+def stats_for_record(record: MatrixRecord) -> MatrixStats:
+    """Picklable work unit: the structural pass for one record.
+
+    This is what ``parallel_map`` ships to worker processes during the
+    campaign's stats fan-out; ``compute_stats`` is pure, so results are
+    identical for any worker count.
+    """
+    return compute_stats(record.matrix)
+
+
+def features_from_stats_batch(stats: list[MatrixStats]) -> np.ndarray:
+    """Feature matrix (n × 21, Table-1 order) for a whole stats batch.
+
+    Derivation is vectorised across the batch: the scalar columns are
+    assembled as arrays and combined with numpy ops instead of building
+    one 21-vector per matrix and ``np.vstack``-ing.  Only ``sig_lower`` /
+    ``sig_higher`` keep a per-matrix pass (they reduce each matrix's
+    row-length distribution).  Values are bit-identical to stacking
+    :func:`features_from_stats` row by row.
+    """
+    n = len(stats)
+    if n == 0:
+        return np.empty((0, len(FEATURE_NAMES)), dtype=np.float64)
+    as_f64 = lambda attr: np.array(  # noqa: E731 - local column helper
+        [getattr(s, attr) for s in stats], dtype=np.float64
+    )
+    nrows = as_f64("nrows")
+    ncols = as_f64("ncols")
+    nnz = as_f64("nnz")
+    min_row = as_f64("min_row")
+    max_row = as_f64("max_row")
+    # mean/std go through the same cached scalar the per-matrix path uses.
+    mu = as_f64("mean_row")
+    sigma = as_f64("std_row")
+    dia_size = as_f64("dia_size")
+    ell_size = as_f64("ell_padded")
+
+    sig_lower = np.empty(n, dtype=np.float64)
+    sig_higher = np.empty(n, dtype=np.float64)
+    for i, s in enumerate(stats):
+        lengths = s.row_lengths.astype(np.float64)
+        m = s.mean_row
+        sig_lower[i] = _rms(m - lengths[lengths < m])
+        sig_higher[i] = _rms(lengths[lengths > m] - m)
+
+    def _guarded_ratio(num: np.ndarray, den: np.ndarray) -> np.ndarray:
+        out = np.zeros(n, dtype=np.float64)
+        nz = den != 0
+        out[nz] = num[nz] / den[nz]
+        return out
+
+    columns = [
+        nrows,
+        ncols,
+        nnz,
+        nnz / (nrows * ncols),
+        mu,
+        min_row,
+        max_row,
+        sigma,
+        max_row - mu,
+        mu - min_row,
+        as_f64("csr_max"),
+        sig_lower,
+        sig_higher,
+        as_f64("hyb_ell_slots"),
+        as_f64("hyb_coo_entries"),
+        as_f64("hyb_ell_entries"),
+        as_f64("n_diagonals"),
+        dia_size,
+        _guarded_ratio(nnz, dia_size),
+        _guarded_ratio(nnz, ell_size),
+        ell_size,
+    ]
+    return np.column_stack(columns)
+
+
 def extract_features(matrix: COOMatrix) -> np.ndarray:
     """Feature vector for a single matrix."""
     with TELEMETRY.span("features.extract"):
@@ -99,11 +177,13 @@ def extract_features(matrix: COOMatrix) -> np.ndarray:
 def extract_features_collection(
     records: list[MatrixRecord],
     stats: list[MatrixStats] | None = None,
+    jobs: int = 1,
 ) -> FeatureTable:
     """Feature table for a whole collection.
 
     ``stats`` may be shared with the GPU simulator to avoid recomputing
-    the structural pass.
+    the structural pass; with ``jobs > 1`` that pass fans out over a
+    process pool (results are identical — ``compute_stats`` is pure).
 
     With telemetry enabled the two feature groups — the O(nnz)
     structural pass (``features.stats``) and the O(1) Table-1 derivation
@@ -111,16 +191,19 @@ def extract_features_collection(
     in the ``features.matrices_per_sec`` gauge.
     """
     with TELEMETRY.span(
-        "features.extract_collection", n_matrices=len(records)
+        "features.extract_collection", n_matrices=len(records), jobs=jobs
     ) as span:
         if stats is None:
             with TELEMETRY.span("features.stats") as s:
-                stats = [compute_stats(r.matrix) for r in records]
+                stats = parallel_map(
+                    stats_for_record, records, jobs=jobs,
+                    label="features.stats",
+                )
                 TELEMETRY.gauge_set("features.stats_seconds", s.duration)
         if len(stats) != len(records):
             raise ValueError("stats and records lengths differ")
         with TELEMETRY.span("features.derive") as s:
-            values = np.vstack([features_from_stats(s_) for s_ in stats])
+            values = features_from_stats_batch(stats)
             TELEMETRY.gauge_set("features.derive_seconds", s.duration)
         TELEMETRY.inc("features.matrices", len(records))
         if TELEMETRY.enabled and span.duration > 0:

@@ -62,7 +62,10 @@ class MatrixStats:
 
     @cached_property
     def min_row(self) -> int:
-        return int(self.row_lengths.min(initial=0)) if self.nrows else 0
+        # NOT ``.min(initial=0)``: with ``initial`` the reduction includes
+        # 0 as a candidate, which always wins over non-negative lengths
+        # and would zero the Table-1 ``mu_min`` feature.
+        return int(self.row_lengths.min()) if self.row_lengths.size else 0
 
     @cached_property
     def mean_row(self) -> float:

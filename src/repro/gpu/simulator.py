@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
 
@@ -26,6 +27,7 @@ from repro.gpu.kernels import (
 )
 from repro.gpu.noise import DEFAULT_SIGMA, averaged_measurement
 from repro.obs import TELEMETRY
+from repro.runtime.parallel import parallel_map
 
 #: Table 8's relative conversion costs, normalised to one CSR SpMV:
 #: "COO 9, ELL 102, HYB 147" (adapted from prior work [39]).
@@ -153,21 +155,32 @@ class GPUSimulator:
         self,
         records: list[MatrixRecord],
         stats: list[MatrixStats] | None = None,
+        jobs: int = 1,
     ) -> list[BenchmarkResult]:
-        """Benchmark every record; ``stats`` may be precomputed and shared."""
+        """Benchmark every record; ``stats`` may be precomputed and shared.
+
+        With ``jobs > 1`` the per-matrix simulations fan out over a
+        process pool.  Noise streams are keyed by matrix name (not call
+        order), so results are identical for every worker count.
+        """
         with TELEMETRY.span(
             "gpu.benchmark_collection",
             arch=self.arch.name,
             n_matrices=len(records),
+            jobs=jobs,
         ):
             if stats is None:
-                stats = [compute_stats(r.matrix) for r in records]
+                stats = parallel_map(
+                    _stats_unit, records, jobs=jobs, label="gpu.stats"
+                )
             if len(stats) != len(records):
                 raise ValueError("stats and records lengths differ")
-            return [
-                self.benchmark_stats(rec.name, st)
-                for rec, st in zip(records, stats)
-            ]
+            return parallel_map(
+                partial(_benchmark_unit, self),
+                [(rec.name, st) for rec, st in zip(records, stats)],
+                jobs=jobs,
+                label=f"gpu.benchmark.{self.arch.name}",
+            )
 
     # -- benchmarking-campaign cost model (Table 8) --------------------------
 
@@ -179,17 +192,51 @@ class GPUSimulator:
         §5.4: time = file reading + format conversions + ``trials``
         SpMV repetitions per format.  Conversion costs use Table 8's
         relative constants (multiples of one CSR SpMV).
+
+        Vectorised over the collected times: one flat (result, format)
+        pass builds the measurement and conversion-weight arrays, and
+        two dot products replace the per-result Python loops.
         """
-        total = 0.0
-        for res in results:
-            if "csr" not in res.times:
-                continue
-            csr_time = res.times["csr"]
-            total += read_seconds
-            for fmt, t in res.times.items():
-                total += CONVERSION_COST_RELATIVE[fmt] * csr_time
-                total += self.trials * t
-        return total
+        kept = [res for res in results if "csr" in res.times]
+        if not kept:
+            return 0.0
+        csr_weights = np.array(
+            [
+                sum(CONVERSION_COST_RELATIVE[fmt] for fmt in res.times)
+                for res in kept
+            ],
+            dtype=np.float64,
+        )
+        csr_times = np.array(
+            [res.times["csr"] for res in kept], dtype=np.float64
+        )
+        all_times = np.fromiter(
+            (t for res in kept for t in res.times.values()),
+            dtype=np.float64,
+        )
+        return float(
+            len(kept) * read_seconds
+            + csr_weights @ csr_times
+            + self.trials * all_times.sum()
+        )
+
+
+def _stats_unit(record: MatrixRecord) -> MatrixStats:
+    """Picklable work unit: structural pass for one record."""
+    return compute_stats(record.matrix)
+
+
+def _benchmark_unit(
+    sim: "GPUSimulator", item: tuple[str, MatrixStats]
+) -> BenchmarkResult:
+    """Picklable work unit: simulate one (matrix, architecture) pair.
+
+    The simulator travels to the worker by pickle (it is a small bag of
+    architecture parameters); the name-keyed noise stream makes the
+    result independent of which worker runs it.
+    """
+    name, stats = item
+    return sim.benchmark_stats(name, stats)
 
 
 def label_distribution(results: list[BenchmarkResult]) -> dict[str, int]:

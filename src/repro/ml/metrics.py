@@ -126,4 +126,6 @@ def matthews_corrcoef(y_true: np.ndarray, y_pred: np.ndarray) -> float:
     denom = np.sqrt(cov_ypyp) * np.sqrt(cov_ytyt)
     if denom == 0:
         return 0.0
-    return float(cov_ytyp / denom)
+    # The sqrt rounding can push a perfect (anti-)correlation a few ulp
+    # outside the mathematical range; clamp to [-1, 1].
+    return float(min(1.0, max(-1.0, cov_ytyp / denom)))

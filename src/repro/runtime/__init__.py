@@ -1,0 +1,33 @@
+"""Campaign execution runtime: process-pool parallelism + artifact cache.
+
+Two pieces make repeated campaigns cheap:
+
+- :mod:`repro.runtime.parallel` — :func:`parallel_map`, the chunked
+  process-pool map behind every ``--jobs N`` fan-out (generation, stats,
+  benchmarking), with a zero-overhead inline path for ``jobs<=1``.
+- :mod:`repro.runtime.cache` — :class:`ArtifactCache`, a persistent
+  content-addressed store of campaign outputs keyed on configuration +
+  code fingerprint, behind ``--cache-dir``.
+"""
+
+from repro.runtime.cache import (
+    CACHE_DIR_ENV,
+    FINGERPRINT_MODULES,
+    ArtifactCache,
+    artifact_key,
+    code_fingerprint,
+    default_cache_dir,
+)
+from repro.runtime.parallel import chunk_slices, parallel_map, resolve_jobs
+
+__all__ = [
+    "ArtifactCache",
+    "CACHE_DIR_ENV",
+    "FINGERPRINT_MODULES",
+    "artifact_key",
+    "chunk_slices",
+    "code_fingerprint",
+    "default_cache_dir",
+    "parallel_map",
+    "resolve_jobs",
+]

@@ -1,0 +1,228 @@
+"""Persistent, content-addressed cache for campaign artifacts.
+
+The benchmarking campaign is the dominant cost of every run (the paper's
+§5.4 / Table 8 point: two days of GPU time before any model training
+starts), yet its outputs are a pure function of the experiment
+configuration and the code that produces them.  This module caches those
+outputs on disk so a warm ``repro tables`` run skips the campaign
+entirely.
+
+**Keying.**  An entry's key is the SHA-256 of
+
+- the campaign-relevant configuration fields (collection size,
+  augmentation copies, trials, seed — *not* analysis knobs like fold
+  counts, and *not* execution knobs like ``jobs``), and
+- a *code fingerprint*: the hash of the source files of every module
+  involved in producing the artifacts (generators, stats, features,
+  kernel models, simulator, labeling).
+
+Editing any producing module changes the fingerprint, which changes the
+key, which orphans the stale entry — invalidation is automatic and
+conservative.  ``repro cache clear`` removes entries explicitly.
+
+**Layout.**  ``<root>/<key>/artifact.pkl`` (pickled payload) plus
+``<root>/<key>/meta.json`` (human-readable provenance: config fields,
+fingerprint, creation time, sizes).  Writes go through a temp file and
+``os.replace`` so readers never observe a half-written artifact.
+
+Telemetry: ``runtime.cache.hits`` / ``.misses`` / ``.stores`` /
+``.errors`` counters, incremented in the calling process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+import os
+import pickle
+import shutil
+import tempfile
+import time
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.obs import TELEMETRY
+
+#: Bump when the artifact payload layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Environment variable consulted when no ``--cache-dir`` is given.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Modules whose source participates in the campaign-code fingerprint:
+#: everything between "a seed" and "features + benchmark results".
+FINGERPRINT_MODULES: tuple[str, ...] = (
+    "repro.datasets.generators",
+    "repro.datasets.suite",
+    "repro.datasets.augment",
+    "repro.formats.base",
+    "repro.formats.coo",
+    "repro.formats.ell",
+    "repro.formats.hyb",
+    "repro.features.stats",
+    "repro.features.extract",
+    "repro.features.table",
+    "repro.gpu.arch",
+    "repro.gpu.kernels",
+    "repro.gpu.noise",
+    "repro.gpu.simulator",
+    "repro.core.labeling",
+    "repro.experiments.data",
+)
+
+_ARTIFACT_FILE = "artifact.pkl"
+_META_FILE = "meta.json"
+
+
+def default_cache_dir() -> str | None:
+    """Cache directory from ``$REPRO_CACHE_DIR``, or ``None`` (disabled).
+
+    The disk cache is strictly opt-in: without an explicit path the
+    campaign never touches the filesystem, so tests and one-off runs
+    stay hermetic.
+    """
+    path = os.environ.get(CACHE_DIR_ENV)
+    return path or None
+
+
+@lru_cache(maxsize=8)
+def code_fingerprint(modules: tuple[str, ...] = FINGERPRINT_MODULES) -> str:
+    """SHA-256 over the source bytes of ``modules`` (import order fixed).
+
+    Memoised per process: sources cannot change under a running
+    interpreter without a re-import anyway.
+    """
+    digest = hashlib.sha256()
+    for modname in modules:
+        module = importlib.import_module(modname)
+        source = getattr(module, "__file__", None)
+        digest.update(modname.encode())
+        if source and os.path.exists(source):
+            with open(source, "rb") as fh:
+                digest.update(fh.read())
+    return digest.hexdigest()
+
+
+def artifact_key(config_fields: dict[str, Any], fingerprint: str | None = None) -> str:
+    """Content address for one campaign: config fields + code fingerprint."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "config": config_fields,
+        "code": fingerprint if fingerprint is not None else code_fingerprint(),
+    }
+    blob = json.dumps(payload, sort_keys=True, default=repr).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+class ArtifactCache:
+    """Directory-backed store of pickled campaign artifacts."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    # -- paths ---------------------------------------------------------------
+
+    def entry_dir(self, key: str) -> Path:
+        return self.root / key
+
+    def _artifact_path(self, key: str) -> Path:
+        return self.entry_dir(key) / _ARTIFACT_FILE
+
+    def _meta_path(self, key: str) -> Path:
+        return self.entry_dir(key) / _META_FILE
+
+    # -- read/write ----------------------------------------------------------
+
+    def contains(self, key: str) -> bool:
+        return self._artifact_path(key).is_file()
+
+    def load(self, key: str) -> Any | None:
+        """The stored artifact, or ``None`` on a miss (or corrupt entry)."""
+        path = self._artifact_path(key)
+        if not path.is_file():
+            TELEMETRY.inc("runtime.cache.misses")
+            return None
+        try:
+            with TELEMETRY.span("runtime.cache.load", key=key[:12]):
+                with open(path, "rb") as fh:
+                    artifact = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            # A truncated or stale-code entry is a miss, not a crash: the
+            # caller rebuilds and overwrites it.
+            TELEMETRY.inc("runtime.cache.errors")
+            TELEMETRY.inc("runtime.cache.misses")
+            return None
+        TELEMETRY.inc("runtime.cache.hits")
+        return artifact
+
+    def store(self, key: str, artifact: Any, meta: dict[str, Any] | None = None) -> Path:
+        """Atomically persist ``artifact`` (and a ``meta.json`` sidecar)."""
+        entry = self.entry_dir(key)
+        entry.mkdir(parents=True, exist_ok=True)
+        with TELEMETRY.span("runtime.cache.store", key=key[:12]):
+            fd, tmp = tempfile.mkstemp(dir=entry, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(artifact, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, self._artifact_path(key))
+            except BaseException:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+                raise
+            record = {
+                "key": key,
+                "schema": SCHEMA_VERSION,
+                "created": time.time(),
+                "bytes": self._artifact_path(key).stat().st_size,
+                **(meta or {}),
+            }
+            self._meta_path(key).write_text(
+                json.dumps(record, indent=2, sort_keys=True, default=repr)
+            )
+        TELEMETRY.inc("runtime.cache.stores")
+        return self._artifact_path(key)
+
+    # -- management ----------------------------------------------------------
+
+    def entries(self) -> Iterator[dict[str, Any]]:
+        """Metadata of every entry (falling back to stat() if meta is gone)."""
+        if not self.root.is_dir():
+            return
+        for entry in sorted(self.root.iterdir()):
+            artifact = entry / _ARTIFACT_FILE
+            if not artifact.is_file():
+                continue
+            meta_path = entry / _META_FILE
+            try:
+                meta = json.loads(meta_path.read_text())
+            except (OSError, json.JSONDecodeError):
+                stat = artifact.stat()
+                meta = {
+                    "key": entry.name,
+                    "created": stat.st_mtime,
+                    "bytes": stat.st_size,
+                }
+            yield meta
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for entry in list(self.root.iterdir()):
+            if (entry / _ARTIFACT_FILE).is_file():
+                shutil.rmtree(entry)
+                removed += 1
+        return removed
+
+    def info(self) -> dict[str, Any]:
+        """Summary used by ``repro cache info``."""
+        entries = list(self.entries())
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "bytes": sum(int(e.get("bytes", 0)) for e in entries),
+            "keys": [e.get("key", "?") for e in entries],
+        }

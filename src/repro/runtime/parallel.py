@@ -1,0 +1,129 @@
+"""Chunked process-pool execution for the benchmarking campaign.
+
+The campaign's hot fan-outs — matrix generation, permutation application,
+the ``compute_stats`` pass, and simulated benchmarking — are all maps of a
+pure, seed-carrying function over an item list, so they parallelise with a
+plain process pool.  :func:`parallel_map` is the one primitive they share:
+
+- ``jobs <= 1`` is a zero-overhead inline path (a list comprehension; no
+  executor, no telemetry setup), so the serial campaign pays nothing.
+- ``jobs > 1`` splits the items into contiguous chunks, runs them on a
+  :class:`~concurrent.futures.ProcessPoolExecutor`, and reassembles the
+  results **in item order**, so output is independent of completion order.
+
+Determinism contract: the caller must make each item carry its own
+randomness (a spawned :class:`numpy.random.SeedSequence`, or a name-keyed
+noise stream) so that ``fn(item)`` is a pure function.  Under that
+contract results are bit-identical for every worker count.
+
+Worker functions must be picklable: module-level functions, optionally
+wrapped in :func:`functools.partial` with picklable arguments.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.obs import TELEMETRY
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Chunks submitted per worker: >1 smooths load imbalance between chunks
+#: (matrix sizes vary by 10x within a collection) without drowning the
+#: pool in per-item pickling round-trips.
+CHUNKS_PER_WORKER = 4
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalise a ``--jobs`` value: ``None`` → 1, ``0``/negative → all cores."""
+    if jobs is None:
+        return 1
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return int(jobs)
+
+
+def chunk_slices(
+    n_items: int, jobs: int, chunk: int | None = None
+) -> list[slice]:
+    """Contiguous slices covering ``range(n_items)`` in order.
+
+    With ``chunk=None`` the size targets :data:`CHUNKS_PER_WORKER` chunks
+    per worker.  Slices are returned in item order; reassembling chunk
+    results into the slice positions restores the exact serial ordering.
+    """
+    if n_items <= 0:
+        return []
+    if chunk is None:
+        chunk = max(1, -(-n_items // (jobs * CHUNKS_PER_WORKER)))
+    chunk = max(1, int(chunk))
+    return [slice(lo, min(lo + chunk, n_items)) for lo in range(0, n_items, chunk)]
+
+
+def _run_chunk(fn: Callable[[T], R], items: Sequence[T]) -> tuple[float, list[R]]:
+    """Worker-side chunk body: apply ``fn`` serially, report wall time."""
+    start = time.perf_counter()
+    out = [fn(item) for item in items]
+    return time.perf_counter() - start, out
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    jobs: int | None = 1,
+    chunk: int | None = None,
+    label: str = "map",
+) -> list[R]:
+    """Map ``fn`` over ``items``, preserving order, optionally in parallel.
+
+    Parameters
+    ----------
+    fn
+        Picklable single-item function (module-level, or a
+        ``functools.partial`` of one).
+    items
+        Input items; consumed eagerly.
+    jobs
+        Worker processes.  ``None``/``1`` runs inline in this process with
+        no executor or telemetry overhead; ``0`` or negative means one per
+        CPU core.
+    chunk
+        Items per submitted chunk (default: enough for
+        :data:`CHUNKS_PER_WORKER` chunks per worker).
+    label
+        Span/telemetry label for the parallel path
+        (``runtime.parallel_map`` span with ``label=...``).
+    """
+    items = items if isinstance(items, list) else list(items)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+
+    slices = chunk_slices(len(items), jobs, chunk)
+    results: list[R | None] = [None] * len(items)
+    observing = TELEMETRY.enabled
+    with TELEMETRY.span(
+        "runtime.parallel_map",
+        label=label,
+        jobs=jobs,
+        n_items=len(items),
+        n_chunks=len(slices),
+    ):
+        with ProcessPoolExecutor(max_workers=min(jobs, len(slices))) as pool:
+            futures = {
+                pool.submit(_run_chunk, fn, items[sl]): sl for sl in slices
+            }
+            for fut, sl in futures.items():
+                duration, out = fut.result()  # re-raises worker errors
+                results[sl] = out
+                if observing:
+                    TELEMETRY.inc("runtime.chunks")
+                    TELEMETRY.inc("runtime.items", len(out))
+                    TELEMETRY.observe(
+                        "runtime.chunk_seconds", duration
+                    )
+    return results  # type: ignore[return-value]

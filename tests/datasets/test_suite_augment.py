@@ -102,3 +102,39 @@ class TestPermutationAugment:
         b = permutation_augment(tiny_collection.records, copies=1, seed=9)
         for ra, rb in zip(a, b):
             np.testing.assert_array_equal(ra.matrix.rows, rb.matrix.rows)
+
+
+class TestDeterminismSeams:
+    """Properties the parallel campaign engine relies on."""
+
+    def test_size_n_is_exact_prefix_of_size_2n(self):
+        # Not just names/nnz: the structures themselves must match, or a
+        # resumable/parallel campaign could mix matrices across sizes.
+        small = build_collection(seed=11, size=8)
+        big = build_collection(seed=11, size=16)
+        for ra, rb in zip(small.records, big.records[:8]):
+            assert ra.name == rb.name
+            assert ra.family == rb.family
+            np.testing.assert_array_equal(ra.matrix.rows, rb.matrix.rows)
+            np.testing.assert_array_equal(ra.matrix.cols, rb.matrix.cols)
+            np.testing.assert_array_equal(ra.matrix.vals, rb.matrix.vals)
+
+    def test_parallel_generation_bit_identical(self):
+        serial = build_collection(seed=11, size=14, jobs=1)
+        parallel = build_collection(seed=11, size=14, jobs=2)
+        for ra, rb in zip(serial.records, parallel.records):
+            assert ra.name == rb.name
+            assert ra.params == rb.params
+            np.testing.assert_array_equal(ra.matrix.rows, rb.matrix.rows)
+            np.testing.assert_array_equal(ra.matrix.cols, rb.matrix.cols)
+            np.testing.assert_array_equal(ra.matrix.vals, rb.matrix.vals)
+
+    def test_parallel_augmentation_bit_identical(self, tiny_collection):
+        records = tiny_collection.records[:6]
+        serial = permutation_augment(records, copies=2, seed=9, jobs=1)
+        parallel = permutation_augment(records, copies=2, seed=9, jobs=2)
+        assert [r.name for r in serial] == [r.name for r in parallel]
+        for ra, rb in zip(serial, parallel):
+            np.testing.assert_array_equal(ra.matrix.rows, rb.matrix.rows)
+            np.testing.assert_array_equal(ra.matrix.cols, rb.matrix.cols)
+            np.testing.assert_array_equal(ra.matrix.vals, rb.matrix.vals)

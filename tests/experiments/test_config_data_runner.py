@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.data import _CACHE, build_experiment_data
+from repro.experiments.data import _CACHE, build_experiment_data, campaign_key
 from repro.experiments.runner import TABLE_MODULES, main, run_all
 
 
@@ -29,10 +29,11 @@ class TestDataBuilder:
 
     def test_cache_bypass(self, tiny_config):
         fresh = build_experiment_data(tiny_config, use_cache=False)
-        assert fresh is not _CACHE[tiny_config]
+        cached = _CACHE[campaign_key(tiny_config)]
+        assert fresh is not cached
         np.testing.assert_array_equal(
             fresh.datasets["volta"].labels,
-            _CACHE[tiny_config].datasets["volta"].labels,
+            cached.datasets["volta"].labels,
         )
 
     def test_augmentation_grows_records(self):

@@ -1,0 +1,162 @@
+"""The campaign's hard requirements: worker-count-independent results and
+a warm cache that re-executes zero generator/simulator work."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.data import build_experiment_data, campaign_key
+from repro.obs import TELEMETRY
+
+
+@pytest.fixture(scope="module")
+def mini_config():
+    return ExperimentConfig(
+        collection_size=30, augment_copies=1, trials=3, n_folds=2,
+        nc_grid=(4,),
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_data(mini_config):
+    return build_experiment_data(mini_config, use_cache=False, jobs=1)
+
+
+def _counter(name):
+    c = TELEMETRY.registry.get(name)
+    return 0 if c is None else c.value
+
+
+class TestJobsIdentity:
+    def test_features_byte_identical(self, mini_config, serial_data):
+        parallel = build_experiment_data(mini_config, use_cache=False, jobs=2)
+        assert serial_data.features.values.tobytes() == \
+            parallel.features.values.tobytes()
+        assert serial_data.features.names == parallel.features.names
+
+    def test_labels_and_times_identical(self, mini_config, serial_data):
+        parallel = build_experiment_data(mini_config, use_cache=False, jobs=2)
+        for arch in serial_data.arch_names:
+            np.testing.assert_array_equal(
+                serial_data.datasets[arch].labels,
+                parallel.datasets[arch].labels,
+            )
+            for a, b in zip(serial_data.results[arch], parallel.results[arch]):
+                assert a.name == b.name
+                assert a.times == b.times
+                assert a.excluded == b.excluded
+
+    def test_config_jobs_field_used_as_default(self, mini_config, serial_data):
+        import dataclasses
+
+        cfg = dataclasses.replace(mini_config, jobs=2)
+        parallel = build_experiment_data(cfg, use_cache=False)
+        assert serial_data.features.values.tobytes() == \
+            parallel.features.values.tobytes()
+
+
+class TestDiskCache:
+    def test_warm_run_identical_and_campaign_free(self, mini_config, tmp_path):
+        cache_dir = str(tmp_path / "artifacts")
+        TELEMETRY.enable()
+        TELEMETRY.reset()
+        try:
+            cold = build_experiment_data(
+                mini_config, use_cache=False, cache_dir=cache_dir
+            )
+            assert _counter("runtime.cache.misses") == 1
+            assert _counter("runtime.cache.stores") == 1
+            assert _counter("datasets.matrices_generated") > 0
+            assert _counter("gpu.benchmark_calls") > 0
+
+            TELEMETRY.reset()
+            warm = build_experiment_data(
+                mini_config, use_cache=False, cache_dir=cache_dir
+            )
+            # Zero generator/simulator work on the warm path.
+            assert _counter("runtime.cache.hits") == 1
+            assert _counter("datasets.matrices_generated") == 0
+            assert _counter("gpu.benchmark_calls") == 0
+        finally:
+            TELEMETRY.disable()
+            TELEMETRY.reset()
+
+        assert cold.features.values.tobytes() == warm.features.values.tobytes()
+        for arch in cold.arch_names:
+            np.testing.assert_array_equal(
+                cold.datasets[arch].labels, warm.datasets[arch].labels
+            )
+            np.testing.assert_array_equal(
+                cold.common[arch].labels, warm.common[arch].labels
+            )
+        assert [s.nnz for s in warm.stats] == [s.nnz for s in cold.stats]
+
+    def test_warm_records_rebuild_lazily(self, mini_config, tmp_path):
+        cache_dir = str(tmp_path / "artifacts")
+        cold = build_experiment_data(
+            mini_config, use_cache=False, cache_dir=cache_dir
+        )
+        warm = build_experiment_data(
+            mini_config, use_cache=False, cache_dir=cache_dir
+        )
+        assert warm._records is None  # matrices are not persisted
+        rebuilt = warm.records  # triggers generation-only rebuild
+        assert [r.name for r in rebuilt] == [r.name for r in cold.records]
+        assert all(
+            a.matrix.nnz == b.matrix.nnz
+            for a, b in zip(rebuilt, cold.records)
+        )
+
+    def test_corrupt_artifact_falls_back_to_rebuild(
+        self, mini_config, tmp_path
+    ):
+        from repro.runtime import ArtifactCache
+
+        cache_dir = str(tmp_path / "artifacts")
+        build_experiment_data(mini_config, use_cache=False, cache_dir=cache_dir)
+        key = campaign_key(mini_config)
+        cache = ArtifactCache(cache_dir)
+        (cache.entry_dir(key) / "artifact.pkl").write_bytes(b"garbage")
+        data = build_experiment_data(
+            mini_config, use_cache=False, cache_dir=cache_dir
+        )
+        assert len(data.features) > 0
+        # The rebuild repaired the entry.
+        assert cache.load(key) is not None
+
+
+class TestCampaignKey:
+    def test_analysis_and_execution_knobs_share_key(self, mini_config):
+        import dataclasses
+
+        variants = [
+            dataclasses.replace(mini_config, n_folds=5),
+            dataclasses.replace(mini_config, nc_grid=(8, 16)),
+            dataclasses.replace(mini_config, jobs=4),
+            dataclasses.replace(mini_config, cache_dir="/elsewhere"),
+            dataclasses.replace(mini_config, transfer_test_fraction=0.5),
+        ]
+        base = campaign_key(mini_config)
+        assert all(campaign_key(v) == base for v in variants)
+
+    def test_campaign_knobs_change_key(self, mini_config):
+        import dataclasses
+
+        base = campaign_key(mini_config)
+        assert campaign_key(dataclasses.replace(mini_config, seed=1)) != base
+        assert campaign_key(
+            dataclasses.replace(mini_config, collection_size=31)
+        ) != base
+        assert campaign_key(dataclasses.replace(mini_config, trials=4)) != base
+        assert campaign_key(
+            dataclasses.replace(mini_config, augment_copies=0)
+        ) != base
+
+    def test_memo_shared_across_analysis_knobs(self, mini_config):
+        import dataclasses
+
+        first = build_experiment_data(mini_config)
+        other = dataclasses.replace(mini_config, n_folds=5)
+        second = build_experiment_data(other)
+        assert second.config == other  # config rebound to the caller's
+        assert second.features is first.features  # campaign shared

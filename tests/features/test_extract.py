@@ -5,7 +5,7 @@ import pytest
 
 from repro.datasets.generators import banded
 from repro.features import FEATURE_NAMES, extract_features, extract_features_collection
-from repro.features.extract import features_from_stats
+from repro.features.extract import features_from_stats, features_from_stats_batch
 from repro.features.stats import compute_stats
 from repro.formats import COOMatrix
 
@@ -100,3 +100,33 @@ def test_empty_matrix_features():
     vec = features_from_stats(compute_stats(COOMatrix.empty((4, 4))))
     assert np.all(np.isfinite(vec))
     assert _f(vec, "nnz") == 0
+
+
+class TestBatchedDerivation:
+    """features_from_stats_batch must equal row-stacked features_from_stats."""
+
+    def test_bit_identical_to_per_matrix_path(self, tiny_collection):
+        stats = [compute_stats(r.matrix) for r in tiny_collection.records]
+        batch = features_from_stats_batch(stats)
+        stacked = np.vstack([features_from_stats(s) for s in stats])
+        assert batch.dtype == stacked.dtype
+        assert batch.tobytes() == stacked.tobytes()
+
+    def test_empty_batch(self):
+        out = features_from_stats_batch([])
+        assert out.shape == (0, len(FEATURE_NAMES))
+
+    def test_guarded_ratios_for_empty_matrix(self):
+        from repro.formats import COOMatrix
+
+        empty = COOMatrix((3, 3), np.array([]), np.array([]), np.array([]))
+        stats = [compute_stats(empty)]
+        batch = features_from_stats_batch(stats)
+        single = features_from_stats(stats[0])
+        np.testing.assert_array_equal(batch[0], single)
+
+    def test_parallel_stats_pass_identical(self, tiny_collection):
+        serial = extract_features_collection(tiny_collection.records, jobs=1)
+        parallel = extract_features_collection(tiny_collection.records, jobs=2)
+        assert serial.values.tobytes() == parallel.values.tobytes()
+        assert serial.names == parallel.names

@@ -86,3 +86,40 @@ def test_empty_matrix_stats():
     assert s.mean_row == 0.0
     assert s.n_diagonals == 0
     assert s.ell_convertible()
+
+
+class TestMinRowRegression:
+    """``min_row`` must be the true minimum row length, not 0.
+
+    The old implementation used ``row_lengths.min(initial=0)``, which
+    includes 0 as a reduction candidate and therefore always won against
+    non-negative lengths — silently zeroing the Table-1 ``mu_min``
+    feature for every matrix.
+    """
+
+    def test_all_rows_nonempty_matrix(self, rng):
+        m = banded(rng, n=64, bandwidth=2, density=1.0)
+        s = compute_stats(m)
+        lengths = m.row_lengths()
+        assert lengths.min() > 0  # precondition: no empty rows
+        assert s.min_row == lengths.min()
+        assert s.min_row > 0
+
+    def test_uniform_rows(self, rng):
+        m = power_law_rows(rng, nrows=200, avg_nnz_per_row=6, alpha=2.0)
+        s = compute_stats(m)
+        assert s.min_row == int(m.row_lengths().min())
+
+    def test_empty_matrix_still_zero(self):
+        m = COOMatrix((4, 4), np.array([]), np.array([]), np.array([]))
+        assert compute_stats(m).min_row == 0
+
+    def test_mu_min_feature_nonzero(self, rng):
+        from repro.features.extract import FEATURE_NAMES, features_from_stats
+
+        m = banded(rng, n=64, bandwidth=2, density=1.0)
+        vec = features_from_stats(compute_stats(m))
+        mu_min = vec[FEATURE_NAMES.index("mu_min")]
+        nnz_min = vec[FEATURE_NAMES.index("nnz_min")]
+        assert nnz_min > 0
+        assert mu_min < vec[FEATURE_NAMES.index("nnz_mu")]

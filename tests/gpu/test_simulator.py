@@ -141,3 +141,72 @@ class TestCampaignCost:
         with_reads = sim.campaign_seconds(results, read_seconds=5.0)
         runnable_csr = sum(1 for r in results if "csr" in r.times)
         assert with_reads == pytest.approx(base + 5.0 * runnable_csr)
+
+    def test_vectorised_campaign_seconds_pins_reference_loop(
+        self, tiny_collection
+    ):
+        # The reference implementation this replaced: per-result Python
+        # loops over times and conversion constants.
+        def reference(sim, results, read_seconds):
+            total = 0.0
+            for res in results:
+                if "csr" not in res.times:
+                    continue
+                csr_time = res.times["csr"]
+                total += read_seconds
+                for fmt, t in res.times.items():
+                    total += CONVERSION_COST_RELATIVE[fmt] * csr_time
+                    total += sim.trials * t
+            return total
+
+        sim = GPUSimulator(TURING, trials=25, seed=3)
+        stats = [compute_stats(r.matrix) for r in tiny_collection.records]
+        results = sim.benchmark_collection(tiny_collection.records, stats)
+        assert sim.campaign_seconds(results) == pytest.approx(
+            reference(sim, results, 5.0), rel=1e-12
+        )
+        assert sim.campaign_seconds(results, read_seconds=0.25) == pytest.approx(
+            reference(sim, results, 0.25), rel=1e-12
+        )
+
+    def test_campaign_seconds_empty_and_excluded(self):
+        sim = GPUSimulator(VOLTA, trials=10)
+        assert sim.campaign_seconds([]) == 0.0
+        no_csr = BenchmarkResult(
+            name="x", arch="volta", times={"coo": 1e-6},
+            excluded={"csr": "too big"},
+        )
+        assert sim.campaign_seconds([no_csr]) == 0.0
+
+
+class TestParallelSeams:
+    """Name-keyed noise: the property that makes benchmarking order- and
+    partition-independent, which the process-pool fan-out relies on."""
+
+    def test_subset_results_equal_full_run(self, tiny_collection):
+        sim = GPUSimulator(PASCAL, trials=6, seed=42)
+        stats = [compute_stats(r.matrix) for r in tiny_collection.records]
+        full = sim.benchmark_collection(tiny_collection.records, stats)
+        subset_idx = [11, 3, 19, 0]  # scrambled order on purpose
+        subset = [
+            sim.benchmark_stats(
+                tiny_collection.records[i].name, stats[i]
+            )
+            for i in subset_idx
+        ]
+        for res, i in zip(subset, subset_idx):
+            assert res.times == full[i].times
+            assert res.excluded == full[i].excluded
+
+    def test_parallel_benchmark_collection_identical(self, tiny_collection):
+        stats = [compute_stats(r.matrix) for r in tiny_collection.records]
+        serial = GPUSimulator(VOLTA, trials=5, seed=1).benchmark_collection(
+            tiny_collection.records, stats, jobs=1
+        )
+        parallel = GPUSimulator(VOLTA, trials=5, seed=1).benchmark_collection(
+            tiny_collection.records, stats, jobs=2
+        )
+        for a, b in zip(serial, parallel):
+            assert a.name == b.name
+            assert a.times == b.times
+            assert a.excluded == b.excluded

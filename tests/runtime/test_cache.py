@@ -1,0 +1,109 @@
+"""Persistent artifact cache: keying, roundtrips, invalidation, telemetry."""
+
+import numpy as np
+import pytest
+
+from repro.obs import TELEMETRY
+from repro.runtime.cache import (
+    ArtifactCache,
+    artifact_key,
+    code_fingerprint,
+)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ArtifactCache(tmp_path / "cache")
+
+
+@pytest.fixture
+def counters():
+    TELEMETRY.enable()
+    TELEMETRY.reset()
+    yield TELEMETRY.registry
+    TELEMETRY.disable()
+    TELEMETRY.reset()
+
+
+def _counter(registry, name):
+    c = registry.get(name)
+    return 0 if c is None else c.value
+
+
+class TestKeying:
+    def test_stable_for_equal_fields(self):
+        a = artifact_key({"seed": 1, "size": 10}, fingerprint="f")
+        b = artifact_key({"size": 10, "seed": 1}, fingerprint="f")
+        assert a == b
+
+    def test_config_fields_change_key(self):
+        a = artifact_key({"seed": 1}, fingerprint="f")
+        b = artifact_key({"seed": 2}, fingerprint="f")
+        assert a != b
+
+    def test_code_fingerprint_changes_key(self):
+        a = artifact_key({"seed": 1}, fingerprint="aaa")
+        b = artifact_key({"seed": 1}, fingerprint="bbb")
+        assert a != b
+
+    def test_fingerprint_tracks_module_sources(self):
+        full = code_fingerprint()
+        subset = code_fingerprint(("repro.features.stats",))
+        assert full != subset
+        assert subset == code_fingerprint(("repro.features.stats",))
+
+
+class TestRoundtrip:
+    def test_store_then_load(self, cache, counters):
+        payload = {"x": np.arange(5), "y": [1, 2, 3]}
+        cache.store("k1", payload, meta={"n_matrices": 5})
+        loaded = cache.load("k1")
+        np.testing.assert_array_equal(loaded["x"], payload["x"])
+        assert loaded["y"] == [1, 2, 3]
+        assert _counter(counters, "runtime.cache.stores") == 1
+        assert _counter(counters, "runtime.cache.hits") == 1
+
+    def test_miss_counts(self, cache, counters):
+        assert cache.load("absent") is None
+        assert _counter(counters, "runtime.cache.misses") == 1
+        assert _counter(counters, "runtime.cache.hits") == 0
+
+    def test_corrupt_entry_is_a_miss(self, cache, counters):
+        cache.store("k1", {"ok": True})
+        path = cache.entry_dir("k1") / "artifact.pkl"
+        path.write_bytes(b"not a pickle")
+        assert cache.load("k1") is None
+        assert _counter(counters, "runtime.cache.errors") == 1
+        assert _counter(counters, "runtime.cache.misses") == 1
+
+    def test_contains(self, cache):
+        assert not cache.contains("k")
+        cache.store("k", 42)
+        assert cache.contains("k")
+
+
+class TestManagement:
+    def test_entries_expose_meta(self, cache):
+        cache.store("k1", [1], meta={"n_matrices": 7})
+        entries = list(cache.entries())
+        assert len(entries) == 1
+        assert entries[0]["key"] == "k1"
+        assert entries[0]["n_matrices"] == 7
+        assert entries[0]["bytes"] > 0
+
+    def test_clear_removes_everything(self, cache):
+        cache.store("k1", [1])
+        cache.store("k2", [2])
+        assert cache.clear() == 2
+        assert not cache.contains("k1")
+        assert list(cache.entries()) == []
+
+    def test_clear_on_missing_root(self, tmp_path):
+        assert ArtifactCache(tmp_path / "never-created").clear() == 0
+
+    def test_info_summarises(self, cache):
+        cache.store("k1", list(range(100)))
+        info = cache.info()
+        assert info["entries"] == 1
+        assert info["bytes"] > 0
+        assert info["keys"] == ["k1"]

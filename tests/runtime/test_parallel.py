@@ -1,0 +1,94 @@
+"""The chunked process-pool map: ordering, chunking, telemetry, errors."""
+
+import pytest
+
+from repro.obs import TELEMETRY
+from repro.runtime.parallel import chunk_slices, parallel_map, resolve_jobs
+
+
+def _square(x):
+    return x * x
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError("boom on 3")
+    return x
+
+
+class TestResolveJobs:
+    def test_none_is_serial(self):
+        assert resolve_jobs(None) == 1
+
+    def test_positive_passthrough(self):
+        assert resolve_jobs(5) == 5
+
+    def test_zero_means_all_cores(self):
+        assert resolve_jobs(0) >= 1
+
+
+class TestChunkSlices:
+    def test_covers_all_items_in_order(self):
+        slices = chunk_slices(103, jobs=4)
+        items = list(range(103))
+        flat = [x for sl in slices for x in items[sl]]
+        assert flat == items
+
+    def test_explicit_chunk_size(self):
+        slices = chunk_slices(10, jobs=2, chunk=3)
+        assert [sl.stop - sl.start for sl in slices] == [3, 3, 3, 1]
+
+    def test_empty(self):
+        assert chunk_slices(0, jobs=4) == []
+
+
+class TestParallelMap:
+    def test_inline_path_matches_comprehension(self):
+        items = list(range(17))
+        assert parallel_map(_square, items, jobs=1) == [x * x for x in items]
+
+    def test_parallel_matches_inline(self):
+        items = list(range(37))
+        serial = parallel_map(_square, items, jobs=1)
+        parallel = parallel_map(_square, items, jobs=3, chunk=4)
+        assert parallel == serial
+
+    def test_order_preserved_regardless_of_chunking(self):
+        items = list(range(23))
+        for chunk in (1, 2, 7, 50):
+            assert parallel_map(_square, items, jobs=2, chunk=chunk) == [
+                x * x for x in items
+            ]
+
+    def test_worker_error_propagates(self):
+        with pytest.raises(ValueError, match="boom on 3"):
+            parallel_map(_fail_on_three, list(range(6)), jobs=2, chunk=2)
+
+    def test_empty_items(self):
+        assert parallel_map(_square, [], jobs=4) == []
+
+    def test_single_item_stays_inline(self):
+        assert parallel_map(_square, [7], jobs=8) == [49]
+
+    def test_chunk_telemetry_recorded(self):
+        TELEMETRY.enable()
+        TELEMETRY.reset()
+        try:
+            parallel_map(_square, list(range(12)), jobs=2, chunk=3)
+            assert TELEMETRY.registry.counter("runtime.chunks").value == 4
+            assert TELEMETRY.registry.counter("runtime.items").value == 12
+            hist = TELEMETRY.registry.get("runtime.chunk_seconds")
+            assert hist is not None and hist.count == 4
+        finally:
+            TELEMETRY.disable()
+            TELEMETRY.reset()
+
+    def test_inline_path_records_no_telemetry(self):
+        TELEMETRY.enable()
+        TELEMETRY.reset()
+        try:
+            parallel_map(_square, list(range(12)), jobs=1)
+            assert TELEMETRY.registry.get("runtime.chunks") is None
+        finally:
+            TELEMETRY.disable()
+            TELEMETRY.reset()

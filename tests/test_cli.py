@@ -149,3 +149,53 @@ class TestProfile:
         assert main(["features", mtx_file]) == 0
         assert not TELEMETRY.enabled
         assert TELEMETRY.registry.names() == []
+
+
+def test_train_with_jobs_and_cache(tmp_path, capsys):
+    model = str(tmp_path / "selector.npz")
+    cache_dir = str(tmp_path / "cache")
+    args = [
+        "train", "--size", "40", "--clusters", "8", "--trials", "3",
+        "--arch", "volta", "--out", model,
+        "--jobs", "2", "--cache-dir", cache_dir,
+    ]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert "saved 8 labeled centroids" in first
+    # Second run hits the artifact cache and trains the same selector.
+    model2 = str(tmp_path / "selector2.npz")
+    args[args.index(model)] = model2
+    assert main(args) == 0
+    second = capsys.readouterr().out
+    assert first.split("(training accuracy")[1] == \
+        second.split("(training accuracy")[1]
+
+
+def test_cache_info_and_clear(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    model = str(tmp_path / "m.npz")
+    assert main([
+        "train", "--size", "30", "--clusters", "5", "--trials", "2",
+        "--out", model, "--cache-dir", cache_dir,
+    ]) == 0
+    capsys.readouterr()
+    assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "entries    : 1" in out
+    assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+    assert "removed 1 cached campaign(s)" in capsys.readouterr().out
+    assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+    assert "entries    : 0" in capsys.readouterr().out
+
+
+def test_cache_without_dir_errors(monkeypatch, capsys):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    assert main(["cache", "info"]) == 2
+    assert "no cache directory" in capsys.readouterr().err
+
+
+def test_cache_dir_env_var(tmp_path, monkeypatch, capsys):
+    cache_dir = str(tmp_path / "envcache")
+    monkeypatch.setenv("REPRO_CACHE_DIR", cache_dir)
+    assert main(["cache", "info"]) == 0
+    assert cache_dir in capsys.readouterr().out

@@ -68,21 +68,41 @@ def test_semisupervised_competitive_with_supervised(tiny_data):
     assert mcc_semi > 0.55 * mcc_rf
 
 
-def test_supervised_transfer_degrades_vs_local(tiny_data):
+@pytest.fixture(scope="module")
+def transfer_data(tiny_config):
+    """tiny_config with enough benchmark trials that cross-architecture
+    label disagreements are architectural, not measurement noise.
+
+    At trials=5 the min-over-trials label on near-tied matrices is a coin
+    flip per architecture, so the matrices whose labels *differ* across
+    GPUs are mostly the unpredictable ones and §3's local-beats-transfer
+    effect drowns (local and transfer swap wins depending on the split
+    seed).  At trials=20 label agreement rises from ~72% to ~78-84% and
+    the remaining disagreements carry the architectural signal the test
+    is about.
+    """
+    import dataclasses
+
+    from repro.experiments.data import build_experiment_data
+
+    return build_experiment_data(dataclasses.replace(tiny_config, trials=20))
+
+
+def test_supervised_transfer_degrades_vs_local(transfer_data):
     """§3's motivating observation: on the *same* target test set, a model
     trained on another architecture's labels underperforms one trained
     locally (XGBoost's 90.65% -> 71.03% anecdote).  Averaged over all
     source/target pairs to damp small-sample noise."""
-    archs = tiny_data.arch_names
+    archs = transfer_data.arch_names
     local_mcc, transfer_mcc = [], []
     for tgt_name in archs:
-        tgt = tiny_data.common[tgt_name]
+        tgt = transfer_data.common[tgt_name]
         train, test = train_test_split(len(tgt), 0.3, y=tgt.labels, seed=0)
         local = transfer_supervised("RF", tgt, tgt, train, test, 0.0)
         for src_name in archs:
             if src_name == tgt_name:
                 continue
-            src = tiny_data.common[src_name]
+            src = transfer_data.common[src_name]
             transferred = transfer_supervised(
                 "RF", src, tgt, train, test, 0.0
             )

@@ -6,8 +6,14 @@ Subcommands:
 - ``benchmark <file.mtx> --arch volta`` — simulated per-format SpMV times.
 - ``train --size 200 --arch volta --out selector.npz`` — build a synthetic
   collection, benchmark it, train a K-Means-VOTE selector, freeze it.
-- ``predict <file.mtx> --model selector.npz`` — format recommendation.
+- ``predict <file.mtx> --model selector.npz`` — format recommendation
+  (degrades to a CSR fallback when the model is unusable; exit codes:
+  0 = recommendation printed, 1 = model problem under ``--strict``,
+  2 = unusable input matrix).
 - ``tables [--small] [--only table3 ...]`` — regenerate the paper tables.
+- ``chaos [--fail 0.2 ...]`` — run a fault-injected campaign and report
+  what the resilience layer absorbed (``--verify`` cross-checks that the
+  survivors match a fault-free run byte for byte).
 - ``stats <trace.jsonl>`` — hot-path report from a ``--profile`` trace.
 - ``cache info|clear`` — inspect or purge the campaign artifact cache.
 
@@ -18,7 +24,12 @@ to stderr (and the Chrome-trace JSONL written to PATH when given).
 The campaign subcommands (``train``, ``tables``) accept ``--jobs N``
 (process-pool fan-out; results are bit-identical for any N) and
 ``--cache-dir PATH`` (persist campaign artifacts so warm runs skip the
-campaign; also settable via ``$REPRO_CACHE_DIR``).
+campaign; also settable via ``$REPRO_CACHE_DIR``), plus the resilience
+knobs ``--retries`` / ``--task-timeout`` / ``--checkpoint-every`` /
+``--resume``.  The ``$REPRO_FAULTS`` environment variable injects
+deterministic faults into any campaign (see ``repro.runtime.faults``);
+an injected mid-campaign abort exits with code 3, leaving checkpoints
+behind for ``--resume``.
 
 Run ``python -m repro <subcommand> --help`` for options.
 """
@@ -31,11 +42,12 @@ import sys
 import numpy as np
 
 from repro._version import __version__
-from repro.core.deploy import FrozenSelector, freeze
+from repro.core.deploy import FallbackSelector, freeze
 from repro.core.semisupervised import ClusterFormatSelector
 from repro.features import FEATURE_NAMES, extract_features
 from repro.formats import read_matrix_market
 from repro.gpu import ARCHITECTURES, GPUSimulator
+from repro.runtime.faults import CampaignAbort
 
 
 def _cmd_features(args: argparse.Namespace) -> int:
@@ -67,6 +79,18 @@ def _cmd_benchmark(args: argparse.Namespace) -> int:
     return 0
 
 
+def _retry_policy_from(args: argparse.Namespace):
+    """A RetryPolicy when any resilience flag was given, else ``None``."""
+    from repro.runtime import RetryPolicy
+
+    overrides = {}
+    if getattr(args, "retries", None) is not None:
+        overrides["max_attempts"] = args.retries
+    if getattr(args, "task_timeout", None) is not None:
+        overrides["task_timeout"] = args.task_timeout
+    return RetryPolicy(**overrides) if overrides else None
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
     from repro.experiments.config import ExperimentConfig
     from repro.experiments.data import build_experiment_data
@@ -83,8 +107,14 @@ def _cmd_train(args: argparse.Namespace) -> int:
         seed=args.seed,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        retry=_retry_policy_from(args),
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
     )
-    dataset = build_experiment_data(config).datasets[args.arch]
+    data = build_experiment_data(config)
+    if data.degradation is not None:
+        print(data.degradation.to_text())
+    dataset = data.datasets[args.arch]
     print(f"training K-Means-{args.labeler.upper()} "
           f"(NC={args.clusters}) on {len(dataset)} matrices ...")
     selector = ClusterFormatSelector(
@@ -100,14 +130,107 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
-    frozen = FrozenSelector.load(args.model)
-    matrix = read_matrix_market(args.matrix)
-    vec = extract_features(matrix)[None, :]
-    label = frozen.predict(vec)[0]
-    cluster = int(frozen.assign(vec)[0])
+    selector = FallbackSelector.load(
+        args.model, fallback_format=args.fallback_format
+    )
+    if selector.degraded:
+        print(f"repro predict: model unusable ({selector.error}); "
+              f"degrading to {selector.fallback_format}", file=sys.stderr)
+    # An unreadable matrix is unrecoverable — there is nothing to
+    # recommend a format *for* — so it exits 2, fallback or not.
+    try:
+        matrix = read_matrix_market(args.matrix)
+        vec = extract_features(matrix)[None, :]
+    except Exception as exc:
+        print(f"repro predict: unusable input matrix {args.matrix!r}: "
+              f"{exc}", file=sys.stderr)
+        return 2
+    label = selector.predict_one(vec)
+    if selector.error is not None:
+        if args.strict:
+            print("repro predict: refusing degraded recommendation "
+                  "(--strict)", file=sys.stderr)
+            return 1
+        print(f"recommended format: {label} (degraded fallback)")
+        return 0
+    cluster = int(selector.selector.assign(vec)[0])
     print(f"recommended format: {label} (centroid #{cluster} of "
-          f"{frozen.n_centroids})")
+          f"{selector.selector.n_centroids})")
     return 0
+
+
+def _survivor_mismatches(clean, chaotic) -> list[str]:
+    """Where a degraded campaign's survivors differ from a clean run."""
+    clean_rows = {
+        name: clean.features.values[i]
+        for i, name in enumerate(clean.features.names)
+    }
+    mismatches = []
+    for i, name in enumerate(chaotic.features.names):
+        if not np.array_equal(chaotic.features.values[i], clean_rows[name]):
+            mismatches.append(f"features differ for {name}")
+    for arch, results in chaotic.results.items():
+        clean_by_name = dict(zip(clean.features.names, clean.results[arch]))
+        for name, result in zip(chaotic.features.names, results):
+            reference = clean_by_name[name]
+            if (result.times != reference.times
+                    or result.best_format != reference.best_format):
+                mismatches.append(f"benchmark differs for {arch}:{name}")
+    return mismatches
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.data import build_experiment_data
+    from repro.runtime import FaultSpec, RetryPolicy
+
+    spec = FaultSpec(
+        failure_rate=args.fail,
+        latency_rate=args.latency,
+        latency_seconds=args.delay,
+        corruption_rate=args.corrupt,
+        poison_fraction=args.poison,
+        seed=args.fault_seed,
+    )
+    # Zero backoff: chaos runs exercise the retry *logic*; sleeping
+    # between rounds would only slow the smoke test down.
+    policy = RetryPolicy(
+        max_attempts=args.retries, backoff_base=0.0, backoff_max=0.0
+    )
+    config = ExperimentConfig.small(
+        collection_size=args.size,
+        trials=args.trials,
+        seed=args.seed,
+        jobs=args.jobs,
+        faults=spec,
+        retry=policy,
+    )
+    print(f"chaos campaign: {args.size} matrices, "
+          f"fail={args.fail} corrupt={args.corrupt} latency={args.latency} "
+          f"(fault seed {args.fault_seed}, {args.retries} attempts)")
+    data = build_experiment_data(config, use_cache=False)
+    report = data.degradation
+    print(report.to_text())
+    rc = 0
+    if args.require_quarantine and report.n_quarantined == 0:
+        print("repro chaos: expected a non-empty quarantine but every "
+              "task survived; raise --fail or --size", file=sys.stderr)
+        rc = 1
+    if args.verify:
+        clean_config = dataclasses.replace(config, faults=None, retry=None)
+        clean = build_experiment_data(clean_config, use_cache=False)
+        mismatches = _survivor_mismatches(clean, data)
+        if mismatches:
+            for line in mismatches:
+                print(f"repro chaos: MISMATCH: {line}", file=sys.stderr)
+            rc = 1
+        else:
+            print(f"verify: {len(data.features)} surviving matrices x "
+                  f"{len(data.results)} arches byte-identical to the "
+                  f"fault-free run")
+    return rc
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
@@ -123,6 +246,14 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     forwarded += ["--jobs", str(args.jobs)]
     if args.cache_dir:
         forwarded += ["--cache-dir", args.cache_dir]
+    if args.retries is not None:
+        forwarded += ["--retries", str(args.retries)]
+    if args.task_timeout is not None:
+        forwarded += ["--task-timeout", str(args.task_timeout)]
+    if args.checkpoint_every:
+        forwarded += ["--checkpoint-every", str(args.checkpoint_every)]
+    if args.resume:
+        forwarded.append("--resume")
     return runner_main(forwarded)
 
 
@@ -212,6 +343,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist campaign artifacts under PATH (warm runs skip "
              "the campaign; default $REPRO_CACHE_DIR, else off)",
     )
+    campaign_parent.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="attempts per campaign task before quarantining it "
+             "(enables the fault-tolerant path; default 3 when active)",
+    )
+    campaign_parent.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt wall-clock budget for campaign tasks "
+             "(SIGALRM-based; hangs become retryable failures)",
+    )
+    campaign_parent.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="checkpoint campaign progress to the cache dir every N "
+             "benchmark tasks (0 = off)",
+    )
+    campaign_parent.add_argument(
+        "--resume", action="store_true",
+        help="reuse a previous run's checkpoint from the cache dir "
+             "instead of redoing completed work",
+    )
 
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -243,7 +394,43 @@ def build_parser() -> argparse.ArgumentParser:
                        help="recommend a format for a matrix")
     p.add_argument("matrix", help=".mtx file")
     p.add_argument("--model", required=True, help="frozen selector .npz")
+    p.add_argument("--fallback-format", default="csr", metavar="FMT",
+                   help="format recommended when the model is unusable "
+                        "(default: csr)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit 1 instead of degrading when the model is "
+                        "unusable")
     p.set_defaults(func=_cmd_predict)
+
+    p = sub.add_parser("chaos", parents=[profile_parent],
+                       help="run a fault-injected campaign and report "
+                            "what the resilience layer absorbed")
+    p.add_argument("--size", type=int, default=60,
+                   help="collection size of the chaos campaign")
+    p.add_argument("--trials", type=int, default=3)
+    p.add_argument("--seed", type=int, default=20210809,
+                   help="campaign seed (matrices + benchmark noise)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N")
+    p.add_argument("--fail", type=float, default=0.2, metavar="P",
+                   help="per-attempt task failure probability")
+    p.add_argument("--latency", type=float, default=0.0, metavar="P",
+                   help="per-attempt probability of an injected delay")
+    p.add_argument("--delay", type=float, default=0.002, metavar="SECONDS",
+                   help="injected delay length")
+    p.add_argument("--corrupt", type=float, default=0.05, metavar="P",
+                   help="per-attempt result-corruption probability")
+    p.add_argument("--poison", type=float, default=0.25, metavar="FRAC",
+                   help="fraction of failing mass that fails every attempt")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed of the fault stream")
+    p.add_argument("--retries", type=int, default=3, metavar="N",
+                   help="attempts per task before quarantine")
+    p.add_argument("--require-quarantine", action="store_true",
+                   help="exit 1 unless at least one task was quarantined")
+    p.add_argument("--verify", action="store_true",
+                   help="re-run fault-free and exit 1 unless every "
+                        "survivor is byte-identical")
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("tables", parents=[profile_parent, campaign_parent],
                        help="regenerate the paper's tables")
@@ -272,6 +459,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except CampaignAbort as exc:
+        # A (simulated) mid-campaign crash: partial progress is already
+        # checkpointed when --checkpoint-every/--resume are in play.
+        print(f"repro: campaign aborted: {exc}", file=sys.stderr)
+        print("repro: rerun with --resume --cache-dir PATH to continue "
+              "from the last checkpoint", file=sys.stderr)
+        return 3
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     profile = getattr(args, "profile", None)
     if profile is None:
         return args.func(args)

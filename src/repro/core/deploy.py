@@ -161,6 +161,76 @@ class FrozenSelector:
             )
 
 
+#: Format recommended when no model is usable.  CSR is the safe default:
+#: every kernel library ships it, and it is the paper's baseline format.
+DEFAULT_FALLBACK_FORMAT = "csr"
+
+
+@dataclass
+class FallbackSelector:
+    """Graceful-degradation wrapper around :class:`FrozenSelector`.
+
+    Deployment must keep answering even when the model artifact is
+    missing, truncated, or incompatible: a wrong-but-safe format costs
+    some SpMV throughput, while a crashed selector costs the whole
+    application.  :meth:`load` therefore never raises — on any model
+    problem it returns a degraded selector that recommends
+    ``fallback_format`` (CSR by default) and records why.  A predict-time
+    failure likewise degrades that call instead of propagating.
+
+    Telemetry: ``deploy.fallback_loads`` counts degraded loads,
+    ``deploy.fallback_predictions`` counts samples answered by the
+    fallback rather than the model.
+    """
+
+    selector: FrozenSelector | None
+    fallback_format: str = DEFAULT_FALLBACK_FORMAT
+    #: Why the model is unusable (``None`` when healthy).
+    error: str | None = None
+
+    @classmethod
+    def load(
+        cls,
+        path: str | Path,
+        fallback_format: str = DEFAULT_FALLBACK_FORMAT,
+    ) -> "FallbackSelector":
+        """Load a frozen selector, degrading (never raising) on failure."""
+        try:
+            return cls(
+                selector=FrozenSelector.load(path),
+                fallback_format=fallback_format,
+            )
+        except Exception as exc:
+            TELEMETRY.inc("deploy.fallback_loads")
+            return cls(
+                selector=None,
+                fallback_format=fallback_format,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+
+    @property
+    def degraded(self) -> bool:
+        return self.selector is None
+
+    def _fallback(self, n: int) -> np.ndarray:
+        TELEMETRY.inc("deploy.fallback_predictions", n)
+        return np.array([self.fallback_format] * n, dtype=object)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        if self.selector is None:
+            return self._fallback(X.shape[0])
+        try:
+            return self.selector.predict(X)
+        except Exception as exc:
+            self.error = f"{type(exc).__name__}: {exc}"
+            return self._fallback(X.shape[0])
+
+    def predict_one(self, x: np.ndarray) -> str:
+        """Single-sample convenience used by the CLI."""
+        return str(self.predict(np.atleast_2d(x))[0])
+
+
 def freeze(selector: ClusterFormatSelector) -> FrozenSelector:
     """Distil a fitted, labeled selector into a :class:`FrozenSelector`.
 

@@ -92,9 +92,13 @@ class OnlineFormatSelector:
     # -- streaming interface -----------------------------------------------
 
     def _transform_one(self, x: np.ndarray) -> np.ndarray:
-        return self.pipeline.transform_features(
-            np.asarray(x, dtype=np.float64).reshape(1, -1)
-        )[0]
+        arr = np.asarray(x, dtype=np.float64).reshape(1, -1)
+        if not np.all(np.isfinite(arr)):
+            # A NaN/inf feature vector would poison every centroid it
+            # touches (running means never recover); reject it loudly.
+            TELEMETRY.inc("online.rejected")
+            raise ValueError("non-finite feature vector rejected")
+        return self.pipeline.transform_features(arr)[0]
 
     def _nearest(self, z: np.ndarray) -> tuple[int, float]:
         centroids = np.vstack([c.centroid for c in self.clusters])

@@ -23,7 +23,6 @@ approach explainable and cheaply re-labelable on a new architecture.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Callable
 
 import numpy as np
 
@@ -31,7 +30,6 @@ from repro.core.pipeline import FeaturePipeline
 from repro.ml.base import NotFittedError
 from repro.ml.cluster import Birch, KMeans, MeanShift
 from repro.ml.forest import RandomForestClassifier
-from repro.ml.knn import pairwise_sq_dists
 from repro.ml.logistic import LogisticRegression
 
 LABELERS = ("vote", "lr", "rf")

@@ -13,6 +13,9 @@ Two purposes:
 from __future__ import annotations
 
 import json
+import os
+import shutil
+import tempfile
 from pathlib import Path
 
 from repro.datasets.generators import MatrixRecord
@@ -28,29 +31,52 @@ def export_collection(
 
     Returns the directory path.  Refuses to overwrite an existing
     metadata file — exports are immutable campaign inputs.
+
+    The export is staged in a temporary sibling directory and only moved
+    into place once every matrix has serialised successfully, with the
+    metadata file written last as the commit marker (the same
+    temp-then-rename convention as the artifact cache).  A mid-export
+    failure therefore leaves no partial collection behind: without a
+    ``collection.json`` the target is never a loadable export, and a
+    retry is not blocked by debris from the failed attempt.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     meta_path = directory / _META_NAME
     if meta_path.exists():
         raise FileExistsError(f"{meta_path} already exists")
-    meta = []
-    for rec in records:
-        filename = f"{rec.name}.mtx"
-        write_matrix_market(
-            rec.matrix,
-            directory / filename,
-            comment=f"family: {rec.family}",
+    staging = Path(
+        tempfile.mkdtemp(
+            dir=directory.parent, prefix=f".{directory.name}-partial-"
         )
-        meta.append(
-            {
-                "name": rec.name,
-                "family": rec.family,
-                "file": filename,
-                "params": _jsonable(rec.params),
-            }
+    )
+    try:
+        meta = []
+        for rec in records:
+            filename = f"{rec.name}.mtx"
+            write_matrix_market(
+                rec.matrix,
+                staging / filename,
+                comment=f"family: {rec.family}",
+            )
+            meta.append(
+                {
+                    "name": rec.name,
+                    "family": rec.family,
+                    "file": filename,
+                    "params": _jsonable(rec.params),
+                }
+            )
+        (staging / _META_NAME).write_text(
+            json.dumps(meta, indent=2), encoding="utf-8"
         )
-    meta_path.write_text(json.dumps(meta, indent=2), encoding="utf-8")
+        # Publish: matrices first, the metadata commit marker last.
+        for item in sorted(staging.iterdir()):
+            if item.name != _META_NAME:
+                os.replace(item, directory / item.name)
+        os.replace(staging / _META_NAME, meta_path)
+    finally:
+        shutil.rmtree(staging, ignore_errors=True)
     return directory
 
 

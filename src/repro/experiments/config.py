@@ -10,6 +10,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.runtime.faults import FaultSpec
+from repro.runtime.resilience import RetryPolicy
+
 
 def _default_nc_grid() -> tuple[int, ...]:
     # Scaled version of the paper's NC choices (they use 30..2000 on ~6-9k
@@ -46,6 +49,20 @@ class ExperimentConfig:
     jobs: int = 1
     #: Directory of the persistent artifact cache (None = disk cache off).
     cache_dir: str | None = None
+    #: Fault-injection spec for chaos runs (None = no injection; the
+    #: ``$REPRO_FAULTS`` environment variable is consulted as a
+    #: fallback).  Execution knob: survivors' results are unchanged.
+    faults: FaultSpec | None = None
+    #: Retry/backoff/timeout policy for the campaign's fault-tolerant
+    #: path (None = the default :class:`RetryPolicy` when that path is
+    #: active).  Execution knob.
+    retry: RetryPolicy | None = None
+    #: Store a partial-progress checkpoint every N benchmark tasks
+    #: (0 = off; requires a cache directory).  Execution knob.
+    checkpoint_every: int = 0
+    #: Reuse a previous run's checkpoint instead of redoing its work
+    #: (requires a cache directory).  Execution knob.
+    resume: bool = False
 
     def campaign_fields(self) -> dict[str, Any]:
         """The fields the benchmarking-campaign artifacts depend on.

@@ -15,10 +15,28 @@ The campaign fan-outs (generation, permutation, stats, per-architecture
 benchmarking) all run through :func:`repro.runtime.parallel.parallel_map`,
 so ``jobs=8`` produces byte-identical artifacts to ``jobs=1``: every work
 unit carries its own spawned seed or name-keyed noise stream.
+
+**Survivability.**  When fault injection is active (``config.faults`` or
+``$REPRO_FAULTS``), a retry policy is set, checkpointing is on, or a
+resume is requested, the campaign switches to the fault-tolerant path:
+per-matrix work runs through
+:func:`repro.runtime.resilience.resilient_map` (bounded retry with
+exponential backoff, optional per-task timeouts), matrices that fail
+every attempt land in a quarantine, and the campaign *completes* with
+the quarantined records excluded and reported via
+:class:`DegradationReport` instead of crashing.  Because fault injection
+is keyed by matrix name and wraps *around* the pure task functions,
+surviving matrices produce byte-identical features, times, and labels to
+a fault-free run.  Partial progress is checkpointed to the artifact
+cache so a killed campaign resumes (``--resume``) without redoing
+completed benchmarks.  Degraded campaigns (injected faults or a
+non-empty quarantine) are never written to the shared artifact cache or
+the in-process memo — only canonical, complete results are.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 from functools import partial
 from typing import Any
@@ -36,11 +54,62 @@ from repro.gpu.simulator import BenchmarkResult, _benchmark_unit
 from repro.obs import TELEMETRY
 from repro.runtime import (
     ArtifactCache,
+    FaultSpec,
+    Quarantine,
+    RetryPolicy,
     artifact_key,
     code_fingerprint,
     default_cache_dir,
+    injector_for,
     parallel_map,
+    resilient_map,
+    reset_abort_counter,
+    spec_from_env,
 )
+
+#: Benchmark tasks per checkpoint batch when resuming without an explicit
+#: ``checkpoint_every`` (small enough that a kill loses little work,
+#: large enough that checkpoint I/O stays negligible).
+DEFAULT_CHECKPOINT_EVERY = 64
+
+#: Cache-entry prefix separating partial-progress checkpoints from final
+#: campaign artifacts (same content address, different namespace).
+CHECKPOINT_PREFIX = "ckpt-"
+
+#: Bump when the checkpoint payload layout changes incompatibly.
+CHECKPOINT_SCHEMA = 1
+
+
+@dataclass
+class DegradationReport:
+    """What the fault-tolerant campaign absorbed, skipped, and reused."""
+
+    n_records: int
+    n_survivors: int
+    quarantine: Quarantine
+    retried: int = 0
+    resumed_stats: int = 0
+    resumed_benchmarks: int = 0
+
+    @property
+    def n_quarantined(self) -> int:
+        return len(self.quarantine)
+
+    def to_text(self) -> str:
+        lines = [
+            "campaign degradation report",
+            f"  records     : {self.n_records}",
+            f"  survivors   : {self.n_survivors}",
+            f"  quarantined : {self.n_quarantined}",
+            f"  retries     : {self.retried}",
+        ]
+        if self.resumed_stats or self.resumed_benchmarks:
+            lines.append(
+                f"  resumed     : {self.resumed_stats} stats, "
+                f"{self.resumed_benchmarks} benchmarks"
+            )
+        lines.extend("  " + line for line in self.quarantine.report_lines())
+        return "\n".join(lines)
 
 
 @dataclass
@@ -50,7 +119,7 @@ class ExperimentData:
     config: ExperimentConfig
     stats: list[MatrixStats]
     features: FeatureTable
-    #: arch name → benchmark results (all matrices, incl. excluded ones).
+    #: arch name → benchmark results (all surviving matrices).
     results: dict[str, list[BenchmarkResult]]
     #: arch name → per-architecture labeled dataset (runnable matrices).
     datasets: dict[str, LabeledDataset]
@@ -60,6 +129,8 @@ class ExperimentData:
     #: deliberately not persisted — they dwarf every other artifact) and
     #: regenerated on first access via :attr:`records`.
     _records: list[MatrixRecord] | None = None
+    #: Set by the fault-tolerant campaign path; ``None`` for plain runs.
+    degradation: DegradationReport | None = None
 
     @property
     def records(self) -> list[MatrixRecord]:
@@ -68,10 +139,14 @@ class ExperimentData:
         Warm-cache loads start without matrices; consumers that need the
         raw structures (the CNN density images of Tables 6/9) trigger a
         generation-only rebuild — no stats or benchmarking re-runs.
+        Quarantined matrices (if any) are excluded, keeping the records
+        aligned with :attr:`features`.
         """
         if self._records is None:
             with TELEMETRY.span("experiments.records_rebuild"):
-                self._records = _build_records(self.config, self.config.jobs)
+                rebuilt = _build_records(self.config, self.config.jobs)
+                keep = set(self.features.names)
+                self._records = [r for r in rebuilt if r.name in keep]
         return self._records
 
     @property
@@ -88,6 +163,11 @@ def campaign_key(config: ExperimentConfig) -> str:
     return artifact_key(config.campaign_fields())
 
 
+def checkpoint_key(config: ExperimentConfig) -> str:
+    """Cache key of this configuration's partial-progress checkpoint."""
+    return CHECKPOINT_PREFIX + campaign_key(config)
+
+
 def _build_records(config: ExperimentConfig, jobs: int) -> list[MatrixRecord]:
     """Generation (+ augmentation) only: the matrices of the campaign."""
     collection = build_collection(
@@ -101,7 +181,6 @@ def _build_records(config: ExperimentConfig, jobs: int) -> list[MatrixRecord]:
         seed=config.seed,
         jobs=jobs,
     )
-
 
 def _benchmark_all_architectures(
     records: list[MatrixRecord],
@@ -151,6 +230,27 @@ def _arch_benchmark_unit(
     return _benchmark_unit(sims[arch_name], pair)
 
 
+def _record_key(record: MatrixRecord) -> str:
+    """Fault/quarantine key of a generation/stats task: the matrix name."""
+    return record.name
+
+
+def _bench_item_key(item: tuple[str, tuple[str, MatrixStats]]) -> str:
+    """Fault key of a benchmark task: ``arch:matrix-name``."""
+    arch_name, pair = item
+    return f"{arch_name}:{pair[0]}"
+
+
+def _validate_benchmark(result: Any) -> str | None:
+    """Reject garbage benchmark results (the corruption seam)."""
+    if not isinstance(result, BenchmarkResult):
+        return f"expected BenchmarkResult, got {type(result).__name__}"
+    for fmt, seconds in result.times.items():
+        if not math.isfinite(seconds) or seconds < 0:
+            return f"non-finite or negative time for format {fmt!r}"
+    return None
+
+
 def _campaign_artifact(data: ExperimentData) -> dict[str, Any]:
     """The persistable campaign outputs (everything but the matrices)."""
     return {
@@ -191,6 +291,242 @@ def _data_from_artifact(
     )
 
 
+def _load_checkpoint(
+    disk: ArtifactCache | None, config: ExperimentConfig
+) -> dict[str, Any] | None:
+    """A prior run's partial progress, or ``None``."""
+    if disk is None:
+        return None
+    payload = disk.load(checkpoint_key(config))
+    if (
+        not isinstance(payload, dict)
+        or payload.get("schema") != CHECKPOINT_SCHEMA
+    ):
+        return None
+    TELEMETRY.inc("resilience.checkpoint_loads")
+    return payload
+
+
+def _store_checkpoint(
+    disk: ArtifactCache,
+    config: ExperimentConfig,
+    stats_by_name: dict[str, MatrixStats],
+    results_by_arch: dict[str, dict[str, BenchmarkResult]],
+) -> None:
+    """Persist partial progress (atomic, via the cache's store path)."""
+    disk.store(
+        checkpoint_key(config),
+        {
+            "schema": CHECKPOINT_SCHEMA,
+            "stats": stats_by_name,
+            "results": results_by_arch,
+        },
+        meta={
+            "checkpoint": True,
+            "config": config.campaign_fields(),
+            "n_stats": len(stats_by_name),
+            "n_benchmarks": sum(len(r) for r in results_by_arch.values()),
+        },
+    )
+    TELEMETRY.inc("resilience.checkpoint_stores")
+
+
+def _build_campaign(config: ExperimentConfig, jobs: int) -> ExperimentData:
+    """The plain (fault-intolerant, zero-overhead) campaign build."""
+    with TELEMETRY.span(
+        "experiments.campaign",
+        collection_size=config.collection_size,
+        jobs=jobs,
+    ):
+        records = _build_records(config, jobs)
+        with TELEMETRY.span("experiments.stats", n_matrices=len(records)):
+            stats = parallel_map(
+                stats_for_record, records, jobs=jobs, label="experiments.stats"
+            )
+        with TELEMETRY.span("experiments.features"):
+            features = FeatureTable(
+                names=[r.name for r in records],
+                feature_names=list(FEATURE_NAMES),
+                values=features_from_stats_batch(stats),
+            )
+        results = _benchmark_all_architectures(records, stats, config, jobs)
+        datasets = {
+            arch: build_labeled_dataset(arch, features, res)
+            for arch, res in results.items()
+        }
+    return ExperimentData(
+        config=config,
+        stats=stats,
+        features=features,
+        results=results,
+        datasets=datasets,
+        common=common_subset(datasets),
+        _records=records,
+    )
+
+
+def _build_resilient(
+    config: ExperimentConfig,
+    jobs: int,
+    disk: ArtifactCache | None,
+    faults: FaultSpec | None,
+) -> ExperimentData:
+    """The fault-tolerant campaign build: retry, quarantine, checkpoint.
+
+    Work units run through :func:`resilient_map`; matrices whose stats or
+    benchmark tasks fail every attempt are quarantined and excluded, and
+    the campaign completes with a :class:`DegradationReport` attached.
+    Progress is checkpointed to ``disk`` between benchmark batches, so a
+    crash (or an injected :class:`~repro.runtime.faults.CampaignAbort`)
+    leaves a resumable trail.
+    """
+    policy = config.retry or RetryPolicy()
+    injector = injector_for(faults)
+    if injector is not None:
+        reset_abort_counter()
+    checkpoint_every = config.checkpoint_every
+    if config.resume and checkpoint_every <= 0:
+        checkpoint_every = DEFAULT_CHECKPOINT_EVERY
+    checkpointing = disk is not None and checkpoint_every > 0
+    ckpt = _load_checkpoint(disk, config) if config.resume else None
+    quarantine = Quarantine()
+    retried = 0
+
+    stats_by_name: dict[str, MatrixStats] = dict(ckpt["stats"]) if ckpt else {}
+    results_by_arch: dict[str, dict[str, BenchmarkResult]] = (
+        {arch: dict(res) for arch, res in ckpt["results"].items()}
+        if ckpt
+        else {}
+    )
+
+    with TELEMETRY.span(
+        "experiments.campaign",
+        collection_size=config.collection_size,
+        jobs=jobs,
+        resilient=True,
+    ):
+        records = _build_records(config, jobs)
+        resumed_stats = sum(1 for r in records if r.name in stats_by_name)
+        todo = [r for r in records if r.name not in stats_by_name]
+        stats_fn = (
+            injector.wrap(stats_for_record, _record_key)
+            if injector is not None
+            else stats_for_record
+        )
+        if todo:
+            with TELEMETRY.span("experiments.stats", n_matrices=len(todo)):
+                outcome = resilient_map(
+                    stats_fn,
+                    todo,
+                    keys=[r.name for r in todo],
+                    jobs=jobs,
+                    policy=policy,
+                    label="experiments.stats",
+                )
+            retried += outcome.retried
+            for rec, value, ok in zip(todo, outcome.values, outcome.ok):
+                if ok:
+                    stats_by_name[rec.name] = value
+            for index, failure in outcome.failures.items():
+                quarantine.add(todo[index].name, "stats", failure)
+            if checkpointing:
+                _store_checkpoint(disk, config, stats_by_name, results_by_arch)
+        survivors = [r for r in records if r.name in stats_by_name]
+        stats = [stats_by_name[r.name] for r in survivors]
+
+        sims = {
+            name: GPUSimulator(arch, trials=config.trials, seed=config.seed)
+            for name, arch in ARCHITECTURES.items()
+        }
+        for arch_name in sims:
+            results_by_arch.setdefault(arch_name, {})
+        items = [
+            (arch_name, (rec.name, st))
+            for arch_name in sims
+            for rec, st in zip(survivors, stats)
+            if rec.name not in results_by_arch[arch_name]
+        ]
+        resumed_benchmarks = len(sims) * len(survivors) - len(items)
+        bench_fn = partial(_arch_benchmark_unit, sims)
+        if injector is not None:
+            bench_fn = injector.wrap(bench_fn, _bench_item_key)
+        batch = checkpoint_every if checkpointing else max(1, len(items))
+        with TELEMETRY.span(
+            "experiments.benchmark_all",
+            n_arches=len(sims),
+            n_matrices=len(survivors),
+            jobs=jobs,
+        ):
+            for lo in range(0, len(items), batch):
+                chunk = items[lo : lo + batch]
+                outcome = resilient_map(
+                    bench_fn,
+                    chunk,
+                    keys=[_bench_item_key(it) for it in chunk],
+                    jobs=jobs,
+                    policy=policy,
+                    validate=_validate_benchmark,
+                    label="experiments.benchmark",
+                )
+                retried += outcome.retried
+                for it, value, ok in zip(chunk, outcome.values, outcome.ok):
+                    if ok:
+                        results_by_arch[it[0]][it[1][0]] = value
+                for index, failure in outcome.failures.items():
+                    arch_name, pair = chunk[index]
+                    quarantine.add(
+                        pair[0], f"benchmark:{arch_name}", failure
+                    )
+                if checkpointing:
+                    _store_checkpoint(
+                        disk, config, stats_by_name, results_by_arch
+                    )
+
+        # A matrix quarantined at any stage (or on any architecture) is
+        # excluded everywhere, keeping features and per-arch results
+        # aligned on one surviving name list.
+        bad = set(quarantine.names)
+        kept = [r for r in survivors if r.name not in bad]
+        kept_stats = [stats_by_name[r.name] for r in kept]
+        with TELEMETRY.span("experiments.features"):
+            features = FeatureTable(
+                names=[r.name for r in kept],
+                feature_names=list(FEATURE_NAMES),
+                values=features_from_stats_batch(kept_stats),
+            )
+        results = {
+            arch_name: [results_by_arch[arch_name][r.name] for r in kept]
+            for arch_name in sims
+        }
+        datasets = {
+            arch: build_labeled_dataset(arch, features, res)
+            for arch, res in results.items()
+        }
+
+    if disk is not None:
+        # The campaign completed; the checkpoint has served its purpose.
+        disk.remove(checkpoint_key(config))
+    TELEMETRY.gauge_set("resilience.survivors", len(kept))
+    report = DegradationReport(
+        n_records=len(records),
+        n_survivors=len(kept),
+        quarantine=quarantine,
+        retried=retried,
+        resumed_stats=resumed_stats,
+        resumed_benchmarks=resumed_benchmarks,
+    )
+    return ExperimentData(
+        config=config,
+        stats=kept_stats,
+        features=features,
+        results=results,
+        datasets=datasets,
+        common=common_subset(datasets),
+        _records=kept,
+        degradation=report,
+    )
+
+
 def build_experiment_data(
     config: ExperimentConfig | None = None,
     use_cache: bool = True,
@@ -218,64 +554,59 @@ def build_experiment_data(
     jobs = config.jobs if jobs is None else jobs
     if cache_dir is None:
         cache_dir = config.cache_dir or default_cache_dir()
-    key = campaign_key(config)
-
-    if use_cache and key in _CACHE:
-        cached = _CACHE[key]
-        # The memo is keyed on campaign fields only; rebind analysis
-        # knobs (fold counts, NC grids...) to the caller's config.
-        return cached if cached.config == config else replace(cached, config=config)
-
-    disk = ArtifactCache(cache_dir) if cache_dir else None
-    if disk is not None:
-        artifact = disk.load(key)
-        if artifact is not None:
-            data = _data_from_artifact(config, artifact)
-            if use_cache:
-                _CACHE[key] = data
-            return data
-
-    with TELEMETRY.span(
-        "experiments.campaign",
-        collection_size=config.collection_size,
-        jobs=jobs,
-    ):
-        records = _build_records(config, jobs)
-        with TELEMETRY.span("experiments.stats", n_matrices=len(records)):
-            stats = parallel_map(
-                stats_for_record, records, jobs=jobs, label="experiments.stats"
-            )
-        with TELEMETRY.span("experiments.features"):
-            features = FeatureTable(
-                names=[r.name for r in records],
-                feature_names=list(FEATURE_NAMES),
-                values=features_from_stats_batch(stats),
-            )
-        results = _benchmark_all_architectures(records, stats, config, jobs)
-        datasets = {
-            arch: build_labeled_dataset(arch, features, res)
-            for arch, res in results.items()
-        }
-    data = ExperimentData(
-        config=config,
-        stats=stats,
-        features=features,
-        results=results,
-        datasets=datasets,
-        common=common_subset(datasets),
-        _records=records,
+    faults = config.faults if config.faults is not None else spec_from_env()
+    faulted = faults is not None and faults.active
+    resilient = (
+        faulted
+        or config.resume
+        or config.checkpoint_every > 0
+        or config.retry is not None
     )
-    if disk is not None:
-        disk.store(
-            key,
-            _campaign_artifact(data),
-            meta={
-                "config": config.campaign_fields(),
-                "fingerprint": code_fingerprint(),
-                "n_matrices": len(records),
-                "arches": list(results),
-            },
-        )
-    if use_cache:
-        _CACHE[key] = data
+    key = campaign_key(config)
+    disk = ArtifactCache(cache_dir) if cache_dir else None
+
+    if not faulted:
+        # Chaos runs must execute the campaign (that is their point), so
+        # only fault-free builds consult the memo and the disk artifact.
+        if use_cache and key in _CACHE:
+            cached = _CACHE[key]
+            # The memo is keyed on campaign fields only; rebind analysis
+            # knobs (fold counts, NC grids...) to the caller's config.
+            return (
+                cached
+                if cached.config == config
+                else replace(cached, config=config)
+            )
+        if disk is not None:
+            artifact = disk.load(key)
+            if artifact is not None:
+                data = _data_from_artifact(config, artifact)
+                if use_cache:
+                    _CACHE[key] = data
+                return data
+
+    if resilient:
+        data = _build_resilient(config, jobs, disk, faults if faulted else None)
+    else:
+        data = _build_campaign(config, jobs)
+
+    # Only canonical campaigns — no injected faults, nothing quarantined —
+    # may populate the shared artifact cache and the in-process memo.
+    degraded = faulted or (
+        data.degradation is not None and bool(data.degradation.quarantine)
+    )
+    if not degraded:
+        if disk is not None:
+            disk.store(
+                key,
+                _campaign_artifact(data),
+                meta={
+                    "config": config.campaign_fields(),
+                    "fingerprint": code_fingerprint(),
+                    "n_matrices": len(data.features),
+                    "arches": list(data.results),
+                },
+            )
+        if use_cache:
+            _CACHE[key] = data
     return data

@@ -51,6 +51,8 @@ def run_all(
     with TELEMETRY.timer("experiments.build_data") as t:
         data = build_experiment_data(config)
     print(f"[experiment data built in {t.duration:.1f}s]\n")
+    if data.degradation is not None:
+        print(data.degradation.to_text() + "\n")
     results = {}
     md_parts = []
     for name in names:
@@ -92,10 +94,42 @@ def main(argv: list[str] | None = None) -> int:
         help="persist campaign artifacts here (warm runs skip the "
              "campaign; default: $REPRO_CACHE_DIR or off)",
     )
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="attempts per campaign task before quarantining it",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt wall-clock budget for campaign tasks",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="checkpoint campaign progress every N benchmark tasks "
+             "(0 = off; needs --cache-dir)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="reuse a previous run's checkpoint from the cache dir",
+    )
     args = parser.parse_args(argv)
     config = ExperimentConfig.small() if args.small else ExperimentConfig.paper()
+    retry = None
+    if args.retries is not None or args.task_timeout is not None:
+        from repro.runtime import RetryPolicy
+
+        overrides = {}
+        if args.retries is not None:
+            overrides["max_attempts"] = args.retries
+        if args.task_timeout is not None:
+            overrides["task_timeout"] = args.task_timeout
+        retry = RetryPolicy(**overrides)
     config = dataclasses.replace(
-        config, jobs=args.jobs, cache_dir=args.cache_dir
+        config,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        retry=retry,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
     )
     run_all(config, only=args.only, markdown_path=args.markdown)
     return 0

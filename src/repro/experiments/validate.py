@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.experiments import table3, table4, table6, table7
+from repro.experiments import table4, table6, table7
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.data import ExperimentData, build_experiment_data
 

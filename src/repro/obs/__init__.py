@@ -29,6 +29,7 @@ and ``repro stats <trace.jsonl>``.
 
 from repro.obs.export import dump_profile, render_metrics, render_span_tree
 from repro.obs.metrics import (
+    BACKOFF_BUCKETS,
     DEFAULT_BUCKETS,
     Counter,
     Gauge,
@@ -53,6 +54,7 @@ from repro.obs.telemetry import (
 from repro.obs.trace import Span, Tracer
 
 __all__ = [
+    "BACKOFF_BUCKETS",
     "Counter",
     "DEFAULT_BUCKETS",
     "Gauge",

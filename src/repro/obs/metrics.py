@@ -27,6 +27,13 @@ DEFAULT_BUCKETS: tuple[float, ...] = (
     1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0,
 )
 
+#: Retry-backoff delay edges (seconds): 10 ms .. 60 s, for the
+#: ``resilience.backoff_seconds`` histogram (delays below 10 ms are all
+#: "immediate retry" territory and need no resolution).
+BACKOFF_BUCKETS: tuple[float, ...] = (
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 15.0, 60.0,
+)
+
 
 def _sanitize(name: str) -> str:
     """Prometheus metric names allow ``[a-zA-Z0-9_:]`` only."""

@@ -1,6 +1,7 @@
-"""Campaign execution runtime: process-pool parallelism + artifact cache.
+"""Campaign execution runtime: parallelism, caching, and survivability.
 
-Two pieces make repeated campaigns cheap:
+Four pieces make repeated campaigns cheap and interrupted or faulty
+campaigns survivable:
 
 - :mod:`repro.runtime.parallel` — :func:`parallel_map`, the chunked
   process-pool map behind every ``--jobs N`` fan-out (generation, stats,
@@ -8,6 +9,12 @@ Two pieces make repeated campaigns cheap:
 - :mod:`repro.runtime.cache` — :class:`ArtifactCache`, a persistent
   content-addressed store of campaign outputs keyed on configuration +
   code fingerprint, behind ``--cache-dir``.
+- :mod:`repro.runtime.faults` — deterministic, name-keyed fault
+  injection (failures, latency, corruption, mid-campaign aborts) for
+  chaos testing the engine, behind ``repro chaos`` / ``$REPRO_FAULTS``.
+- :mod:`repro.runtime.resilience` — :func:`resilient_map`, the
+  fault-absorbing map: bounded retry with exponential backoff, per-task
+  timeouts, and a quarantine for tasks that fail every attempt.
 """
 
 from repro.runtime.cache import (
@@ -18,16 +25,56 @@ from repro.runtime.cache import (
     code_fingerprint,
     default_cache_dir,
 )
+from repro.runtime.faults import (
+    FAULTS_ENV,
+    CampaignAbort,
+    Corrupted,
+    FaultInjector,
+    FaultSpec,
+    FaultyFunction,
+    InjectedFault,
+    injector_for,
+    parse_fault_spec,
+    reset_abort_counter,
+    spec_from_env,
+)
 from repro.runtime.parallel import chunk_slices, parallel_map, resolve_jobs
+from repro.runtime.resilience import (
+    Quarantine,
+    QuarantineEntry,
+    ResilientMapResult,
+    RetryPolicy,
+    TaskFailure,
+    TaskTimeoutError,
+    resilient_map,
+)
 
 __all__ = [
     "ArtifactCache",
     "CACHE_DIR_ENV",
+    "CampaignAbort",
+    "Corrupted",
+    "FAULTS_ENV",
     "FINGERPRINT_MODULES",
+    "FaultInjector",
+    "FaultSpec",
+    "FaultyFunction",
+    "InjectedFault",
+    "Quarantine",
+    "QuarantineEntry",
+    "ResilientMapResult",
+    "RetryPolicy",
+    "TaskFailure",
+    "TaskTimeoutError",
     "artifact_key",
     "chunk_slices",
     "code_fingerprint",
     "default_cache_dir",
+    "injector_for",
     "parallel_map",
+    "parse_fault_spec",
+    "reset_abort_counter",
+    "resilient_map",
     "resolve_jobs",
+    "spec_from_env",
 ]

@@ -184,6 +184,14 @@ class ArtifactCache:
         TELEMETRY.inc("runtime.cache.stores")
         return self._artifact_path(key)
 
+    def remove(self, key: str) -> bool:
+        """Delete one entry (used to retire consumed checkpoints)."""
+        entry = self.entry_dir(key)
+        if not entry.is_dir():
+            return False
+        shutil.rmtree(entry)
+        return True
+
     # -- management ----------------------------------------------------------
 
     def entries(self) -> Iterator[dict[str, Any]]:

@@ -1,0 +1,319 @@
+"""Deterministic, seedable fault injection for the campaign engine.
+
+A production-scale campaign loses work units: matrices OOM, workers die,
+cache entries rot (the paper's own benchmarking lost matrices to CUSP
+ELL-generation failures, §5.1).  This module *manufactures* those faults
+on demand so the resilience machinery in
+:mod:`repro.runtime.resilience` can be exercised deterministically —
+in tests, in the ``repro chaos`` subcommand, and in the ``chaos-smoke``
+CI job.
+
+Design rules:
+
+- **Name-keyed, not call-keyed.**  Every fault decision is a pure
+  function of ``(spec.seed, channel, task key, attempt)`` hashed through
+  SHA-256, the same determinism seam the campaign already uses for
+  benchmark noise.  Whether a task fails never depends on call order,
+  worker id, or wall clock, so a faulted run is exactly reproducible —
+  and the *surviving* tasks compute exactly what a fault-free run
+  computes, because injection happens **around** the task function,
+  never inside it.
+- **Faults are loud.**  An injected failure raises
+  :class:`InjectedFault`; an injected corruption replaces the result
+  with a :class:`Corrupted` marker that downstream validation always
+  rejects.  No fault silently perturbs a value.
+- **Picklable.**  :class:`FaultyFunction` wraps the task callable and
+  travels to pool workers with it, so injection works for every
+  ``--jobs`` value.
+
+The ``$REPRO_FAULTS`` environment variable (see :func:`parse_fault_spec`
+for the syntax) injects faults into any campaign command without code
+changes — e.g. ``REPRO_FAULTS="fail=0.2,seed=1" repro train ...``, or
+``REPRO_FAULTS="abort=40"`` to simulate a mid-campaign crash and then
+exercise ``--resume``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable holding a fault-spec string (see parse_fault_spec).
+FAULTS_ENV = "REPRO_FAULTS"
+
+
+class InjectedFault(RuntimeError):
+    """An artificial task failure produced by a :class:`FaultInjector`."""
+
+
+class CampaignAbort(BaseException):
+    """Kill switch simulating a hard mid-campaign crash.
+
+    Inherits :class:`BaseException` so the per-task guard in
+    :mod:`repro.runtime.resilience` (which absorbs ``Exception``) never
+    converts it into a retry — it unwinds the whole campaign, exactly
+    like SIGKILL would, leaving any checkpoint behind for ``--resume``.
+    """
+
+
+class Corrupted:
+    """Marker standing in for a detectably-garbage task result.
+
+    Injected corruption must be *detectable* (otherwise it could perturb
+    surviving results, violating the determinism contract), so instead
+    of mangling the real value the injector substitutes this marker,
+    which the resilience layer's validation always rejects.
+    """
+
+    __slots__ = ("key", "attempt")
+
+    def __init__(self, key: str, attempt: int) -> None:
+        self.key = key
+        self.attempt = attempt
+
+    def __repr__(self) -> str:
+        return f"Corrupted(key={self.key!r}, attempt={self.attempt})"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Probabilities and knobs of one fault-injection campaign.
+
+    All rates are per *task attempt* and keyed by task name, so the same
+    name rolls the same fate in every run with the same ``seed``.
+    """
+
+    #: Probability that a task attempt raises :class:`InjectedFault`.
+    failure_rate: float = 0.0
+    #: Probability that a task attempt is delayed by ``latency_seconds``.
+    latency_rate: float = 0.0
+    #: Injected delay for latency-afflicted attempts (seconds).
+    latency_seconds: float = 0.005
+    #: Probability that a task attempt returns a :class:`Corrupted` marker.
+    corruption_rate: float = 0.0
+    #: Fraction of the failing mass that is *poison*: names whose every
+    #: attempt fails, so they exhaust retries and land in quarantine.
+    poison_fraction: float = 0.25
+    #: Seed of the fault stream (independent of the campaign seed).
+    seed: int = 0
+    #: After this many wrapped task executions (process-local count),
+    #: raise :class:`CampaignAbort` — simulates a mid-campaign kill.
+    abort_after: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("failure_rate", "latency_rate", "corruption_rate",
+                     "poison_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.latency_seconds < 0:
+            raise ValueError("latency_seconds must be >= 0")
+        if self.abort_after is not None and self.abort_after < 0:
+            raise ValueError("abort_after must be >= 0")
+
+    @property
+    def active(self) -> bool:
+        """Whether this spec injects anything at all."""
+        return (
+            self.failure_rate > 0
+            or self.latency_rate > 0
+            or self.corruption_rate > 0
+            or self.abort_after is not None
+        )
+
+
+def roll(seed: int, channel: str, key: str, attempt: int = 0) -> float:
+    """Deterministic uniform draw in [0, 1) for one fault decision.
+
+    SHA-256 of the decision coordinates, platform- and process-
+    independent: the same (seed, channel, key, attempt) always rolls the
+    same number, on any machine, under any worker count.
+    """
+    digest = hashlib.sha256(
+        f"{seed}:{channel}:{key}:{attempt}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+def parse_fault_spec(text: str) -> FaultSpec:
+    """Parse a compact ``key=value`` spec string into a :class:`FaultSpec`.
+
+    Recognised keys: ``fail``, ``latency``, ``delay``, ``corrupt``,
+    ``poison``, ``seed``, ``abort``.  Example::
+
+        fail=0.2,latency=0.1,delay=0.01,corrupt=0.05,seed=7
+    """
+    fields = {
+        "fail": "failure_rate",
+        "latency": "latency_rate",
+        "delay": "latency_seconds",
+        "corrupt": "corruption_rate",
+        "poison": "poison_fraction",
+        "seed": "seed",
+        "abort": "abort_after",
+    }
+    kwargs: dict[str, Any] = {}
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if "=" not in token:
+            raise ValueError(f"malformed fault spec token {token!r}")
+        key, _, value = token.partition("=")
+        key = key.strip()
+        if key not in fields:
+            raise ValueError(
+                f"unknown fault spec key {key!r}; known: {sorted(fields)}"
+            )
+        field_name = fields[key]
+        if field_name in ("seed", "abort_after"):
+            kwargs[field_name] = int(value)
+        else:
+            kwargs[field_name] = float(value)
+    return FaultSpec(**kwargs)
+
+
+def spec_from_env() -> FaultSpec | None:
+    """The :class:`FaultSpec` from ``$REPRO_FAULTS``, or ``None``."""
+    text = os.environ.get(FAULTS_ENV)
+    if not text:
+        return None
+    return parse_fault_spec(text)
+
+
+#: Process-local count of wrapped task executions, for ``abort_after``.
+#: Deliberately simple (a mutable module global): the kill switch is a
+#: test/chaos device and is documented to count per process.
+_ABORT_STATE = {"calls": 0}
+
+
+def reset_abort_counter() -> None:
+    """Restart the ``abort_after`` execution count (campaign start)."""
+    _ABORT_STATE["calls"] = 0
+
+
+class FaultInjector:
+    """Rolls fault decisions for task keys under one :class:`FaultSpec`."""
+
+    def __init__(self, spec: FaultSpec) -> None:
+        self.spec = spec
+
+    def is_poison(self, key: str) -> bool:
+        """Whether ``key`` fails *every* attempt (lands in quarantine)."""
+        threshold = self.spec.failure_rate * self.spec.poison_fraction
+        return roll(self.spec.seed, "poison", key) < threshold
+
+    def fails(self, key: str, attempt: int) -> bool:
+        if self.spec.failure_rate <= 0:
+            return False
+        if self.is_poison(key):
+            return True
+        return (
+            roll(self.spec.seed, "fail", key, attempt) < self.spec.failure_rate
+        )
+
+    def delay_for(self, key: str, attempt: int) -> float:
+        if self.spec.latency_rate <= 0:
+            return 0.0
+        if roll(self.spec.seed, "latency", key, attempt) < self.spec.latency_rate:
+            return self.spec.latency_seconds
+        return 0.0
+
+    def corrupts(self, key: str, attempt: int) -> bool:
+        if self.spec.corruption_rate <= 0:
+            return False
+        return (
+            roll(self.spec.seed, "corrupt", key, attempt)
+            < self.spec.corruption_rate
+        )
+
+    def wrap(
+        self, fn: Callable[[T], R], key_fn: Callable[[T], str]
+    ) -> "FaultyFunction":
+        """A picklable fault-injecting wrapper around ``fn``."""
+        return FaultyFunction(fn, key_fn, self.spec)
+
+
+class FaultyFunction:
+    """Picklable callable injecting faults around one task function.
+
+    The wrapper carries the attempt number so retries reroll their fate:
+    transient failures (non-poison names) usually succeed on a later
+    attempt, poison names never do.
+    """
+
+    __slots__ = ("fn", "key_fn", "spec", "attempt")
+
+    def __init__(
+        self,
+        fn: Callable[[T], R],
+        key_fn: Callable[[T], str],
+        spec: FaultSpec,
+        attempt: int = 0,
+    ) -> None:
+        self.fn = fn
+        self.key_fn = key_fn
+        self.spec = spec
+        self.attempt = attempt
+
+    def for_attempt(self, attempt: int) -> "FaultyFunction":
+        """The same wrapper rebound to a retry round."""
+        return FaultyFunction(self.fn, self.key_fn, self.spec, attempt)
+
+    def __getstate__(self) -> dict[str, Any]:
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
+    def __call__(self, item: T) -> Any:
+        spec = self.spec
+        if spec.abort_after is not None:
+            _ABORT_STATE["calls"] += 1
+            if _ABORT_STATE["calls"] > spec.abort_after:
+                raise CampaignAbort(
+                    f"injected abort after {spec.abort_after} task executions"
+                )
+        key = self.key_fn(item)
+        injector = FaultInjector(spec)
+        delay = injector.delay_for(key, self.attempt)
+        if delay > 0:
+            time.sleep(delay)
+        if injector.fails(key, self.attempt):
+            raise InjectedFault(
+                f"injected failure for {key!r} (attempt {self.attempt})"
+            )
+        result = self.fn(item)
+        if injector.corrupts(key, self.attempt):
+            return Corrupted(key, self.attempt)
+        return result
+
+
+def injector_for(spec: FaultSpec | None) -> FaultInjector | None:
+    """Convenience: an injector for an (optionally absent) spec."""
+    if spec is None or not spec.active:
+        return None
+    return FaultInjector(spec)
+
+
+__all__ = [
+    "CampaignAbort",
+    "Corrupted",
+    "FAULTS_ENV",
+    "FaultInjector",
+    "FaultSpec",
+    "FaultyFunction",
+    "InjectedFault",
+    "injector_for",
+    "parse_fault_spec",
+    "reset_abort_counter",
+    "roll",
+    "spec_from_env",
+]

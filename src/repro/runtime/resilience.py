@@ -1,0 +1,370 @@
+"""Absorbing task faults: bounded retry, backoff, timeouts, quarantine.
+
+:func:`resilient_map` is the fault-tolerant sibling of
+:func:`repro.runtime.parallel.parallel_map`.  Where ``parallel_map``
+re-raises the first worker error (correct for a trusted, deterministic
+campaign), ``resilient_map`` assumes tasks *will* fail — whether through
+injected chaos (:mod:`repro.runtime.faults`) or real-world OOMs and
+timeouts — and degrades gracefully instead:
+
+- every task attempt runs under a guard that converts exceptions into
+  failure records (a poisoned task cannot take the pool down),
+- failed tasks are retried in batches with exponential backoff, rerolling
+  their fate each attempt,
+- tasks that fail every attempt land in a :class:`Quarantine` with their
+  failure history, and the map *completes* with ``None`` at their
+  positions,
+- an optional per-task timeout (SIGALRM-based, main-thread only) converts
+  hangs into retryable failures,
+- an optional validator rejects corrupt results (e.g. non-finite
+  benchmark times), which are then retried like failures.
+
+Determinism: retry scheduling never influences task *values* — tasks are
+pure functions of their items (the PR 2 contract), so a task that
+succeeds on attempt 3 returns exactly what it would have returned on
+attempt 1.  Backoff sleeps cost wall time only.
+
+Telemetry (enabled mode): ``resilience.tasks`` / ``.retries`` /
+``.failures.<kind>`` counters, a ``resilience.quarantined`` gauge, and a
+``resilience.backoff_seconds`` histogram over the injected delays.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+from repro.obs import TELEMETRY
+from repro.obs.metrics import BACKOFF_BUCKETS
+from repro.runtime.faults import Corrupted, InjectedFault
+from repro.runtime.parallel import parallel_map
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class TaskTimeoutError(RuntimeError):
+    """A task exceeded its per-attempt wall-clock budget."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff.
+
+    ``max_attempts`` counts the first try: ``max_attempts=3`` means one
+    try plus at most two retries.  The backoff before retry round *r*
+    (1-based) is ``min(backoff_base * backoff_factor**(r-1),
+    backoff_max)`` seconds, slept once per round — not per task — so a
+    large failed batch costs one delay, not thousands.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    #: Per-attempt wall-clock budget (seconds); ``None`` disables.  Uses
+    #: SIGALRM, so it only arms on the main thread of a process (which is
+    #: where both the inline path and pool workers execute tasks).
+    task_timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError("task_timeout must be positive")
+
+    def backoff(self, retry_round: int) -> float:
+        """Delay before retry round ``retry_round`` (0-based)."""
+        return min(
+            self.backoff_base * self.backoff_factor**retry_round,
+            self.backoff_max,
+        )
+
+
+@dataclass
+class TaskFailure:
+    """Terminal failure record for one quarantined task."""
+
+    key: str
+    kind: str  # "injected" | "error" | "timeout" | "corrupt" | "invalid"
+    attempts: int
+    message: str
+
+
+@dataclass
+class QuarantineEntry:
+    key: str
+    stage: str
+    kind: str
+    attempts: int
+    reason: str
+
+
+class Quarantine:
+    """Poison list: tasks that failed every retry, with their history."""
+
+    def __init__(self) -> None:
+        self.entries: list[QuarantineEntry] = []
+
+    def add(self, key: str, stage: str, failure: TaskFailure) -> None:
+        self.entries.append(
+            QuarantineEntry(
+                key=key,
+                stage=stage,
+                kind=failure.kind,
+                attempts=failure.attempts,
+                reason=failure.message,
+            )
+        )
+        TELEMETRY.inc("resilience.quarantined_total")
+        TELEMETRY.gauge_set("resilience.quarantined", len(self.names))
+
+    @property
+    def names(self) -> list[str]:
+        """Unique quarantined keys, first-seen order."""
+        seen: dict[str, None] = {}
+        for entry in self.entries:
+            seen.setdefault(entry.key, None)
+        return list(seen)
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)
+
+    def report_lines(self) -> list[str]:
+        if not self.entries:
+            return ["quarantine: empty"]
+        lines = [f"quarantine: {len(self)} task(s)"]
+        for entry in self.entries:
+            lines.append(
+                f"  {entry.key}  [{entry.stage}/{entry.kind}, "
+                f"{entry.attempts} attempt(s)]  {entry.reason}"
+            )
+        return lines
+
+    def report(self) -> str:
+        return "\n".join(self.report_lines())
+
+
+class _TaskError:
+    """In-band failure marker returned by the per-task guard."""
+
+    __slots__ = ("kind", "message")
+
+    def __init__(self, kind: str, message: str) -> None:
+        self.kind = kind
+        self.message = message
+
+    def __repr__(self) -> str:
+        return f"_TaskError({self.kind!r}, {self.message!r})"
+
+
+def _raise_timeout(signum: int, frame: Any) -> None:
+    raise TaskTimeoutError("task exceeded its wall-clock budget")
+
+
+def _alarm_usable() -> bool:
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+class _Guarded:
+    """Picklable per-task guard: absorb exceptions, enforce the timeout.
+
+    Runs in pool workers (or inline); converts any ``Exception`` into a
+    :class:`_TaskError` so one bad task never aborts the whole map.
+    ``BaseException`` (notably :class:`~repro.runtime.faults.CampaignAbort`)
+    still propagates — a simulated crash must crash.
+    """
+
+    __slots__ = ("fn", "timeout")
+
+    def __init__(self, fn: Callable[[T], R], timeout: float | None) -> None:
+        self.fn = fn
+        self.timeout = timeout
+
+    def __getstate__(self) -> tuple[Any, Any]:
+        return (self.fn, self.timeout)
+
+    def __setstate__(self, state: tuple[Any, Any]) -> None:
+        self.fn, self.timeout = state
+
+    def _call_with_timeout(self, item: T) -> R:
+        old_handler = signal.signal(signal.SIGALRM, _raise_timeout)
+        signal.setitimer(signal.ITIMER_REAL, self.timeout)
+        try:
+            return self.fn(item)
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, old_handler)
+
+    def __call__(self, item: T) -> Any:
+        try:
+            if self.timeout is not None and _alarm_usable():
+                return self._call_with_timeout(item)
+            return self.fn(item)
+        except TaskTimeoutError as exc:
+            return _TaskError("timeout", str(exc))
+        except InjectedFault as exc:
+            return _TaskError("injected", str(exc))
+        except Exception as exc:
+            return _TaskError("error", f"{type(exc).__name__}: {exc}")
+
+
+def _classify(
+    out: Any, validate: Callable[[Any], str | None] | None
+) -> tuple[str, str] | None:
+    """(kind, message) when ``out`` is a failure, ``None`` when it is OK."""
+    if isinstance(out, _TaskError):
+        return out.kind, out.message
+    if isinstance(out, Corrupted):
+        return "corrupt", f"corrupted result for {out.key!r}"
+    if validate is not None:
+        message = validate(out)
+        if message is not None:
+            return "invalid", message
+    return None
+
+
+@dataclass
+class ResilientMapResult:
+    """Outcome of one :func:`resilient_map`: values plus failure records."""
+
+    values: list[Any]
+    ok: list[bool]
+    #: item index → terminal failure (tasks that exhausted every attempt).
+    failures: dict[int, TaskFailure] = field(default_factory=dict)
+    #: Total retried task-attempts across all rounds.
+    retried: int = 0
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.failures)
+
+    @property
+    def complete(self) -> bool:
+        return not self.failures
+
+
+def resilient_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    keys: Sequence[str] | None = None,
+    jobs: int | None = 1,
+    policy: RetryPolicy | None = None,
+    validate: Callable[[Any], str | None] | None = None,
+    label: str = "map",
+) -> ResilientMapResult:
+    """Map ``fn`` over ``items`` with retry, backoff, and quarantine.
+
+    Parameters
+    ----------
+    fn
+        Picklable task function.  If it exposes ``for_attempt(n)`` (a
+        :class:`~repro.runtime.faults.FaultyFunction` does), each retry
+        round calls the rebound wrapper so injected fates reroll.
+    items
+        Task inputs; consumed eagerly.
+    keys
+        Stable task names aligned with ``items`` (used in failure
+        records); defaults to stringified indices.
+    jobs
+        Worker processes per round (same semantics as ``parallel_map``).
+    policy
+        Retry/backoff/timeout policy (default: :class:`RetryPolicy`).
+    validate
+        Optional result validator returning an error string for results
+        that must be treated as failures (``None`` = valid).
+    label
+        Telemetry label.
+    """
+    items = items if isinstance(items, list) else list(items)
+    n = len(items)
+    keys = [str(i) for i in range(n)] if keys is None else list(keys)
+    if len(keys) != n:
+        raise ValueError(f"{len(keys)} keys for {n} items")
+    policy = policy or RetryPolicy()
+
+    values: list[Any] = [None] * n
+    ok = [False] * n
+    last_failure: dict[int, tuple[str, str, int]] = {}
+    retried = 0
+    pending = list(range(n))
+    observing = TELEMETRY.enabled
+
+    with TELEMETRY.span(
+        "resilience.map", label=label, n_items=n, max_attempts=policy.max_attempts
+    ):
+        for attempt in range(policy.max_attempts):
+            if not pending:
+                break
+            if attempt > 0:
+                delay = policy.backoff(attempt - 1)
+                if observing:
+                    TELEMETRY.inc("resilience.retries", len(pending))
+                    TELEMETRY.observe(
+                        "resilience.backoff_seconds",
+                        delay,
+                        buckets=BACKOFF_BUCKETS,
+                    )
+                retried += len(pending)
+                if delay > 0:
+                    time.sleep(delay)
+            round_fn = (
+                fn.for_attempt(attempt)
+                if hasattr(fn, "for_attempt")
+                else fn
+            )
+            guarded = _Guarded(round_fn, policy.task_timeout)
+            outs = parallel_map(
+                guarded,
+                [items[i] for i in pending],
+                jobs=jobs,
+                label=f"{label}.attempt{attempt}",
+            )
+            still_failed: list[int] = []
+            for i, out in zip(pending, outs):
+                verdict = _classify(out, validate)
+                if verdict is None:
+                    values[i] = out
+                    ok[i] = True
+                    last_failure.pop(i, None)
+                else:
+                    kind, message = verdict
+                    last_failure[i] = (kind, message, attempt + 1)
+                    still_failed.append(i)
+                    if observing:
+                        TELEMETRY.inc(f"resilience.failures.{kind}")
+            pending = still_failed
+        if observing:
+            TELEMETRY.inc("resilience.tasks", n)
+
+    failures = {
+        i: TaskFailure(key=keys[i], kind=kind, attempts=attempts, message=msg)
+        for i, (kind, msg, attempts) in last_failure.items()
+    }
+    return ResilientMapResult(
+        values=values, ok=ok, failures=failures, retried=retried
+    )
+
+
+__all__ = [
+    "Quarantine",
+    "QuarantineEntry",
+    "ResilientMapResult",
+    "RetryPolicy",
+    "TaskFailure",
+    "TaskTimeoutError",
+    "resilient_map",
+]

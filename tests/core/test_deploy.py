@@ -100,3 +100,78 @@ def test_version_check(tmp_path, frozen_pair):
     np.savez(path, **data)
     with pytest.raises(ValueError):
         FrozenSelector.load(path)
+
+
+class TestFallbackSelector:
+    """Graceful degradation: inference keeps answering without a model."""
+
+    def test_healthy_model_passthrough(self, frozen_pair, tmp_path):
+        from repro.core.deploy import FallbackSelector
+
+        _, frozen, ds = frozen_pair
+        path = tmp_path / "selector.npz"
+        frozen.save(path)
+        fallback = FallbackSelector.load(path)
+        assert not fallback.degraded
+        assert fallback.error is None
+        np.testing.assert_array_equal(
+            fallback.predict(ds.X), frozen.predict(ds.X)
+        )
+        assert fallback.predict_one(ds.X[0]) == frozen.predict(ds.X[:1])[0]
+
+    def test_missing_model_degrades_to_csr(self, tmp_path):
+        from repro.core.deploy import FallbackSelector
+
+        fallback = FallbackSelector.load(tmp_path / "missing.npz")
+        assert fallback.degraded
+        assert "FileNotFoundError" in fallback.error
+        out = fallback.predict(np.zeros((3, 21)))
+        assert list(out) == ["csr", "csr", "csr"]
+
+    def test_corrupt_model_degrades(self, tmp_path):
+        from repro.core.deploy import FallbackSelector
+
+        path = tmp_path / "corrupt.npz"
+        path.write_bytes(b"not an npz archive")
+        fallback = FallbackSelector.load(path)
+        assert fallback.degraded
+        assert fallback.predict_one(np.zeros(21)) == "csr"
+
+    def test_custom_fallback_format(self, tmp_path):
+        from repro.core.deploy import FallbackSelector
+
+        fallback = FallbackSelector.load(
+            tmp_path / "missing.npz", fallback_format="coo"
+        )
+        assert fallback.predict_one(np.zeros(21)) == "coo"
+
+    def test_predict_time_failure_degrades_that_call(
+        self, frozen_pair, tmp_path
+    ):
+        from repro.core.deploy import FallbackSelector
+
+        _, frozen, ds = frozen_pair
+        path = tmp_path / "selector.npz"
+        frozen.save(path)
+        fallback = FallbackSelector.load(path)
+        # Wrong feature dimensionality makes the frozen transform blow
+        # up; the wrapper answers with the fallback instead of raising.
+        out = fallback.predict(np.zeros((2, 3)))
+        assert list(out) == ["csr", "csr"]
+        assert fallback.error is not None
+
+    def test_degraded_load_counts_in_telemetry(self, tmp_path):
+        from repro.core.deploy import FallbackSelector
+        from repro.obs import TELEMETRY
+
+        TELEMETRY.enable()
+        TELEMETRY.reset()
+        try:
+            fallback = FallbackSelector.load(tmp_path / "missing.npz")
+            fallback.predict(np.zeros((2, 21)))
+            registry = TELEMETRY.registry
+            assert registry.counter("deploy.fallback_loads").value == 1
+            assert registry.counter("deploy.fallback_predictions").value == 2
+        finally:
+            TELEMETRY.disable()
+            TELEMETRY.reset()

@@ -100,3 +100,35 @@ def test_disabled_telemetry_records_nothing():
     assert selector.n_observed == 9
     assert selector.n_clusters == 4
     assert selector.n_splits == 1
+
+
+class TestRejectedInputs:
+    """Garbage feature vectors must not poison the running centroids."""
+
+    def test_nonfinite_observe_rejected(self):
+        selector = _make_selector()
+        selector.observe(np.array([0.0, 0.0]), "csr")
+        with pytest.raises(ValueError, match="non-finite"):
+            selector.observe(np.array([np.nan, 0.0]), "csr")
+        with pytest.raises(ValueError, match="non-finite"):
+            selector.observe(np.array([np.inf, 0.0]), "coo")
+        # State is untouched by the rejected updates.
+        assert selector.n_observed == 1
+        assert selector.n_clusters == 1
+        np.testing.assert_array_equal(
+            selector.clusters[0].centroid, selector._transform_one([0.0, 0.0])
+        )
+
+    def test_nonfinite_predict_rejected(self):
+        selector = _make_selector()
+        selector.observe(np.array([0.0, 0.0]), "csr")
+        with pytest.raises(ValueError, match="non-finite"):
+            selector.predict_one(np.array([np.nan, np.nan]))
+
+    def test_rejections_counted(self):
+        TELEMETRY.enable()
+        selector = _make_selector()
+        for _ in range(3):
+            with pytest.raises(ValueError):
+                selector.observe(np.array([np.nan, 0.0]), "csr")
+        assert TELEMETRY.registry.counter("online.rejected").value == 3

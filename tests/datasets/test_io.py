@@ -72,3 +72,48 @@ def test_external_collection_feeds_pipeline(tmp_path, tiny_collection):
         "volta", features, sim.benchmark_collection(records)
     )
     assert len(dataset) >= 1
+
+
+def test_failed_export_leaves_no_partial_collection(
+    tmp_path, tiny_collection, monkeypatch
+):
+    """A mid-export crash must not leave a half-written collection: the
+    target directory stays clean (no .mtx debris, no commit marker) and
+    the staging directory is removed, so a retry just works."""
+    import repro.datasets.io as ds_io
+
+    records = tiny_collection.records[:5]
+    target = tmp_path / "col"
+    real_write = ds_io.write_matrix_market
+    calls = {"n": 0}
+
+    def failing_write(matrix, path, comment=None):
+        calls["n"] += 1
+        if calls["n"] == 3:
+            raise OSError("disk full")
+        return real_write(matrix, path, comment=comment)
+
+    monkeypatch.setattr(ds_io, "write_matrix_market", failing_write)
+    with pytest.raises(OSError, match="disk full"):
+        export_collection(records, target)
+    assert list(target.iterdir()) == []  # nothing published
+    assert list(tmp_path.glob(".col-partial-*")) == []  # staging cleaned
+
+    # The failed attempt does not block a retry.
+    monkeypatch.setattr(ds_io, "write_matrix_market", real_write)
+    export_collection(records, target)
+    loaded = load_collection(target)
+    assert [r.name for r in loaded] == [r.name for r in records]
+
+
+def test_export_metadata_written_last(tmp_path, tiny_collection):
+    """collection.json is the commit marker: it lists every exported
+    file, and every listed file exists once it does."""
+    import json
+
+    records = tiny_collection.records[:4]
+    out = export_collection(records, tmp_path / "col")
+    meta = json.loads((out / "collection.json").read_text())
+    assert len(meta) == 4
+    for entry in meta:
+        assert (out / entry["file"]).is_file()

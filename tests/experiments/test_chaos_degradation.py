@@ -1,0 +1,218 @@
+"""Graceful degradation of the campaign under injected faults, plus
+checkpoint/resume: the campaign completes with quarantined records
+excluded, survivors byte-identical to a fault-free run, and a killed
+campaign resumes without redoing completed benchmarks."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.data import (
+    DegradationReport,
+    build_experiment_data,
+    checkpoint_key,
+)
+from repro.obs import TELEMETRY
+from repro.runtime import ArtifactCache, FaultSpec, RetryPolicy
+from repro.runtime.faults import CampaignAbort
+
+FAST_RETRY = RetryPolicy(max_attempts=3, backoff_base=0.0, backoff_max=0.0)
+
+
+@pytest.fixture(scope="module")
+def chaos_config():
+    return ExperimentConfig.small(
+        collection_size=40,
+        trials=3,
+        faults=FaultSpec(failure_rate=0.3, corruption_rate=0.05, seed=11),
+        retry=FAST_RETRY,
+    )
+
+
+@pytest.fixture(scope="module")
+def clean_data(chaos_config):
+    clean = dataclasses.replace(chaos_config, faults=None, retry=None)
+    return build_experiment_data(clean, use_cache=False)
+
+
+@pytest.fixture(scope="module")
+def chaotic_data(chaos_config):
+    return build_experiment_data(chaos_config, use_cache=False)
+
+
+def _counter(name):
+    c = TELEMETRY.registry.get(name)
+    return 0 if c is None else c.value
+
+
+class TestGracefulDegradation:
+    def test_campaign_completes_with_quarantine(self, chaotic_data):
+        report = chaotic_data.degradation
+        assert isinstance(report, DegradationReport)
+        assert report.n_records == 40
+        assert report.n_quarantined > 0
+        assert report.n_survivors == 40 - report.n_quarantined
+        assert len(chaotic_data.features) == report.n_survivors
+        assert "quarantine:" in report.to_text()
+
+    def test_quarantined_names_excluded_everywhere(self, chaotic_data):
+        bad = set(chaotic_data.degradation.quarantine.names)
+        assert bad
+        names = chaotic_data.features.names
+        assert not bad & set(names)
+        assert [s for s in chaotic_data.stats] and \
+            len(chaotic_data.stats) == len(names)
+        for arch in chaotic_data.arch_names:
+            results = chaotic_data.results[arch]
+            assert [r.name for r in results] == names
+
+    def test_survivors_byte_identical_to_clean_run(
+        self, clean_data, chaotic_data
+    ):
+        clean_index = {
+            name: i for i, name in enumerate(clean_data.features.names)
+        }
+        rows = [clean_index[n] for n in chaotic_data.features.names]
+        np.testing.assert_array_equal(
+            clean_data.features.values[rows], chaotic_data.features.values
+        )
+        for arch in clean_data.arch_names:
+            clean_by_name = dict(
+                zip(clean_data.features.names, clean_data.results[arch])
+            )
+            for name, result in zip(
+                chaotic_data.features.names, chaotic_data.results[arch]
+            ):
+                reference = clean_by_name[name]
+                assert result.times == reference.times
+                assert result.best_format == reference.best_format
+                assert result.excluded == reference.excluded
+
+    def test_labels_identical_for_surviving_matrices(
+        self, clean_data, chaotic_data
+    ):
+        for arch in clean_data.arch_names:
+            clean_ds = clean_data.datasets[arch]
+            chaos_ds = chaotic_data.datasets[arch]
+            clean_labels = dict(
+                zip(clean_ds.features.names, clean_ds.labels)
+            )
+            assert set(chaos_ds.features.names) <= set(clean_labels)
+            for name, label in zip(chaos_ds.features.names, chaos_ds.labels):
+                assert label == clean_labels[name]
+
+    def test_records_property_excludes_quarantined(self, chaotic_data):
+        fresh = dataclasses.replace(chaotic_data, _records=None)
+        rebuilt = fresh.records
+        assert [r.name for r in rebuilt] == chaotic_data.features.names
+
+    def test_degraded_campaign_never_persisted(self, chaos_config, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        data = build_experiment_data(
+            chaos_config, use_cache=False, cache_dir=cache_dir
+        )
+        assert data.degradation.n_quarantined > 0
+        cache = ArtifactCache(cache_dir)
+        assert list(cache.entries()) == []  # no artifact, no checkpoint
+
+    def test_env_var_injects_faults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "fail=0.3,seed=11")
+        config = ExperimentConfig.small(
+            collection_size=30, trials=2, retry=FAST_RETRY
+        )
+        data = build_experiment_data(config, use_cache=False)
+        assert data.degradation is not None
+        assert data.degradation.n_quarantined > 0
+
+    def test_retry_only_config_reports_clean_run(self):
+        config = ExperimentConfig.small(
+            collection_size=20, trials=2, retry=FAST_RETRY
+        )
+        data = build_experiment_data(config, use_cache=False)
+        assert data.degradation is not None
+        assert data.degradation.n_quarantined == 0
+        assert data.degradation.n_survivors == 20
+
+
+class TestCheckpointResume:
+    def test_abort_leaves_checkpoint_and_resume_completes(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        base = ExperimentConfig.small(collection_size=25, trials=2)
+        # 25 stats tasks and one 10-task benchmark batch complete (and
+        # checkpoint), then the abort fires mid-way through the second
+        # benchmark batch of the 75-task stage.
+        killed = dataclasses.replace(
+            base,
+            faults=FaultSpec(abort_after=40),
+            retry=FAST_RETRY,
+            checkpoint_every=10,
+        )
+        with pytest.raises(CampaignAbort):
+            build_experiment_data(
+                killed, use_cache=False, cache_dir=cache_dir
+            )
+        cache = ArtifactCache(cache_dir)
+        assert cache.contains(checkpoint_key(base))
+
+        clean = build_experiment_data(base, use_cache=False)
+
+        resumed_config = dataclasses.replace(base, resume=True)
+        TELEMETRY.enable()
+        TELEMETRY.reset()
+        try:
+            resumed = build_experiment_data(
+                resumed_config, use_cache=False, cache_dir=cache_dir
+            )
+            benchmark_calls = _counter("gpu.benchmark_calls")
+        finally:
+            TELEMETRY.disable()
+            TELEMETRY.reset()
+
+        report = resumed.degradation
+        assert report.resumed_stats == 25
+        assert report.resumed_benchmarks > 0
+        # The resumed run re-executed only the missing benchmark tasks.
+        assert benchmark_calls == 75 - report.resumed_benchmarks
+        assert benchmark_calls < 75
+
+        # Checkpoint retired; the canonical artifact took its place.
+        assert not cache.contains(checkpoint_key(base))
+        assert list(cache.entries()) != []
+
+        # And the stitched-together results are byte-identical.
+        np.testing.assert_array_equal(
+            clean.features.values, resumed.features.values
+        )
+        assert clean.features.names == resumed.features.names
+        for arch in clean.arch_names:
+            np.testing.assert_array_equal(
+                clean.datasets[arch].labels, resumed.datasets[arch].labels
+            )
+            for a, b in zip(clean.results[arch], resumed.results[arch]):
+                assert a.times == b.times
+
+    def test_resume_without_checkpoint_is_a_full_run(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        config = ExperimentConfig.small(
+            collection_size=15, trials=2, resume=True
+        )
+        data = build_experiment_data(
+            config, use_cache=False, cache_dir=cache_dir
+        )
+        assert data.degradation.resumed_stats == 0
+        assert data.degradation.resumed_benchmarks == 0
+        assert len(data.features) == 15
+
+    def test_stale_checkpoint_schema_ignored(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        base = ExperimentConfig.small(collection_size=12, trials=2)
+        cache = ArtifactCache(cache_dir)
+        cache.store(checkpoint_key(base), {"schema": -1, "stats": {}})
+        config = dataclasses.replace(base, resume=True)
+        data = build_experiment_data(
+            config, use_cache=False, cache_dir=cache_dir
+        )
+        assert data.degradation.resumed_stats == 0
+        assert len(data.features) == 12

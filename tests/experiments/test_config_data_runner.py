@@ -1,7 +1,6 @@
 """Experiment configuration, data caching, and the CLI runner."""
 
 import numpy as np
-import pytest
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.data import _CACHE, build_experiment_data, campaign_key

@@ -1,6 +1,5 @@
 """Table generators: every table produces well-formed, in-range rows."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import table2, table3, table4, table5, table6, table7, table8, table9

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.datasets.generators import arrow, banded, power_law_rows
-from repro.features.stats import WARP_SIZE, MatrixStats, compute_stats
+from repro.features.stats import WARP_SIZE, compute_stats
 from repro.formats import COOMatrix, ELLMatrix, HYBMatrix
 
 

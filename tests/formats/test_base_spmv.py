@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.formats import COOMatrix, FormatError, convert, spmv
+from repro.formats import FormatError, convert, spmv
 from repro.formats.base import check_shape, check_vector
 from repro.formats.spmv import spmv_dense_reference
 

@@ -5,7 +5,7 @@ import io
 import numpy as np
 import pytest
 
-from repro.formats import FORMATS, COOMatrix, FormatError, convert
+from repro.formats import FORMATS, FormatError, convert
 from repro.formats.convert import BENCHMARK_FORMATS
 from repro.formats.io import (
     MatrixMarketError,

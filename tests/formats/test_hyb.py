@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.datasets.generators import arrow, power_law_rows
-from repro.formats import COOMatrix, HYBMatrix
+from repro.formats import HYBMatrix
 from repro.formats.hyb import optimal_ell_width
 
 

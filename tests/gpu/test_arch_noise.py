@@ -1,6 +1,5 @@
 """Architecture parameter sets and derived properties."""
 
-import numpy as np
 import pytest
 
 from repro.gpu import ARCHITECTURES, PASCAL, TURING, VOLTA

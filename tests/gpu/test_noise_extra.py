@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.gpu import GPUSimulator, VOLTA
-from repro.gpu.noise import DEFAULT_SIGMA, averaged_measurement, noisy_trials
+from repro.gpu.noise import DEFAULT_SIGMA, noisy_trials
 
 
 def test_sigma_controls_spread(rng):

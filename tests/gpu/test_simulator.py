@@ -3,10 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.datasets import build_collection
 from repro.datasets.generators import arrow, banded
 from repro.features.stats import compute_stats
-from repro.gpu import ARCHITECTURES, GPUSimulator, PASCAL, TURING, VOLTA
+from repro.gpu import GPUSimulator, PASCAL, TURING, VOLTA
 from repro.gpu.noise import averaged_measurement, noisy_trials
 from repro.gpu.simulator import (
     CONVERSION_COST_RELATIVE,

@@ -1,0 +1,164 @@
+"""Deterministic fault injection (repro.runtime.faults)."""
+
+import pickle
+
+import pytest
+
+from repro.runtime.faults import (
+    CampaignAbort,
+    Corrupted,
+    FaultInjector,
+    FaultSpec,
+    FaultyFunction,
+    InjectedFault,
+    injector_for,
+    parse_fault_spec,
+    reset_abort_counter,
+    roll,
+    spec_from_env,
+)
+
+
+def test_roll_is_deterministic_and_uniformish():
+    a = roll(7, "fail", "banded_00001", 0)
+    assert a == roll(7, "fail", "banded_00001", 0)
+    assert 0.0 <= a < 1.0
+    # Different coordinates give different rolls.
+    assert a != roll(7, "fail", "banded_00001", 1)
+    assert a != roll(7, "fail", "banded_00002", 0)
+    assert a != roll(8, "fail", "banded_00001", 0)
+    assert a != roll(7, "latency", "banded_00001", 0)
+    # Roughly uniform over many keys.
+    rolls = [roll(0, "fail", f"m{i}") for i in range(2000)]
+    mean = sum(rolls) / len(rolls)
+    assert 0.45 < mean < 0.55
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        FaultSpec(failure_rate=1.5)
+    with pytest.raises(ValueError):
+        FaultSpec(corruption_rate=-0.1)
+    with pytest.raises(ValueError):
+        FaultSpec(latency_seconds=-1.0)
+    with pytest.raises(ValueError):
+        FaultSpec(abort_after=-1)
+    assert not FaultSpec().active
+    assert FaultSpec(failure_rate=0.1).active
+    assert FaultSpec(abort_after=5).active
+
+
+def test_parse_fault_spec_round_trip():
+    spec = parse_fault_spec("fail=0.2, latency=0.1,delay=0.01,corrupt=0.05,"
+                            "poison=0.5,seed=7,abort=40")
+    assert spec == FaultSpec(
+        failure_rate=0.2,
+        latency_rate=0.1,
+        latency_seconds=0.01,
+        corruption_rate=0.05,
+        poison_fraction=0.5,
+        seed=7,
+        abort_after=40,
+    )
+
+
+def test_parse_fault_spec_rejects_garbage():
+    with pytest.raises(ValueError):
+        parse_fault_spec("fail")
+    with pytest.raises(ValueError):
+        parse_fault_spec("explode=0.5")
+
+
+def test_spec_from_env(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    assert spec_from_env() is None
+    monkeypatch.setenv("REPRO_FAULTS", "fail=0.25,seed=3")
+    assert spec_from_env() == FaultSpec(failure_rate=0.25, seed=3)
+
+
+def test_injector_for():
+    assert injector_for(None) is None
+    assert injector_for(FaultSpec()) is None  # inactive spec
+    assert isinstance(injector_for(FaultSpec(failure_rate=0.1)), FaultInjector)
+
+
+def test_failure_rate_zero_never_fails():
+    injector = FaultInjector(FaultSpec())
+    assert not any(injector.fails(f"m{i}", 0) for i in range(200))
+
+
+def test_poison_names_fail_every_attempt():
+    injector = FaultInjector(FaultSpec(failure_rate=0.3, seed=1))
+    keys = [f"m{i}" for i in range(400)]
+    poison = [k for k in keys if injector.is_poison(k)]
+    assert poison, "expected some poison names at 30% failure"
+    for key in poison[:10]:
+        assert all(injector.fails(key, attempt) for attempt in range(6))
+    # Transient failures clear up within a few rerolls.
+    transient = [
+        k for k in keys
+        if injector.fails(k, 0) and not injector.is_poison(k)
+    ]
+    assert transient, "expected some transient failures"
+    for key in transient:
+        assert not all(injector.fails(key, attempt) for attempt in range(8))
+
+
+def test_wrapped_function_injects_and_rerolls(monkeypatch):
+    spec = FaultSpec(failure_rate=0.4, seed=2)
+    injector = FaultInjector(spec)
+    wrapped = injector.wrap(lambda item: item * 2, str)
+    failing = next(
+        k for k in range(100)
+        if injector.fails(str(k), 0) and not injector.is_poison(str(k))
+    )
+    with pytest.raises(InjectedFault):
+        wrapped(failing)
+    # Some later attempt succeeds and computes the *real* value.
+    for attempt in range(1, 8):
+        if not injector.fails(str(failing), attempt):
+            assert wrapped.for_attempt(attempt)(failing) == failing * 2
+            break
+    else:
+        pytest.fail("transient failure never cleared")
+
+
+def test_corruption_returns_detectable_marker():
+    spec = FaultSpec(corruption_rate=0.5, seed=4)
+    injector = FaultInjector(spec)
+    wrapped = injector.wrap(lambda item: item + 1, str)
+    corrupted_key = next(
+        k for k in range(100) if injector.corrupts(str(k), 0)
+    )
+    out = wrapped(corrupted_key)
+    assert isinstance(out, Corrupted)
+    assert out.key == str(corrupted_key)
+    clean_key = next(
+        k for k in range(100) if not injector.corrupts(str(k), 0)
+    )
+    assert wrapped(clean_key) == clean_key + 1
+
+
+def test_wrapper_survives_pickling():
+    spec = FaultSpec(failure_rate=0.2, seed=5)
+    wrapped = FaultyFunction(abs, str, spec, attempt=3)
+    clone = pickle.loads(pickle.dumps(wrapped))
+    assert clone.spec == spec
+    assert clone.attempt == 3
+    assert clone(-4) == 4 or isinstance(clone(-4), Corrupted)
+
+
+def test_abort_after_raises_campaign_abort():
+    reset_abort_counter()
+    wrapped = FaultyFunction(abs, str, FaultSpec(abort_after=3))
+    assert [wrapped(-i) for i in range(1, 4)] == [1, 2, 3]
+    with pytest.raises(CampaignAbort):
+        wrapped(-5)
+    reset_abort_counter()
+    assert wrapped(-6) == 6
+
+
+def test_campaign_abort_is_not_an_exception():
+    # The resilience guard absorbs Exception; a simulated crash must
+    # never be absorbed into a retry.
+    assert not issubclass(CampaignAbort, Exception)

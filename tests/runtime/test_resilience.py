@@ -1,0 +1,233 @@
+"""Retry, backoff, quarantine, timeouts (repro.runtime.resilience)."""
+
+import time
+
+import pytest
+
+from repro.obs import TELEMETRY
+from repro.runtime.faults import (
+    CampaignAbort,
+    FaultInjector,
+    FaultSpec,
+    reset_abort_counter,
+)
+from repro.runtime.resilience import (
+    Quarantine,
+    RetryPolicy,
+    TaskFailure,
+    resilient_map,
+)
+
+
+def _double(x):
+    return x * 2
+
+
+class _FlakyOnce:
+    """Fails each item's first attempt, succeeds afterwards (picklable)."""
+
+    def __init__(self):
+        self.attempt = 0
+
+    def for_attempt(self, attempt):
+        clone = _FlakyOnce()
+        clone.attempt = attempt
+        return clone
+
+    def __call__(self, x):
+        if self.attempt == 0:
+            raise RuntimeError(f"flaky {x}")
+        return x * 10
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(task_timeout=0)
+
+    def test_backoff_schedule_is_capped(self):
+        policy = RetryPolicy(
+            backoff_base=0.1, backoff_factor=2.0, backoff_max=0.3
+        )
+        assert policy.backoff(0) == pytest.approx(0.1)
+        assert policy.backoff(1) == pytest.approx(0.2)
+        assert policy.backoff(2) == pytest.approx(0.3)
+        assert policy.backoff(5) == pytest.approx(0.3)
+
+
+class TestResilientMap:
+    def test_all_success_is_a_plain_map(self):
+        result = resilient_map(_double, [1, 2, 3])
+        assert result.values == [2, 4, 6]
+        assert result.ok == [True, True, True]
+        assert result.complete
+        assert result.retried == 0
+
+    def test_flaky_tasks_recover_on_retry(self):
+        policy = RetryPolicy(max_attempts=2, backoff_base=0.0)
+        result = resilient_map(_FlakyOnce(), [1, 2, 3], policy=policy)
+        assert result.values == [10, 20, 30]
+        assert result.complete
+        assert result.retried == 3
+
+    def test_exhausted_retries_become_failures(self):
+        def always_fails(x):
+            raise ValueError(f"nope {x}")
+
+        policy = RetryPolicy(max_attempts=3, backoff_base=0.0)
+        result = resilient_map(
+            always_fails, [1, 2], keys=["a", "b"], policy=policy
+        )
+        assert result.values == [None, None]
+        assert result.ok == [False, False]
+        assert not result.complete
+        assert result.n_failed == 2
+        failure = result.failures[0]
+        assert isinstance(failure, TaskFailure)
+        assert failure.key == "a"
+        assert failure.kind == "error"
+        assert failure.attempts == 3
+        assert "nope 1" in failure.message
+
+    def test_partial_failure_preserves_order(self):
+        def odd_fails(x):
+            if x % 2:
+                raise RuntimeError("odd")
+            return x
+
+        policy = RetryPolicy(max_attempts=1)
+        result = resilient_map(odd_fails, list(range(6)), policy=policy)
+        assert result.values == [0, None, 2, None, 4, None]
+        assert result.ok == [True, False, True, False, True, False]
+        assert set(result.failures) == {1, 3, 5}
+
+    def test_injected_faults_classified_and_rerolled(self):
+        spec = FaultSpec(failure_rate=0.4, poison_fraction=0.3, seed=9)
+        injector = FaultInjector(spec)
+        items = list(range(60))
+        keys = [str(i) for i in items]
+        wrapped = injector.wrap(_double, str)
+        policy = RetryPolicy(max_attempts=4, backoff_base=0.0)
+        result = resilient_map(wrapped, items, keys=keys, policy=policy)
+        poison = {k for k in keys if injector.is_poison(k)}
+        assert poison, "fixture should include poison names"
+        failed_keys = {f.key for f in result.failures.values()}
+        # Poison names always exhaust retries; unlucky transients may too.
+        assert poison <= failed_keys
+        for failure in result.failures.values():
+            assert failure.kind == "injected"
+            assert failure.attempts == 4
+        # Every survivor computed the true value.
+        for i, (value, ok) in enumerate(zip(result.values, result.ok)):
+            if ok:
+                assert value == items[i] * 2
+
+    def test_validator_rejections_are_retried_then_quarantined(self):
+        def validate(out):
+            return "too big" if out > 4 else None
+
+        policy = RetryPolicy(max_attempts=2, backoff_base=0.0)
+        result = resilient_map(
+            _double, [1, 2, 3], policy=policy, validate=validate
+        )
+        assert result.values[:2] == [2, 4]
+        assert result.ok == [True, True, False]
+        assert result.failures[2].kind == "invalid"
+        assert "too big" in result.failures[2].message
+
+    def test_corrupted_results_detected(self):
+        spec = FaultSpec(corruption_rate=0.99, seed=1)
+        wrapped = FaultInjector(spec).wrap(_double, str)
+        policy = RetryPolicy(max_attempts=1)
+        result = resilient_map(wrapped, [1], keys=["m"], policy=policy)
+        assert result.failures[0].kind == "corrupt"
+
+    def test_campaign_abort_propagates(self):
+        reset_abort_counter()
+        wrapped = FaultInjector(FaultSpec(abort_after=2)).wrap(_double, str)
+        with pytest.raises(CampaignAbort):
+            resilient_map(wrapped, [1, 2, 3, 4], policy=RetryPolicy())
+        reset_abort_counter()
+
+    def test_key_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            resilient_map(_double, [1, 2], keys=["only-one"])
+
+    def test_task_timeout_converts_hang_to_failure(self):
+        def slow_if_two(x):
+            if x == 2:
+                time.sleep(5.0)
+            return x
+
+        policy = RetryPolicy(
+            max_attempts=2, backoff_base=0.0, task_timeout=0.1
+        )
+        t0 = time.perf_counter()
+        result = resilient_map(slow_if_two, [1, 2, 3], policy=policy)
+        assert time.perf_counter() - t0 < 4.0
+        assert result.ok == [True, False, True]
+        assert result.failures[1].kind == "timeout"
+
+    def test_parallel_jobs_match_inline(self):
+        spec = FaultSpec(failure_rate=0.3, seed=6)
+        items = list(range(40))
+        keys = [str(i) for i in items]
+        policy = RetryPolicy(max_attempts=3, backoff_base=0.0)
+
+        def run(jobs):
+            wrapped = FaultInjector(spec).wrap(_double, str)
+            return resilient_map(
+                wrapped, items, keys=keys, jobs=jobs, policy=policy
+            )
+
+        inline, pooled = run(1), run(2)
+        assert inline.values == pooled.values
+        assert inline.ok == pooled.ok
+        assert set(inline.failures) == set(pooled.failures)
+
+
+class TestQuarantine:
+    def test_report_and_names(self):
+        quarantine = Quarantine()
+        assert not quarantine
+        assert quarantine.report() == "quarantine: empty"
+        failure = TaskFailure(
+            key="banded_00001", kind="injected", attempts=3, message="boom"
+        )
+        quarantine.add("banded_00001", "stats", failure)
+        quarantine.add(
+            "banded_00001",
+            "benchmark:volta",
+            TaskFailure(
+                key="volta:banded_00001", kind="timeout", attempts=3,
+                message="slow",
+            ),
+        )
+        assert quarantine
+        assert len(quarantine) == 1  # unique names
+        assert quarantine.names == ["banded_00001"]
+        report = quarantine.report()
+        assert "stats/injected" in report
+        assert "benchmark:volta/timeout" in report
+
+    def test_telemetry_counters(self):
+        TELEMETRY.enable()
+        TELEMETRY.reset()
+        try:
+            quarantine = Quarantine()
+            quarantine.add(
+                "m1", "stats",
+                TaskFailure(key="m1", kind="error", attempts=2, message="x"),
+            )
+            registry = TELEMETRY.registry
+            assert registry.counter("resilience.quarantined_total").value == 1
+            assert registry.gauge("resilience.quarantined").value == 1
+        finally:
+            TELEMETRY.disable()
+            TELEMETRY.reset()

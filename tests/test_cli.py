@@ -1,10 +1,9 @@
 """Command-line interface."""
 
-import numpy as np
 import pytest
 
 from repro.cli import main
-from repro.datasets.generators import banded, stencil_2d
+from repro.datasets.generators import stencil_2d
 from repro.formats import write_matrix_market
 
 
@@ -199,3 +198,93 @@ def test_cache_dir_env_var(tmp_path, monkeypatch, capsys):
     monkeypatch.setenv("REPRO_CACHE_DIR", cache_dir)
     assert main(["cache", "info"]) == 0
     assert cache_dir in capsys.readouterr().out
+
+
+class TestPredictDegradation:
+    """Exit-code policy: 0 = recommendation printed (possibly a degraded
+    CSR fallback), 1 = model problem under --strict, 2 = unusable input
+    matrix."""
+
+    def test_missing_model_falls_back_to_csr(self, mtx_file, capsys):
+        assert main(["predict", mtx_file, "--model", "nope.npz"]) == 0
+        out, err = capsys.readouterr()
+        assert "recommended format: csr (degraded fallback)" in out
+        assert "model unusable" in err
+
+    def test_missing_model_strict_exits_1(self, mtx_file, capsys):
+        assert main([
+            "predict", mtx_file, "--model", "nope.npz", "--strict",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "refusing degraded recommendation" in err
+
+    def test_corrupt_model_falls_back(self, tmp_path, mtx_file, capsys):
+        bad = tmp_path / "corrupt.npz"
+        bad.write_bytes(b"\x00\x01 definitely not a zip archive")
+        assert main(["predict", mtx_file, "--model", str(bad)]) == 0
+        out = capsys.readouterr().out
+        assert "degraded fallback" in out
+
+    def test_custom_fallback_format(self, mtx_file, capsys):
+        assert main([
+            "predict", mtx_file, "--model", "nope.npz",
+            "--fallback-format", "hyb",
+        ]) == 0
+        assert "recommended format: hyb" in capsys.readouterr().out
+
+    def test_unreadable_matrix_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.mtx"
+        bad.write_text("this is not MatrixMarket\n", encoding="utf-8")
+        assert main([
+            "predict", str(bad), "--model", "irrelevant.npz",
+        ]) == 2
+        assert "unusable input matrix" in capsys.readouterr().err
+
+    def test_missing_matrix_exits_2(self, tmp_path, mtx_file, capsys):
+        assert main([
+            "predict", str(tmp_path / "ghost.mtx"), "--model", "nope.npz",
+        ]) == 2
+
+
+class TestChaosCommand:
+    def test_chaos_completes_with_quarantine_and_verifies(self, capsys):
+        rc = main([
+            "chaos", "--size", "40", "--trials", "2", "--fail", "0.3",
+            "--retries", "3", "--require-quarantine", "--verify",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "campaign degradation report" in out
+        assert "quarantined :" in out
+        assert "byte-identical to the fault-free run" in out
+
+    def test_chaos_no_faults_fails_quarantine_gate(self, capsys):
+        rc = main([
+            "chaos", "--size", "10", "--trials", "2", "--fail", "0.0",
+            "--corrupt", "0.0", "--require-quarantine",
+        ])
+        assert rc == 1
+        assert "expected a non-empty quarantine" in capsys.readouterr().err
+
+
+class TestAbortResume:
+    def test_injected_abort_exits_3_then_resume_completes(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        cache_dir = str(tmp_path / "cache")
+        model = str(tmp_path / "selector.npz")
+        base = [
+            "train", "--size", "25", "--clusters", "5", "--trials", "2",
+            "--out", model, "--cache-dir", cache_dir,
+        ]
+        monkeypatch.setenv("REPRO_FAULTS", "abort=40")
+        assert main(base + ["--checkpoint-every", "10"]) == 3
+        err = capsys.readouterr().err
+        assert "campaign aborted" in err
+        assert "--resume" in err
+
+        monkeypatch.delenv("REPRO_FAULTS")
+        assert main(base + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resumed" in out
+        assert "saved 5 labeled centroids" in out

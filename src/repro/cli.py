@@ -10,10 +10,20 @@ Subcommands:
   (degrades to a CSR fallback when the model is unusable; exit codes:
   0 = recommendation printed, 1 = model problem under ``--strict``,
   2 = unusable input matrix).
+- ``serve --model selector.npz [--socket PATH]`` — long-running resilient
+  selector service (JSONL over stdin/stdout, or a Unix socket): hardened
+  ingestion, bounded-queue admission control with load shedding, a
+  circuit breaker around inference, an out-of-distribution guard, and
+  hot model reload with shadow validation.  ``$REPRO_FAULTS`` injects
+  deterministic inference faults, same as for campaigns.
 - ``tables [--small] [--only table3 ...]`` — regenerate the paper tables.
 - ``chaos [--fail 0.2 ...]`` — run a fault-injected campaign and report
   what the resilience layer absorbed (``--verify`` cross-checks that the
-  survivors match a fault-free run byte for byte).
+  survivors match a fault-free run byte for byte).  With
+  ``--target serve`` the same name-keyed fault stream is aimed at the
+  serving stack instead: a deterministic drill of malformed/oversized
+  payloads, queue-overflowing bursts, injected inference faults, and a
+  corrupt-then-good mid-run model swap.
 - ``stats <trace.jsonl>`` — hot-path report from a ``--profile`` trace.
 - ``cache info|clear`` — inspect or purge the campaign artifact cache.
 
@@ -159,6 +169,166 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serving_config(args: argparse.Namespace, model_path: str):
+    from repro.serving import GatewayLimits, ServingConfig
+
+    return ServingConfig(
+        model_path=model_path,
+        fallback_format=args.fallback_format,
+        max_request_bytes=args.max_request_bytes,
+        limits=GatewayLimits(
+            max_matrix_bytes=args.max_matrix_bytes,
+            max_dim=args.max_dim,
+            max_nnz=args.max_nnz,
+        ),
+        queue_size=args.queue_size,
+        deadline_seconds=args.deadline if args.deadline > 0 else None,
+        breaker_failures=args.breaker_failures,
+        breaker_reset_seconds=args.breaker_reset,
+        breaker_probes=args.breaker_probes,
+        ood_factor=args.ood_factor,
+        hot_reload=not args.no_reload,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.runtime.faults import injector_for, spec_from_env
+    from repro.serving import SelectorServer
+
+    server = SelectorServer(
+        _serving_config(args, args.model),
+        fault_injector=injector_for(spec_from_env()),
+    )
+    if server.host.degraded:
+        print(
+            f"repro serve: starting degraded ({server.host.active.error}); "
+            f"answers fall back to {args.fallback_format} until a valid "
+            f"model appears at {args.model}",
+            file=sys.stderr,
+        )
+    if args.socket:
+        print(
+            f"repro serve: listening on unix socket {args.socket}",
+            file=sys.stderr,
+        )
+        return server.serve_socket(args.socket)
+    return server.serve_stream(sys.stdin, sys.stdout)
+
+
+def _cmd_chaos_serve(args: argparse.Namespace) -> int:
+    import io
+    import json
+    import os
+    import tempfile
+    import time as time_mod
+
+    from repro.core.deploy import FallbackSelector
+    from repro.features import extract_features
+    from repro.formats import read_matrix_market
+    from repro.runtime import FaultSpec
+    from repro.runtime.faults import FaultInjector
+    from repro.serving import SelectorServer
+    from repro.serving.drill import (
+        _random_matrix_text,
+        build_request_lines,
+        run_serve_drill,
+        synthetic_frozen_selector,
+    )
+
+    spec = FaultSpec(
+        failure_rate=args.fail,
+        latency_rate=args.latency,
+        latency_seconds=args.delay,
+        corruption_rate=args.corrupt,
+        poison_fraction=args.poison,
+        seed=args.fault_seed,
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-serve-chaos-") as tmp:
+        model_path = os.path.join(tmp, "selector.npz")
+        synthetic_frozen_selector(seed=args.seed).save(model_path)
+        server = SelectorServer(
+            _serving_config(args, model_path),
+            fault_injector=FaultInjector(spec) if spec.active else None,
+        )
+        lines, expectations = build_request_lines(
+            args.requests, seed=args.seed, oversize_bytes=args.max_matrix_bytes
+        )
+        n_bursts = max(1, -(-len(lines) // args.burst))
+        actions = {}
+        if args.swap:
+            def _write_corrupt() -> str:
+                with open(model_path, "wb") as fh:
+                    fh.write(b"\x00garbage, not an npz\x00" * 64)
+                return "corrupt candidate written"
+
+            def _write_good() -> str:
+                synthetic_frozen_selector(
+                    seed=args.seed + 1, n_centroids=8
+                ).save(model_path)
+                return "retrained candidate written"
+
+            actions[max(1, n_bursts // 3)] = _write_corrupt
+            actions[max(2, (2 * n_bursts) // 3)] = _write_good
+        print(
+            f"serve chaos: {args.requests} requests in bursts of "
+            f"{args.burst} (queue {args.queue_size}), fail={args.fail} "
+            f"corrupt={args.corrupt}, swap={'on' if args.swap else 'off'}"
+        )
+        report = run_serve_drill(
+            server, lines, expectations, burst=args.burst, actions=actions
+        )
+        print(report.to_text())
+        rc = 0
+        if not report.ok:
+            rc = 1
+        if args.swap:
+            if server.host.n_quarantined < 1:
+                print(
+                    "repro chaos: corrupt candidate was not quarantined",
+                    file=sys.stderr,
+                )
+                rc = 1
+            if server.host.n_reloads < 1:
+                print(
+                    "repro chaos: retrained candidate was not swapped in",
+                    file=sys.stderr,
+                )
+                rc = 1
+        if args.require_breaker and server.breaker.n_opens == 0:
+            print(
+                "repro chaos: expected the circuit breaker to open; "
+                "raise --fail or --requests",
+                file=sys.stderr,
+            )
+            rc = 1
+        if args.verify:
+            # Recovery: disarm injection, let the breaker's half-open
+            # probes close it, then demand byte-identical parity with a
+            # fresh single-shot FallbackSelector on the same model file.
+            server.fault_injector = None
+            time_mod.sleep(args.breaker_reset + 0.05)
+            text = _random_matrix_text(0, args.seed)
+            line = json.dumps({"id": "parity", "op": "predict", "mtx": text})
+            for _ in range(args.breaker_probes + 1):
+                served = server.handle_line(line)
+            fresh = FallbackSelector.load(model_path)
+            vec = extract_features(read_matrix_market(io.StringIO(text)))[None, :]
+            expected = fresh.predict_one(vec)
+            if served.get("status") != "ok" or served.get("format") != expected:
+                print(
+                    f"repro chaos: PARITY MISMATCH: served {served} vs "
+                    f"single-shot {expected!r}",
+                    file=sys.stderr,
+                )
+                rc = 1
+            else:
+                print(
+                    f"verify: post-recovery answer {expected!r} identical "
+                    f"to a fresh single-shot predict"
+                )
+        return rc
+
+
 def _survivor_mismatches(clean, chaotic) -> list[str]:
     """Where a degraded campaign's survivors differ from a clean run."""
     clean_rows = {
@@ -180,6 +350,8 @@ def _survivor_mismatches(clean, chaotic) -> list[str]:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    if args.target == "serve":
+        return _cmd_chaos_serve(args)
     import dataclasses
 
     from repro.experiments.config import ExperimentConfig
@@ -402,9 +574,100 @@ def build_parser() -> argparse.ArgumentParser:
                         "unusable")
     p.set_defaults(func=_cmd_predict)
 
+    def add_serving_args(parser, **overrides):
+        """Serving knobs, shared by ``serve`` and ``chaos --target serve``.
+
+        A plain function rather than a parent parser: parent parsers
+        share action objects between subparsers, so per-subcommand
+        ``set_defaults`` on one would silently leak into the other.
+        """
+        defaults = dict(
+            queue_size=64, deadline=5.0,
+            max_request_bytes=16 * 1024 * 1024,
+            max_matrix_bytes=8 * 1024 * 1024,
+            max_dim=50_000_000, max_nnz=5_000_000,
+            breaker_failures=5, breaker_reset=2.0, breaker_probes=2,
+        )
+        defaults.update(overrides)
+        parser.add_argument(
+            "--fallback-format", default="csr", metavar="FMT",
+            help="format served when the model cannot be trusted")
+        parser.add_argument(
+            "--queue-size", type=int, default=defaults["queue_size"],
+            metavar="N",
+            help="bounded request queue; overflowing bursts shed the oldest")
+        parser.add_argument(
+            "--deadline", type=float, default=defaults["deadline"],
+            metavar="SECONDS",
+            help="per-request processing deadline (0 disables)")
+        parser.add_argument(
+            "--max-request-bytes", type=int,
+            default=defaults["max_request_bytes"], metavar="N",
+            help="reject request lines larger than this")
+        parser.add_argument(
+            "--max-matrix-bytes", type=int,
+            default=defaults["max_matrix_bytes"], metavar="N",
+            help="reject serialized matrices larger than this")
+        parser.add_argument(
+            "--max-dim", type=int, default=defaults["max_dim"], metavar="N",
+            help="reject matrices declaring more rows/columns than this")
+        parser.add_argument(
+            "--max-nnz", type=int, default=defaults["max_nnz"], metavar="N",
+            help="reject matrices declaring more nonzeros than this")
+        parser.add_argument(
+            "--breaker-failures", type=int,
+            default=defaults["breaker_failures"], metavar="N",
+            help="consecutive inference faults that open the circuit breaker")
+        parser.add_argument(
+            "--breaker-reset", type=float, default=defaults["breaker_reset"],
+            metavar="SECONDS",
+            help="open-state dwell before half-open probing")
+        parser.add_argument(
+            "--breaker-probes", type=int, default=defaults["breaker_probes"],
+            metavar="N",
+            help="half-open probe successes needed to close the breaker")
+        parser.add_argument(
+            "--ood-factor", type=float, default=8.0, metavar="F",
+            help="out-of-distribution threshold as a multiple of the "
+                 "model's centroid scale (0 disables)")
+        parser.add_argument(
+            "--no-reload", action="store_true",
+            help="disable hot model reload (serve the boot-time model only)")
+
+    p = sub.add_parser("serve", parents=[profile_parent],
+                       help="run the resilient selector service "
+                            "(JSONL on stdin/stdout, or a Unix socket)")
+    add_serving_args(p)
+    p.add_argument("--model", required=True, help="frozen selector .npz")
+    p.add_argument("--socket", default=None, metavar="PATH",
+                   help="serve on a Unix socket instead of stdin/stdout")
+    p.set_defaults(func=_cmd_serve)
+
     p = sub.add_parser("chaos", parents=[profile_parent],
                        help="run a fault-injected campaign and report "
                             "what the resilience layer absorbed")
+    # Chaos-tuned serving defaults: a queue smaller than the burst so
+    # shedding actually happens, and a breaker that trips and recovers
+    # within the drill's wall-clock budget.
+    add_serving_args(p, queue_size=8, deadline=0.0, breaker_failures=3,
+                     breaker_reset=0.05, breaker_probes=1,
+                     max_matrix_bytes=32768, max_request_bytes=65536,
+                     max_nnz=100_000)
+    p.add_argument("--target", choices=("campaign", "serve"),
+                   default="campaign",
+                   help="aim the fault stream at the training campaign "
+                        "or at the serving stack")
+    p.add_argument("--requests", type=int, default=200, metavar="N",
+                   help="[serve] drill request count")
+    p.add_argument("--burst", type=int, default=16, metavar="N",
+                   help="[serve] requests submitted per burst")
+    p.add_argument("--swap", dest="swap", action="store_true", default=True,
+                   help="[serve] perform the corrupt-then-good mid-run "
+                        "model swap (default)")
+    p.add_argument("--no-swap", dest="swap", action="store_false",
+                   help="[serve] skip the mid-run model swap")
+    p.add_argument("--require-breaker", action="store_true",
+                   help="[serve] exit 1 unless the circuit breaker opened")
     p.add_argument("--size", type=int, default=60,
                    help="collection size of the chaos campaign")
     p.add_argument("--trials", type=int, default=3)
@@ -429,7 +692,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit 1 unless at least one task was quarantined")
     p.add_argument("--verify", action="store_true",
                    help="re-run fault-free and exit 1 unless every "
-                        "survivor is byte-identical")
+                        "survivor is byte-identical (campaign), or check "
+                        "post-recovery parity with a fresh single-shot "
+                        "predict (serve)")
     p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("tables", parents=[profile_parent, campaign_parent],

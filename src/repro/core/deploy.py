@@ -31,6 +31,43 @@ from repro.obs import TELEMETRY
 _FORMAT_VERSION = 1
 
 
+class ModelFormatError(ValueError):
+    """A frozen-selector ``.npz`` artifact is structurally invalid.
+
+    Raised by :meth:`FrozenSelector.load` when the file is unreadable,
+    misses required arrays, carries an unsupported format version, or
+    holds arrays of the wrong dtype/shape — previously such files
+    surfaced as a cryptic ``KeyError`` deep inside ``transform``.  The
+    serving layer's hot-reload validator keys its quarantine decisions
+    off this type.
+    """
+
+
+def _require_array(
+    data, key: str, ndim: int, kind: str = "f"
+) -> np.ndarray:
+    """Fetch ``key`` from an npz mapping, checking rank and dtype kind."""
+    if key not in data:
+        raise ModelFormatError(f"model file missing required array {key!r}")
+    arr = data[key]
+    if arr.ndim != ndim:
+        raise ModelFormatError(
+            f"model array {key!r} must be {ndim}-D, got {arr.ndim}-D"
+        )
+    if kind == "f":
+        if arr.dtype.kind not in "fiu":
+            raise ModelFormatError(
+                f"model array {key!r} must be numeric, got dtype {arr.dtype}"
+            )
+        if not np.all(np.isfinite(arr)):
+            raise ModelFormatError(f"model array {key!r} has non-finite values")
+    elif kind == "U" and arr.dtype.kind not in "UO":
+        raise ModelFormatError(
+            f"model array {key!r} must hold strings, got dtype {arr.dtype}"
+        )
+    return arr
+
+
 @dataclass
 class FrozenSelector:
     """Inference-only selector: preprocessing arrays + labeled centroids."""
@@ -78,6 +115,31 @@ class FrozenSelector:
         """Nearest-centroid index for each sample."""
         Z = self.transform(X)
         return np.argmin(pairwise_sq_dists(Z, self.centroids), axis=1)
+
+    def nearest_distance(self, X: np.ndarray) -> np.ndarray:
+        """Euclidean distance from each sample to its nearest centroid.
+
+        The serving layer's out-of-distribution guard compares this
+        against :meth:`centroid_scale` — a matrix far from *every*
+        centroid is outside the training distribution and its
+        nearest-centroid label is a guess, not a recommendation.
+        """
+        Z = self.transform(X)
+        d2 = np.min(pairwise_sq_dists(Z, self.centroids), axis=1)
+        return np.sqrt(np.maximum(d2, 0.0))
+
+    def centroid_scale(self) -> float:
+        """Median nearest-neighbour distance among the centroids.
+
+        A model-intrinsic length scale for distance thresholds: points
+        within a few multiples of it sit inside the centroid cloud.
+        ``inf`` for single-centroid models (no scale to speak of).
+        """
+        if self.n_centroids < 2:
+            return float("inf")
+        d2 = pairwise_sq_dists(self.centroids, self.centroids)
+        np.fill_diagonal(d2, np.inf)
+        return float(np.median(np.sqrt(d2.min(axis=1))))
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         if not TELEMETRY.enabled:
@@ -132,14 +194,83 @@ class FrozenSelector:
 
     @classmethod
     def load(cls, path: str | Path) -> "FrozenSelector":
-        with np.load(path, allow_pickle=False) as data:
+        """Load and structurally validate a frozen selector.
+
+        Raises :class:`ModelFormatError` for any artifact problem other
+        than a missing file (which stays ``FileNotFoundError`` so
+        callers can distinguish "not deployed yet" from "corrupt").
+        """
+        try:
+            npz = np.load(path, allow_pickle=False)
+        except FileNotFoundError:
+            raise
+        except Exception as exc:
+            raise ModelFormatError(
+                f"unreadable model file {path!s}: {exc}"
+            ) from exc
+        with npz as data:
+            if "version" not in data:
+                raise ModelFormatError("model file missing version marker")
             version = int(data["version"][0])
             if version != _FORMAT_VERSION:
-                raise ValueError(
+                raise ModelFormatError(
                     f"unsupported frozen-selector version {version}"
+                )
+            scaler_min = _require_array(data, "scaler_min", ndim=1)
+            scaler_span = _require_array(data, "scaler_span", ndim=1)
+            n_features = scaler_min.shape[0]
+            if scaler_span.shape != scaler_min.shape:
+                raise ModelFormatError(
+                    "scaler_min and scaler_span shapes differ: "
+                    f"{scaler_min.shape} vs {scaler_span.shape}"
+                )
+            centroids = _require_array(data, "centroids", ndim=2)
+            labels = _require_array(data, "centroid_labels", ndim=1, kind="U")
+            if labels.shape[0] != centroids.shape[0]:
+                raise ModelFormatError(
+                    f"{centroids.shape[0]} centroids but "
+                    f"{labels.shape[0]} centroid labels"
                 )
             has_transform = "transform_kind" in data
             has_pca = "pca_components" in data
+            if has_transform:
+                transform_kind = str(data["transform_kind"][0])
+                if transform_kind not in ("log", "sqrt"):
+                    raise ModelFormatError(
+                        f"unknown transform kind {transform_kind!r}"
+                    )
+                transform_shift = _require_array(data, "transform_shift", ndim=1)
+                transform_apply = _require_array(
+                    data, "transform_apply", ndim=1, kind="any"
+                )
+                if (
+                    transform_shift.shape[0] != n_features
+                    or transform_apply.shape[0] != n_features
+                ):
+                    raise ModelFormatError(
+                        "transform arrays do not match the feature count"
+                    )
+            if has_pca:
+                pca_components = _require_array(data, "pca_components", ndim=2)
+                pca_mean = _require_array(data, "pca_mean", ndim=1)
+                if pca_components.shape[1] != n_features:
+                    raise ModelFormatError(
+                        f"pca_components expects "
+                        f"{pca_components.shape[1]} features, scaler has "
+                        f"{n_features}"
+                    )
+                if pca_mean.shape[0] != n_features:
+                    raise ModelFormatError(
+                        "pca_mean does not match the feature count"
+                    )
+                inference_dim = pca_components.shape[0]
+            else:
+                inference_dim = n_features
+            if centroids.shape[1] != inference_dim:
+                raise ModelFormatError(
+                    f"centroids are {centroids.shape[1]}-D but the "
+                    f"pipeline produces {inference_dim}-D vectors"
+                )
             return cls(
                 transform_kind=(
                     str(data["transform_kind"][0]) if has_transform else None
@@ -152,12 +283,12 @@ class FrozenSelector:
                     if has_transform
                     else None
                 ),
-                scaler_min=data["scaler_min"],
-                scaler_span=data["scaler_span"],
+                scaler_min=scaler_min,
+                scaler_span=scaler_span,
                 pca_mean=data["pca_mean"] if has_pca else None,
                 pca_components=data["pca_components"] if has_pca else None,
-                centroids=data["centroids"],
-                centroid_labels=data["centroid_labels"].astype(object),
+                centroids=centroids,
+                centroid_labels=labels.astype(object),
             )
 
 
@@ -180,13 +311,19 @@ class FallbackSelector:
 
     Telemetry: ``deploy.fallback_loads`` counts degraded loads,
     ``deploy.fallback_predictions`` counts samples answered by the
-    fallback rather than the model.
+    fallback rather than the model, and ``deploy.fallback_cause.<cause>``
+    breaks both down by *why* (``missing_model`` / ``model_format`` /
+    ``load_error`` / ``degraded_model`` / ``predict_error``) so the
+    serving circuit breaker's metrics and predict's agree on the cause
+    taxonomy.
     """
 
     selector: FrozenSelector | None
     fallback_format: str = DEFAULT_FALLBACK_FORMAT
     #: Why the model is unusable (``None`` when healthy).
     error: str | None = None
+    #: Machine-readable cause tag matching ``error`` (``None`` when healthy).
+    cause: str | None = None
 
     @classmethod
     def load(
@@ -201,30 +338,40 @@ class FallbackSelector:
                 fallback_format=fallback_format,
             )
         except Exception as exc:
+            if isinstance(exc, FileNotFoundError):
+                cause = "missing_model"
+            elif isinstance(exc, ModelFormatError):
+                cause = "model_format"
+            else:
+                cause = "load_error"
             TELEMETRY.inc("deploy.fallback_loads")
+            TELEMETRY.inc(f"deploy.fallback_cause.{cause}")
             return cls(
                 selector=None,
                 fallback_format=fallback_format,
                 error=f"{type(exc).__name__}: {exc}",
+                cause=cause,
             )
 
     @property
     def degraded(self) -> bool:
         return self.selector is None
 
-    def _fallback(self, n: int) -> np.ndarray:
+    def _fallback(self, n: int, cause: str) -> np.ndarray:
         TELEMETRY.inc("deploy.fallback_predictions", n)
+        TELEMETRY.inc(f"deploy.fallback_cause.{cause}", n)
         return np.array([self.fallback_format] * n, dtype=object)
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         X = np.atleast_2d(np.asarray(X, dtype=np.float64))
         if self.selector is None:
-            return self._fallback(X.shape[0])
+            return self._fallback(X.shape[0], self.cause or "degraded_model")
         try:
             return self.selector.predict(X)
         except Exception as exc:
             self.error = f"{type(exc).__name__}: {exc}"
-            return self._fallback(X.shape[0])
+            self.cause = "predict_error"
+            return self._fallback(X.shape[0], "predict_error")
 
     def predict_one(self, x: np.ndarray) -> str:
         """Single-sample convenience used by the CLI."""
@@ -271,9 +418,14 @@ def freeze(selector: ClusterFormatSelector) -> FrozenSelector:
     )
 
 
-def _rebuild_pipeline(frozen: FrozenSelector) -> FeaturePipeline:
-    """Reconstruct a FeaturePipeline equivalent to the frozen arrays
-    (used by tests to cross-check the frozen transform)."""
+def rebuild_pipeline(frozen: FrozenSelector) -> FeaturePipeline:
+    """Reconstruct a FeaturePipeline equivalent to the frozen arrays.
+
+    Used by tests to cross-check the frozen transform, and by the
+    serving layer's feedback path to seed an
+    :class:`~repro.core.online.OnlineFormatSelector` from a frozen
+    model's preprocessing (the online selector needs a fitted pipeline).
+    """
     pipe = FeaturePipeline(
         transform=frozen.transform_kind,
         n_components=(
@@ -304,3 +456,7 @@ def _rebuild_pipeline(frozen: FrozenSelector) -> FeaturePipeline:
         pipe._pca = None
     pipe.n_features_in_ = frozen.scaler_min.shape[0]
     return pipe
+
+
+#: Backwards-compatible alias (the helper predates its public promotion).
+_rebuild_pipeline = rebuild_pipeline

@@ -97,6 +97,7 @@ class OnlineFormatSelector:
             # A NaN/inf feature vector would poison every centroid it
             # touches (running means never recover); reject it loudly.
             TELEMETRY.inc("online.rejected")
+            TELEMETRY.inc("online.rejected.nonfinite")
             raise ValueError("non-finite feature vector rejected")
         return self.pipeline.transform_features(arr)[0]
 
@@ -113,6 +114,20 @@ class OnlineFormatSelector:
         z = self._transform_one(x)
         i, _ = self._nearest(z)
         return self.clusters[i].label or self.default_format
+
+    def nearest_distance(self, x: np.ndarray) -> float:
+        """Distance from ``x`` to the nearest online centroid.
+
+        ``inf`` while no clusters exist.  The serving layer surfaces
+        this as a drift signal: traffic consistently far from every
+        online centroid means the stream has moved away from what the
+        frozen model was trained on.
+        """
+        if not self.clusters:
+            return float("inf")
+        z = self._transform_one(x)
+        _, dist = self._nearest(z)
+        return dist
 
     def observe(self, x: np.ndarray, best_format: str | None = None) -> str:
         """Ingest one matrix; returns the (pre-update) prediction.

@@ -21,7 +21,12 @@ from repro.formats.csr import CSRMatrix
 from repro.formats.dia import DIAMatrix
 from repro.formats.ell import ELLMatrix, EllSizeError
 from repro.formats.hyb import HYBMatrix
-from repro.formats.io import read_matrix_market, write_matrix_market
+from repro.formats.io import (
+    MatrixMarketError,
+    ReadPolicy,
+    read_matrix_market,
+    write_matrix_market,
+)
 from repro.formats.sell import SELLMatrix
 from repro.formats.spmv import spmv
 
@@ -35,6 +40,8 @@ __all__ = [
     "FORMATS",
     "FormatError",
     "HYBMatrix",
+    "MatrixMarketError",
+    "ReadPolicy",
     "SELLMatrix",
     "SparseMatrix",
     "convert",

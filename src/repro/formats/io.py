@@ -5,11 +5,24 @@ files (§5.4 lists file reading as a dominant benchmarking cost).  This
 module implements the coordinate MatrixMarket exchange format: real /
 integer / pattern fields with general / symmetric / skew-symmetric
 symmetry, which covers the SuiteSparse collection.
+
+The reader is written for hostile input: it never allocates storage from
+the *declared* nnz (a forged size line cannot trigger a giant
+allocation), it decodes bytes as latin-1 so stray non-ASCII comment
+bytes in real SuiteSparse files cannot crash it, and every malformed
+input raises :class:`MatrixMarketError` carrying a machine-readable
+``code`` — the serving gateway turns those codes into structured
+per-request error responses.  A :class:`ReadPolicy` optionally tightens
+the reader further (size limits, reject NaN/Inf, reject duplicate
+coordinates); the default policy preserves the historical permissive
+behaviour (duplicates summed, non-finite values kept).
 """
 
 from __future__ import annotations
 
 import io
+import math
+from dataclasses import dataclass
 from pathlib import Path
 from typing import TextIO
 
@@ -24,15 +37,64 @@ _SUPPORTED_SYMMETRY = {"general", "symmetric", "skew-symmetric"}
 
 
 class MatrixMarketError(FormatError):
-    """Raised on malformed MatrixMarket input."""
+    """Raised on malformed MatrixMarket input.
+
+    ``code`` is a short machine-readable tag (``bad_banner``,
+    ``bad_size``, ``bad_entry``, ``count_mismatch``, ``too_large``,
+    ``oversized_header``, ``nonfinite_value``, ``duplicate_entry``,
+    ``index_out_of_range``, ``unsupported``, ``invalid``) used by the
+    serving layer's structured error responses.
+    """
+
+    def __init__(self, message: str, code: str = "invalid") -> None:
+        super().__init__(message)
+        self.code = code
 
 
-def read_matrix_market(source: str | Path | TextIO) -> COOMatrix:
+@dataclass(frozen=True)
+class ReadPolicy:
+    """Validation limits for reading untrusted MatrixMarket input.
+
+    ``None`` limits are unenforced.  The default instance reproduces the
+    historical reader behaviour exactly; the serving gateway builds a
+    strict instance from its own byte/size budgets.
+    """
+
+    #: Reject size lines declaring more rows or columns than this.
+    max_dim: int | None = None
+    #: Reject size lines declaring more entries than this.
+    max_nnz: int | None = None
+    #: Reject banner/comment preambles longer than this many characters.
+    max_header_bytes: int | None = None
+    #: Reject NaN/Inf values (a NaN poisons every downstream feature).
+    allow_nonfinite: bool = True
+    #: ``"sum"`` merges duplicate coordinates (CUSP behaviour);
+    #: ``"reject"`` raises ``duplicate_entry``.
+    duplicates: str = "sum"
+
+    def __post_init__(self) -> None:
+        if self.duplicates not in ("sum", "reject"):
+            raise ValueError(
+                f"duplicates must be 'sum' or 'reject', got {self.duplicates!r}"
+            )
+
+
+#: Permissive default: exactly the historical reader semantics.
+DEFAULT_POLICY = ReadPolicy()
+
+
+def read_matrix_market(
+    source: str | Path | TextIO, policy: ReadPolicy = DEFAULT_POLICY
+) -> COOMatrix:
     """Read a coordinate MatrixMarket file into a :class:`COOMatrix`."""
     if isinstance(source, (str, Path)):
-        with open(source, "r", encoding="ascii") as fh:
-            return _read(fh)
-    return _read(source)
+        # latin-1 decodes every byte sequence, so non-ASCII comment lines
+        # in real SuiteSparse files cannot abort the read with a
+        # UnicodeDecodeError; malformed *data* still raises
+        # MatrixMarketError below.
+        with open(source, "r", encoding="latin-1") as fh:
+            return _read(fh, policy)
+    return _read(source, policy)
 
 
 def write_matrix_market(
@@ -53,60 +115,140 @@ def matrix_market_string(matrix: COOMatrix, comment: str = "") -> str:
     return buf.getvalue()
 
 
-def _read(fh: TextIO) -> COOMatrix:
-    header = fh.readline()
-    if not header.startswith(_HEADER_PREFIX):
-        raise MatrixMarketError(f"missing MatrixMarket banner: {header!r}")
+def _parse_banner(header: str) -> tuple[str, str]:
+    if not header.lstrip().startswith(_HEADER_PREFIX):
+        raise MatrixMarketError(
+            f"missing MatrixMarket banner: {header!r}", code="bad_banner"
+        )
     parts = header.strip().split()
     if len(parts) != 5:
-        raise MatrixMarketError(f"malformed banner: {header!r}")
+        raise MatrixMarketError(f"malformed banner: {header!r}", code="bad_banner")
     _, obj, fmt, field, symmetry = (p.lower() for p in parts)
     if obj != "matrix" or fmt != "coordinate":
         raise MatrixMarketError(
-            f"only 'matrix coordinate' is supported, got {obj!r} {fmt!r}"
+            f"only 'matrix coordinate' is supported, got {obj!r} {fmt!r}",
+            code="unsupported",
         )
     if field not in _SUPPORTED_FIELDS:
-        raise MatrixMarketError(f"unsupported field {field!r}")
+        raise MatrixMarketError(f"unsupported field {field!r}", code="unsupported")
     if symmetry not in _SUPPORTED_SYMMETRY:
-        raise MatrixMarketError(f"unsupported symmetry {symmetry!r}")
+        raise MatrixMarketError(
+            f"unsupported symmetry {symmetry!r}", code="unsupported"
+        )
+    return field, symmetry
+
+
+def _parse_size_line(size_line: str, policy: ReadPolicy) -> tuple[int, int, int]:
+    try:
+        nrows, ncols, nnz = (int(tok) for tok in size_line.split())
+    except ValueError as exc:
+        raise MatrixMarketError(
+            f"malformed size line: {size_line!r}", code="bad_size"
+        ) from exc
+    if nrows <= 0 or ncols <= 0 or nnz < 0:
+        raise MatrixMarketError(
+            f"non-positive dimensions in size line: {size_line!r}",
+            code="bad_size",
+        )
+    if policy.max_dim is not None and max(nrows, ncols) > policy.max_dim:
+        raise MatrixMarketError(
+            f"declared dimensions {nrows}x{ncols} exceed limit "
+            f"{policy.max_dim}",
+            code="too_large",
+        )
+    if policy.max_nnz is not None and nnz > policy.max_nnz:
+        raise MatrixMarketError(
+            f"declared nnz {nnz} exceeds limit {policy.max_nnz}",
+            code="too_large",
+        )
+    return nrows, ncols, nnz
+
+
+def _read(fh: TextIO, policy: ReadPolicy = DEFAULT_POLICY) -> COOMatrix:
+    field, symmetry = _parse_banner(fh.readline())
 
     # Skip comments and blank lines; the first data line is the size line.
     size_line = ""
+    header_bytes = 0
     for line in fh:
         stripped = line.strip()
         if stripped and not stripped.startswith("%"):
             size_line = stripped
             break
+        header_bytes += len(line)
+        if (
+            policy.max_header_bytes is not None
+            and header_bytes > policy.max_header_bytes
+        ):
+            raise MatrixMarketError(
+                f"comment preamble exceeds {policy.max_header_bytes} bytes",
+                code="oversized_header",
+            )
     if not size_line:
-        raise MatrixMarketError("missing size line")
-    try:
-        nrows, ncols, nnz = (int(tok) for tok in size_line.split())
-    except ValueError as exc:
-        raise MatrixMarketError(f"malformed size line: {size_line!r}") from exc
+        raise MatrixMarketError("missing size line", code="bad_size")
+    nrows, ncols, nnz = _parse_size_line(size_line, policy)
 
-    rows = np.empty(nnz, dtype=INDEX_DTYPE)
-    cols = np.empty(nnz, dtype=INDEX_DTYPE)
-    vals = np.empty(nnz, dtype=VALUE_DTYPE)
+    # Accumulate into Python lists sized by what the file actually
+    # contains — never np.empty(declared nnz), so a forged size line
+    # cannot demand a terabyte allocation.
+    rows_list: list[int] = []
+    cols_list: list[int] = []
+    vals_list: list[float] = []
     count = 0
     for line in fh:
         stripped = line.strip()
         if not stripped or stripped.startswith("%"):
             continue
-        toks = stripped.split()
         if count >= nnz:
-            raise MatrixMarketError("more entries than declared nnz")
+            raise MatrixMarketError(
+                "more entries than declared nnz", code="count_mismatch"
+            )
+        toks = stripped.split()
         try:
-            rows[count] = int(toks[0]) - 1  # MatrixMarket is 1-based
-            cols[count] = int(toks[1]) - 1
+            r = int(toks[0]) - 1  # MatrixMarket is 1-based
+            c = int(toks[1]) - 1
             if field == "pattern":
-                vals[count] = 1.0
+                v = 1.0
             else:
-                vals[count] = float(toks[2])
+                v = float(toks[2])
         except (ValueError, IndexError) as exc:
-            raise MatrixMarketError(f"malformed entry line: {stripped!r}") from exc
+            raise MatrixMarketError(
+                f"malformed entry line: {stripped!r}", code="bad_entry"
+            ) from exc
+        if not (0 <= r < nrows and 0 <= c < ncols):
+            raise MatrixMarketError(
+                f"coordinate ({r + 1}, {c + 1}) outside declared "
+                f"{nrows}x{ncols} shape",
+                code="index_out_of_range",
+            )
+        if not policy.allow_nonfinite and not math.isfinite(v):
+            raise MatrixMarketError(
+                f"non-finite value in entry line: {stripped!r}",
+                code="nonfinite_value",
+            )
+        rows_list.append(r)
+        cols_list.append(c)
+        vals_list.append(v)
         count += 1
     if count != nnz:
-        raise MatrixMarketError(f"declared {nnz} entries, found {count}")
+        raise MatrixMarketError(
+            f"declared {nnz} entries, found {count}", code="count_mismatch"
+        )
+
+    rows = np.array(rows_list, dtype=INDEX_DTYPE)
+    cols = np.array(cols_list, dtype=INDEX_DTYPE)
+    vals = np.array(vals_list, dtype=VALUE_DTYPE)
+
+    if policy.duplicates == "reject" and rows.size:
+        order = np.lexsort((cols, rows))
+        sr, sc = rows[order], cols[order]
+        dup = (sr[1:] == sr[:-1]) & (sc[1:] == sc[:-1])
+        if dup.any():
+            i = int(np.argmax(dup))
+            raise MatrixMarketError(
+                f"duplicate coordinate ({int(sr[i]) + 1}, {int(sc[i]) + 1})",
+                code="duplicate_entry",
+            )
 
     if symmetry in ("symmetric", "skew-symmetric"):
         # Mirror every off-diagonal entry across the diagonal.
@@ -118,7 +260,14 @@ def _read(fh: TextIO) -> COOMatrix:
         rows = np.concatenate([rows, mirrored_rows])
         cols = np.concatenate([cols, mirrored_cols])
         vals = np.concatenate([vals, mirrored_vals])
-    return COOMatrix((nrows, ncols), rows, cols, vals)
+    try:
+        return COOMatrix((nrows, ncols), rows, cols, vals)
+    except MatrixMarketError:
+        raise
+    except FormatError as exc:
+        # The fuzz contract: any malformed input is a MatrixMarketError,
+        # never a bare construction error from deeper layers.
+        raise MatrixMarketError(str(exc), code="invalid") from exc
 
 
 def _write(matrix: COOMatrix, fh: TextIO, comment: str) -> None:

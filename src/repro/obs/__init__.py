@@ -31,6 +31,7 @@ from repro.obs.export import dump_profile, render_metrics, render_span_tree
 from repro.obs.metrics import (
     BACKOFF_BUCKETS,
     DEFAULT_BUCKETS,
+    LATENCY_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -60,6 +61,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "HotPath",
+    "LATENCY_BUCKETS",
     "MetricsRegistry",
     "NOOP_SPAN",
     "Span",

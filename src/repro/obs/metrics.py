@@ -34,6 +34,14 @@ BACKOFF_BUCKETS: tuple[float, ...] = (
     0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 15.0, 60.0,
 )
 
+#: Request-latency edges (seconds) for the serving layer: 100 us .. 10 s
+#: with extra resolution around the millisecond range where a healthy
+#: single-matrix predict lands.
+LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5, 1.0, 2.5, 10.0,
+)
+
 
 def _sanitize(name: str) -> str:
     """Prometheus metric names allow ``[a-zA-Z0-9_:]`` only."""

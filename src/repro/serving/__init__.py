@@ -1,0 +1,90 @@
+"""repro.serving — the resilient, long-running selector service.
+
+The paper's deployment story (§1 requirement 2, §5.4) is "train once,
+deploy many times": a frozen selector answers format queries cheaply
+wherever matrices arrive.  This package grows that one-shot ``predict``
+into a service that stays correct and *alive* under malformed input,
+burst overload, model faults, and model rollover:
+
+- :mod:`repro.serving.protocol` — JSONL request/response wire format
+  with structured statuses (``ok`` / ``invalid`` / ``overloaded`` /
+  ``fallback``) and machine-readable error codes.
+- :mod:`repro.serving.gateway` — ingestion that treats every matrix as
+  hostile: byte/dim/nnz budgets, strict MatrixMarket policy (NaN/Inf and
+  duplicate coordinates rejected), certified-finite features.
+- :mod:`repro.serving.admission` — bounded queue, per-request deadlines,
+  shed-oldest load shedding.
+- :mod:`repro.serving.breaker` — circuit breaker around model inference
+  (closed → open → half-open probes).
+- :mod:`repro.serving.reload` — hot model reload: watch by
+  mtime/SHA-256, shadow-validate on a golden set, atomic swap,
+  quarantine of bad candidates.
+- :mod:`repro.serving.server` — the ``repro serve`` loop
+  (stdin/stdout JSONL and Unix-socket transports) wiring it together.
+- :mod:`repro.serving.drill` — the deterministic chaos drill shared by
+  tests, ``repro chaos --target serve``, and the serve-smoke CI job.
+"""
+
+from repro.serving.admission import AdmissionController
+from repro.serving.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.serving.drill import (
+    DrillExpectation,
+    DrillReport,
+    build_request_lines,
+    run_serve_drill,
+    synthetic_frozen_selector,
+)
+from repro.serving.gateway import GatewayLimits, IngestError, IngestionGateway
+from repro.serving.protocol import (
+    Request,
+    RequestParseError,
+    STATUS_FALLBACK,
+    STATUS_INVALID,
+    STATUS_OK,
+    STATUS_OVERLOADED,
+    STATUSES,
+    encode_response,
+    parse_request_line,
+)
+from repro.serving.reload import (
+    ModelHost,
+    ModelVersion,
+    RELOAD_QUARANTINED,
+    RELOAD_SWAPPED,
+    RELOAD_UNCHANGED,
+    golden_features,
+)
+from repro.serving.server import SelectorServer, ServingConfig
+
+__all__ = [
+    "AdmissionController",
+    "CLOSED",
+    "CircuitBreaker",
+    "DrillExpectation",
+    "DrillReport",
+    "GatewayLimits",
+    "HALF_OPEN",
+    "IngestError",
+    "IngestionGateway",
+    "ModelHost",
+    "ModelVersion",
+    "OPEN",
+    "RELOAD_QUARANTINED",
+    "RELOAD_SWAPPED",
+    "RELOAD_UNCHANGED",
+    "Request",
+    "RequestParseError",
+    "STATUSES",
+    "STATUS_FALLBACK",
+    "STATUS_INVALID",
+    "STATUS_OK",
+    "STATUS_OVERLOADED",
+    "SelectorServer",
+    "ServingConfig",
+    "build_request_lines",
+    "encode_response",
+    "golden_features",
+    "parse_request_line",
+    "run_serve_drill",
+    "synthetic_frozen_selector",
+]

@@ -1,0 +1,98 @@
+"""Admission control: bounded queue, deadlines, shed-oldest load shedding.
+
+Latency under burst traffic is bounded by two rules:
+
+- **The queue is bounded.**  When an arriving request would push the
+  backlog past ``max_pending``, the *oldest* queued request is shed with
+  an ``overloaded``/``queue_full`` response.  Shedding oldest (not
+  newest) is deliberate: the oldest request has burned the most of its
+  deadline already and is the least likely to still be useful, while the
+  newest represents a client that just showed up and deserves the
+  freshest answer.
+- **Every request has a deadline.**  A request dequeued after
+  ``arrival + deadline_seconds`` is answered
+  ``overloaded``/``deadline_exceeded`` without any work — a client that
+  has already timed out must not consume inference capacity.
+
+The controller is a pure data structure over an injectable clock, so the
+state machine is testable without threads or sleeps; the server wires it
+between its reader and its processing loop.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+from repro.obs import TELEMETRY
+from repro.serving.protocol import Request
+
+
+class AdmissionController:
+    """Bounded FIFO with per-request deadlines and shed-oldest overflow."""
+
+    def __init__(
+        self,
+        max_pending: int = 64,
+        deadline_seconds: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise ValueError("deadline_seconds must be positive")
+        self.max_pending = max_pending
+        self.deadline_seconds = deadline_seconds
+        self.clock = clock
+        self._queue: deque[Request] = deque()
+        self._lock = threading.Lock()
+        self.n_admitted = 0
+        self.n_shed = 0
+        self.n_expired = 0
+
+    # -- producer side -----------------------------------------------------
+
+    def offer(self, request: Request) -> list[Request]:
+        """Admit ``request``; returns the requests shed to make room."""
+        now = self.clock()
+        request.arrival = now
+        if self.deadline_seconds is not None:
+            request.deadline = now + self.deadline_seconds
+        shed: list[Request] = []
+        with self._lock:
+            while len(self._queue) >= self.max_pending:
+                shed.append(self._queue.popleft())
+            self._queue.append(request)
+            self.n_admitted += 1
+            self.n_shed += len(shed)
+        if shed:
+            TELEMETRY.inc("serving.shed", len(shed))
+        TELEMETRY.inc("serving.admitted")
+        return shed
+
+    # -- consumer side -----------------------------------------------------
+
+    def take(self) -> tuple[Request | None, list[Request]]:
+        """Next live request plus any requests found dead past deadline."""
+        now = self.clock()
+        expired: list[Request] = []
+        with self._lock:
+            while self._queue:
+                request = self._queue.popleft()
+                if request.deadline is not None and now > request.deadline:
+                    expired.append(request)
+                    self.n_expired += 1
+                    continue
+                if expired:
+                    TELEMETRY.inc("serving.deadline_expired", len(expired))
+                return request, expired
+        if expired:
+            TELEMETRY.inc("serving.deadline_expired", len(expired))
+        return None, expired
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._queue)

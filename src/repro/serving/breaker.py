@@ -1,0 +1,137 @@
+"""Circuit breaker around frozen-model inference.
+
+Classic three-state breaker (closed → open → half-open):
+
+- **closed** — requests flow to the model; ``failure_threshold``
+  *consecutive* inference faults trip the breaker open.  Any success
+  resets the consecutive count.
+- **open** — the model is not called at all; every request is answered
+  by the CSR fallback with reason ``breaker_open``.  After
+  ``reset_timeout`` seconds the breaker moves to half-open.
+- **half-open** — requests are let through as probes.  ``probe_successes``
+  consecutive probe successes close the breaker; a single probe failure
+  re-opens it (and restarts the timeout).
+
+Why a breaker at all, when :class:`~repro.core.deploy.FallbackSelector`
+already degrades per call?  Because a model that faults on *every* call
+(corrupt arrays, a poisoned reload that slipped through) would still pay
+the full transform cost per request before degrading — the breaker turns
+a persistent fault into a constant-time fallback and gives the model an
+explicit, observable recovery protocol.
+
+The clock is injectable so the state machine is testable without sleeps.
+All transitions are counted through ``TELEMETRY``
+(``serving.breaker.opened`` / ``reopened`` / ``closed``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.obs import TELEMETRY
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with timed half-open probing."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 5.0,
+        probe_successes: int = 2,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout < 0:
+            raise ValueError("reset_timeout must be >= 0")
+        if probe_successes < 1:
+            raise ValueError("probe_successes must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.probe_successes = probe_successes
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._probe_streak = 0
+        self._opened_at = 0.0
+        self.n_opens = 0
+        self.n_closes = 0
+
+    # -- state -------------------------------------------------------------
+
+    def _advance(self) -> None:
+        """Open → half-open once the reset timeout has elapsed."""
+        if (
+            self._state == OPEN
+            and self.clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._state = HALF_OPEN
+            self._probe_streak = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._advance()
+            return self._state
+
+    def allow(self) -> bool:
+        """Whether the next inference may reach the model."""
+        with self._lock:
+            self._advance()
+            return self._state != OPEN
+
+    # -- outcomes ----------------------------------------------------------
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._advance()
+            if self._state == HALF_OPEN:
+                self._probe_streak += 1
+                if self._probe_streak >= self.probe_successes:
+                    self._state = CLOSED
+                    self._consecutive_failures = 0
+                    self._probe_streak = 0
+                    self.n_closes += 1
+                    TELEMETRY.inc("serving.breaker.closed")
+            else:
+                self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._advance()
+            if self._state == HALF_OPEN:
+                # A failed probe slams the breaker shut again.
+                self._state = OPEN
+                self._opened_at = self.clock()
+                self._probe_streak = 0
+                self.n_opens += 1
+                TELEMETRY.inc("serving.breaker.reopened")
+                return
+            self._consecutive_failures += 1
+            if (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._state = OPEN
+                self._opened_at = self.clock()
+                self.n_opens += 1
+                TELEMETRY.inc("serving.breaker.opened")
+
+    def snapshot(self) -> dict:
+        """State summary for health probes."""
+        with self._lock:
+            self._advance()
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "opens": self.n_opens,
+                "closes": self.n_closes,
+            }

@@ -1,0 +1,372 @@
+"""Deterministic serving drill: hostile traffic, bursts, and model swaps.
+
+One harness drives every serving robustness check — the
+``tests/serving`` end-to-end tests, ``repro chaos --target serve``, and
+the ``serve-smoke`` CI job — so they all agree on what "survives" means:
+
+- every submitted line receives exactly one structured response,
+- every response's ``status`` is one of the four protocol statuses,
+- crafted-malformed payloads come back ``invalid`` with the *expected*
+  error code (or ``overloaded`` if admission shed them first),
+- the process never raises out of the serving loop.
+
+Request generation is pure (seeded NumPy generators keyed by request
+index), so a drill is exactly reproducible — the same discipline as the
+campaign fault injection in :mod:`repro.runtime.faults`.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.deploy import FrozenSelector
+from repro.formats.coo import COOMatrix
+from repro.formats.io import matrix_market_string
+from repro.serving.protocol import (
+    STATUS_INVALID,
+    STATUS_OK,
+    STATUS_OVERLOADED,
+    STATUSES,
+)
+from repro.serving.server import SelectorServer
+
+#: Formats a synthetic model recommends, cycled across centroids.
+_LABEL_CYCLE = ("csr", "ell", "coo", "hyb")
+
+
+def synthetic_frozen_selector(
+    seed: int = 0, n_centroids: int = 12
+) -> FrozenSelector:
+    """A structurally valid frozen model with deterministic arrays.
+
+    Not *trained* on anything — the drill exercises the serving path,
+    not selection quality — but it runs the real transform → assign →
+    label pipeline end to end.
+    """
+    rng = np.random.default_rng(seed)
+    n_features = 21
+    labels = np.array(
+        [_LABEL_CYCLE[i % len(_LABEL_CYCLE)] for i in range(n_centroids)],
+        dtype=object,
+    )
+    return FrozenSelector(
+        transform_kind=None,
+        transform_shift=None,
+        transform_apply=None,
+        scaler_min=np.zeros(n_features),
+        scaler_span=np.ones(n_features),
+        pca_mean=None,
+        pca_components=None,
+        centroids=rng.random((n_centroids, n_features)),
+        centroid_labels=labels,
+    )
+
+
+def _random_matrix_text(index: int, seed: int) -> str:
+    """A small valid MatrixMarket body, unique coordinates, finite values."""
+    rng = np.random.default_rng(seed * 1_000_003 + index)
+    nrows = int(rng.integers(4, 24))
+    ncols = int(rng.integers(4, 24))
+    nnz = int(rng.integers(1, max(2, nrows * ncols // 6)))
+    flat = rng.choice(nrows * ncols, size=nnz, replace=False)
+    rows, cols = np.divmod(flat, ncols)
+    vals = rng.uniform(0.5, 2.0, size=nnz)
+    return matrix_market_string(COOMatrix((nrows, ncols), rows, cols, vals))
+
+
+#: Crafted-malformed payload builders: (tag, expected invalid code, builder).
+_POISON_PAYLOADS: tuple[tuple[str, str, Callable[[], str]], ...] = (
+    ("bad_json", "bad_json", lambda: '{"op": "predict", "mtx": '),
+    ("not_object", "not_object", lambda: '["predict"]'),
+    ("unknown_op", "unknown_op", lambda: '{"op": "explode"}'),
+    ("no_payload", "missing_field", lambda: '{"op": "predict"}'),
+    (
+        "bad_banner",
+        "bad_banner",
+        lambda: json.dumps({"op": "predict", "mtx": "hello world\n1 1 1\n"}),
+    ),
+    (
+        "nan_value",
+        "nonfinite_value",
+        lambda: json.dumps(
+            {
+                "op": "predict",
+                "mtx": "%%MatrixMarket matrix coordinate real general\n"
+                "2 2 1\n1 1 nan\n",
+            }
+        ),
+    ),
+    (
+        "duplicate_entry",
+        "duplicate_entry",
+        lambda: json.dumps(
+            {
+                "op": "predict",
+                "mtx": "%%MatrixMarket matrix coordinate real general\n"
+                "2 2 2\n1 1 1.0\n1 1 2.0\n",
+            }
+        ),
+    ),
+    (
+        "huge_nnz",
+        "too_large",
+        lambda: json.dumps(
+            {
+                "op": "predict",
+                "mtx": "%%MatrixMarket matrix coordinate real general\n"
+                "3 3 999999999999\n1 1 1.0\n",
+            }
+        ),
+    ),
+    (
+        "out_of_range",
+        "index_out_of_range",
+        lambda: json.dumps(
+            {
+                "op": "predict",
+                "mtx": "%%MatrixMarket matrix coordinate real general\n"
+                "2 2 1\n7 7 1.0\n",
+            }
+        ),
+    ),
+    (
+        "truncated",
+        "count_mismatch",
+        lambda: json.dumps(
+            {
+                "op": "predict",
+                "mtx": "%%MatrixMarket matrix coordinate real general\n"
+                "5 5 9\n1 1 1.0\n2 2 1.0\n",
+            }
+        ),
+    ),
+    (
+        "negative_dims",
+        "bad_size",
+        lambda: json.dumps(
+            {
+                "op": "predict",
+                "mtx": "%%MatrixMarket matrix coordinate real general\n"
+                "-3 3 1\n1 1 1.0\n",
+            }
+        ),
+    ),
+)
+
+
+@dataclass
+class DrillExpectation:
+    """What statuses (and invalid-code) a request may legally draw."""
+
+    statuses: tuple[str, ...]
+    invalid_code: str | None = None
+
+
+def build_request_lines(
+    n: int, seed: int = 0, oversize_bytes: int | None = None
+) -> tuple[list[str], dict[str, DrillExpectation]]:
+    """``n`` deterministic request lines plus per-id expectations.
+
+    Roughly 60% valid predict requests, a rotating cast of malformed /
+    poison payloads, periodic health probes, and (when
+    ``oversize_bytes`` is given) occasional oversized inline matrices.
+    Malformed payloads may still legally come back ``overloaded`` — a
+    shed request is shed before it is parsed deeply.
+    """
+    lines: list[str] = []
+    expectations: dict[str, DrillExpectation] = {}
+    poison_cursor = 0
+    for i in range(n):
+        request_id = f"r{i}"
+        if i % 17 == 5:
+            lines.append(json.dumps({"id": request_id, "op": "health"}))
+            expectations[request_id] = DrillExpectation(
+                (STATUS_OK, STATUS_OVERLOADED)
+            )
+        elif i % 23 == 7 and oversize_bytes is not None:
+            body = {
+                "id": request_id,
+                "op": "predict",
+                "mtx": "%" * (oversize_bytes + 1),
+            }
+            lines.append(json.dumps(body))
+            expectations[request_id] = DrillExpectation(
+                (STATUS_INVALID, STATUS_OVERLOADED),
+                invalid_code="payload_too_large",
+            )
+        elif i % 3 == 1:
+            tag, code, builder = _POISON_PAYLOADS[
+                poison_cursor % len(_POISON_PAYLOADS)
+            ]
+            poison_cursor += 1
+            try:
+                payload = json.loads(builder())
+                payload["id"] = request_id
+                lines.append(json.dumps(payload))
+                expectations[request_id] = DrillExpectation(
+                    (STATUS_INVALID, STATUS_OVERLOADED), invalid_code=code
+                )
+            except (ValueError, TypeError):
+                # Deliberately unparseable (or non-object) line: no id
+                # survives parsing, so the response's id is null —
+                # counted but not tracked per-id.
+                lines.append(builder())
+        else:
+            body = {
+                "id": request_id,
+                "op": "predict",
+                "mtx": _random_matrix_text(i, seed),
+            }
+            lines.append(json.dumps(body))
+            # A valid request may be answered by the model, shed under
+            # burst, or served by the fallback while the breaker is
+            # open / faults are injected.
+            expectations[request_id] = DrillExpectation(
+                ("ok", "fallback", "overloaded")
+            )
+    return lines, expectations
+
+
+@dataclass
+class DrillReport:
+    """Outcome of one serving drill."""
+
+    n_requests: int = 0
+    n_responses: int = 0
+    by_status: Counter = field(default_factory=Counter)
+    by_code: Counter = field(default_factory=Counter)
+    by_reason: Counter = field(default_factory=Counter)
+    violations: list[str] = field(default_factory=list)
+    swap_events: list[str] = field(default_factory=list)
+    breaker_opens: int = 0
+    p99_latency_ms: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_text(self) -> str:
+        lines = [
+            f"serving drill: {self.n_requests} requests, "
+            f"{self.n_responses} responses, "
+            f"p99 {self.p99_latency_ms:.2f} ms",
+            "  statuses : "
+            + ", ".join(
+                f"{k}={v}" for k, v in sorted(self.by_status.items())
+            ),
+        ]
+        if self.by_code:
+            lines.append(
+                "  codes    : "
+                + ", ".join(
+                    f"{k}={v}" for k, v in sorted(self.by_code.items())
+                )
+            )
+        if self.by_reason:
+            lines.append(
+                "  reasons  : "
+                + ", ".join(
+                    f"{k}={v}" for k, v in sorted(self.by_reason.items())
+                )
+            )
+        lines.append(
+            f"  breaker  : {self.breaker_opens} open transition(s)"
+        )
+        if self.swap_events:
+            lines.append("  reloads  : " + ", ".join(self.swap_events))
+        if self.violations:
+            lines.append(f"  VIOLATIONS ({len(self.violations)}):")
+            lines.extend(f"    - {v}" for v in self.violations[:20])
+        else:
+            lines.append("  contract : every request answered, no crashes")
+        return "\n".join(lines)
+
+
+def run_serve_drill(
+    server: SelectorServer,
+    lines: list[str],
+    expectations: dict[str, DrillExpectation] | None = None,
+    burst: int = 1,
+    actions: dict[int, Callable[[], str | None]] | None = None,
+) -> DrillReport:
+    """Feed ``lines`` to ``server`` in bursts and audit every response.
+
+    ``actions`` maps a burst index to a callable run *before* that burst
+    (model swaps, fault toggles); a non-None return value is recorded in
+    the report's ``swap_events``.
+    """
+    expectations = expectations or {}
+    report = DrillReport(n_requests=len(lines))
+    answered: Counter = Counter()
+    burst_index = 0
+    for start in range(0, len(lines), max(1, burst)):
+        if actions and burst_index in actions:
+            try:
+                event = actions[burst_index]()
+                if event:
+                    report.swap_events.append(event)
+            except Exception as exc:
+                report.violations.append(f"drill action failed: {exc}")
+        burst_index += 1
+        chunk = lines[start : start + max(1, burst)]
+        try:
+            responses = server.submit_burst(chunk)
+        except Exception as exc:
+            report.violations.append(
+                f"server raised out of submit_burst: "
+                f"{type(exc).__name__}: {exc}"
+            )
+            continue
+        if len(responses) != len(chunk):
+            report.violations.append(
+                f"burst of {len(chunk)} lines drew {len(responses)} "
+                f"responses"
+            )
+        for response in responses:
+            report.n_responses += 1
+            status = response.get("status")
+            report.by_status[status] += 1
+            if "code" in response:
+                report.by_code[response["code"]] += 1
+            if "reason" in response:
+                report.by_reason[response["reason"]] += 1
+            if status not in STATUSES:
+                report.violations.append(
+                    f"unknown status {status!r} in {response}"
+                )
+            request_id = response.get("id")
+            if request_id is not None:
+                answered[request_id] += 1
+                expected = expectations.get(request_id)
+                if expected is not None:
+                    if status not in expected.statuses:
+                        report.violations.append(
+                            f"{request_id}: status {status!r} not in "
+                            f"{expected.statuses}"
+                        )
+                    elif (
+                        status == STATUS_INVALID
+                        and expected.invalid_code is not None
+                        and response.get("code") != expected.invalid_code
+                    ):
+                        report.violations.append(
+                            f"{request_id}: code "
+                            f"{response.get('code')!r} != expected "
+                            f"{expected.invalid_code!r}"
+                        )
+    for request_id, count in answered.items():
+        if count != 1:
+            report.violations.append(
+                f"{request_id}: answered {count} times"
+            )
+    for request_id in expectations:
+        if request_id not in answered:
+            report.violations.append(f"{request_id}: never answered")
+    report.breaker_opens = server.breaker.n_opens
+    report.p99_latency_ms = server.p99_latency() * 1e3
+    return report

@@ -1,0 +1,150 @@
+"""Ingestion gateway: every incoming matrix is treated as hostile.
+
+The gateway is the only path by which request payloads become
+:class:`~repro.formats.coo.COOMatrix` objects and feature vectors.  It
+enforces byte/size/nnz budgets *before* parsing (a forged size line or a
+multi-gigabyte payload is rejected up front), runs the hardened
+MatrixMarket reader with a strict :class:`~repro.formats.io.ReadPolicy`
+(NaN/Inf rejected, duplicate coordinates rejected, comment preambles
+bounded), and converts every failure mode into an :class:`IngestError`
+carrying a structured code — the server turns those into ``invalid``
+responses instead of letting an exception near the serving loop.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.features import extract_features
+from repro.formats.coo import COOMatrix
+from repro.formats.io import MatrixMarketError, ReadPolicy, read_matrix_market
+from repro.obs import TELEMETRY
+from repro.serving.protocol import (
+    CODE_BAD_FEATURES,
+    CODE_MISSING_FIELD,
+    CODE_PAYLOAD_TOO_LARGE,
+)
+
+
+class IngestError(Exception):
+    """A request payload that cannot become a matrix; carries a code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+@dataclass(frozen=True)
+class GatewayLimits:
+    """Byte and structure budgets for one ingested matrix."""
+
+    #: Maximum serialized matrix size (inline text or on-disk file).
+    max_matrix_bytes: int = 8 * 1024 * 1024
+    #: Maximum declared rows/columns.
+    max_dim: int = 50_000_000
+    #: Maximum declared nonzeros.
+    max_nnz: int = 5_000_000
+    #: Maximum comment-preamble size inside the file.
+    max_header_bytes: int = 64 * 1024
+
+    def read_policy(self) -> ReadPolicy:
+        return ReadPolicy(
+            max_dim=self.max_dim,
+            max_nnz=self.max_nnz,
+            max_header_bytes=self.max_header_bytes,
+            allow_nonfinite=False,
+            duplicates="reject",
+        )
+
+
+class IngestionGateway:
+    """Validates and parses request payloads into matrices + features."""
+
+    def __init__(self, limits: GatewayLimits | None = None) -> None:
+        self.limits = limits or GatewayLimits()
+        self._policy = self.limits.read_policy()
+
+    # -- matrix ingestion ---------------------------------------------------
+
+    def parse_matrix(self, body: dict) -> COOMatrix:
+        """The matrix named by ``body`` (inline ``mtx`` or ``path``).
+
+        Raises :class:`IngestError` for every failure mode.
+        """
+        text = body.get("mtx")
+        path = body.get("path")
+        if text is None and path is None:
+            raise IngestError(
+                CODE_MISSING_FIELD,
+                "request needs an inline 'mtx' payload or a 'path'",
+            )
+        try:
+            if text is not None:
+                if not isinstance(text, str):
+                    raise IngestError(
+                        CODE_MISSING_FIELD, "'mtx' must be a string"
+                    )
+                if len(text) > self.limits.max_matrix_bytes:
+                    raise IngestError(
+                        CODE_PAYLOAD_TOO_LARGE,
+                        f"inline matrix of {len(text)} bytes exceeds the "
+                        f"{self.limits.max_matrix_bytes}-byte limit",
+                    )
+                matrix = read_matrix_market(io.StringIO(text), self._policy)
+            else:
+                matrix = self._read_path(str(path))
+        except MatrixMarketError as exc:
+            TELEMETRY.inc("serving.gateway.rejected")
+            TELEMETRY.inc(f"serving.gateway.rejected.{exc.code}")
+            raise IngestError(exc.code, str(exc)) from exc
+        except IngestError:
+            TELEMETRY.inc("serving.gateway.rejected")
+            raise
+        return matrix
+
+    def _read_path(self, path: str) -> COOMatrix:
+        try:
+            size = os.stat(path).st_size
+        except OSError as exc:
+            raise IngestError(
+                CODE_MISSING_FIELD, f"unreadable matrix path {path!r}: {exc}"
+            ) from exc
+        if size > self.limits.max_matrix_bytes:
+            raise IngestError(
+                CODE_PAYLOAD_TOO_LARGE,
+                f"matrix file of {size} bytes exceeds the "
+                f"{self.limits.max_matrix_bytes}-byte limit",
+            )
+        return read_matrix_market(path, self._policy)
+
+    # -- feature extraction -------------------------------------------------
+
+    def features(self, matrix: COOMatrix) -> np.ndarray:
+        """The (1, 21) feature row of an ingested matrix.
+
+        A matrix that defeats feature extraction (overflow to inf, an
+        internal error) is rejected like malformed input: the model
+        never sees a vector the gateway has not certified finite.
+        """
+        try:
+            vec = extract_features(matrix)[None, :]
+        except Exception as exc:
+            TELEMETRY.inc("serving.gateway.rejected")
+            raise IngestError(
+                CODE_BAD_FEATURES, f"feature extraction failed: {exc}"
+            ) from exc
+        if not np.all(np.isfinite(vec)):
+            TELEMETRY.inc("serving.gateway.rejected")
+            raise IngestError(
+                CODE_BAD_FEATURES, "non-finite feature vector"
+            )
+        return vec
+
+    def ingest(self, body: dict) -> tuple[COOMatrix, np.ndarray]:
+        """Parse + featurise in one guarded step."""
+        matrix = self.parse_matrix(body)
+        return matrix, self.features(matrix)

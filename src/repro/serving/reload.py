@@ -1,0 +1,249 @@
+"""Hot model reload: watch, shadow-validate, atomically swap, quarantine.
+
+The serving loop must pick up retrained models without a restart, and a
+bad artifact must never serve a single request.  The guarantee comes
+from ordering, mirroring DESIGN §8's survivor-byte-identity argument:
+
+1. **Watch** — before requests, the host stats the ``.npz`` path.  Only
+   an (mtime, size) change triggers a SHA-256 hash; only a *new* digest
+   triggers validation, so the steady-state cost is one ``stat``.
+2. **Shadow-validate** — the candidate is loaded through the strict
+   :meth:`FrozenSelector.load` (structural validation) and then asked to
+   predict a small *golden* matrix set end to end.  All of this happens
+   on a local variable while the old model keeps serving.
+3. **Atomic swap** — only a fully validated candidate is published, by a
+   single attribute assignment (atomic under the GIL).  A request
+   handler reads the reference once, so every request is answered
+   entirely by one model — never a mix.
+4. **Quarantine** — a candidate that fails validation is remembered by
+   digest and never retried (until a different digest appears), so a
+   corrupt artifact cannot flap the server with repeated load attempts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.deploy import FrozenSelector, ModelFormatError
+from repro.features import extract_features
+from repro.formats.coo import COOMatrix
+from repro.obs import TELEMETRY
+
+#: Events check_reload() can report.
+RELOAD_SWAPPED = "swapped"
+RELOAD_QUARANTINED = "quarantined"
+RELOAD_UNCHANGED = "unchanged"
+
+
+def golden_features() -> np.ndarray:
+    """Feature rows of the built-in golden matrix set.
+
+    Three tiny, structurally distinct matrices (diagonal, tridiagonal,
+    dense block) that exercise the full transform → assign → label path
+    of a candidate model.  Deterministic by construction — no RNG — so
+    validation verdicts are reproducible.
+    """
+    idx = np.arange(8)
+    diagonal = COOMatrix((8, 8), idx, idx, np.ones(8))
+    main = np.arange(16)
+    off = np.arange(15)
+    tri = COOMatrix(
+        (16, 16),
+        np.concatenate([main, off, off + 1]),
+        np.concatenate([main, off + 1, off]),
+        np.concatenate([2.0 * np.ones(16), -np.ones(15), -np.ones(15)]),
+    )
+    r, c = np.divmod(np.arange(24), 6)
+    block = COOMatrix((4, 6), r, c, 1.0 + np.arange(24, dtype=float))
+    return np.vstack(
+        [extract_features(m) for m in (diagonal, tri, block)]
+    )
+
+
+class ValidationFailure(Exception):
+    """A candidate model that must not be swapped in."""
+
+
+@dataclass
+class ModelVersion:
+    """One immutable published model: selector + provenance."""
+
+    selector: FrozenSelector | None
+    sha256: str | None
+    stat: tuple[int, int] | None  # (mtime_ns, size)
+    loaded_at: float
+    error: str | None = None
+    #: Cached OOD length scale of this version's centroid cloud.
+    scale: float = float("inf")
+
+
+def _sha256(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _stat_fingerprint(path: str) -> tuple[int, int] | None:
+    try:
+        st = os.stat(path)
+    except OSError:
+        return None
+    return (st.st_mtime_ns, st.st_size)
+
+
+class ModelHost:
+    """Hot-reloadable holder of the frozen selector.
+
+    ``active`` is the single source of truth; request handlers must read
+    it once per request and use that local reference throughout, which
+    is what makes the swap atomic from their perspective.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        golden: np.ndarray | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.path = str(path)
+        self.golden = golden_features() if golden is None else golden
+        self.clock = clock
+        self.quarantine: dict[str, str] = {}
+        #: Fingerprint of the last path content we examined (good or
+        #: bad), so an unchanged quarantined file costs one stat, not a
+        #: hash + failed validation per request.
+        self._seen_stat: tuple[int, int] | None = None
+        self.n_reloads = 0
+        self.n_quarantined = 0
+        self.active = self._initial_load()
+
+    # -- loading -----------------------------------------------------------
+
+    def _initial_load(self) -> ModelVersion:
+        stat = _stat_fingerprint(self.path)
+        self._seen_stat = stat
+        if stat is None:
+            return ModelVersion(
+                selector=None,
+                sha256=None,
+                stat=None,
+                loaded_at=self.clock(),
+                error=f"model file {self.path!r} does not exist",
+            )
+        sha = _sha256(self.path)
+        try:
+            return self._validate(sha, stat)
+        except ValidationFailure as exc:
+            self.quarantine[sha] = str(exc)
+            self.n_quarantined += 1
+            TELEMETRY.inc("serving.reload.quarantined")
+            return ModelVersion(
+                selector=None,
+                sha256=sha,
+                stat=stat,
+                loaded_at=self.clock(),
+                error=str(exc),
+            )
+
+    def _validate(self, sha: str, stat: tuple[int, int]) -> ModelVersion:
+        """Shadow-validate the artifact at ``self.path``.
+
+        Returns a publishable :class:`ModelVersion`; raises
+        :class:`ValidationFailure` otherwise.  Runs entirely on locals —
+        the active model is untouched until the caller swaps.
+        """
+        try:
+            selector = FrozenSelector.load(self.path)
+        except (ModelFormatError, FileNotFoundError, ValueError) as exc:
+            raise ValidationFailure(f"load failed: {exc}") from exc
+        except Exception as exc:  # pragma: no cover - defensive
+            raise ValidationFailure(
+                f"unexpected load error: {type(exc).__name__}: {exc}"
+            ) from exc
+        if self.golden is not None and len(self.golden):
+            try:
+                labels = selector.predict(self.golden)
+                distances = selector.nearest_distance(self.golden)
+            except Exception as exc:
+                raise ValidationFailure(
+                    f"golden-set inference failed: {exc}"
+                ) from exc
+            if not np.all(np.isfinite(distances)):
+                raise ValidationFailure(
+                    "golden-set inference produced non-finite distances"
+                )
+            for label in labels:
+                if not isinstance(label, str) or not label:
+                    raise ValidationFailure(
+                        f"golden-set inference produced bad label {label!r}"
+                    )
+        return ModelVersion(
+            selector=selector,
+            sha256=sha,
+            stat=stat,
+            loaded_at=self.clock(),
+            scale=selector.centroid_scale(),
+        )
+
+    # -- the watch loop ----------------------------------------------------
+
+    def check_reload(self) -> str:
+        """Stat the path; validate and swap if its content changed.
+
+        Returns one of :data:`RELOAD_SWAPPED`,
+        :data:`RELOAD_QUARANTINED`, :data:`RELOAD_UNCHANGED`.  Never
+        raises, never unpublishes a working model: a deleted or corrupt
+        file leaves the old model serving.
+        """
+        stat = _stat_fingerprint(self.path)
+        if stat is None or stat == self._seen_stat:
+            return RELOAD_UNCHANGED
+        self._seen_stat = stat
+        sha = _sha256(self.path)
+        if sha == self.active.sha256:
+            # Content identical (e.g. touch, or copy of the same file).
+            return RELOAD_UNCHANGED
+        if sha in self.quarantine:
+            return RELOAD_QUARANTINED
+        try:
+            candidate = self._validate(sha, stat)
+        except ValidationFailure as exc:
+            self.quarantine[sha] = str(exc)
+            self.n_quarantined += 1
+            TELEMETRY.inc("serving.reload.quarantined")
+            return RELOAD_QUARANTINED
+        # The swap: one reference assignment, atomic under the GIL.
+        self.active = candidate
+        self.n_reloads += 1
+        TELEMETRY.inc("serving.reload.swapped")
+        return RELOAD_SWAPPED
+
+    # -- summaries ---------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        return self.active.selector is None
+
+    def snapshot(self) -> dict:
+        active = self.active
+        return {
+            "path": self.path,
+            "sha256": active.sha256,
+            "degraded": active.selector is None,
+            "error": active.error,
+            "n_centroids": (
+                active.selector.n_centroids
+                if active.selector is not None
+                else 0
+            ),
+            "reloads": self.n_reloads,
+            "quarantined": self.n_quarantined,
+        }

@@ -1,0 +1,441 @@
+"""The resilient selector server: gateway → admission → breaker → model.
+
+``repro serve`` runs this long-lived loop over stdin/stdout JSONL or a
+Unix socket.  Every request passes through the full defensive stack:
+
+1. :mod:`repro.serving.protocol` parses the line (byte-capped, typed).
+2. :class:`~repro.serving.admission.AdmissionController` bounds the
+   backlog and enforces deadlines (shed requests still get responses).
+3. :class:`~repro.serving.gateway.IngestionGateway` turns the payload
+   into a certified-finite feature vector or an ``invalid`` response.
+4. :class:`~repro.serving.reload.ModelHost` supplies the current frozen
+   model (hot-reloaded, shadow-validated, atomically swapped).
+5. An out-of-distribution guard and
+   :class:`~repro.serving.breaker.CircuitBreaker` decide whether the
+   model's answer can be trusted; otherwise the request falls back to
+   the CSR answer with a machine-readable ``reason``.
+
+The handler itself never raises: any unexpected internal error becomes a
+``fallback``/``internal_error`` response, because a wrong-but-safe
+format costs some SpMV throughput while a dead server costs every
+client.  An optional name-keyed
+:class:`~repro.runtime.faults.FaultInjector` wraps inference so the
+``repro chaos --target serve`` drill can exercise the breaker
+deterministically.
+"""
+
+from __future__ import annotations
+
+import os
+import select
+import time
+from collections import Counter as TallyCounter
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.core.deploy import DEFAULT_FALLBACK_FORMAT, rebuild_pipeline
+from repro.core.online import OnlineFormatSelector
+from repro.obs import LATENCY_BUCKETS, TELEMETRY
+from repro.runtime.faults import Corrupted, FaultInjector
+from repro.serving.admission import AdmissionController
+from repro.serving.breaker import CircuitBreaker
+from repro.serving.gateway import GatewayLimits, IngestError, IngestionGateway
+from repro.serving.protocol import (
+    CODE_DEADLINE,
+    CODE_MISSING_FIELD,
+    CODE_QUEUE_FULL,
+    REASON_BREAKER_OPEN,
+    REASON_INFERENCE_ERROR,
+    REASON_INTERNAL_ERROR,
+    REASON_MODEL_UNUSABLE,
+    REASON_OUT_OF_DISTRIBUTION,
+    Request,
+    RequestParseError,
+    STATUS_INVALID,
+    encode_response,
+    fallback_response,
+    invalid_response,
+    ok_response,
+    overloaded_response,
+    parse_request_line,
+)
+from repro.serving.reload import ModelHost
+
+
+class InferenceFault(RuntimeError):
+    """Model inference produced garbage (e.g. an injected corruption)."""
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """All knobs of one server instance."""
+
+    model_path: str
+    fallback_format: str = DEFAULT_FALLBACK_FORMAT
+    #: Request-line byte cap (pre-JSON).
+    max_request_bytes: int = 16 * 1024 * 1024
+    limits: GatewayLimits = field(default_factory=GatewayLimits)
+    queue_size: int = 64
+    deadline_seconds: float | None = 5.0
+    breaker_failures: int = 5
+    breaker_reset_seconds: float = 2.0
+    breaker_probes: int = 2
+    #: OOD threshold as a multiple of the model's centroid scale
+    #: (median nearest-neighbour centroid distance); 0 disables.
+    ood_factor: float = 8.0
+    #: Watch the model path and hot-swap validated candidates.
+    hot_reload: bool = True
+
+
+class SelectorServer:
+    """Long-running, resilient format-selection service."""
+
+    def __init__(
+        self,
+        config: ServingConfig,
+        clock: Callable[[], float] = time.monotonic,
+        fault_injector: FaultInjector | None = None,
+    ) -> None:
+        self.config = config
+        self.clock = clock
+        self.fault_injector = fault_injector
+        self.gateway = IngestionGateway(config.limits)
+        self.admission = AdmissionController(
+            max_pending=config.queue_size,
+            deadline_seconds=config.deadline_seconds,
+            clock=clock,
+        )
+        self.breaker = CircuitBreaker(
+            failure_threshold=config.breaker_failures,
+            reset_timeout=config.breaker_reset_seconds,
+            probe_successes=config.breaker_probes,
+            clock=clock,
+        )
+        self.host = ModelHost(config.model_path, clock=clock)
+        self.counters: TallyCounter = TallyCounter()
+        self.latencies: deque[float] = deque(maxlen=4096)
+        self.started_at = clock()
+        self._online: OnlineFormatSelector | None = None
+        self._online_sha: str | None = None
+        self._stop = False
+
+    # -- request processing -------------------------------------------------
+
+    def handle_line(self, line: str) -> dict:
+        """Parse + process one request line, bypassing admission.
+
+        Single-shot entry point (tests, socket mode with an empty
+        queue); burst traffic goes through :meth:`submit_burst`.
+        """
+        try:
+            request = parse_request_line(line, self.config.max_request_bytes)
+        except RequestParseError as exc:
+            return self._finish(exc.response)
+        return self.process(request)
+
+    def process(self, request: Request) -> dict:
+        """Dispatch one admitted request; never raises."""
+        if request.rejection is not None:
+            return self._finish(request.rejection)
+        t0 = time.perf_counter()
+        try:
+            handler = getattr(self, f"_op_{request.op}")
+            response = handler(request)
+        except Exception as exc:  # the loop survives anything
+            if request.op in ("predict", "feedback"):
+                response = fallback_response(
+                    self.config.fallback_format,
+                    REASON_INTERNAL_ERROR,
+                    request.id,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            else:
+                response = invalid_response(
+                    "internal_error",
+                    f"{type(exc).__name__}: {exc}",
+                    request.id,
+                )
+        elapsed = time.perf_counter() - t0
+        self.latencies.append(elapsed)
+        if TELEMETRY.enabled:
+            TELEMETRY.observe(
+                "serving.latency_seconds", elapsed, buckets=LATENCY_BUCKETS
+            )
+        return self._finish(response)
+
+    def _finish(self, response: dict) -> dict:
+        status = response.get("status", STATUS_INVALID)
+        self.counters["requests"] += 1
+        self.counters[status] += 1
+        TELEMETRY.inc("serving.requests")
+        TELEMETRY.inc(f"serving.responses.{status}")
+        return response
+
+    # -- ops ----------------------------------------------------------------
+
+    def _current_model(self):
+        """Run the watch hook, then read the active model *once*."""
+        if self.config.hot_reload:
+            self.host.check_reload()
+        return self.host.active
+
+    def _op_predict(self, request: Request) -> dict:
+        try:
+            _, vec = self.gateway.ingest(request.body)
+        except IngestError as exc:
+            return invalid_response(exc.code, str(exc), request.id)
+        active = self._current_model()
+        if active.selector is None:
+            return fallback_response(
+                self.config.fallback_format,
+                REASON_MODEL_UNUSABLE,
+                request.id,
+                error=active.error,
+            )
+        if not self.breaker.allow():
+            TELEMETRY.inc("serving.fallback.breaker_open")
+            return fallback_response(
+                self.config.fallback_format, REASON_BREAKER_OPEN, request.id
+            )
+        try:
+            distance, label, centroid = self._infer(
+                active.selector, vec, request.id or "anon"
+            )
+        except Exception:
+            self.breaker.record_failure()
+            TELEMETRY.inc("serving.fallback.inference_error")
+            return fallback_response(
+                self.config.fallback_format,
+                REASON_INFERENCE_ERROR,
+                request.id,
+            )
+        self.breaker.record_success()
+        if (
+            self.config.ood_factor > 0
+            and np.isfinite(active.scale)
+            and distance > self.config.ood_factor * active.scale
+        ):
+            TELEMETRY.inc("serving.fallback.out_of_distribution")
+            return fallback_response(
+                self.config.fallback_format,
+                REASON_OUT_OF_DISTRIBUTION,
+                request.id,
+                distance=round(float(distance), 6),
+                threshold=round(
+                    float(self.config.ood_factor * active.scale), 6
+                ),
+            )
+        return ok_response(
+            request.id, format=label, centroid=centroid, source="model"
+        )
+
+    def _infer(self, selector, vec: np.ndarray, key: str):
+        """One guarded inference; faults (real or injected) raise."""
+        injector = self.fault_injector
+        if injector is not None:
+            delay = injector.delay_for(key, attempt=0)
+            if delay > 0:
+                time.sleep(delay)
+            if injector.fails(key, attempt=0):
+                raise InferenceFault(f"injected inference failure for {key!r}")
+        centroid = int(selector.assign(vec)[0])
+        label = selector.centroid_labels[centroid]
+        distance = float(selector.nearest_distance(vec)[0])
+        if injector is not None and injector.corrupts(key, attempt=0):
+            label = Corrupted(key, attempt=0)
+        if not isinstance(label, str) or not label:
+            raise InferenceFault(f"inference produced bad label {label!r}")
+        if not np.isfinite(distance):
+            raise InferenceFault("inference produced non-finite distance")
+        return distance, str(label), centroid
+
+    def _op_feedback(self, request: Request) -> dict:
+        """Observed-best-format feedback feeds an online selector.
+
+        The online layer (paper §7) is seeded from the frozen model's
+        own preprocessing, so streamed observations and model
+        predictions live in the same feature space; ``agrees`` measures
+        live model-vs-reality drift.
+        """
+        best = request.body.get("best_format")
+        if not isinstance(best, str) or not best:
+            return invalid_response(
+                CODE_MISSING_FIELD,
+                "feedback needs a non-empty 'best_format' string",
+                request.id,
+            )
+        try:
+            _, vec = self.gateway.ingest(request.body)
+        except IngestError as exc:
+            return invalid_response(exc.code, str(exc), request.id)
+        active = self._current_model()
+        if active.selector is None:
+            return fallback_response(
+                self.config.fallback_format,
+                REASON_MODEL_UNUSABLE,
+                request.id,
+                error=active.error,
+            )
+        if self._online is None or self._online_sha != active.sha256:
+            self._online = OnlineFormatSelector(
+                rebuild_pipeline(active.selector),
+                default_format=self.config.fallback_format,
+            )
+            self._online_sha = active.sha256
+        model_label = str(active.selector.predict(vec)[0])
+        online_label = self._online.observe(vec[0], best_format=best)
+        agrees = model_label == best
+        self.counters["feedback_agree" if agrees else "feedback_disagree"] += 1
+        TELEMETRY.inc(
+            "serving.feedback.agree" if agrees else "serving.feedback.disagree"
+        )
+        return ok_response(
+            request.id,
+            format=model_label,
+            online_format=online_label,
+            agrees=agrees,
+            online_clusters=self._online.n_clusters,
+        )
+
+    def _op_health(self, request: Request) -> dict:
+        return ok_response(
+            request.id,
+            op="health",
+            uptime_seconds=round(self.clock() - self.started_at, 3),
+            model=self.host.snapshot(),
+            breaker=self.breaker.snapshot(),
+            queue_depth=self.admission.depth,
+            shed=self.admission.n_shed,
+            expired=self.admission.n_expired,
+            counters=dict(self.counters),
+            p99_latency_ms=round(self.p99_latency() * 1e3, 3),
+        )
+
+    def _op_reload(self, request: Request) -> dict:
+        event = self.host.check_reload()
+        return ok_response(
+            request.id, op="reload", event=event, model=self.host.snapshot()
+        )
+
+    def _op_shutdown(self, request: Request) -> dict:
+        self._stop = True
+        return ok_response(request.id, op="shutdown")
+
+    # -- burst handling (admission-controlled) ------------------------------
+
+    def submit_burst(self, lines: Iterable[str]) -> list[dict]:
+        """Admit a burst of request lines, then drain the queue.
+
+        Models what the reader thread sees when a client pipes faster
+        than the server processes: parse rejections answer immediately,
+        the bounded queue sheds its oldest on overflow, dequeued
+        requests past their deadline are answered ``overloaded``, and
+        the survivors are processed in arrival order.  Every line gets
+        exactly one response.
+        """
+        responses: list[dict] = []
+        for line in lines:
+            try:
+                request = parse_request_line(
+                    line, self.config.max_request_bytes
+                )
+            except RequestParseError as exc:
+                responses.append(self._finish(exc.response))
+                continue
+            for shed in self.admission.offer(request):
+                responses.append(
+                    self._finish(overloaded_response(CODE_QUEUE_FULL, shed.id))
+                )
+        while True:
+            request, expired = self.admission.take()
+            for dead in expired:
+                responses.append(
+                    self._finish(overloaded_response(CODE_DEADLINE, dead.id))
+                )
+            if request is None:
+                break
+            responses.append(self.process(request))
+        return responses
+
+    def p99_latency(self) -> float:
+        """p99 of recent request latencies (seconds; 0 when idle)."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        rank = min(len(ordered) - 1, int(0.99 * len(ordered)))
+        return ordered[rank]
+
+    # -- transports ---------------------------------------------------------
+
+    def _drain_ready(self, stream, limit: int = 256) -> list[str]:
+        """Opportunistically batch-read lines already waiting on ``stream``.
+
+        Uses ``select`` on the underlying fd, so it never blocks; on
+        streams without a real fd (StringIO) it reads nothing and the
+        caller degrades to line-at-a-time processing.
+        """
+        lines: list[str] = []
+        try:
+            fd = stream.fileno()
+        except (AttributeError, OSError, ValueError):
+            return lines
+        while len(lines) < limit:
+            try:
+                ready, _, _ = select.select([fd], [], [], 0)
+            except (OSError, ValueError):
+                break
+            if not ready:
+                break
+            line = stream.readline()
+            if not line:
+                break
+            lines.append(line)
+        return lines
+
+    def serve_stream(self, instream, outstream) -> int:
+        """JSONL loop: read request lines, write one response line each."""
+        while not self._stop:
+            line = instream.readline()
+            if not line:
+                break
+            if not line.strip():
+                continue
+            lines = [line] + self._drain_ready(instream)
+            for response in self.submit_burst(lines):
+                outstream.write(encode_response(response) + "\n")
+            outstream.flush()
+        return 0
+
+    def serve_socket(self, socket_path: str) -> int:
+        """Unix-socket loop: one JSONL conversation per connection."""
+        import socket as socketlib
+
+        if os.path.exists(socket_path):
+            os.unlink(socket_path)
+        server_socket = socketlib.socket(
+            socketlib.AF_UNIX, socketlib.SOCK_STREAM
+        )
+        try:
+            server_socket.bind(socket_path)
+            server_socket.listen(8)
+            while not self._stop:
+                conn, _ = server_socket.accept()
+                with conn:
+                    reader = conn.makefile("r", encoding="utf-8")
+                    for line in reader:
+                        if not line.strip():
+                            continue
+                        for response in self.submit_burst([line]):
+                            conn.sendall(
+                                (encode_response(response) + "\n").encode()
+                            )
+                        if self._stop:
+                            break
+        finally:
+            server_socket.close()
+            if os.path.exists(socket_path):
+                os.unlink(socket_path)
+        return 0

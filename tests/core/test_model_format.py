@@ -1,0 +1,182 @@
+"""Frozen-selector artifact validation and fallback cause accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.deploy import (
+    FallbackSelector,
+    FrozenSelector,
+    ModelFormatError,
+)
+from repro.obs import TELEMETRY
+from repro.serving.drill import synthetic_frozen_selector
+
+
+@pytest.fixture
+def saved_model(tmp_path):
+    path = tmp_path / "model.npz"
+    synthetic_frozen_selector(seed=1, n_centroids=5).save(path)
+    return path
+
+
+def _arrays(path) -> dict[str, np.ndarray]:
+    with np.load(path, allow_pickle=False) as data:
+        return {k: data[k] for k in data.files}
+
+
+def _resave(path, arrays: dict) -> None:
+    np.savez(path, **arrays)
+
+
+def test_roundtrip_loads(saved_model):
+    selector = FrozenSelector.load(saved_model)
+    assert selector.n_centroids == 5
+    assert all(isinstance(lbl, str) for lbl in selector.centroid_labels)
+
+
+def test_missing_file_stays_file_not_found(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        FrozenSelector.load(tmp_path / "absent.npz")
+
+
+def test_unreadable_bytes(tmp_path):
+    path = tmp_path / "junk.npz"
+    path.write_bytes(b"not an npz archive at all")
+    with pytest.raises(ModelFormatError, match="unreadable"):
+        FrozenSelector.load(path)
+
+
+def test_missing_version_marker(saved_model):
+    arrays = _arrays(saved_model)
+    del arrays["version"]
+    _resave(saved_model, arrays)
+    with pytest.raises(ModelFormatError, match="version"):
+        FrozenSelector.load(saved_model)
+
+
+def test_unsupported_version(saved_model):
+    arrays = _arrays(saved_model)
+    arrays["version"] = np.array([999])
+    _resave(saved_model, arrays)
+    with pytest.raises(ModelFormatError, match="version 999"):
+        FrozenSelector.load(saved_model)
+
+
+def test_missing_required_array(saved_model):
+    arrays = _arrays(saved_model)
+    del arrays["centroids"]
+    _resave(saved_model, arrays)
+    with pytest.raises(ModelFormatError, match="centroids"):
+        FrozenSelector.load(saved_model)
+
+
+def test_wrong_rank(saved_model):
+    arrays = _arrays(saved_model)
+    arrays["scaler_min"] = arrays["scaler_min"][None, :]
+    _resave(saved_model, arrays)
+    with pytest.raises(ModelFormatError, match="1-D"):
+        FrozenSelector.load(saved_model)
+
+
+def test_wrong_dtype(saved_model):
+    arrays = _arrays(saved_model)
+    arrays["centroids"] = arrays["centroids"].astype("U8")
+    _resave(saved_model, arrays)
+    with pytest.raises(ModelFormatError, match="numeric"):
+        FrozenSelector.load(saved_model)
+
+
+def test_non_finite_arrays(saved_model):
+    arrays = _arrays(saved_model)
+    arrays["centroids"][0, 0] = np.nan
+    _resave(saved_model, arrays)
+    with pytest.raises(ModelFormatError, match="non-finite"):
+        FrozenSelector.load(saved_model)
+
+
+def test_label_count_mismatch(saved_model):
+    arrays = _arrays(saved_model)
+    arrays["centroid_labels"] = arrays["centroid_labels"][:-1]
+    _resave(saved_model, arrays)
+    with pytest.raises(ModelFormatError, match="labels"):
+        FrozenSelector.load(saved_model)
+
+
+def test_scaler_shape_mismatch(saved_model):
+    arrays = _arrays(saved_model)
+    arrays["scaler_span"] = arrays["scaler_span"][:-1]
+    _resave(saved_model, arrays)
+    with pytest.raises(ModelFormatError, match="shapes differ"):
+        FrozenSelector.load(saved_model)
+
+
+def test_centroid_dim_mismatch(saved_model):
+    arrays = _arrays(saved_model)
+    arrays["centroids"] = arrays["centroids"][:, :-1]
+    _resave(saved_model, arrays)
+    with pytest.raises(ModelFormatError, match="centroids"):
+        FrozenSelector.load(saved_model)
+
+
+def test_bad_transform_kind(saved_model):
+    arrays = _arrays(saved_model)
+    n = arrays["scaler_min"].shape[0]
+    arrays["transform_kind"] = np.array(["exp"])
+    arrays["transform_shift"] = np.zeros(n)
+    arrays["transform_apply"] = np.ones(n, dtype=bool)
+    _resave(saved_model, arrays)
+    with pytest.raises(ModelFormatError, match="transform kind"):
+        FrozenSelector.load(saved_model)
+
+
+# -- FallbackSelector cause accounting --------------------------------------
+
+
+@pytest.fixture
+def telemetry():
+    TELEMETRY.enable()
+    TELEMETRY.reset()
+    yield TELEMETRY
+    TELEMETRY.disable()
+    TELEMETRY.reset()
+
+
+def _counter(telemetry, name: str) -> int:
+    counter = telemetry.registry.get(name)
+    return 0 if counter is None else counter.value
+
+
+def test_fallback_cause_missing_model(tmp_path, telemetry):
+    fallback = FallbackSelector.load(tmp_path / "absent.npz")
+    assert fallback.degraded and fallback.cause == "missing_model"
+    out = fallback.predict(np.zeros((3, 21)))
+    assert list(out) == ["csr"] * 3
+    assert _counter(telemetry, "deploy.fallback_loads") == 1
+    assert _counter(telemetry, "deploy.fallback_cause.missing_model") == 4
+
+
+def test_fallback_cause_model_format(tmp_path, telemetry):
+    path = tmp_path / "corrupt.npz"
+    path.write_bytes(b"garbage")
+    fallback = FallbackSelector.load(path)
+    assert fallback.cause == "model_format"
+    fallback.predict(np.zeros((2, 21)))
+    assert _counter(telemetry, "deploy.fallback_cause.model_format") == 3
+
+
+def test_fallback_cause_predict_error(saved_model, telemetry):
+    fallback = FallbackSelector.load(saved_model)
+    assert not fallback.degraded and fallback.cause is None
+    out = fallback.predict(np.zeros((2, 5)))  # wrong feature count
+    assert list(out) == ["csr"] * 2
+    assert fallback.cause == "predict_error"
+    assert _counter(telemetry, "deploy.fallback_cause.predict_error") == 2
+
+
+def test_healthy_load_counts_nothing(saved_model, telemetry):
+    fallback = FallbackSelector.load(saved_model)
+    fallback.predict(np.zeros((2, 21)))
+    assert _counter(telemetry, "deploy.fallback_loads") == 0
+    assert _counter(telemetry, "deploy.fallback_predictions") == 0

@@ -1,0 +1,33 @@
+"""Shared serving fixtures: fake clock and an on-disk synthetic model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving.drill import synthetic_frozen_selector
+
+
+class FakeClock:
+    """A manually advanced monotonic clock for state-machine tests."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def fake_clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture
+def model_path(tmp_path):
+    """A valid synthetic frozen model saved to disk."""
+    path = tmp_path / "model.npz"
+    synthetic_frozen_selector(seed=3).save(path)
+    return str(path)

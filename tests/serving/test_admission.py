@@ -1,0 +1,78 @@
+"""Admission controller: bounded queue, shed-oldest, deadlines."""
+
+import pytest
+
+from repro.serving.admission import AdmissionController
+from repro.serving.protocol import Request
+
+
+def req(i: int) -> Request:
+    return Request(id=f"r{i}", op="predict", body={})
+
+
+def test_fifo_order_below_capacity(fake_clock):
+    ctl = AdmissionController(max_pending=4, clock=fake_clock)
+    for i in range(3):
+        assert ctl.offer(req(i)) == []
+    taken = [ctl.take()[0].id for _ in range(3)]
+    assert taken == ["r0", "r1", "r2"]
+    assert ctl.take() == (None, [])
+
+
+def test_overflow_sheds_oldest(fake_clock):
+    ctl = AdmissionController(max_pending=2, clock=fake_clock)
+    ctl.offer(req(0))
+    ctl.offer(req(1))
+    shed = ctl.offer(req(2))
+    assert [r.id for r in shed] == ["r0"]
+    assert ctl.n_shed == 1
+    assert [ctl.take()[0].id for _ in range(2)] == ["r1", "r2"]
+
+
+def test_depth_and_admitted_counters(fake_clock):
+    ctl = AdmissionController(max_pending=8, clock=fake_clock)
+    for i in range(5):
+        ctl.offer(req(i))
+    assert ctl.depth == 5
+    assert ctl.n_admitted == 5
+
+
+def test_deadline_expiry_on_take(fake_clock):
+    ctl = AdmissionController(
+        max_pending=8, deadline_seconds=1.0, clock=fake_clock
+    )
+    ctl.offer(req(0))
+    fake_clock.advance(0.5)
+    ctl.offer(req(1))
+    fake_clock.advance(0.7)  # r0 now 1.2s old, r1 only 0.7s
+    request, expired = ctl.take()
+    assert [r.id for r in expired] == ["r0"]
+    assert request.id == "r1"
+    assert ctl.n_expired == 1
+
+
+def test_all_expired_returns_none_with_the_dead(fake_clock):
+    ctl = AdmissionController(
+        max_pending=8, deadline_seconds=0.5, clock=fake_clock
+    )
+    ctl.offer(req(0))
+    ctl.offer(req(1))
+    fake_clock.advance(2.0)
+    request, expired = ctl.take()
+    assert request is None
+    assert [r.id for r in expired] == ["r0", "r1"]
+
+
+def test_no_deadline_means_requests_never_expire(fake_clock):
+    ctl = AdmissionController(max_pending=4, clock=fake_clock)
+    ctl.offer(req(0))
+    fake_clock.advance(1e6)
+    request, expired = ctl.take()
+    assert request.id == "r0" and expired == []
+
+
+def test_invalid_parameters_rejected(fake_clock):
+    with pytest.raises(ValueError):
+        AdmissionController(max_pending=0, clock=fake_clock)
+    with pytest.raises(ValueError):
+        AdmissionController(deadline_seconds=0.0, clock=fake_clock)

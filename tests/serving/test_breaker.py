@@ -1,0 +1,110 @@
+"""Circuit-breaker state machine under a fake clock."""
+
+import pytest
+
+from repro.serving.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+def make_breaker(clock, failures=3, reset=10.0, probes=2):
+    return CircuitBreaker(
+        failure_threshold=failures,
+        reset_timeout=reset,
+        probe_successes=probes,
+        clock=clock,
+    )
+
+
+def test_starts_closed_and_allows(fake_clock):
+    breaker = make_breaker(fake_clock)
+    assert breaker.state == CLOSED
+    assert breaker.allow()
+
+
+def test_opens_after_consecutive_failures(fake_clock):
+    breaker = make_breaker(fake_clock, failures=3)
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == CLOSED  # not yet
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    assert not breaker.allow()
+    assert breaker.n_opens == 1
+
+
+def test_success_resets_consecutive_count(fake_clock):
+    breaker = make_breaker(fake_clock, failures=3)
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.record_success()  # streak broken
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == CLOSED
+    breaker.record_failure()
+    assert breaker.state == OPEN
+
+
+def test_open_to_half_open_after_timeout(fake_clock):
+    breaker = make_breaker(fake_clock, failures=1, reset=10.0)
+    breaker.record_failure()
+    assert not breaker.allow()
+    fake_clock.advance(9.99)
+    assert not breaker.allow()
+    fake_clock.advance(0.02)
+    assert breaker.state == HALF_OPEN
+    assert breaker.allow()  # probes flow
+
+
+def test_probe_successes_close_the_breaker(fake_clock):
+    breaker = make_breaker(fake_clock, failures=1, reset=1.0, probes=2)
+    breaker.record_failure()
+    fake_clock.advance(1.1)
+    assert breaker.state == HALF_OPEN
+    breaker.record_success()
+    assert breaker.state == HALF_OPEN  # one probe is not enough
+    breaker.record_success()
+    assert breaker.state == CLOSED
+    assert breaker.n_closes == 1
+
+
+def test_probe_failure_reopens_and_restarts_timeout(fake_clock):
+    breaker = make_breaker(fake_clock, failures=1, reset=10.0, probes=2)
+    breaker.record_failure()
+    fake_clock.advance(10.1)
+    assert breaker.state == HALF_OPEN
+    breaker.record_success()
+    breaker.record_failure()  # failed probe slams it shut
+    assert breaker.state == OPEN
+    assert breaker.n_opens == 2
+    fake_clock.advance(5.0)
+    assert not breaker.allow()  # timeout restarted at the reopen
+    fake_clock.advance(5.1)
+    assert breaker.allow()
+
+
+def test_close_resets_failure_count(fake_clock):
+    breaker = make_breaker(fake_clock, failures=2, reset=1.0, probes=1)
+    breaker.record_failure()
+    breaker.record_failure()
+    fake_clock.advance(1.1)
+    breaker.record_success()  # closes
+    assert breaker.state == CLOSED
+    breaker.record_failure()
+    assert breaker.state == CLOSED  # count restarted from zero
+
+
+def test_snapshot_shape(fake_clock):
+    breaker = make_breaker(fake_clock)
+    breaker.record_failure()
+    snap = breaker.snapshot()
+    assert snap["state"] == CLOSED
+    assert snap["consecutive_failures"] == 1
+    assert snap["opens"] == 0 and snap["closes"] == 0
+
+
+def test_invalid_parameters_rejected(fake_clock):
+    with pytest.raises(ValueError):
+        make_breaker(fake_clock, failures=0)
+    with pytest.raises(ValueError):
+        make_breaker(fake_clock, reset=-1.0)
+    with pytest.raises(ValueError):
+        make_breaker(fake_clock, probes=0)

@@ -288,3 +288,79 @@ class TestAbortResume:
         out = capsys.readouterr().out
         assert "resumed" in out
         assert "saved 5 labeled centroids" in out
+
+
+class TestServeCommand:
+    def test_serve_stream_answers_and_shuts_down(
+        self, tmp_path, monkeypatch, capsys, mtx_file
+    ):
+        import io
+        import json
+
+        from repro.serving.drill import synthetic_frozen_selector
+
+        model = str(tmp_path / "selector.npz")
+        synthetic_frozen_selector(seed=2).save(model)
+        with open(mtx_file) as fh:
+            text = fh.read()
+        lines = [
+            json.dumps({"id": "a", "op": "predict", "mtx": text}),
+            "{broken json",
+            json.dumps({"id": "h", "op": "health"}),
+            json.dumps({"id": "s", "op": "shutdown"}),
+        ]
+        monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(lines) + "\n"))
+        assert main(["serve", "--model", model]) == 0
+        out = [json.loads(line)
+               for line in capsys.readouterr().out.splitlines()]
+        assert [r["status"] for r in out] == ["ok", "invalid", "ok", "ok"]
+        assert out[0]["source"] == "model"
+        assert out[1]["code"] == "bad_json"
+        assert out[2]["model"]["degraded"] is False
+
+    def test_serve_degraded_start_warns_and_falls_back(
+        self, tmp_path, monkeypatch, capsys, mtx_file
+    ):
+        import io
+        import json
+
+        with open(mtx_file) as fh:
+            text = fh.read()
+        lines = [
+            json.dumps({"id": "a", "op": "predict", "mtx": text}),
+            json.dumps({"id": "s", "op": "shutdown"}),
+        ]
+        monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(lines) + "\n"))
+        assert main(["serve", "--model", str(tmp_path / "ghost.npz")]) == 0
+        captured = capsys.readouterr()
+        assert "starting degraded" in captured.err
+        first = json.loads(captured.out.splitlines()[0])
+        assert first["status"] == "fallback"
+        assert first["reason"] == "model_unusable"
+        assert first["format"] == "csr"
+
+
+class TestChaosServe:
+    def test_chaos_serve_drill_passes_and_verifies(self, capsys):
+        rc = main([
+            "chaos", "--target", "serve", "--requests", "200",
+            "--fail", "0.3", "--corrupt", "0.05",
+            "--require-breaker", "--verify",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "serving drill" in out
+        assert "every request answered, no crashes" in out
+        assert "corrupt candidate written" in out
+        assert "retrained candidate written" in out
+        assert "identical to a fresh single-shot predict" in out
+
+    def test_chaos_serve_fault_free_fails_breaker_gate(self, capsys):
+        rc = main([
+            "chaos", "--target", "serve", "--requests", "30",
+            "--fail", "0.0", "--corrupt", "0.0", "--no-swap",
+            "--require-breaker",
+        ])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "expected the circuit breaker to open" in err

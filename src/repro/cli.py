@@ -10,6 +10,14 @@ Subcommands:
   (degrades to a CSR fallback when the model is unusable; exit codes:
   0 = recommendation printed, 1 = model problem under ``--strict``,
   2 = unusable input matrix).
+- ``predict-batch <dir|manifest> --model selector.npz`` — batched
+  recommendations for a whole collection (a directory of ``.mtx`` files,
+  or a manifest listing one path per line), one JSON object per matrix
+  on stdout.  Runs the sharded batch-inference engine
+  (``repro.inference``): answers are bit-identical to per-matrix
+  ``predict``, for every ``--jobs``/``--shard-size`` combination;
+  unreadable matrices are quarantined and answered with the fallback
+  format instead of failing the run.
 - ``serve --model selector.npz [--socket PATH]`` — long-running resilient
   selector service (JSONL over stdin/stdout, or a Unix socket): hardened
   ingestion, bounded-queue admission control with load shedding, a
@@ -169,6 +177,126 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _extract_task(path: str) -> tuple[np.ndarray | None, str | None]:
+    """Pool-side feature extraction guard: (vector, None) or (None, why).
+
+    Module-level so ``parallel_map`` can pickle it; never raises, so one
+    unreadable matrix cannot take down a collection run.
+    """
+    try:
+        return extract_features(read_matrix_market(path)), None
+    except Exception as exc:
+        return None, f"{type(exc).__name__}: {exc}"
+
+
+def _resolve_batch_inputs(source: str) -> list[tuple[str, str]] | None:
+    """(name, path) pairs from a directory, one ``.mtx``, or a manifest."""
+    from pathlib import Path
+
+    root = Path(source)
+    if root.is_dir():
+        return [(p.stem, str(p)) for p in sorted(root.glob("*.mtx"))]
+    if not root.is_file():
+        return None
+    if root.suffix == ".mtx":
+        return [(root.stem, str(root))]
+    entries: list[tuple[str, str]] = []
+    for line in root.read_text().splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        path = Path(line)
+        if not path.is_absolute():
+            path = root.parent / path
+        entries.append((path.stem, str(path)))
+    return entries
+
+
+def _cmd_predict_batch(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.inference import BatchPredictor
+    from repro.runtime.parallel import parallel_map
+    from repro.runtime.resilience import TaskFailure
+
+    entries = _resolve_batch_inputs(args.collection)
+    if entries is None:
+        print(f"repro predict-batch: no such directory or manifest: "
+              f"{args.collection!r}", file=sys.stderr)
+        return 2
+    if not entries:
+        print(f"repro predict-batch: no matrices found in "
+              f"{args.collection!r}", file=sys.stderr)
+        return 2
+    selector = FallbackSelector.load(
+        args.model, fallback_format=args.fallback_format
+    )
+    if selector.degraded:
+        print(f"repro predict-batch: model unusable ({selector.error}); "
+              f"degrading to {selector.fallback_format}", file=sys.stderr)
+        if args.strict:
+            return 1
+    names = [name for name, _ in entries]
+    extracted = parallel_map(
+        _extract_task,
+        [path for _, path in entries],
+        jobs=args.jobs,
+        label="inference.extract",
+    )
+    good = [i for i, (vec, err) in enumerate(extracted) if err is None]
+    X = (
+        np.vstack([extracted[i][0] for i in good])
+        if good
+        else np.empty((0, len(FEATURE_NAMES)))
+    )
+    predictor = BatchPredictor(selector)
+    report = predictor.predict_sharded(
+        X,
+        names=[names[i] for i in good],
+        jobs=args.jobs,
+        shard_size=args.shard_size,
+    )
+    records: list[dict | None] = [None] * len(entries)
+    for item, i in zip(report.items, good):
+        records[i] = item.to_json()
+    for i, (_, err) in enumerate(extracted):
+        if err is None:
+            continue
+        report.quarantine.add(
+            names[i],
+            stage="extract",
+            failure=TaskFailure(
+                key=names[i], kind="error", attempts=1, message=err
+            ),
+        )
+        records[i] = {
+            "name": names[i],
+            "format": selector.fallback_format,
+            "source": "fallback",
+            "error": err,
+        }
+    out = open(args.out, "w") if args.out else sys.stdout
+    try:
+        for record in records:
+            print(json.dumps(record), file=out)
+    finally:
+        if args.out:
+            out.close()
+    n_fallback = sum(1 for r in records if r["source"] == "fallback")
+    print(
+        f"predict-batch: {len(entries)} matrices, "
+        f"{len(entries) - n_fallback} model answers, "
+        f"{n_fallback} fallbacks "
+        f"({report.plan.n_shards} shard(s), jobs={report.plan.jobs})",
+        file=sys.stderr,
+    )
+    if report.quarantine:
+        print(report.quarantine.report(), file=sys.stderr)
+    if args.strict and n_fallback:
+        return 1
+    return 0
+
+
 def _serving_config(args: argparse.Namespace, model_path: str):
     from repro.serving import GatewayLimits, ServingConfig
 
@@ -188,6 +316,8 @@ def _serving_config(args: argparse.Namespace, model_path: str):
         breaker_probes=args.breaker_probes,
         ood_factor=args.ood_factor,
         hot_reload=not args.no_reload,
+        max_batch=args.max_batch,
+        max_batch_delay_seconds=args.max_batch_delay_ms / 1000.0,
     )
 
 
@@ -574,6 +704,30 @@ def build_parser() -> argparse.ArgumentParser:
                         "unusable")
     p.set_defaults(func=_cmd_predict)
 
+    p = sub.add_parser("predict-batch", parents=[profile_parent],
+                       help="batched recommendations for a collection "
+                            "(bit-identical to per-matrix predict)")
+    p.add_argument("collection",
+                   help="directory of .mtx files, a single .mtx, or a "
+                        "manifest file listing one matrix path per line")
+    p.add_argument("--model", required=True, help="frozen selector .npz")
+    p.add_argument("--fallback-format", default="csr", metavar="FMT",
+                   help="format recorded for unusable matrices or an "
+                        "unusable model (default: csr)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes for extraction and inference "
+                        "shards (0 = all cores); output is identical "
+                        "for any value")
+    p.add_argument("--shard-size", type=int, default=None, metavar="N",
+                   help="items per inference shard (default: pool "
+                        "heuristic); never changes output")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the JSONL here instead of stdout")
+    p.add_argument("--strict", action="store_true",
+                   help="exit 1 if the model is unusable or any matrix "
+                        "fell back")
+    p.set_defaults(func=_cmd_predict_batch)
+
     def add_serving_args(parser, **overrides):
         """Serving knobs, shared by ``serve`` and ``chaos --target serve``.
 
@@ -587,6 +741,7 @@ def build_parser() -> argparse.ArgumentParser:
             max_matrix_bytes=8 * 1024 * 1024,
             max_dim=50_000_000, max_nnz=5_000_000,
             breaker_failures=5, breaker_reset=2.0, breaker_probes=2,
+            max_batch=8,
         )
         defaults.update(overrides)
         parser.add_argument(
@@ -633,6 +788,16 @@ def build_parser() -> argparse.ArgumentParser:
         parser.add_argument(
             "--no-reload", action="store_true",
             help="disable hot model reload (serve the boot-time model only)")
+        parser.add_argument(
+            "--max-batch", type=int, default=defaults["max_batch"],
+            metavar="N",
+            help="admission-queue requests drained per micro-batch; the "
+                 "predict ops share one vectorized inference pass with "
+                 "per-request responses unchanged (1 disables)")
+        parser.add_argument(
+            "--max-batch-delay-ms", type=float, default=0.0, metavar="MS",
+            help="linger this long for more input before processing a "
+                 "short micro-batch (0 = never wait)")
 
     p = sub.add_parser("serve", parents=[profile_parent],
                        help="run the resilient selector service "

@@ -24,6 +24,7 @@ import numpy as np
 from repro.core.pipeline import FeaturePipeline
 from repro.core.semisupervised import ClusterFormatSelector
 from repro.ml.knn import pairwise_sq_dists
+from repro.ml.linalg import rs_matmul_t
 from repro.ml.pca import PCA
 from repro.ml.preprocessing import MinMaxScaler, SparseDistributionTransformer
 from repro.obs import TELEMETRY
@@ -108,7 +109,9 @@ class FrozenSelector:
                     out[:, cols] = np.sqrt(out[:, cols])
         out = np.clip((out - self.scaler_min) / self.scaler_span, 0.0, 1.0)
         if self.pca_components is not None:
-            out = (out - self.pca_mean) @ self.pca_components.T
+            # Row-stable projection: batch and single-row calls must
+            # produce bit-identical vectors (DESIGN §11).
+            out = rs_matmul_t(out - self.pca_mean, self.pca_components)
         return out
 
     def assign(self, X: np.ndarray) -> np.ndarray:
@@ -149,6 +152,21 @@ class FrozenSelector:
         TELEMETRY.observe("deploy.predict_seconds", time.perf_counter() - t0)
         TELEMETRY.inc("deploy.predictions", out.shape[0])
         return out
+
+    def predict_batch(self, X: np.ndarray) -> np.ndarray:
+        """Batch prediction; bit-identical to :meth:`predict` per row.
+
+        The whole inference chain (shift/clip, min-max scale, PCA
+        projection, nearest-centroid argmin) runs on elementwise ops and
+        row-stable kernels, so stacking inputs cannot change any label.
+        Zero-row batches are answered with an empty label array.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if X.shape[0] == 0:
+            return np.empty(0, dtype=object)
+        return self.predict(X)
 
     @property
     def n_centroids(self) -> int:
@@ -376,6 +394,20 @@ class FallbackSelector:
     def predict_one(self, x: np.ndarray) -> str:
         """Single-sample convenience used by the CLI."""
         return str(self.predict(np.atleast_2d(x))[0])
+
+    def predict_batch(self, X: np.ndarray) -> np.ndarray:
+        """Batch prediction with the same degradation semantics.
+
+        Bit-identical to :meth:`predict` per row when healthy; on a
+        degraded model or a predict-time failure the whole batch falls
+        back, exactly as the single path would for each row.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if X.shape[0] == 0:
+            return np.empty(0, dtype=object)
+        return self.predict(X)
 
 
 def freeze(selector: ClusterFormatSelector) -> FrozenSelector:

@@ -1,0 +1,333 @@
+"""BatchPredictor: vectorized, sharded, fault-isolated inference.
+
+The engine answers N feature vectors in one pass.  Its contract
+(enforced by ``tests/inference/test_batch_equivalence.py``):
+
+1. **Bit-identity.**  ``predict(X)[i]`` equals
+   ``FrozenSelector.predict(X[i:i+1])[0]`` exactly, for every row, every
+   dtype the input arrives in, and every shard count.  This holds
+   because the whole inference chain runs on elementwise operations,
+   per-row reductions, and the row-stable kernels of
+   :mod:`repro.ml.linalg` — no BLAS gemm whose accumulation order could
+   depend on the batch shape.
+2. **Shard transparency.**  Shards are contiguous order-preserving
+   slices (:mod:`repro.inference.planner`), executed inline or on the
+   :func:`repro.runtime.parallel.parallel_map` pool; results are
+   reassembled in item order, so the worker count never changes output.
+3. **Fault isolation.**  A shard that raises degrades to per-item
+   inference; items that still fail are quarantined
+   (:class:`~repro.runtime.resilience.Quarantine`) and answered with the
+   fallback format, so one poison vector cannot take down a collection
+   run — the same graceful-degradation story as the campaign engine.
+
+Telemetry (enabled mode): ``inference.batch_size`` histogram,
+``inference.shard_seconds`` / ``inference.item_seconds`` latency
+histograms, an ``inference.shard_utilization`` gauge (busy fraction of
+the pool), and ``inference.predictions`` / ``inference.fallbacks``
+counters.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from functools import partial
+
+import numpy as np
+
+from repro.core.deploy import (
+    DEFAULT_FALLBACK_FORMAT,
+    FallbackSelector,
+    FrozenSelector,
+)
+from repro.inference.planner import ShardPlan, plan_shards
+from repro.ml.linalg import pairwise_sq_dists
+from repro.obs import LATENCY_BUCKETS, TELEMETRY
+from repro.runtime.parallel import parallel_map
+from repro.runtime.resilience import Quarantine, TaskFailure
+
+#: Histogram buckets for observed batch sizes (powers of two).
+BATCH_SIZE_BUCKETS: tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024
+)
+
+
+def _detailed(
+    frozen: FrozenSelector, X: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(labels, centroid indices, nearest distances) for a batch.
+
+    Shares one transform + one distance matrix across the three outputs;
+    each is bitwise what the corresponding single-path method
+    (``predict`` / ``assign`` / ``nearest_distance``) returns, because
+    ``d2[i, argmin(d2[i])]`` is the same float ``min(d2[i])`` reads.
+    """
+    Z = frozen.transform(X)
+    d2 = pairwise_sq_dists(Z, frozen.centroids)
+    idx = np.argmin(d2, axis=1)
+    labels = frozen.centroid_labels[idx]
+    nearest = d2[np.arange(d2.shape[0]), idx]
+    distances = np.sqrt(np.maximum(nearest, 0.0))
+    return labels, idx, distances
+
+
+def _shard_task(
+    task: tuple[int, np.ndarray], frozen: FrozenSelector
+) -> tuple[int, float, tuple[np.ndarray, np.ndarray, np.ndarray] | None, str | None]:
+    """Pool-side shard body: predict one shard, never raise."""
+    index, X = task
+    start = time.perf_counter()
+    try:
+        out = _detailed(frozen, np.asarray(X, dtype=np.float64))
+        return index, time.perf_counter() - start, out, None
+    except Exception as exc:  # isolated: the parent retries per item
+        message = f"{type(exc).__name__}: {exc}"
+        return index, time.perf_counter() - start, None, message
+
+
+@dataclass(frozen=True)
+class ItemPrediction:
+    """One matrix's recommendation with its provenance."""
+
+    index: int
+    name: str
+    label: str
+    centroid: int  # -1 when the fallback answered
+    distance: float  # NaN when the fallback answered
+    source: str  # "model" | "fallback"
+    error: str | None = None
+
+    def to_json(self) -> dict:
+        record: dict = {
+            "name": self.name,
+            "format": self.label,
+            "source": self.source,
+        }
+        if self.source == "model":
+            record["centroid"] = self.centroid
+            record["distance"] = self.distance
+        if self.error is not None:
+            record["error"] = self.error
+        return record
+
+
+@dataclass
+class BatchReport:
+    """Everything a sharded batch run produced."""
+
+    items: list[ItemPrediction]
+    plan: ShardPlan
+    quarantine: Quarantine = field(default_factory=Quarantine)
+    seconds: float = 0.0
+
+    @property
+    def labels(self) -> np.ndarray:
+        return np.array([item.label for item in self.items], dtype=object)
+
+    @property
+    def n_fallback(self) -> int:
+        return sum(1 for item in self.items if item.source == "fallback")
+
+
+class BatchPredictor:
+    """Batched inference over a frozen selector.
+
+    Accepts a healthy :class:`FrozenSelector` or a (possibly degraded)
+    :class:`FallbackSelector`; a degraded model answers every item with
+    the fallback format, mirroring the single path's semantics.
+    """
+
+    def __init__(
+        self,
+        selector: FrozenSelector | FallbackSelector,
+        fallback_format: str = DEFAULT_FALLBACK_FORMAT,
+    ) -> None:
+        if isinstance(selector, FallbackSelector):
+            self.frozen = selector.selector
+            self.fallback_format = selector.fallback_format
+            self.degraded_cause = selector.cause
+        else:
+            self.frozen = selector
+            self.fallback_format = fallback_format
+            self.degraded_cause = None
+
+    @property
+    def degraded(self) -> bool:
+        return self.frozen is None
+
+    # -- vectorized core -------------------------------------------------
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Format labels for a stacked batch (empty batches allowed)."""
+        labels, _, _ = self.predict_detailed(X)
+        return labels
+
+    def predict_detailed(
+        self, X: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(labels, centroid indices, nearest distances) for a batch."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        n = X.shape[0]
+        if n == 0:
+            return (
+                np.empty(0, dtype=object),
+                np.empty(0, dtype=np.int64),
+                np.empty(0),
+            )
+        if self.frozen is None:
+            TELEMETRY.inc("inference.fallbacks", n)
+            return (
+                np.array([self.fallback_format] * n, dtype=object),
+                np.full(n, -1, dtype=np.int64),
+                np.full(n, np.nan),
+            )
+        labels, idx, distances = _detailed(self.frozen, X)
+        TELEMETRY.inc("inference.predictions", n)
+        return labels, idx, distances
+
+    # -- sharded execution -----------------------------------------------
+
+    def predict_sharded(
+        self,
+        X: np.ndarray,
+        names: list[str] | None = None,
+        jobs: int | None = 1,
+        shard_size: int | None = None,
+    ) -> BatchReport:
+        """Predict a batch across shards with per-item fault isolation.
+
+        ``names`` label the items in the report and the quarantine
+        (defaults to the item index).  Output order always matches input
+        order, and labels are bit-identical for every ``jobs`` /
+        ``shard_size`` combination.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        n = X.shape[0]
+        if names is None:
+            names = [str(i) for i in range(n)]
+        if len(names) != n:
+            raise ValueError(f"{len(names)} names for {n} items")
+        plan = plan_shards(n, jobs=jobs, shard_size=shard_size)
+        report = BatchReport(items=[], plan=plan)
+        started = time.perf_counter()
+        TELEMETRY.observe(
+            "inference.batch_size", float(n), buckets=BATCH_SIZE_BUCKETS
+        )
+        if n == 0:
+            return report
+
+        if self.degraded:
+            # No model: every shard answers with the fallback, inline.
+            for i, name in enumerate(names):
+                report.items.append(self._fallback_item(
+                    i, name, self.degraded_cause or "degraded_model"
+                ))
+            report.seconds = time.perf_counter() - started
+            return report
+
+        tasks = [(shard.index, X[shard.slice]) for shard in plan]
+        results = parallel_map(
+            partial(_shard_task, frozen=self.frozen),
+            tasks,
+            jobs=plan.jobs,
+            chunk=1,
+            label="inference.shards",
+        )
+        busy = 0.0
+        for shard, (index, seconds, out, error) in zip(plan, results):
+            busy += seconds
+            TELEMETRY.observe(
+                "inference.shard_seconds", seconds, buckets=LATENCY_BUCKETS
+            )
+            if shard.size:
+                TELEMETRY.observe(
+                    "inference.item_seconds",
+                    seconds / shard.size,
+                    buckets=LATENCY_BUCKETS,
+                )
+            shard_names = names[shard.start : shard.stop]
+            if error is None:
+                labels, idx, distances = out
+                for k, name in enumerate(shard_names):
+                    report.items.append(ItemPrediction(
+                        index=shard.start + k,
+                        name=name,
+                        label=str(labels[k]),
+                        centroid=int(idx[k]),
+                        distance=float(distances[k]),
+                        source="model",
+                    ))
+            else:
+                # The shard failed as a whole; isolate the poison items
+                # by retrying each row on the single path.
+                self._isolate(
+                    report, X[shard.slice], shard.start, shard_names
+                )
+        wall = time.perf_counter() - started
+        report.seconds = wall
+        if wall > 0:
+            TELEMETRY.gauge_set(
+                "inference.shard_utilization",
+                min(busy / (plan.jobs * wall), 1.0),
+            )
+        TELEMETRY.inc("inference.batches")
+        return report
+
+    def _isolate(
+        self,
+        report: BatchReport,
+        X: np.ndarray,
+        offset: int,
+        names: list[str],
+    ) -> None:
+        """Per-item retry of a failed shard; quarantine what still fails."""
+        for k, name in enumerate(names):
+            try:
+                labels, idx, distances = _detailed(
+                    self.frozen, X[k : k + 1]
+                )
+                report.items.append(ItemPrediction(
+                    index=offset + k,
+                    name=name,
+                    label=str(labels[0]),
+                    centroid=int(idx[0]),
+                    distance=float(distances[0]),
+                    source="model",
+                ))
+            except Exception as exc:
+                message = f"{type(exc).__name__}: {exc}"
+                report.quarantine.add(
+                    name,
+                    stage="inference",
+                    failure=TaskFailure(
+                        key=name, kind="error", attempts=2, message=message
+                    ),
+                )
+                item = self._fallback_item(offset + k, name, "predict_error")
+                report.items.append(ItemPrediction(
+                    index=item.index,
+                    name=item.name,
+                    label=item.label,
+                    centroid=item.centroid,
+                    distance=item.distance,
+                    source=item.source,
+                    error=message,
+                ))
+
+    def _fallback_item(
+        self, index: int, name: str, cause: str
+    ) -> ItemPrediction:
+        TELEMETRY.inc("inference.fallbacks")
+        TELEMETRY.inc(f"deploy.fallback_cause.{cause}")
+        return ItemPrediction(
+            index=index,
+            name=name,
+            label=self.fallback_format,
+            centroid=-1,
+            distance=float("nan"),
+            source="fallback",
+        )

@@ -1,0 +1,72 @@
+"""Shard planning: contiguous, order-preserving slices of a batch.
+
+Sharding must never influence predictions — the determinism contract
+(DESIGN §11) requires ``concat(predict(shard) for shard in plan) ==
+predict(batch)`` bitwise.  The planner therefore only ever produces
+contiguous slices in item order, reusing the chunking rule of
+:func:`repro.runtime.parallel.chunk_slices` so the batch engine inherits
+the campaign pool's load-balancing behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.parallel import chunk_slices, resolve_jobs
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous slice ``[start, stop)`` of the batch."""
+
+    index: int
+    start: int
+    stop: int
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def slice(self) -> slice:
+        return slice(self.start, self.stop)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """An ordered cover of ``range(n_items)`` by disjoint shards."""
+
+    n_items: int
+    jobs: int
+    shards: tuple[Shard, ...]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def __iter__(self):
+        return iter(self.shards)
+
+
+def plan_shards(
+    n_items: int,
+    jobs: int | None = 1,
+    shard_size: int | None = None,
+) -> ShardPlan:
+    """Plan shards for a batch of ``n_items`` feature vectors.
+
+    ``jobs`` follows the ``--jobs`` convention (``None``/1 = inline,
+    0/negative = all cores); ``shard_size`` forces a fixed shard length
+    instead of the pool's chunks-per-worker heuristic.  ``n_items == 0``
+    yields an empty plan (zero shards), which the engine answers with an
+    empty result — planners and callers never special-case it.
+    """
+    if n_items < 0:
+        raise ValueError("n_items must be >= 0")
+    jobs = resolve_jobs(jobs)
+    slices = chunk_slices(n_items, jobs, shard_size)
+    shards = tuple(
+        Shard(index=i, start=sl.start, stop=sl.stop)
+        for i, sl in enumerate(slices)
+    )
+    return ShardPlan(n_items=n_items, jobs=jobs, shards=shards)

@@ -11,18 +11,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ml.base import BaseEstimator, check_X_y, check_array
+from repro.ml.linalg import pairwise_sq_dists
 
-
-def pairwise_sq_dists(A: np.ndarray, B: np.ndarray) -> np.ndarray:
-    """Squared Euclidean distances, shape (len(A), len(B)).
-
-    Uses the expansion ||a-b||² = ||a||² + ||b||² - 2a·b (one GEMM instead
-    of an O(n·m·d) loop), clamped at 0 against cancellation.
-    """
-    a2 = np.einsum("ij,ij->i", A, A)[:, None]
-    b2 = np.einsum("ij,ij->i", B, B)[None, :]
-    d2 = a2 + b2 - 2.0 * (A @ B.T)
-    return np.maximum(d2, 0.0)
+__all__ = ["KNeighborsClassifier", "pairwise_sq_dists"]
 
 
 class KNeighborsClassifier(BaseEstimator):

@@ -10,6 +10,7 @@ import numpy as np
 from scipy.optimize import minimize
 
 from repro.ml.base import BaseEstimator, check_X_y, check_array, encode_labels
+from repro.ml.linalg import rs_matmul_t
 
 
 def _softmax(Z: np.ndarray) -> np.ndarray:
@@ -80,7 +81,8 @@ class LogisticRegression(BaseEstimator):
             raise ValueError(
                 f"expected {self.coef_.shape[1]} features, got {X.shape[1]}"
             )
-        return X @ self.coef_.T + self.intercept_
+        # Row-stable product keeps per-row scores batch-size independent.
+        return rs_matmul_t(X, self.coef_) + self.intercept_
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         scores = self.decision_function(X)

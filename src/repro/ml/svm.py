@@ -13,10 +13,12 @@ import numpy as np
 
 from repro.ml.base import BaseEstimator, check_X_y, check_array
 from repro.ml.knn import pairwise_sq_dists
+from repro.ml.linalg import rs_matmul_t, rs_matvec
 
 
 def linear_kernel(A: np.ndarray, B: np.ndarray) -> np.ndarray:
-    return A @ B.T
+    # Row-stable so decision_function rows are batch-size independent.
+    return rs_matmul_t(A, B)
 
 
 def rbf_kernel(A: np.ndarray, B: np.ndarray, gamma: float) -> np.ndarray:
@@ -100,7 +102,7 @@ class _BinarySMO:
         return self
 
     def decision(self, K_test_train: np.ndarray, y_train: np.ndarray) -> np.ndarray:
-        return K_test_train @ (self.alpha_ * y_train) + self.b_
+        return rs_matvec(K_test_train, self.alpha_ * y_train) + self.b_
 
 
 class SVC(BaseEstimator):

@@ -265,6 +265,7 @@ def resilient_map(
     policy: RetryPolicy | None = None,
     validate: Callable[[Any], str | None] | None = None,
     label: str = "map",
+    sleep: Callable[[float], None] = time.sleep,
 ) -> ResilientMapResult:
     """Map ``fn`` over ``items`` with retry, backoff, and quarantine.
 
@@ -288,6 +289,9 @@ def resilient_map(
         that must be treated as failures (``None`` = valid).
     label
         Telemetry label.
+    sleep
+        Backoff sleeper (monkeypatch point: tests inject a fake clock so
+        retry schedules are asserted without spending wall time).
     """
     items = items if isinstance(items, list) else list(items)
     n = len(items)
@@ -320,7 +324,7 @@ def resilient_map(
                     )
                 retried += len(pending)
                 if delay > 0:
-                    time.sleep(delay)
+                    sleep(delay)
             round_fn = (
                 fn.for_attempt(attempt)
                 if hasattr(fn, "for_attempt")

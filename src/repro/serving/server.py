@@ -88,6 +88,14 @@ class ServingConfig:
     ood_factor: float = 8.0
     #: Watch the model path and hot-swap validated candidates.
     hot_reload: bool = True
+    #: Requests drained from the admission queue per micro-batch; the
+    #: predict ops among them share one vectorized inference pass
+    #: (bit-identical to per-item inference — ml/linalg row-stable
+    #: kernels).  1 disables micro-batching.
+    max_batch: int = 8
+    #: How long ``serve_stream`` lingers for more input before
+    #: processing a short batch (seconds); 0 keeps reads non-blocking.
+    max_batch_delay_seconds: float = 0.0
 
 
 class SelectorServer:
@@ -121,6 +129,12 @@ class SelectorServer:
         self._online: OnlineFormatSelector | None = None
         self._online_sha: str | None = None
         self._stop = False
+        # Micro-batch caches, valid only while draining one batch: the
+        # frozen model the precompute ran on, ingested vectors, and
+        # (distance, label, centroid) triples keyed by request identity.
+        self._batch_model = None
+        self._batch_ingest: dict[int, np.ndarray] = {}
+        self._batch_results: dict[int, tuple[float, object, int]] = {}
 
     # -- request processing -------------------------------------------------
 
@@ -184,7 +198,7 @@ class SelectorServer:
 
     def _op_predict(self, request: Request) -> dict:
         try:
-            _, vec = self.gateway.ingest(request.body)
+            vec = self._ingest_cached(request)
         except IngestError as exc:
             return invalid_response(exc.code, str(exc), request.id)
         active = self._current_model()
@@ -200,9 +214,16 @@ class SelectorServer:
             return fallback_response(
                 self.config.fallback_format, REASON_BREAKER_OPEN, request.id
             )
+        # A mid-batch hot swap invalidates the precompute: only consult
+        # it when it ran on the very model object now serving.
+        precomputed = (
+            self._batch_results.pop(id(request), None)
+            if self._batch_model is active.selector
+            else None
+        )
         try:
             distance, label, centroid = self._infer(
-                active.selector, vec, request.id or "anon"
+                active.selector, vec, request.id or "anon", precomputed
             )
         except Exception:
             self.breaker.record_failure()
@@ -232,8 +253,22 @@ class SelectorServer:
             request.id, format=label, centroid=centroid, source="model"
         )
 
-    def _infer(self, selector, vec: np.ndarray, key: str):
-        """One guarded inference; faults (real or injected) raise."""
+    def _ingest_cached(self, request: Request) -> np.ndarray:
+        """Ingest a predict body, reusing the micro-batch's parse."""
+        cached = self._batch_ingest.pop(id(request), None)
+        if cached is not None:
+            return cached
+        _, vec = self.gateway.ingest(request.body)
+        return vec
+
+    def _infer(self, selector, vec: np.ndarray, key: str, precomputed=None):
+        """One guarded inference; faults (real or injected) raise.
+
+        ``precomputed`` is the micro-batch's (distance, label, centroid)
+        for this request — bit-identical to the per-item math below, so
+        consulting it cannot change any response.  Injection rolls and
+        result validation stay per item either way.
+        """
         injector = self.fault_injector
         if injector is not None:
             delay = injector.delay_for(key, attempt=0)
@@ -241,9 +276,12 @@ class SelectorServer:
                 time.sleep(delay)
             if injector.fails(key, attempt=0):
                 raise InferenceFault(f"injected inference failure for {key!r}")
-        centroid = int(selector.assign(vec)[0])
-        label = selector.centroid_labels[centroid]
-        distance = float(selector.nearest_distance(vec)[0])
+        if precomputed is not None:
+            distance, label, centroid = precomputed
+        else:
+            centroid = int(selector.assign(vec)[0])
+            label = selector.centroid_labels[centroid]
+            distance = float(selector.nearest_distance(vec)[0])
         if injector is not None and injector.corrupts(key, attempt=0):
             label = Corrupted(key, attempt=0)
         if not isinstance(label, str) or not label:
@@ -349,16 +387,105 @@ class SelectorServer:
                 responses.append(
                     self._finish(overloaded_response(CODE_QUEUE_FULL, shed.id))
                 )
-        while True:
-            request, expired = self.admission.take()
-            for dead in expired:
-                responses.append(
-                    self._finish(overloaded_response(CODE_DEADLINE, dead.id))
-                )
-            if request is None:
-                break
-            responses.append(self.process(request))
+        responses.extend(self._drain_queue())
         return responses
+
+    def _drain_queue(self) -> list[dict]:
+        """Drain the admission queue in micro-batches of ``max_batch``.
+
+        Each drained batch is primed with one vectorized inference pass
+        over its predict ops; every request is then answered
+        *individually* through the unchanged per-item flow (deadline →
+        gateway → breaker → inference → OOD), which consults the
+        precompute instead of redoing the same row-stable math.
+        Response order is exactly the one-at-a-time order: expired
+        notices surface at their take position, answers at theirs.
+        """
+        out: list[dict] = []
+        limit = max(1, self.config.max_batch)
+        while True:
+            # ("resp", answered) | ("req", pending) in take order.
+            entries: list[tuple[str, object]] = []
+            batch: list[Request] = []
+            while len(batch) < limit:
+                request, expired = self.admission.take()
+                for dead in expired:
+                    entries.append((
+                        "resp",
+                        self._finish(
+                            overloaded_response(CODE_DEADLINE, dead.id)
+                        ),
+                    ))
+                if request is None:
+                    break
+                entries.append(("req", request))
+                batch.append(request)
+            if not entries:
+                break
+            drained_all = len(batch) < limit
+            self._prime_batch(batch)
+            try:
+                for kind, payload in entries:
+                    if kind == "resp":
+                        out.append(payload)  # type: ignore[arg-type]
+                    else:
+                        out.append(self.process(payload))
+            finally:
+                self._batch_model = None
+                self._batch_ingest.clear()
+                self._batch_results.clear()
+            if drained_all:
+                break
+        return out
+
+    def _prime_batch(self, batch: list[Request]) -> None:
+        """Precompute shared inference for one micro-batch.
+
+        Best-effort only: any problem (unusable model, ingest failure,
+        inference error) leaves the affected requests out of the cache
+        and the per-item flow handles them exactly as before.  The
+        breaker is *not* consulted here — ``allow()`` advances half-open
+        probe state, so it must run once per request, in ``_op_predict``.
+        """
+        self._batch_model = None
+        self._batch_ingest.clear()
+        self._batch_results.clear()
+        if self.config.max_batch <= 1 or len(batch) <= 1:
+            return
+        keys: list[int] = []
+        vecs: list[np.ndarray] = []
+        for request in batch:
+            if request.op != "predict" or request.rejection is not None:
+                continue
+            try:
+                _, vec = self.gateway.ingest(request.body)
+            except IngestError:
+                continue  # the per-item path answers `invalid`
+            self._batch_ingest[id(request)] = vec
+            keys.append(id(request))
+            vecs.append(vec[0])
+        if len(vecs) <= 1:
+            return
+        if self.config.hot_reload:
+            self.host.check_reload()
+        selector = self.host.active.selector
+        if selector is None:
+            return
+        try:
+            X = np.vstack(vecs)
+            assigned = selector.assign(X)
+            distances = selector.nearest_distance(X)
+        except Exception:
+            return  # per-item inference recomputes and degrades itself
+        self._batch_model = selector
+        for key, centroid, distance in zip(keys, assigned, distances):
+            self._batch_results[key] = (
+                float(distance),
+                selector.centroid_labels[int(centroid)],
+                int(centroid),
+            )
+        TELEMETRY.observe("serving.batch_size", float(len(batch)))
+        TELEMETRY.inc("serving.microbatch.primed", len(vecs))
 
     def p99_latency(self) -> float:
         """p99 of recent request latencies (seconds; 0 when idle)."""
@@ -370,21 +497,32 @@ class SelectorServer:
 
     # -- transports ---------------------------------------------------------
 
-    def _drain_ready(self, stream, limit: int = 256) -> list[str]:
+    def _drain_ready(
+        self, stream, limit: int = 256, wait_seconds: float = 0.0
+    ) -> list[str]:
         """Opportunistically batch-read lines already waiting on ``stream``.
 
-        Uses ``select`` on the underlying fd, so it never blocks; on
-        streams without a real fd (StringIO) it reads nothing and the
-        caller degrades to line-at-a-time processing.
+        Uses ``select`` on the underlying fd; with ``wait_seconds`` 0 it
+        never blocks, otherwise it lingers up to that budget for more
+        input so short bursts fill a fuller micro-batch
+        (``--max-batch-delay-ms``).  On streams without a real fd
+        (StringIO) it reads nothing and the caller degrades to
+        line-at-a-time processing.
         """
         lines: list[str] = []
         try:
             fd = stream.fileno()
         except (AttributeError, OSError, ValueError):
             return lines
+        deadline = time.monotonic() + max(wait_seconds, 0.0)
         while len(lines) < limit:
+            timeout = (
+                max(0.0, deadline - time.monotonic())
+                if wait_seconds > 0
+                else 0
+            )
             try:
-                ready, _, _ = select.select([fd], [], [], 0)
+                ready, _, _ = select.select([fd], [], [], timeout)
             except (OSError, ValueError):
                 break
             if not ready:
@@ -403,7 +541,11 @@ class SelectorServer:
                 break
             if not line.strip():
                 continue
-            lines = [line] + self._drain_ready(instream)
+            lines = [line] + self._drain_ready(
+                instream,
+                limit=max(256, self.config.max_batch),
+                wait_seconds=self.config.max_batch_delay_seconds,
+            )
             for response in self.submit_burst(lines):
                 outstream.write(encode_response(response) + "\n")
             outstream.flush()

@@ -2,13 +2,26 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.datasets import build_collection
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.data import build_experiment_data
 from repro.formats import COOMatrix
+
+# The nightly CI sweep runs property tests much deeper than the per-PR
+# default.  Two knobs, both set by the nightly-hypothesis job:
+# - --hypothesis-profile=nightly raises the budget of tests that do not
+#   pin max_examples themselves (explicit @settings beat the profile);
+# - REPRO_HYPOTHESIS_SCALE multiplies the pinned per-test budgets, so
+#   those tests keep their relative weights while going deeper.
+settings.register_profile("nightly", max_examples=500, deadline=None)
+
+HYPOTHESIS_SCALE = max(1, int(os.environ.get("REPRO_HYPOTHESIS_SCALE", "1")))
 
 
 @pytest.fixture

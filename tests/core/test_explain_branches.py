@@ -1,0 +1,110 @@
+"""Branch coverage for the explainability module.
+
+``test_explain_online_overhead.py`` exercises the happy path on the full
+mini-campaign; these tests pin the less-travelled branches — unlabeled
+selectors, missing training labels, empty neighbour lists — on a small
+synthetic fit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.explain import (
+    PredictionExplanation,
+    cluster_profile,
+    explain_prediction,
+    format_explanation,
+)
+from repro.core.semisupervised import ClusterFormatSelector
+from repro.features.extract import FEATURE_NAMES
+
+N_FEATURES = len(FEATURE_NAMES)
+
+
+@pytest.fixture(scope="module")
+def synth():
+    rng = np.random.default_rng(42)
+    X = np.abs(rng.normal(size=(60, N_FEATURES))) * 10.0
+    labels = np.array(
+        ["csr" if x else "ell" for x in X[:, 0] > np.median(X[:, 0])],
+        dtype=object,
+    )
+    names = [f"m{i:03d}" for i in range(X.shape[0])]
+    return X, labels, names
+
+
+@pytest.fixture(scope="module")
+def labeled_selector(synth):
+    X, labels, _ = synth
+    return ClusterFormatSelector("kmeans", "vote", 4, seed=0).fit(X, labels)
+
+
+def test_cluster_profile_unlabeled_selector(synth):
+    X, _, _ = synth
+    sel = ClusterFormatSelector("kmeans", "vote", 4, seed=0)
+    sel.fit_clusters(X)  # clusters exist, labels never assigned
+    cluster = int(sel.train_assignments_[0])
+    prof = cluster_profile(sel, cluster, X, list(FEATURE_NAMES))
+    assert prof.label == "<unlabeled>"
+    assert prof.size >= 1
+
+
+def test_cluster_profile_top_k_clamps(labeled_selector, synth):
+    X, _, _ = synth
+    cluster = int(labeled_selector.train_assignments_[0])
+    prof = cluster_profile(
+        labeled_selector, cluster, X, list(FEATURE_NAMES), top_k=3
+    )
+    assert len(prof.distinguishing_features) == 3
+    assert set(prof.feature_ranges) == set(FEATURE_NAMES)
+
+
+def test_explain_prediction_requires_labels(synth):
+    X, _, names = synth
+    sel = ClusterFormatSelector("kmeans", "vote", 4, seed=0)
+    sel.fit_clusters(X)
+    with pytest.raises(ValueError, match="labeled"):
+        explain_prediction(sel, X[0], names)
+
+
+def test_explain_prediction_without_training_labels(labeled_selector, synth):
+    X, _, names = synth
+    expl = explain_prediction(labeled_selector, X[0], names, None)
+    assert expl.cluster_purity_hint == "no labeled members available"
+    assert expl.cluster_size >= 1
+
+
+def test_explain_prediction_with_labels_reports_purity(
+    labeled_selector, synth
+):
+    X, labels, names = synth
+    expl = explain_prediction(labeled_selector, X[0], names, labels)
+    assert "training members agree" in expl.cluster_purity_hint
+    assert expl.label == labeled_selector.predict(X[:1])[0]
+    assert 1 <= len(expl.nearest_training_names) <= 3
+
+
+def test_format_explanation_with_neighbours(labeled_selector, synth):
+    X, labels, names = synth
+    expl = explain_prediction(labeled_selector, X[0], names, labels)
+    text = format_explanation(expl)
+    assert f"predicted format: {expl.label}" in text
+    assert "most similar training matrices:" in text
+    assert "distance to centroid:" in text
+
+
+def test_format_explanation_without_neighbours():
+    expl = PredictionExplanation(
+        cluster=2,
+        label="hyb",
+        distance_to_centroid=1.25,
+        cluster_size=0,
+        cluster_purity_hint="no labeled members available",
+        nearest_training_names=[],
+    )
+    text = format_explanation(expl)
+    assert "predicted format: hyb" in text
+    assert "most similar" not in text
+    assert "1.2500" in text

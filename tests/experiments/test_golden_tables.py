@@ -1,0 +1,111 @@
+"""Golden regression snapshot of the paper's headline tables.
+
+The seeded mini-campaign (the session-scoped ``tiny_data`` fixture) is
+fully deterministic, so Tables 4–7 — the ACC/F1/MCC and GT/CSR speedup
+numbers the paper's conclusions rest on — can be pinned exactly.  Any
+change to feature extraction, clustering, model training, or evaluation
+that shifts a metric shows up here as a cell-level diff.
+
+Floats are rounded to 6 decimals before comparison, which survives the
+JSON round-trip bit-exactly while leaving headroom below the metrics'
+meaningful precision.
+
+To regenerate after an *intentional* change:
+
+    REPRO_UPDATE_GOLDENS=1 PYTHONPATH=src python -m pytest \
+        tests/experiments/test_golden_tables.py
+
+then review the golden diff like any other code change (see TESTING.md).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.experiments import table4, table5, table6, table7
+
+GOLDEN_PATH = Path(__file__).parent / "goldens" / "tables_4_7.json"
+
+GENERATORS = {
+    "table4": table4.generate,
+    "table5": table5.generate,
+    "table6": table6.generate,
+    "table7": table7.generate,
+}
+
+
+def _cell(value):
+    """JSON-stable cell: rounded builtin float / builtin int / str."""
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, (float, np.floating)):
+        return round(float(value), 6)
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    return str(value)
+
+
+def snapshot(data) -> dict:
+    out = {}
+    for key, generate in GENERATORS.items():
+        table = generate(data)
+        out[key] = {
+            "headers": list(table.headers),
+            "rows": [[_cell(v) for v in row] for row in table.rows],
+        }
+    return out
+
+
+def test_tables_4_to_7_match_goldens(tiny_data):
+    snap = snapshot(tiny_data)
+    if os.environ.get("REPRO_UPDATE_GOLDENS") == "1":
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(
+            json.dumps(snap, indent=2, sort_keys=True) + "\n"
+        )
+        pytest.skip(f"goldens rewritten at {GOLDEN_PATH}")
+    if not GOLDEN_PATH.exists():
+        pytest.fail(
+            f"no golden file at {GOLDEN_PATH}; generate one with "
+            "REPRO_UPDATE_GOLDENS=1"
+        )
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert sorted(snap) == sorted(golden), "table set changed"
+    for key in GENERATORS:
+        assert snap[key]["headers"] == golden[key]["headers"], (
+            f"{key}: headers changed"
+        )
+        got_rows, want_rows = snap[key]["rows"], golden[key]["rows"]
+        assert len(got_rows) == len(want_rows), (
+            f"{key}: {len(got_rows)} rows, golden has {len(want_rows)}"
+        )
+        for i, (got, want) in enumerate(zip(got_rows, want_rows)):
+            for header, g, w in zip(snap[key]["headers"], got, want):
+                assert g == w, (
+                    f"{key} row {i} [{header}]: got {g!r}, golden {w!r} "
+                    "(REPRO_UPDATE_GOLDENS=1 regenerates after an "
+                    "intentional change)"
+                )
+
+
+def test_golden_metrics_are_in_range():
+    """The committed golden itself stays sane (metrics in [-1, 1])."""
+    if not GOLDEN_PATH.exists():
+        pytest.skip("goldens not generated yet")
+    golden = json.loads(GOLDEN_PATH.read_text())
+    for key, table in golden.items():
+        for header, column in zip(
+            table["headers"], zip(*table["rows"]) if table["rows"] else []
+        ):
+            if header.startswith(("F1", "MCC")):
+                for v in column:
+                    assert -1.0 <= v <= 1.0, f"{key} {header}: {v}"
+            elif header.startswith("ACC"):
+                # Tables 4–5 report fractions, 6–7 the paper's percents.
+                for v in column:
+                    assert 0.0 <= v <= 100.0, f"{key} {header}: {v}"

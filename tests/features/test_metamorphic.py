@@ -1,0 +1,180 @@
+"""Metamorphic tests for the Table-1 feature extractor.
+
+Structural transformations with known effects on the features:
+
+- **Row permutation** reshuffles the row-length distribution without
+  changing it as a multiset, so every feature derived from that multiset
+  (counts, moments, ELL/HYB geometry) is invariant.  ``csr_max`` scans
+  nonzeros in row order and the diagonal features read ``col - row``
+  offsets, so those three may legitimately move.
+- **Column permutation** leaves each row's length untouched, so on top
+  of the row-permutation set ``csr_max`` is also invariant; only the
+  diagonal features may move.
+- **Transpose** swaps ``nrows``/``ncols``, preserves ``nnz`` and the
+  number of occupied diagonals (offsets negate bijectively), and a
+  double transpose restores the exact feature vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import HYPOTHESIS_SCALE
+
+from repro.features.extract import (
+    FEATURE_NAMES,
+    extract_features,
+    features_from_stats,
+    features_from_stats_batch,
+)
+from repro.features.stats import compute_stats
+from repro.formats.coo import COOMatrix
+
+F = {name: i for i, name in enumerate(FEATURE_NAMES)}
+
+#: Features that read diagonal structure (change under any permutation).
+DIAGONAL_FEATURES = ("diagonals", "dia_size", "dia_frac")
+
+#: Mathematically permutation-invariant, but computed by reductions that
+#: accumulate in row order (np.std, RMS over a boolean selection), so a
+#: permutation may shift the last ulp.  Compared with a tight relative
+#: tolerance instead of bitwise.
+ORDER_SENSITIVE_REDUCTIONS = ("nnz_sig", "sig_lower", "sig_higher")
+
+#: Invariant under row permutation: everything derived from the
+#: row-length multiset.  csr_max depends on row *order*; the diagonal
+#: features depend on col - row offsets.
+ROW_PERM_INVARIANT = tuple(
+    name
+    for name in FEATURE_NAMES
+    if name not in (*DIAGONAL_FEATURES, "csr_max")
+)
+
+#: Invariant under column permutation: row lengths are untouched, so
+#: csr_max joins the invariant set.
+COL_PERM_INVARIANT = tuple(
+    name for name in FEATURE_NAMES if name not in DIAGONAL_FEATURES
+)
+
+
+def random_matrix(seed: int, nrows: int, ncols: int, density: float) -> COOMatrix:
+    rng = np.random.default_rng(seed)
+    nnz = max(1, int(nrows * ncols * density))
+    flat = rng.choice(nrows * ncols, size=min(nnz, nrows * ncols), replace=False)
+    rows, cols = np.divmod(flat, ncols)
+    vals = rng.normal(size=flat.shape[0])
+    return COOMatrix((nrows, ncols), rows.astype(np.int64), cols.astype(np.int64), vals)
+
+
+matrix_params = st.tuples(
+    st.integers(0, 2**31 - 1),  # seed
+    st.integers(2, 40),  # nrows
+    st.integers(2, 40),  # ncols
+    st.floats(0.02, 0.6),  # density
+)
+
+
+def check_invariant(base: COOMatrix, transformed: COOMatrix, names) -> None:
+    fa = extract_features(base)
+    fb = extract_features(transformed)
+    for name in names:
+        a, b = fa[F[name]], fb[F[name]]
+        if name in ORDER_SENSITIVE_REDUCTIONS:
+            assert a == pytest.approx(b, rel=1e-9, abs=1e-12), (
+                f"{name}: {a} !~ {b}"
+            )
+        else:
+            assert a == b, f"{name}: {a} != {b}"
+
+
+@settings(max_examples=60 * HYPOTHESIS_SCALE, deadline=None)
+@given(params=matrix_params)
+def test_row_permutation_preserves_distribution_features(params):
+    seed, nrows, ncols, density = params
+    m = random_matrix(seed, nrows, ncols, density)
+    perm = np.random.default_rng(seed + 1).permutation(nrows)
+    check_invariant(m, m.permute(row_perm=perm), ROW_PERM_INVARIANT)
+
+
+@settings(max_examples=60 * HYPOTHESIS_SCALE, deadline=None)
+@given(params=matrix_params)
+def test_column_permutation_preserves_row_features(params):
+    seed, nrows, ncols, density = params
+    m = random_matrix(seed, nrows, ncols, density)
+    perm = np.random.default_rng(seed + 2).permutation(ncols)
+    check_invariant(m, m.permute(col_perm=perm), COL_PERM_INVARIANT)
+
+
+@settings(max_examples=60 * HYPOTHESIS_SCALE, deadline=None)
+@given(params=matrix_params)
+def test_transpose_swaps_dims_preserves_mass(params):
+    seed, nrows, ncols, density = params
+    m = random_matrix(seed, nrows, ncols, density)
+    fa = extract_features(m)
+    fb = extract_features(m.transpose())
+    assert fb[F["nrows"]] == fa[F["ncols"]]
+    assert fb[F["ncols"]] == fa[F["nrows"]]
+    assert fb[F["nnz"]] == fa[F["nnz"]]
+    assert fb[F["nnz_frac"]] == fa[F["nnz_frac"]]
+    # col - row offsets negate bijectively: diagonal count is preserved.
+    assert fb[F["diagonals"]] == fa[F["diagonals"]]
+
+
+@settings(max_examples=40 * HYPOTHESIS_SCALE, deadline=None)
+@given(params=matrix_params)
+def test_transpose_round_trip_restores_features(params):
+    seed, nrows, ncols, density = params
+    m = random_matrix(seed, nrows, ncols, density)
+    back = m.transpose().transpose()
+    np.testing.assert_array_equal(
+        extract_features(m), extract_features(back)
+    )
+
+
+def test_batch_features_match_per_matrix_rows():
+    matrices = [
+        random_matrix(seed, 10 + seed, 8 + seed, 0.2) for seed in range(6)
+    ]
+    stats = [compute_stats(m) for m in matrices]
+    batch = features_from_stats_batch(stats)
+    stacked = np.vstack([features_from_stats(s) for s in stats])
+    np.testing.assert_array_equal(batch, stacked)
+
+
+def test_batch_features_transpose_round_trip():
+    matrices = [random_matrix(seed, 12, 9, 0.25) for seed in range(5)]
+    round_tripped = [m.transpose().transpose() for m in matrices]
+    a = features_from_stats_batch([compute_stats(m) for m in matrices])
+    b = features_from_stats_batch([compute_stats(m) for m in round_tripped])
+    np.testing.assert_array_equal(a, b)
+
+
+def test_identity_permutation_is_exact():
+    m = random_matrix(3, 15, 11, 0.3)
+    same = m.permute(
+        row_perm=np.arange(m.nrows), col_perm=np.arange(m.ncols)
+    )
+    np.testing.assert_array_equal(
+        extract_features(m), extract_features(same)
+    )
+
+
+@pytest.mark.parametrize("name", DIAGONAL_FEATURES)
+def test_documented_noninvariants_can_move(name):
+    # A row shift of a diagonal matrix moves mass off the main diagonal:
+    # the diagonal features MUST see it (guards against the invariant
+    # lists silently covering everything).
+    n = 12
+    eye = COOMatrix(
+        (n, n),
+        np.arange(n, dtype=np.int64),
+        np.arange(n, dtype=np.int64),
+        np.ones(n),
+    )
+    shifted = eye.permute(row_perm=np.roll(np.arange(n), 1))
+    fa = extract_features(eye)
+    fb = extract_features(shifted)
+    assert fa[F[name]] != fb[F[name]]

@@ -1,0 +1,99 @@
+"""Coverage for the telemetry export/rendering helpers."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.obs.export import (
+    _fmt_seconds,
+    dump_profile,
+    render_metrics,
+    render_span_tree,
+)
+from repro.obs.telemetry import Telemetry
+
+
+def traced_session() -> Telemetry:
+    t = Telemetry().enable()
+    with t.span("campaign", size=3):
+        with t.span("stats"):
+            pass
+        with t.span("bench", arch="pascal"):
+            pass
+    t.inc("items", 3)
+    t.gauge_set("utilization", 0.5)
+    t.observe("latency", 0.002)
+    return t
+
+
+def test_fmt_seconds_units():
+    assert _fmt_seconds(2.5).strip().endswith("s")
+    assert "ms" in _fmt_seconds(0.005)
+    assert "us" in _fmt_seconds(0.0000005)
+
+
+def test_render_span_tree_shows_hierarchy_and_attrs():
+    t = traced_session()
+    text = render_span_tree(t.tracer)
+    lines = text.splitlines()
+    assert any("campaign" in line and "size=3" in line for line in lines)
+    # children indent one level deeper than the root
+    root = next(line for line in lines if "campaign" in line)
+    child = next(line for line in lines if "stats" in line)
+    assert child.index("stats") > root.index("campaign")
+    assert any("arch=pascal" in line for line in lines)
+
+
+def test_render_span_tree_respects_max_depth():
+    t = Telemetry().enable()
+    with t.span("a"):
+        with t.span("b"):
+            with t.span("c"):
+                pass
+    text = render_span_tree(t.tracer, max_depth=1)
+    assert "a" in text and "b" in text
+    assert "c" not in text.split()
+
+
+def test_render_span_tree_empty():
+    assert render_span_tree(Telemetry().tracer) == "(no spans recorded)"
+
+
+def test_render_metrics_counter_gauge_histogram():
+    t = traced_session()
+    text = render_metrics(t.registry)
+    assert "items: 3" in text
+    assert "utilization: 0.5" in text
+    assert "latency: count=1" in text and "mean=" in text
+
+
+def test_render_metrics_empty_histogram_and_registry():
+    t = Telemetry().enable()
+    t.observe("never", 1.0)
+    t.registry.reset()
+    assert render_metrics(t.registry) == "(no metrics recorded)"
+
+
+def test_dump_profile_without_trace_path():
+    t = traced_session()
+    out = io.StringIO()
+    dump_profile(t, trace_path=None, stream=out)
+    text = out.getvalue()
+    assert "[obs] span tree:" in text
+    assert "[obs] metrics:" in text
+    assert "written to" not in text
+
+
+def test_dump_profile_writes_jsonl_trace(tmp_path):
+    t = traced_session()
+    trace_path = tmp_path / "trace.jsonl"
+    out = io.StringIO()
+    dump_profile(t, trace_path=str(trace_path), stream=out)
+    assert "span events written to" in out.getvalue()
+    events = [
+        json.loads(line)
+        for line in trace_path.read_text().splitlines()
+        if line
+    ]
+    assert events, "trace file should contain span events"

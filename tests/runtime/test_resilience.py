@@ -23,6 +23,10 @@ def _double(x):
     return x * 2
 
 
+def _always_fail(x):
+    raise RuntimeError("always fails")
+
+
 class _FlakyOnce:
     """Fails each item's first attempt, succeeds afterwards (picklable)."""
 
@@ -160,19 +164,33 @@ class TestResilientMap:
             resilient_map(_double, [1, 2], keys=["only-one"])
 
     def test_task_timeout_converts_hang_to_failure(self):
+        # Deterministic assertions only: the SIGALRM guard interrupts the
+        # hang at task_timeout, and the injected fake sleeper records the
+        # backoff schedule instead of a wall-clock upper bound (which was
+        # flaky on loaded CI runners).
         def slow_if_two(x):
             if x == 2:
                 time.sleep(5.0)
             return x
 
+        slept: list[float] = []
         policy = RetryPolicy(
             max_attempts=2, backoff_base=0.0, task_timeout=0.1
         )
-        t0 = time.perf_counter()
-        result = resilient_map(slow_if_two, [1, 2, 3], policy=policy)
-        assert time.perf_counter() - t0 < 4.0
+        result = resilient_map(
+            slow_if_two, [1, 2, 3], policy=policy, sleep=slept.append
+        )
         assert result.ok == [True, False, True]
         assert result.failures[1].kind == "timeout"
+        assert slept == []  # backoff_base=0.0 never sleeps
+
+    def test_backoff_schedule_uses_injected_sleeper(self):
+        slept: list[float] = []
+        policy = RetryPolicy(max_attempts=3, backoff_base=0.25, backoff_factor=2.0)
+        result = resilient_map(_always_fail, [1], policy=policy, sleep=slept.append)
+        assert result.ok == [False]
+        # One backoff before each retry round: base, then base * factor.
+        assert slept == [policy.backoff(0), policy.backoff(1)] == [0.25, 0.5]
 
     def test_parallel_jobs_match_inline(self):
         spec = FaultSpec(failure_rate=0.3, seed=6)

@@ -364,3 +364,115 @@ class TestChaosServe:
         assert rc == 1
         err = capsys.readouterr().err
         assert "expected the circuit breaker to open" in err
+
+
+class TestPredictBatch:
+    @pytest.fixture(scope="class")
+    def model(self, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("model") / "selector.npz")
+        assert main([
+            "train", "--size", "30", "--clusters", "5", "--trials", "3",
+            "--out", path,
+        ]) == 0
+        return path
+
+    @pytest.fixture(scope="class")
+    def collection(self, tmp_path_factory):
+        from repro.datasets import build_collection, export_collection
+
+        directory = tmp_path_factory.mktemp("coll") / "matrices"
+        records = build_collection(seed=7, size=6)
+        export_collection(
+            records.records if hasattr(records, "records") else records,
+            directory,
+        )
+        return directory
+
+    def _records(self, out: str) -> list[dict]:
+        import json
+
+        return [json.loads(line) for line in out.strip().splitlines()]
+
+    def test_batch_matches_single_predict_line_for_line(
+        self, model, collection, capsys
+    ):
+        assert main([
+            "predict-batch", str(collection), "--model", model,
+        ]) == 0
+        captured = capsys.readouterr()
+        records = self._records(captured.out)
+        assert "predict-batch: 6 matrices, 6 model answers" in captured.err
+        mtx_files = sorted(collection.glob("*.mtx"))
+        assert [r["name"] for r in records] == [p.stem for p in mtx_files]
+        for record, path in zip(records, mtx_files):
+            assert main(["predict", str(path), "--model", model]) == 0
+            line = capsys.readouterr().out
+            fmt = line.split("recommended format:")[1].split()[0]
+            centroid = int(line.split("centroid #")[1].split()[0])
+            assert record["format"] == fmt
+            assert record["centroid"] == centroid
+            assert record["source"] == "model"
+
+    def test_jobs_and_shard_size_do_not_change_output(
+        self, model, collection, tmp_path, capsys
+    ):
+        outputs = []
+        for i, extra in enumerate(
+            [[], ["--jobs", "2"], ["--shard-size", "2"],
+             ["--jobs", "2", "--shard-size", "1"]]
+        ):
+            out = tmp_path / f"out{i}.jsonl"
+            assert main([
+                "predict-batch", str(collection), "--model", model,
+                "--out", str(out), *extra,
+            ]) == 0
+            capsys.readouterr()
+            outputs.append(out.read_bytes())
+        assert all(o == outputs[0] for o in outputs[1:])
+
+    def test_manifest_input_with_comments(
+        self, model, collection, tmp_path, capsys
+    ):
+        names = sorted(p.name for p in collection.glob("*.mtx"))[:3]
+        manifest = tmp_path / "matrices.txt"
+        manifest.write_text(
+            "# three matrices, relative to this manifest\n"
+            + "\n".join(f"../{collection.name}/{n}" for n in names)
+            + "\n"
+        )
+        (tmp_path / collection.name).symlink_to(collection)
+        assert main([
+            "predict-batch", str(manifest), "--model", model,
+        ]) == 0
+        records = self._records(capsys.readouterr().out)
+        assert [r["name"] + ".mtx" for r in records] == names
+
+    def test_missing_source_exits_2(self, model, capsys):
+        assert main([
+            "predict-batch", "/nonexistent/dir", "--model", model,
+        ]) == 2
+        assert "no such directory or manifest" in capsys.readouterr().err
+
+    def test_empty_directory_exits_2(self, model, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main([
+            "predict-batch", str(empty), "--model", model,
+        ]) == 2
+        assert "no matrices found" in capsys.readouterr().err
+
+    def test_unusable_model_falls_back_and_strict_fails(
+        self, collection, tmp_path, capsys
+    ):
+        missing = str(tmp_path / "missing.npz")
+        assert main([
+            "predict-batch", str(collection), "--model", missing,
+        ]) == 0
+        records = self._records(capsys.readouterr().out)
+        assert all(r["source"] == "fallback" for r in records)
+        assert all(r["format"] == "csr" for r in records)
+        assert main([
+            "predict-batch", str(collection), "--model", missing,
+            "--strict",
+        ]) == 1
+        capsys.readouterr()

@@ -1,0 +1,102 @@
+"""Serving + batch-inference latency benchmark → ``BENCH_obs.json``.
+
+The perf-regression tracker: each run measures request latency through
+the full serving stack (gateway → admission → breaker → predict) and
+sharded batch inference over a *seeded* workload, then writes
+``BENCH_obs.json`` with p50/p95/p99 latency, RPS, per-stage span costs,
+and the full metrics snapshot.  CI's ``obs-smoke`` job runs this on a
+tiny workload, uploads the JSON as an artifact, and gates it with
+``repro obs report`` against ``benchmarks/slo_permissive.json``.
+
+Knobs (environment):
+
+- ``REPRO_BENCH_REQUESTS`` — serve-path request count (default 200)
+- ``REPRO_BENCH_ITEMS``    — batch-path items per repeat (default 256)
+- ``REPRO_BENCH_JOBS``     — worker processes for the batch path
+  (default 4)
+- ``REPRO_BENCH_OUT``      — output path (default ``BENCH_obs.json``
+  next to this file's repo root)
+
+Run directly (``python benchmarks/bench_serving_latency.py``), via
+``pytest benchmarks/bench_serving_latency.py -s``, or through the CLI
+(``repro obs bench``) — all three share :mod:`repro.obs.bench`.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+
+from repro.obs.bench import run_bench, write_bench
+from repro.serving.drill import synthetic_frozen_selector
+
+DEFAULT_OUT = os.path.join(
+    os.path.dirname(__file__), "..", "BENCH_obs.json"
+)
+
+
+def run_serving_bench(out_path: str | None = None) -> dict:
+    """Run the benchmark on the env-configured workload; write the JSON."""
+    n_requests = int(os.environ.get("REPRO_BENCH_REQUESTS", "200"))
+    n_items = int(os.environ.get("REPRO_BENCH_ITEMS", "256"))
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "4"))
+    out = out_path or os.environ.get("REPRO_BENCH_OUT", DEFAULT_OUT)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serving-") as tmp:
+        model_path = os.path.join(tmp, "selector.npz")
+        synthetic_frozen_selector(seed=0).save(model_path)
+        result = run_bench(
+            model_path,
+            n_requests=n_requests,
+            n_items=n_items,
+            jobs=jobs,
+            seed=0,
+        )
+    write_bench(result, out)
+    return result
+
+
+def print_report(result: dict) -> None:
+    serve = result["serve"]
+    batch = result["batch"]
+    print()
+    print(
+        f"serve : {serve['n_requests']} requests  "
+        f"p50 {serve['p50_ms']:.3f} ms  p95 {serve['p95_ms']:.3f} ms  "
+        f"p99 {serve['p99_ms']:.3f} ms  {serve['rps']:.0f} req/s"
+    )
+    print(
+        f"batch : {batch['repeats']}x{batch['n_items']} items "
+        f"(jobs={batch['jobs']})  p50 {batch['p50_ms']:.3f} ms  "
+        f"p99 {batch['p99_ms']:.3f} ms  "
+        f"{batch['items_per_second']:.0f} items/s"
+    )
+    hot = sorted(
+        result["stages"].items(), key=lambda kv: kv[1]["self_s"],
+        reverse=True,
+    )
+    print("stages (self-time descending):")
+    for name, row in hot[:8]:
+        print(
+            f"  {name:<28} calls={row['calls']:<6} "
+            f"cum={row['cum_s']:.4f}s self={row['self_s']:.4f}s"
+        )
+
+
+def test_serving_latency_bench(tmp_path):
+    out = str(tmp_path / "BENCH_obs.json")
+    result = run_serving_bench(out_path=out)
+    print_report(result)
+    assert os.path.exists(out)
+    serve = result["serve"]
+    # Quantiles must be ordered and every request answered.
+    assert serve["p50_ms"] <= serve["p95_ms"] <= serve["p99_ms"]
+    assert sum(serve["statuses"].values()) == serve["n_requests"]
+    # The stitched trace must attribute cost to serving stages.
+    assert "serving.request" in result["stages"]
+    assert "serving.predict" in result["stages"]
+
+
+if __name__ == "__main__":
+    print_report(run_serving_bench())
+    sys.exit(0)

@@ -322,48 +322,57 @@ def _serving_config(args: argparse.Namespace, model_path: str):
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs import TELEMETRY
+    from repro.obs.events import EventLog
     from repro.runtime.faults import injector_for, spec_from_env
     from repro.serving import SelectorServer
 
-    server = SelectorServer(
-        _serving_config(args, args.model),
-        fault_injector=injector_for(spec_from_env()),
-    )
-    if server.host.degraded:
-        print(
-            f"repro serve: starting degraded ({server.host.active.error}); "
-            f"answers fall back to {args.fallback_format} until a valid "
-            f"model appears at {args.model}",
-            file=sys.stderr,
+    access_log = None
+    if args.access_log:
+        access_log = EventLog(
+            args.access_log,
+            max_bytes=args.access_log_max_bytes,
+            backups=args.access_log_backups,
         )
-    if args.socket:
-        print(
-            f"repro serve: listening on unix socket {args.socket}",
-            file=sys.stderr,
+    # The `metrics` op serves from the live global registry, so serving
+    # turns telemetry on for its lifetime — unless --profile (or a
+    # caller) already did, in which case that owner keeps control.
+    own_telemetry = not TELEMETRY.enabled
+    if own_telemetry:
+        TELEMETRY.reset()
+        TELEMETRY.enable()
+    try:
+        server = SelectorServer(
+            _serving_config(args, args.model),
+            fault_injector=injector_for(spec_from_env()),
+            access_log=access_log,
         )
-        return server.serve_socket(args.socket)
-    return server.serve_stream(sys.stdin, sys.stdout)
+        if server.host.degraded:
+            print(
+                f"repro serve: starting degraded "
+                f"({server.host.active.error}); "
+                f"answers fall back to {args.fallback_format} until a valid "
+                f"model appears at {args.model}",
+                file=sys.stderr,
+            )
+        if args.socket:
+            print(
+                f"repro serve: listening on unix socket {args.socket}",
+                file=sys.stderr,
+            )
+            return server.serve_socket(args.socket)
+        return server.serve_stream(sys.stdin, sys.stdout)
+    finally:
+        if access_log is not None:
+            access_log.close()
+        if own_telemetry:
+            TELEMETRY.disable()
+            TELEMETRY.reset()
 
 
 def _cmd_chaos_serve(args: argparse.Namespace) -> int:
-    import io
-    import json
-    import os
-    import tempfile
-    import time as time_mod
-
-    from repro.core.deploy import FallbackSelector
-    from repro.features import extract_features
-    from repro.formats import read_matrix_market
+    from repro.obs import TELEMETRY
     from repro.runtime import FaultSpec
-    from repro.runtime.faults import FaultInjector
-    from repro.serving import SelectorServer
-    from repro.serving.drill import (
-        _random_matrix_text,
-        build_request_lines,
-        run_serve_drill,
-        synthetic_frozen_selector,
-    )
 
     spec = FaultSpec(
         failure_rate=args.fail,
@@ -373,6 +382,40 @@ def _cmd_chaos_serve(args: argparse.Namespace) -> int:
         poison_fraction=args.poison,
         seed=args.fault_seed,
     )
+    # The drill exports its serving counters (--metrics-out feeds
+    # `repro obs report`), so it needs the registry live even without
+    # --profile; respect an already-enabled owner as `serve` does.
+    own_telemetry = not TELEMETRY.enabled
+    if own_telemetry:
+        TELEMETRY.reset()
+        TELEMETRY.enable()
+    try:
+        return _run_chaos_serve_drill(args, spec)
+    finally:
+        if own_telemetry:
+            TELEMETRY.disable()
+            TELEMETRY.reset()
+
+
+def _run_chaos_serve_drill(args: argparse.Namespace, spec) -> int:
+    import io
+    import json
+    import os
+    import tempfile
+    import time as time_mod
+
+    from repro.core.deploy import FallbackSelector
+    from repro.features import extract_features
+    from repro.formats import read_matrix_market
+    from repro.runtime.faults import FaultInjector
+    from repro.serving import SelectorServer
+    from repro.serving.drill import (
+        _random_matrix_text,
+        build_request_lines,
+        run_serve_drill,
+        synthetic_frozen_selector,
+    )
+
     with tempfile.TemporaryDirectory(prefix="repro-serve-chaos-") as tmp:
         model_path = os.path.join(tmp, "selector.npz")
         synthetic_frozen_selector(seed=args.seed).save(model_path)
@@ -411,6 +454,13 @@ def _cmd_chaos_serve(args: argparse.Namespace) -> int:
         rc = 0
         if not report.ok:
             rc = 1
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                json.dump(
+                    server.metrics_snapshot(), fh, indent=2, sort_keys=True
+                )
+                fh.write("\n")
+            print(f"serve chaos: metrics snapshot -> {args.metrics_out}")
         if args.swap:
             if server.host.n_quarantined < 1:
                 print(
@@ -599,14 +649,90 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
     try:
         print(stats_report(args.trace, top=args.top))
-    except FileNotFoundError:
-        print(f"repro stats: no such trace file: {args.trace}",
-              file=sys.stderr)
-        return 1
     except TraceParseError as exc:
+        # Missing, empty, and truncated traces all land here: one typed
+        # diagnostic line, exit code 2 (distinct from runtime failures).
         print(f"repro stats: {exc}", file=sys.stderr)
-        return 1
+        return 2
     return 0
+
+
+def _load_metrics_snapshot(path: str) -> dict:
+    """Read a registry snapshot from a metrics JSON or BENCH_*.json file."""
+    import json
+
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: expected a JSON object")
+    # A BENCH_obs.json wraps the snapshot under "metrics".
+    if "metrics" in data and isinstance(data["metrics"], dict):
+        return data["metrics"]
+    return data
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.obs.slo import SLOConfigError, load_slo_file, report
+
+    try:
+        rules = load_slo_file(args.slo)
+        snapshot = _load_metrics_snapshot(args.metrics)
+    except (SLOConfigError, OSError, ValueError) as exc:
+        print(f"repro obs report: {exc}", file=sys.stderr)
+        return 2
+    try:
+        text, ok = report(rules, snapshot)
+    except SLOConfigError as exc:
+        print(f"repro obs report: {exc}", file=sys.stderr)
+        return 2
+    print(text)
+    return 0 if ok else 1
+
+
+def _cmd_obs_bench(args: argparse.Namespace) -> int:
+    import os
+    import tempfile
+
+    from repro.obs.bench import run_bench, write_bench
+
+    def _run(model_path: str) -> int:
+        result = run_bench(
+            model_path,
+            n_requests=args.requests,
+            n_items=args.items,
+            jobs=args.jobs,
+            seed=args.seed,
+            max_batch=args.max_batch,
+            repeats=args.repeats,
+        )
+        write_bench(result, args.out)
+        serve = result["serve"]
+        batch = result["batch"]
+        print(
+            f"serve : {serve['n_requests']} requests  "
+            f"p50 {serve['p50_ms']:.3f} ms  p95 {serve['p95_ms']:.3f} ms  "
+            f"p99 {serve['p99_ms']:.3f} ms  {serve['rps']:.0f} req/s"
+        )
+        print(
+            f"batch : {batch['repeats']}x{batch['n_items']} items "
+            f"(jobs={batch['jobs']})  p50 {batch['p50_ms']:.3f} ms  "
+            f"p99 {batch['p99_ms']:.3f} ms  "
+            f"{batch['items_per_second']:.0f} items/s"
+        )
+        print(f"bench : written to {args.out}")
+        if args.slo:
+            slo_args = argparse.Namespace(slo=args.slo, metrics=args.out)
+            return _cmd_obs_report(slo_args)
+        return 0
+
+    if args.model:
+        return _run(args.model)
+    from repro.serving.drill import synthetic_frozen_selector
+
+    with tempfile.TemporaryDirectory(prefix="repro-obs-bench-") as tmp:
+        model_path = os.path.join(tmp, "selector.npz")
+        synthetic_frozen_selector(seed=args.seed).save(model_path)
+        return _run(model_path)
 
 
 #: Sentinel for ``--profile`` given without a PATH operand.
@@ -806,6 +932,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", required=True, help="frozen selector .npz")
     p.add_argument("--socket", default=None, metavar="PATH",
                    help="serve on a Unix socket instead of stdin/stdout")
+    p.add_argument("--access-log", default=None, metavar="PATH",
+                   help="append one JSONL event per request (trace id, "
+                        "op, status, latency) with size-based rotation")
+    p.add_argument("--access-log-max-bytes", type=int,
+                   default=10 * 1024 * 1024, metavar="N",
+                   help="rotate the access log past this size")
+    p.add_argument("--access-log-backups", type=int, default=3, metavar="N",
+                   help="rotated access-log files kept")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("chaos", parents=[profile_parent],
@@ -860,6 +994,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "survivor is byte-identical (campaign), or check "
                         "post-recovery parity with a fresh single-shot "
                         "predict (serve)")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="[serve] write the post-drill metrics snapshot "
+                        "as JSON (feed it to `repro obs report`)")
     p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("tables", parents=[profile_parent, campaign_parent],
@@ -884,6 +1021,48 @@ def build_parser() -> argparse.ArgumentParser:
                    help="show only the N hottest spans")
     p.set_defaults(func=_cmd_stats)
 
+    p = sub.add_parser("obs",
+                       help="observability tooling: SLO reports and the "
+                            "serving latency benchmark")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+
+    p_report = obs_sub.add_parser(
+        "report",
+        help="evaluate declarative SLO thresholds against a metrics "
+             "snapshot; exits 1 on violation, 2 on bad input")
+    p_report.add_argument("--slo", required=True, metavar="FILE",
+                          help="SLO rules JSON (top-level 'slos' list)")
+    p_report.add_argument("--metrics", required=True, metavar="FILE",
+                          help="metrics snapshot JSON (from `repro chaos "
+                               "--metrics-out` or a BENCH_obs.json)")
+    p_report.set_defaults(func=_cmd_obs_report)
+
+    p_bench = obs_sub.add_parser(
+        "bench",
+        help="seeded serving+batch latency benchmark; writes "
+             "BENCH_obs.json (p50/p95/p99, RPS, per-stage span costs)")
+    p_bench.add_argument("--out", default="BENCH_obs.json", metavar="PATH",
+                         help="output JSON path")
+    p_bench.add_argument("--model", default=None, metavar="PATH",
+                         help="frozen selector .npz (default: a synthetic "
+                              "model)")
+    p_bench.add_argument("--requests", type=int, default=200, metavar="N",
+                         help="serve-path request count")
+    p_bench.add_argument("--items", type=int, default=256, metavar="N",
+                         help="batch-path items per repeat")
+    p_bench.add_argument("--jobs", type=int, default=2, metavar="N",
+                         help="worker processes for the batch path")
+    p_bench.add_argument("--repeats", type=int, default=5, metavar="N",
+                         help="batch repeats (quantiles are over repeats)")
+    p_bench.add_argument("--max-batch", type=int, default=8, metavar="N",
+                         help="serving micro-batch size")
+    p_bench.add_argument("--seed", type=int, default=0,
+                         help="workload seed")
+    p_bench.add_argument("--slo", default=None, metavar="FILE",
+                         help="also evaluate these SLO rules against the "
+                              "fresh BENCH_obs.json")
+    p_bench.set_defaults(func=_cmd_obs_bench)
+
     return parser
 
 
@@ -905,12 +1084,16 @@ def _dispatch(args: argparse.Namespace) -> int:
     if profile is None:
         return args.func(args)
 
-    from repro.obs import TELEMETRY, dump_profile
+    from repro.obs import TELEMETRY, dump_profile, request_scope
 
     TELEMETRY.enable()
     TELEMETRY.reset()
     try:
-        with TELEMETRY.span(f"cli.{args.command}"):
+        # The CLI root is a request scope: every fan-out the command
+        # performs (feature extraction, sharded inference, campaign
+        # chunks) inherits one trace id, so a profiled run stitches
+        # into a single end-to-end trace.
+        with request_scope(f"cli.{args.command}"):
             rc = args.func(args)
     finally:
         trace_path = None if profile == _PROFILE_STDERR_ONLY else profile

@@ -74,11 +74,18 @@ def _detailed(
 def _shard_task(
     task: tuple[int, np.ndarray], frozen: FrozenSelector
 ) -> tuple[int, float, tuple[np.ndarray, np.ndarray, np.ndarray] | None, str | None]:
-    """Pool-side shard body: predict one shard, never raise."""
+    """Pool-side shard body: predict one shard, never raise.
+
+    The ``inference.shard`` span records in whichever telemetry is live
+    where the shard runs: the parent's (inline path, ``jobs <= 1``) or
+    the worker's child telemetry, whose subtree is stitched back under
+    the request root by :mod:`repro.runtime.parallel`.
+    """
     index, X = task
     start = time.perf_counter()
     try:
-        out = _detailed(frozen, np.asarray(X, dtype=np.float64))
+        with TELEMETRY.span("inference.shard", shard=index, rows=len(X)):
+            out = _detailed(frozen, np.asarray(X, dtype=np.float64))
         return index, time.perf_counter() - start, out, None
     except Exception as exc:  # isolated: the parent retries per item
         message = f"{type(exc).__name__}: {exc}"
@@ -203,6 +210,8 @@ class BatchPredictor:
         order, and labels are bit-identical for every ``jobs`` /
         ``shard_size`` combination.
         """
+        from repro.obs.context import request_scope
+
         X = np.asarray(X, dtype=np.float64)
         if X.ndim != 2:
             raise ValueError(f"X must be 2-D, got shape {X.shape}")
@@ -212,6 +221,16 @@ class BatchPredictor:
         if len(names) != n:
             raise ValueError(f"{len(names)} names for {n} items")
         plan = plan_shards(n, jobs=jobs, shard_size=shard_size)
+        with request_scope(
+            "inference.request", n_items=n, jobs=plan.jobs,
+            n_shards=plan.n_shards,
+        ):
+            return self._predict_sharded(X, names, plan)
+
+    def _predict_sharded(
+        self, X: np.ndarray, names: list[str], plan: ShardPlan
+    ) -> BatchReport:
+        n = X.shape[0]
         report = BatchReport(items=[], plan=plan)
         started = time.perf_counter()
         TELEMETRY.observe(

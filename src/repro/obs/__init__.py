@@ -27,6 +27,16 @@ The CLI exposes the same machinery as ``repro <cmd> --profile [PATH]``
 and ``repro stats <trace.jsonl>``.
 """
 
+from repro.obs.context import (
+    TraceContext,
+    activate,
+    current_context,
+    new_trace_id,
+    request_scope,
+    stitch,
+    worker_capture,
+)
+from repro.obs.events import EventLog, read_events
 from repro.obs.export import dump_profile, render_metrics, render_span_tree
 from repro.obs.metrics import (
     BACKOFF_BUCKETS,
@@ -36,6 +46,20 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from repro.obs.quantiles import (
+    DEFAULT_QUANTILES,
+    bucket_quantile,
+    exact_quantile,
+    quantile_key,
+    snapshot_quantile,
+    summarize,
+)
+from repro.obs.slo import (
+    SLOConfigError,
+    SLOResult,
+    evaluate,
+    load_slo_file,
 )
 from repro.obs.stats import (
     HotPath,
@@ -58,24 +82,43 @@ __all__ = [
     "BACKOFF_BUCKETS",
     "Counter",
     "DEFAULT_BUCKETS",
+    "DEFAULT_QUANTILES",
+    "EventLog",
     "Gauge",
     "Histogram",
     "HotPath",
     "LATENCY_BUCKETS",
     "MetricsRegistry",
     "NOOP_SPAN",
+    "SLOConfigError",
+    "SLOResult",
     "Span",
     "Stopwatch",
     "TELEMETRY",
     "Telemetry",
+    "TraceContext",
     "TraceParseError",
     "Tracer",
+    "activate",
     "aggregate",
+    "bucket_quantile",
+    "current_context",
     "dump_profile",
+    "evaluate",
+    "exact_quantile",
+    "load_slo_file",
     "load_trace",
+    "new_trace_id",
+    "quantile_key",
+    "read_events",
     "render_hot_paths",
     "render_metrics",
     "render_span_tree",
+    "request_scope",
+    "snapshot_quantile",
     "stats_report",
+    "stitch",
+    "summarize",
     "total_root_seconds",
+    "worker_capture",
 ]

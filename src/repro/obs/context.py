@@ -1,0 +1,186 @@
+"""Trace-context propagation across threads and worker processes.
+
+:data:`~repro.obs.telemetry.TELEMETRY` is process-local: spans opened
+inside a ``ProcessPoolExecutor`` worker land in *that* process's tracer
+and evaporate when the pool shuts down.  This module is the bridge:
+
+- :class:`TraceContext` — the serializable identity of one request or
+  campaign (``trace_id`` plus the parent-side span id a worker subtree
+  should hang under).  Small and pickle-friendly by construction, so
+  shipping it with every task costs nothing measurable.
+- :func:`current_context` / :func:`request_scope` — parent-side helpers
+  that mint a context, open the request root span, and expose the
+  context to whatever fans work out (``parallel_map``, the serving
+  loop).
+- :func:`worker_capture` — worker-side harness: runs the task body
+  under a fresh, enabled telemetry (the fork start method means workers
+  *inherit* an enabled ``TELEMETRY`` whose spans would otherwise be
+  lost; a reset gives each chunk a clean slate), then exports the span
+  subtree and a metrics snapshot as a plain-dict payload.
+- :func:`stitch` — parent-side merge: adopts the worker span subtree
+  under the propagated parent span and folds the metric deltas into the
+  live registry.
+
+Determinism contract (DESIGN §12): stitching happens strictly on the
+*telemetry* side — worker payloads ride alongside chunk results, never
+inside them, and no call in this module touches result values.  Output
+bytes of a campaign are identical with telemetry on or off and for any
+worker count; only the trace and registry grow.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.obs.telemetry import TELEMETRY, Telemetry
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-char trace id (UUID4, no dashes)."""
+    return uuid.uuid4().hex
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Serializable identity of one traced request/campaign.
+
+    ``trace_id`` names the whole request; ``parent_span_id`` is the
+    parent-side span id that adopted worker subtrees attach to
+    (informational — the structural parent is re-established at stitch
+    time, but the id lets flat log lines be correlated without the
+    tree).
+    """
+
+    trace_id: str
+    parent_span_id: int = -1
+
+    def child(self, parent_span_id: int) -> "TraceContext":
+        """Same trace, new parent span — for nested fan-out."""
+        return TraceContext(self.trace_id, parent_span_id)
+
+
+_local = threading.local()
+
+
+def current_context() -> TraceContext | None:
+    """The active trace context on this thread, if any."""
+    stack = getattr(_local, "stack", None)
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def activate(ctx: TraceContext) -> Iterator[TraceContext]:
+    """Push ``ctx`` as the active context for the dynamic extent."""
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    stack.append(ctx)
+    try:
+        yield ctx
+    finally:
+        stack.pop()
+
+
+@contextmanager
+def request_scope(name: str, trace_id: str | None = None, **attrs):
+    """Open a request root span and activate its trace context.
+
+    Yields the open :class:`~repro.obs.trace.Span` (the no-op span when
+    telemetry is disabled — the context is still activated so ids flow
+    into access logs even without tracing).
+
+    A nested scope (no explicit ``trace_id``) joins the enclosing trace
+    rather than minting a new id: one CLI invocation or request is one
+    trace, however many request-shaped layers it passes through.
+    """
+    if trace_id is None:
+        active = current_context()
+        trace_id = active.trace_id if active is not None else new_trace_id()
+    ctx = TraceContext(trace_id)
+    with activate(ctx):
+        span = TELEMETRY.span(name, trace=ctx.trace_id, **attrs)
+        with span as opened:
+            span_id = getattr(opened, "span_id", -1)
+            if span_id != -1:
+                with activate(ctx.child(span_id)):
+                    yield opened
+            else:
+                yield opened
+
+
+def worker_capture(
+    ctx: TraceContext, name: str, fn, /, *args, span_attrs=None, **kwargs
+):
+    """Run ``fn`` in a worker under a fresh child telemetry.
+
+    Returns ``(result, payload)`` where ``payload`` is either ``None``
+    (context says tracing is off) or a plain dict::
+
+        {"spans": [...], "metrics": {...}}
+
+    ready to cross the process boundary back to the parent.  The
+    worker's global ``TELEMETRY`` is swapped to a clean state for the
+    call and restored to disabled afterwards, so fork-inherited spans
+    and metrics from the parent never leak into the payload.
+    """
+    if ctx is None:
+        return fn(*args, **kwargs), None
+    # Fresh registry + tracer: fork-inherited state would double-count.
+    TELEMETRY.reset()
+    TELEMETRY.enable()
+    try:
+        with TELEMETRY.span(name, trace=ctx.trace_id, **(span_attrs or {})):
+            result = fn(*args, **kwargs)
+        payload = {
+            "spans": TELEMETRY.tracer.export_spans(),
+            "metrics": TELEMETRY.registry.snapshot(),
+        }
+        return result, payload
+    finally:
+        TELEMETRY.disable()
+        TELEMETRY.reset()
+
+
+def stitch(
+    payload: dict | None,
+    telemetry: Telemetry | None = None,
+    anchor: float | None = None,
+) -> int:
+    """Merge one worker payload into the parent telemetry.
+
+    Adopts the span subtree under the parent's *currently open* span
+    (or as new roots when none is open) and folds the metric deltas
+    into the registry.  ``anchor`` defaults to "now": the worker subtree
+    is aligned so it ends at the moment its result was stitched, which
+    keeps the Chrome trace visually coherent across clock domains.
+    Returns the number of spans adopted.
+    """
+    if not payload:
+        return 0
+    tel = telemetry if telemetry is not None else TELEMETRY
+    if not tel.enabled:
+        return 0
+    if anchor is None:
+        anchor = time.perf_counter()
+    tel.registry.merge_snapshot(payload.get("metrics", {}))
+    return tel.tracer.adopt(
+        payload.get("spans", []),
+        parent=tel.tracer.current(),
+        anchor=anchor,
+    )
+
+
+__all__ = [
+    "TraceContext",
+    "activate",
+    "current_context",
+    "new_trace_id",
+    "request_scope",
+    "stitch",
+    "worker_capture",
+]

@@ -1,0 +1,118 @@
+"""Structured JSONL event logging with size-based rotation.
+
+The serving layer's access log: one JSON object per line, written
+append-only so a crash can lose at most the final partial line.  Fields
+are sorted for byte-stable output (the same events always serialize the
+same way — profile/log diffs stay clean across runs).
+
+Rotation is size-based and bounded: when the active file would exceed
+``max_bytes`` it is renamed to ``<path>.1`` (shifting ``.1`` → ``.2``
+and so on up to ``backups``), so disk usage is capped at roughly
+``max_bytes * (backups + 1)`` without an external logrotate.
+
+The logger is thread-safe (one lock around the size check + write) and
+deliberately dependency-free — it must work inside the serving loop
+without pulling in the stdlib ``logging`` machinery's global state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any
+
+
+class EventLog:
+    """Append-only JSONL event sink with size-based rotation."""
+
+    def __init__(
+        self,
+        path: str,
+        max_bytes: int = 10 * 1024 * 1024,
+        backups: int = 3,
+        clock=time.time,
+    ) -> None:
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        if backups < 0:
+            raise ValueError("backups must be >= 0")
+        self.path = str(path)
+        self.max_bytes = max_bytes
+        self.backups = backups
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._fh = None
+        self.n_events = 0
+        self.n_rotations = 0
+
+    # -- file management ---------------------------------------------------
+
+    def _ensure_open(self):
+        if self._fh is None:
+            self._fh = open(self.path, "a", encoding="utf-8")
+        return self._fh
+
+    def _rotate_locked(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        if self.backups == 0:
+            # No backups kept: truncate in place.
+            open(self.path, "w", encoding="utf-8").close()
+        else:
+            oldest = f"{self.path}.{self.backups}"
+            if os.path.exists(oldest):
+                os.remove(oldest)
+            for i in range(self.backups - 1, 0, -1):
+                src = f"{self.path}.{i}"
+                if os.path.exists(src):
+                    os.replace(src, f"{self.path}.{i + 1}")
+            if os.path.exists(self.path):
+                os.replace(self.path, f"{self.path}.1")
+        self.n_rotations += 1
+
+    # -- event emission ----------------------------------------------------
+
+    def emit(self, event: str, **fields: Any) -> None:
+        """Write one event line: ``{"event": ..., "ts": ..., **fields}``."""
+        record = {"event": event, "ts": round(self.clock(), 6)}
+        record.update(fields)
+        line = json.dumps(record, sort_keys=True, default=str) + "\n"
+        encoded = len(line.encode("utf-8"))
+        with self._lock:
+            fh = self._ensure_open()
+            if fh.tell() + encoded > self.max_bytes and fh.tell() > 0:
+                self._rotate_locked()
+                fh = self._ensure_open()
+            fh.write(line)
+            fh.flush()
+            self.n_events += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+def read_events(path: str) -> list[dict]:
+    """Parse a JSONL event file back into dicts (test/report helper)."""
+    out: list[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+__all__ = ["EventLog", "read_events"]

@@ -58,9 +58,13 @@ def render_metrics(registry: MetricsRegistry) -> str:
         inst = registry.get(name)
         if isinstance(inst, Histogram):
             if inst.count:
+                quants = " ".join(
+                    f"{key}={val:.6g}s"
+                    for key, val in inst.summary().items()
+                )
                 lines.append(
                     f"{name}: count={inst.count} mean={inst.mean:.6g}s "
-                    f"min={inst._min:.6g}s max={inst._max:.6g}s"
+                    f"min={inst._min:.6g}s max={inst._max:.6g}s {quants}"
                 )
             else:
                 lines.append(f"{name}: count=0")

@@ -109,7 +109,7 @@ class Histogram:
     """
 
     __slots__ = ("name", "help", "buckets", "_counts", "_sum", "_count",
-                 "_min", "_max", "_lock")
+                 "_min", "_max", "_invalid", "_lock")
 
     def __init__(
         self,
@@ -130,10 +130,17 @@ class Histogram:
         self._count = 0
         self._min = math.inf
         self._max = -math.inf
+        self._invalid = 0
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
+        if not math.isfinite(value):
+            # A single NaN would poison `sum` (and therefore `mean`)
+            # forever; count the rejection instead of recording it.
+            with self._lock:
+                self._invalid += 1
+            return
         idx = bisect.bisect_left(self.buckets, value)
         with self._lock:
             self._counts[idx] += 1
@@ -156,6 +163,34 @@ class Histogram:
     def mean(self) -> float:
         return self._sum / self._count if self._count else 0.0
 
+    @property
+    def invalid(self) -> int:
+        """Observations rejected for being NaN or ±Inf."""
+        return self._invalid
+
+    @property
+    def min(self) -> float:
+        return self._min if self._count else math.nan
+
+    @property
+    def max(self) -> float:
+        return self._max if self._count else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate (NaN when empty)."""
+        from repro.obs.quantiles import bucket_quantile
+
+        with self._lock:
+            counts = list(self._counts)
+            lo, hi = self._min, self._max
+        return bucket_quantile(self.buckets, counts, q, lo=lo, hi=hi)
+
+    def summary(self, qs: tuple[float, ...] = (0.5, 0.95, 0.99)) -> dict:
+        """``{"p50": ..., ...}`` quantile estimates for this histogram."""
+        from repro.obs.quantiles import quantile_key
+
+        return {quantile_key(q): self.quantile(q) for q in qs}
+
     def bucket_counts(self) -> dict[str, int]:
         """Per-bucket (non-cumulative) counts keyed by upper edge."""
         keys = [repr(edge) for edge in self.buckets] + ["+Inf"]
@@ -171,7 +206,35 @@ class Histogram:
         if self._count:
             out["min"] = self._min
             out["max"] = self._max
+        if self._invalid:
+            out["invalid"] = self._invalid
         return out
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold another histogram's snapshot into this one.
+
+        The cross-process stitching path: a worker ships
+        ``Histogram.snapshot()`` back with its chunk result and the
+        parent merges it here.  Bucket edges must match (same metric
+        name on both sides implies the same call site and buckets).
+        """
+        counts = snapshot.get("buckets", {})
+        keys = [repr(edge) for edge in self.buckets] + ["+Inf"]
+        if sorted(counts) != sorted(keys):
+            raise ValueError(
+                f"histogram {self.name!r}: snapshot buckets "
+                f"{sorted(counts)} do not match {sorted(keys)}"
+            )
+        with self._lock:
+            for i, key in enumerate(keys):
+                self._counts[i] += int(counts[key])
+            self._sum += float(snapshot.get("sum", 0.0))
+            self._count += int(snapshot.get("count", 0))
+            self._invalid += int(snapshot.get("invalid", 0))
+            if "min" in snapshot:
+                self._min = min(self._min, float(snapshot["min"]))
+            if "max" in snapshot:
+                self._max = max(self._max, float(snapshot["max"]))
 
 
 class MetricsRegistry:
@@ -224,6 +287,33 @@ class MetricsRegistry:
         with self._lock:
             self._instruments.clear()
 
+    def merge_snapshot(self, snapshot: dict[str, dict]) -> None:
+        """Fold a serialized registry snapshot into this registry.
+
+        The cross-process merge path: workers ship
+        :meth:`snapshot` dicts back with their chunk results and the
+        parent folds them in here.  Counters add, gauges take the
+        incoming value (last-write-wins, matching :meth:`Gauge.set`),
+        histograms merge bucket-by-bucket.  Unknown instrument names
+        are created on the fly so worker-only metrics still surface.
+        """
+        for name in sorted(snapshot):
+            data = snapshot[name]
+            kind = data.get("type")
+            if kind == "counter":
+                self.counter(name).inc(float(data.get("value", 0.0)))
+            elif kind == "gauge":
+                self.gauge(name).set(float(data.get("value", 0.0)))
+            elif kind == "histogram":
+                from repro.obs.quantiles import _edges_and_counts
+
+                edges, _ = _edges_and_counts(data.get("buckets", {}))
+                self.histogram(name, buckets=tuple(edges)).merge(data)
+            else:
+                raise ValueError(
+                    f"metric {name!r}: unknown instrument type {kind!r}"
+                )
+
     # -- export ------------------------------------------------------------
 
     def snapshot(self) -> dict[str, dict]:
@@ -262,6 +352,14 @@ class MetricsRegistry:
                 lines.append(f'{pname}_bucket{{le="+Inf"}} {cumulative}')
                 lines.append(f"{pname}_sum {_fmt(inst.sum)}")
                 lines.append(f"{pname}_count {inst.count}")
+                for q in (0.5, 0.95, 0.99):
+                    est = inst.quantile(q)
+                    if not math.isnan(est):
+                        lines.append(
+                            f'{pname}{{quantile="{_fmt(q)}"}} {_fmt(est)}'
+                        )
+                if inst.invalid:
+                    lines.append(f"{pname}_invalid_total {inst.invalid}")
         return "\n".join(lines) + ("\n" if lines else "")
 
 

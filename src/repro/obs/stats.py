@@ -41,9 +41,18 @@ class HotPath:
 
 
 def load_trace(path: str) -> list[dict]:
-    """Parse a JSONL trace; raises :class:`TraceParseError` on bad input."""
+    """Parse a JSONL trace; raises :class:`TraceParseError` on bad input.
+
+    Missing and unreadable files raise the same typed error as garbage
+    content — the CLI maps all of them onto one exit-code-2 diagnostic
+    instead of surfacing a raw traceback.
+    """
     events: list[dict] = []
-    with open(path, "r", encoding="utf-8") as fh:
+    try:
+        fh = open(path, "r", encoding="utf-8")
+    except OSError as exc:
+        raise TraceParseError(f"{path}: cannot read trace: {exc}") from exc
+    with fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line:
@@ -132,7 +141,7 @@ def stats_report(path: str, top: int | None = None) -> str:
     """Full ``repro stats`` report for one trace file."""
     events = load_trace(path)
     if not events:
-        return f"{path}: empty trace"
+        raise TraceParseError(f"{path}: empty trace (no span events)")
     hot = aggregate(events)
     lines = [
         f"trace: {path}",

@@ -155,6 +155,76 @@ class Tracer:
             self._epoch = time.perf_counter()
         self._local = threading.local()
 
+    # -- cross-process stitching -------------------------------------------
+
+    def export_spans(self) -> list[dict]:
+        """Finished spans as plain dicts, ready to cross a process
+        boundary (pickle/JSON) and be re-hydrated by :meth:`adopt`.
+
+        Times stay in this process's ``perf_counter`` domain; the
+        adopting side re-anchors them (clock domains differ between
+        processes, tree *structure* and durations do not).
+        """
+        out = []
+        for span in self.walk():
+            out.append({
+                "name": span.name,
+                "id": span.span_id,
+                "parent": span.parent_id,
+                "start": span.start,
+                "end": span.end if span.end is not None else span.start,
+                "attrs": span.attrs,
+            })
+        return out
+
+    def adopt(
+        self,
+        spans: list[dict],
+        parent: Span | None = None,
+        anchor: float | None = None,
+    ) -> int:
+        """Graft exported worker spans into this tracer's tree.
+
+        Fresh span ids are minted (worker counters all start at 1 and
+        would collide); worker-side parent links are remapped through
+        the id translation table.  Worker roots become children of
+        ``parent`` when given, else roots here.
+
+        ``anchor`` re-anchors the foreign clock domain: the subtree is
+        shifted so its *latest end* lands on ``anchor`` (the parent-side
+        ``perf_counter`` instant the worker's result arrived).  Shapes
+        and durations are preserved exactly; only the offset moves.
+        Returns the number of spans adopted.
+        """
+        if not spans:
+            return 0
+        shift = 0.0
+        if anchor is not None:
+            latest = max(s["end"] for s in spans)
+            shift = anchor - latest
+        id_map: dict[int, Span] = {}
+        adopted: list[Span] = []
+        for data in spans:
+            span = Span(self, data["name"], data.get("attrs"))
+            with self._lock:
+                span.span_id = next(self._ids)
+            span.tid = threading.get_ident()
+            span.start = data["start"] + shift
+            span.end = data["end"] + shift
+            id_map[data["id"]] = span
+            adopted.append(span)
+            owner = id_map.get(data.get("parent", -1))
+            if owner is not None:
+                span.parent_id = owner.span_id
+                owner.children.append(span)
+            elif parent is not None:
+                span.parent_id = parent.span_id
+                parent.children.append(span)
+            else:
+                with self._lock:
+                    self._roots.append(span)
+        return len(adopted)
+
     # -- export ------------------------------------------------------------
 
     def _event(self, span: Span) -> dict:

@@ -16,6 +16,13 @@ randomness (a spawned :class:`numpy.random.SeedSequence`, or a name-keyed
 noise stream) so that ``fn(item)`` is a pure function.  Under that
 contract results are bit-identical for every worker count.
 
+When telemetry is enabled, each chunk additionally runs under a child
+telemetry in its worker (see :mod:`repro.obs.context`): the worker's
+span subtree and metric deltas ride back alongside the chunk result and
+are stitched into the parent trace/registry as results are collected.
+Stitching never touches result values, so the determinism contract is
+unchanged — output bytes are identical with telemetry on or off.
+
 Worker functions must be picklable: module-level functions, optionally
 wrapped in :func:`functools.partial` with picklable arguments.
 """
@@ -71,6 +78,38 @@ def _run_chunk(fn: Callable[[T], R], items: Sequence[T]) -> tuple[float, list[R]
     return time.perf_counter() - start, out
 
 
+def _apply_all(fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+    return [fn(item) for item in items]
+
+
+def _run_chunk_traced(
+    ctx,
+    label: str,
+    index: int,
+    fn: Callable[[T], R],
+    items: Sequence[T],
+) -> tuple[float, list[R], dict | None]:
+    """Worker-side chunk body under a child telemetry.
+
+    Same result contract as :func:`_run_chunk` plus the exported span/
+    metric payload for parent-side stitching.  The chunk computation is
+    byte-for-byte the one :func:`_run_chunk` performs — telemetry rides
+    alongside the results, never inside them.
+    """
+    from repro.obs.context import worker_capture
+
+    start = time.perf_counter()
+    out, payload = worker_capture(
+        ctx,
+        "runtime.worker_chunk",
+        _apply_all,
+        fn,
+        items,
+        span_attrs={"label": label, "chunk": index, "n_items": len(items)},
+    )
+    return time.perf_counter() - start, out, payload
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
@@ -106,19 +145,39 @@ def parallel_map(
     slices = chunk_slices(len(items), jobs, chunk)
     results: list[R | None] = [None] * len(items)
     observing = TELEMETRY.enabled
+    ctx = None
+    if observing:
+        from repro.obs.context import TraceContext, current_context, new_trace_id
+
+        active = current_context()
+        ctx = active if active is not None else TraceContext(new_trace_id())
     with TELEMETRY.span(
         "runtime.parallel_map",
         label=label,
         jobs=jobs,
         n_items=len(items),
         n_chunks=len(slices),
+        **({"trace": ctx.trace_id} if ctx is not None else {}),
     ):
         with ProcessPoolExecutor(max_workers=min(jobs, len(slices))) as pool:
-            futures = {
-                pool.submit(_run_chunk, fn, items[sl]): sl for sl in slices
-            }
+            if ctx is not None:
+                futures = {
+                    pool.submit(
+                        _run_chunk_traced, ctx, label, i, fn, items[sl]
+                    ): sl
+                    for i, sl in enumerate(slices)
+                }
+            else:
+                futures = {
+                    pool.submit(_run_chunk, fn, items[sl]): sl
+                    for sl in slices
+                }
             for fut, sl in futures.items():
-                duration, out = fut.result()  # re-raises worker errors
+                if ctx is not None:
+                    duration, out, payload = fut.result()
+                    _stitch_payload(payload)
+                else:
+                    duration, out = fut.result()  # re-raises worker errors
                 results[sl] = out
                 if observing:
                     TELEMETRY.inc("runtime.chunks")
@@ -127,3 +186,11 @@ def parallel_map(
                         "runtime.chunk_seconds", duration
                     )
     return results  # type: ignore[return-value]
+
+
+def _stitch_payload(payload: dict | None) -> None:
+    """Merge one worker telemetry payload into the parent (parent side)."""
+    if payload:
+        from repro.obs.context import stitch
+
+        stitch(payload)

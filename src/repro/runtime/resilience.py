@@ -307,8 +307,13 @@ def resilient_map(
     pending = list(range(n))
     observing = TELEMETRY.enabled
 
-    with TELEMETRY.span(
-        "resilience.map", label=label, n_items=n, max_attempts=policy.max_attempts
+    from repro.obs.context import request_scope
+
+    # One trace context covers every retry round: worker subtrees from
+    # attempt 0 and attempt N stitch under the same resilience.map root.
+    with request_scope(
+        "resilience.map", label=label, n_items=n,
+        max_attempts=policy.max_attempts,
     ):
         for attempt in range(policy.max_attempts):
             if not pending:

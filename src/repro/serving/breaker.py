@@ -62,6 +62,7 @@ class CircuitBreaker:
         self._consecutive_failures = 0
         self._probe_streak = 0
         self._opened_at = 0.0
+        self._open_seconds = 0.0
         self.n_opens = 0
         self.n_closes = 0
 
@@ -73,8 +74,18 @@ class CircuitBreaker:
             self._state == OPEN
             and self.clock() - self._opened_at >= self.reset_timeout
         ):
+            self._open_seconds += self.clock() - self._opened_at
             self._state = HALF_OPEN
             self._probe_streak = 0
+
+    @property
+    def open_seconds(self) -> float:
+        """Cumulative seconds spent fully open (the SLO input)."""
+        with self._lock:
+            total = self._open_seconds
+            if self._state == OPEN:
+                total += self.clock() - self._opened_at
+            return total
 
     @property
     def state(self) -> str:
@@ -129,9 +140,13 @@ class CircuitBreaker:
         """State summary for health probes."""
         with self._lock:
             self._advance()
+            open_seconds = self._open_seconds
+            if self._state == OPEN:
+                open_seconds += self.clock() - self._opened_at
             return {
                 "state": self._state,
                 "consecutive_failures": self._consecutive_failures,
                 "opens": self.n_opens,
                 "closes": self.n_closes,
+                "open_seconds": round(open_seconds, 6),
             }

@@ -65,8 +65,13 @@ REASON_MODEL_UNUSABLE = "model_unusable"
 REASON_INFERENCE_ERROR = "inference_error"
 REASON_INTERNAL_ERROR = "internal_error"
 
-#: Ops the server understands.
-KNOWN_OPS = ("predict", "feedback", "health", "reload", "shutdown")
+#: Ops the server understands.  ``metrics`` returns a live registry
+#: snapshot with latency quantiles; ``healthz`` is the cheap liveness
+#: probe (state + SLO summary) meant for scrapers and load balancers.
+KNOWN_OPS = (
+    "predict", "feedback", "health", "healthz", "metrics", "reload",
+    "shutdown",
+)
 
 
 @dataclass

@@ -39,6 +39,10 @@ import numpy as np
 from repro.core.deploy import DEFAULT_FALLBACK_FORMAT, rebuild_pipeline
 from repro.core.online import OnlineFormatSelector
 from repro.obs import LATENCY_BUCKETS, TELEMETRY
+from repro.obs.context import new_trace_id
+from repro.obs.events import EventLog
+from repro.obs.metrics import Histogram
+from repro.obs.quantiles import DEFAULT_QUANTILES, quantile_key
 from repro.runtime.faults import Corrupted, FaultInjector
 from repro.serving.admission import AdmissionController
 from repro.serving.breaker import CircuitBreaker
@@ -106,10 +110,18 @@ class SelectorServer:
         config: ServingConfig,
         clock: Callable[[], float] = time.monotonic,
         fault_injector: FaultInjector | None = None,
+        access_log: EventLog | None = None,
     ) -> None:
         self.config = config
         self.clock = clock
         self.fault_injector = fault_injector
+        self.access_log = access_log
+        # Always-on latency histogram: the `metrics` op must answer with
+        # live quantiles even when the global TELEMETRY switch is off,
+        # so the server keeps its own instrument outside the registry.
+        self.latency_hist = Histogram(
+            "serving.latency_seconds", buckets=LATENCY_BUCKETS
+        )
         self.gateway = IngestionGateway(config.limits)
         self.admission = AdmissionController(
             max_pending=config.queue_size,
@@ -151,41 +163,73 @@ class SelectorServer:
         return self.process(request)
 
     def process(self, request: Request) -> dict:
-        """Dispatch one admitted request; never raises."""
+        """Dispatch one admitted request; never raises.
+
+        Every dispatched request gets a trace id and (telemetry on) a
+        ``serving.request`` root span whose children cover the stages it
+        passed through — gateway, micro-batch cache, breaker, predict.
+        The id goes to the trace and the access log only, never into the
+        response: responses stay byte-identical across runs.
+        """
         if request.rejection is not None:
-            return self._finish(request.rejection)
+            return self._finish(request.rejection, op=request.op)
+        trace_id = new_trace_id()
         t0 = time.perf_counter()
-        try:
-            handler = getattr(self, f"_op_{request.op}")
-            response = handler(request)
-        except Exception as exc:  # the loop survives anything
-            if request.op in ("predict", "feedback"):
-                response = fallback_response(
-                    self.config.fallback_format,
-                    REASON_INTERNAL_ERROR,
-                    request.id,
-                    error=f"{type(exc).__name__}: {exc}",
-                )
-            else:
-                response = invalid_response(
-                    "internal_error",
-                    f"{type(exc).__name__}: {exc}",
-                    request.id,
-                )
+        with TELEMETRY.span(
+            "serving.request", trace=trace_id, op=request.op
+        ):
+            try:
+                handler = getattr(self, f"_op_{request.op}")
+                response = handler(request)
+            except Exception as exc:  # the loop survives anything
+                if request.op in ("predict", "feedback"):
+                    response = fallback_response(
+                        self.config.fallback_format,
+                        REASON_INTERNAL_ERROR,
+                        request.id,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                else:
+                    response = invalid_response(
+                        "internal_error",
+                        f"{type(exc).__name__}: {exc}",
+                        request.id,
+                    )
         elapsed = time.perf_counter() - t0
         self.latencies.append(elapsed)
+        self.latency_hist.observe(elapsed)
         if TELEMETRY.enabled:
             TELEMETRY.observe(
                 "serving.latency_seconds", elapsed, buckets=LATENCY_BUCKETS
             )
-        return self._finish(response)
+        return self._finish(
+            response, op=request.op, trace=trace_id, latency=elapsed
+        )
 
-    def _finish(self, response: dict) -> dict:
+    def _finish(
+        self,
+        response: dict,
+        op: str | None = None,
+        trace: str | None = None,
+        latency: float | None = None,
+    ) -> dict:
         status = response.get("status", STATUS_INVALID)
         self.counters["requests"] += 1
         self.counters[status] += 1
         TELEMETRY.inc("serving.requests")
         TELEMETRY.inc(f"serving.responses.{status}")
+        if self.access_log is not None:
+            fields: dict = {"status": status, "id": response.get("id")}
+            if op is not None:
+                fields["op"] = op
+            if trace is not None:
+                fields["trace"] = trace
+            if latency is not None:
+                fields["latency_ms"] = round(latency * 1e3, 3)
+            code = response.get("code") or response.get("reason")
+            if code is not None:
+                fields["code"] = code
+            self.access_log.emit("request", **fields)
         return response
 
     # -- ops ----------------------------------------------------------------
@@ -198,7 +242,8 @@ class SelectorServer:
 
     def _op_predict(self, request: Request) -> dict:
         try:
-            vec = self._ingest_cached(request)
+            with TELEMETRY.span("serving.gateway"):
+                vec = self._ingest_cached(request)
         except IngestError as exc:
             return invalid_response(exc.code, str(exc), request.id)
         active = self._current_model()
@@ -209,7 +254,9 @@ class SelectorServer:
                 request.id,
                 error=active.error,
             )
-        if not self.breaker.allow():
+        with TELEMETRY.span("serving.breaker"):
+            allowed = self.breaker.allow()
+        if not allowed:
             TELEMETRY.inc("serving.fallback.breaker_open")
             return fallback_response(
                 self.config.fallback_format, REASON_BREAKER_OPEN, request.id
@@ -222,9 +269,12 @@ class SelectorServer:
             else None
         )
         try:
-            distance, label, centroid = self._infer(
-                active.selector, vec, request.id or "anon", precomputed
-            )
+            with TELEMETRY.span(
+                "serving.predict", cached=precomputed is not None
+            ):
+                distance, label, centroid = self._infer(
+                    active.selector, vec, request.id or "anon", precomputed
+                )
         except Exception:
             self.breaker.record_failure()
             TELEMETRY.inc("serving.fallback.inference_error")
@@ -362,6 +412,68 @@ class SelectorServer:
         self._stop = True
         return ok_response(request.id, op="shutdown")
 
+    # -- observability ops ---------------------------------------------------
+
+    def latency_quantiles(self) -> dict:
+        """Live p50/p95/p99 of request latency, in milliseconds.
+
+        Estimated from the always-on histogram; ``None`` per quantile
+        until the first request (NaN is not valid JSON).
+        """
+        out: dict = {}
+        for q in DEFAULT_QUANTILES:
+            est = self.latency_hist.quantile(q)
+            out[quantile_key(q)] = (
+                round(est * 1e3, 6) if np.isfinite(est) else None
+            )
+        return out
+
+    def metrics_snapshot(self) -> dict:
+        """Registry snapshot for the ``metrics`` op and SLO evaluation.
+
+        Starts from the global registry (populated when telemetry is
+        enabled) and overlays the server's own always-on instruments, so
+        the snapshot carries latency data and SLO inputs even with the
+        global switch off.
+        """
+        snap = dict(TELEMETRY.registry.snapshot())
+        snap["serving.latency_seconds"] = self.latency_hist.snapshot()
+        snap["serving.breaker.open_seconds"] = {
+            "type": "gauge",
+            "value": round(self.breaker.open_seconds, 6),
+        }
+        snap["serving.queue.depth"] = {
+            "type": "gauge",
+            "value": float(self.admission.depth),
+        }
+        return {name: snap[name] for name in sorted(snap)}
+
+    def _op_metrics(self, request: Request) -> dict:
+        return ok_response(
+            request.id,
+            op="metrics",
+            quantiles_ms=self.latency_quantiles(),
+            metrics=self.metrics_snapshot(),
+        )
+
+    def _op_healthz(self, request: Request) -> dict:
+        """Cheap liveness + SLO summary (no model read, no reload)."""
+        breaker = self.breaker.snapshot()
+        usable = self.host.active.selector is not None
+        return ok_response(
+            request.id,
+            op="healthz",
+            state="ok" if usable and breaker["state"] != "open" else "degraded",
+            uptime_seconds=round(self.clock() - self.started_at, 3),
+            model_usable=usable,
+            breaker_state=breaker["state"],
+            breaker_open_seconds=breaker["open_seconds"],
+            queue_depth=self.admission.depth,
+            shed=self.admission.n_shed,
+            expired=self.admission.n_expired,
+            latency_ms=self.latency_quantiles(),
+        )
+
     # -- burst handling (admission-controlled) ------------------------------
 
     def submit_burst(self, lines: Iterable[str]) -> list[dict]:
@@ -375,18 +487,20 @@ class SelectorServer:
         exactly one response.
         """
         responses: list[dict] = []
-        for line in lines:
-            try:
-                request = parse_request_line(
-                    line, self.config.max_request_bytes
-                )
-            except RequestParseError as exc:
-                responses.append(self._finish(exc.response))
-                continue
-            for shed in self.admission.offer(request):
-                responses.append(
-                    self._finish(overloaded_response(CODE_QUEUE_FULL, shed.id))
-                )
+        with TELEMETRY.span("serving.admission"):
+            for line in lines:
+                try:
+                    request = parse_request_line(
+                        line, self.config.max_request_bytes
+                    )
+                except RequestParseError as exc:
+                    responses.append(self._finish(exc.response))
+                    continue
+                for shed in self.admission.offer(request):
+                    responses.append(self._finish(
+                        overloaded_response(CODE_QUEUE_FULL, shed.id),
+                        op=shed.op,
+                    ))
         responses.extend(self._drain_queue())
         return responses
 
@@ -423,7 +537,8 @@ class SelectorServer:
             if not entries:
                 break
             drained_all = len(batch) < limit
-            self._prime_batch(batch)
+            with TELEMETRY.span("serving.microbatch", n=len(batch)):
+                self._prime_batch(batch)
             try:
                 for kind, payload in entries:
                     if kind == "resp":

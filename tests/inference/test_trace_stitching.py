@@ -1,0 +1,89 @@
+"""Stitched request traces across the sharded inference pool.
+
+The acceptance contract for end-to-end tracing: one
+``inference.request`` root per batch, worker shard spans adopted under
+it regardless of worker count, and — critically — predictions that are
+byte-identical with telemetry on or off and for any ``jobs`` value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.inference import BatchPredictor
+from repro.obs import TELEMETRY
+from repro.serving import synthetic_frozen_selector
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    TELEMETRY.disable()
+    TELEMETRY.reset()
+    yield
+    TELEMETRY.disable()
+    TELEMETRY.reset()
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    return BatchPredictor(synthetic_frozen_selector(seed=3))
+
+
+@pytest.fixture(scope="module")
+def X(predictor):
+    rng = np.random.default_rng(5)
+    n_features = predictor.frozen.centroids.shape[1]
+    return rng.random((24, n_features))
+
+
+def _spans_by_name(name):
+    return [s for s in TELEMETRY.tracer.walk() if s.name == name]
+
+
+def test_single_stitched_trace_with_shard_spans(predictor, X):
+    TELEMETRY.enable()
+    report = predictor.predict_sharded(X, jobs=4, shard_size=6)
+    assert report.plan.n_shards == 4
+
+    roots = TELEMETRY.tracer.roots
+    assert [r.name for r in roots] == ["inference.request"]
+    root = roots[0]
+    trace_id = root.attrs["trace"]
+
+    shards = _spans_by_name("inference.shard")
+    assert sorted(s.attrs["shard"] for s in shards) == [0, 1, 2, 3]
+    # Every shard span descends from the request root, not a sibling
+    # trace: walk up via the children lists.
+    under_root = set()
+    pending = list(root.children)
+    while pending:
+        s = pending.pop()
+        under_root.add(id(s))
+        pending.extend(s.children)
+    assert all(id(s) in under_root for s in shards)
+    # Worker chunks carry the propagated trace id.
+    chunks = _spans_by_name("runtime.worker_chunk")
+    assert chunks and all(c.attrs["trace"] == trace_id for c in chunks)
+
+
+def test_inline_jobs1_traces_without_workers(predictor, X):
+    TELEMETRY.enable()
+    predictor.predict_sharded(X, jobs=1)
+    roots = TELEMETRY.tracer.roots
+    assert [r.name for r in roots] == ["inference.request"]
+    assert _spans_by_name("inference.shard")  # recorded inline
+
+
+def test_predictions_identical_any_jobs_any_telemetry(predictor, X):
+    baseline = predictor.predict_sharded(X, jobs=1)
+    base_json = [item.to_json() for item in baseline.items]
+    for jobs in (1, 4):
+        for enabled in (False, True):
+            TELEMETRY.reset()
+            TELEMETRY.enable() if enabled else TELEMETRY.disable()
+            report = predictor.predict_sharded(X, jobs=jobs, shard_size=6)
+            got = [item.to_json() for item in report.items]
+            assert got == base_json, (
+                f"divergence at jobs={jobs} telemetry={enabled}"
+            )

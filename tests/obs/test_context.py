@@ -1,0 +1,145 @@
+"""Trace-context propagation: activation, capture, and stitching."""
+
+from __future__ import annotations
+
+from repro.obs import (
+    TELEMETRY,
+    TraceContext,
+    activate,
+    current_context,
+    new_trace_id,
+    request_scope,
+    stitch,
+    worker_capture,
+)
+
+
+def _names(tracer):
+    return [span.name for span in tracer.walk()]
+
+
+class TestTraceContext:
+    def test_new_trace_id_is_32_hex(self):
+        tid = new_trace_id()
+        assert len(tid) == 32
+        int(tid, 16)  # raises if not hex
+
+    def test_child_keeps_trace_id(self):
+        ctx = TraceContext("abc")
+        child = ctx.child(7)
+        assert child.trace_id == "abc"
+        assert child.parent_span_id == 7
+        assert ctx.parent_span_id == -1  # frozen; parent untouched
+
+    def test_activate_nests_and_restores(self):
+        assert current_context() is None
+        with activate(TraceContext("outer")) as outer:
+            assert current_context() is outer
+            with activate(TraceContext("inner")) as inner:
+                assert current_context() is inner
+            assert current_context() is outer
+        assert current_context() is None
+
+
+class TestRequestScope:
+    def test_disabled_still_activates_context(self):
+        with request_scope("req", trace_id="t1"):
+            ctx = current_context()
+            assert ctx is not None
+            assert ctx.trace_id == "t1"
+        assert TELEMETRY.tracer.events() == []
+
+    def test_enabled_opens_root_span_with_trace_attr(self):
+        TELEMETRY.enable()
+        with request_scope("req", trace_id="t2", op="predict") as span:
+            ctx = current_context()
+            assert ctx.trace_id == "t2"
+            # Inside the scope the active context points at the root span.
+            assert ctx.parent_span_id == span.span_id
+        (event,) = TELEMETRY.tracer.events()
+        assert event["name"] == "req"
+        assert event["args"]["trace"] == "t2"
+        assert event["args"]["op"] == "predict"
+
+
+class TestWorkerCapture:
+    def test_none_context_skips_capture(self):
+        result, payload = worker_capture(None, "chunk", lambda: 41)
+        assert result == 41
+        assert payload is None
+
+    def test_captures_spans_and_metrics(self):
+        def body():
+            TELEMETRY.inc("work.items", 3)
+            with TELEMETRY.span("work.inner"):
+                pass
+            return "done"
+
+        ctx = TraceContext("t3")
+        result, payload = worker_capture(
+            ctx, "chunk", body, span_attrs={"chunk": 0}
+        )
+        assert result == "done"
+        names = [s["name"] for s in payload["spans"]]
+        assert names == ["chunk", "work.inner"]
+        root = payload["spans"][0]
+        assert root["attrs"]["trace"] == "t3"
+        assert root["attrs"]["chunk"] == 0
+        assert payload["metrics"]["work.items"]["value"] == 3.0
+        # The harness leaves the (worker-side) global telemetry clean.
+        assert not TELEMETRY.enabled
+        assert TELEMETRY.tracer.events() == []
+
+    def test_fork_inherited_state_never_leaks_into_payload(self):
+        # Simulate a fork: the parent had telemetry running with spans
+        # and counters when the worker process was cloned.
+        TELEMETRY.enable()
+        TELEMETRY.inc("parent.counter", 99)
+        with TELEMETRY.span("parent.stale"):
+            pass
+        _, payload = worker_capture(TraceContext("t4"), "chunk", lambda: 0)
+        assert [s["name"] for s in payload["spans"]] == ["chunk"]
+        assert "parent.counter" not in payload["metrics"]
+
+
+class TestStitch:
+    def _payload(self, trace_id="t5"):
+        def body():
+            TELEMETRY.inc("work.items", 2)
+            return None
+
+        _, payload = worker_capture(TraceContext(trace_id), "chunk", body)
+        return payload
+
+    def test_noop_when_payload_empty_or_disabled(self):
+        TELEMETRY.enable()
+        assert stitch(None) == 0
+        TELEMETRY.disable()
+        assert stitch(self._payload()) == 0
+        assert TELEMETRY.tracer.events() == []
+
+    def test_adopts_subtree_under_open_span_and_merges_metrics(self):
+        payload = self._payload()
+        TELEMETRY.reset()
+        TELEMETRY.enable()
+        with TELEMETRY.span("parent.root"):
+            adopted = stitch(payload, anchor=100.0)
+        assert adopted == 1
+        roots = TELEMETRY.tracer.roots
+        assert [r.name for r in roots] == ["parent.root"]
+        assert [c.name for c in roots[0].children] == ["chunk"]
+        # The adopted subtree is re-anchored into the parent clock domain.
+        assert roots[0].children[0].end == 100.0
+        snap = TELEMETRY.registry.snapshot()
+        assert snap["work.items"]["value"] == 2.0
+
+    def test_merging_twice_accumulates(self):
+        payload = self._payload()
+        TELEMETRY.reset()
+        TELEMETRY.enable()
+        with TELEMETRY.span("parent.root"):
+            stitch(payload)
+            stitch(payload)
+        snap = TELEMETRY.registry.snapshot()
+        assert snap["work.items"]["value"] == 4.0
+        assert len(TELEMETRY.tracer.roots[0].children) == 2

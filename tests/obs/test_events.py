@@ -1,0 +1,96 @@
+"""The JSONL event log: append, rotation, and read-back."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.obs import EventLog, read_events
+
+
+class _FakeClock:
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        self.now += 0.25
+        return self.now
+
+
+def test_emit_appends_one_json_line_per_event(tmp_path):
+    path = tmp_path / "access.jsonl"
+    with EventLog(str(path), clock=_FakeClock()) as log:
+        log.emit("request", status="ok", latency_ms=1.25)
+        log.emit("request", status="error", code="bad_json")
+    lines = path.read_text(encoding="utf-8").splitlines()
+    assert len(lines) == 2
+    first = json.loads(lines[0])
+    assert first["event"] == "request"
+    assert first["status"] == "ok"
+    assert first["ts"] == 1000.25
+    # Keys are sorted for stable, diffable output.
+    assert lines[0] == json.dumps(json.loads(lines[0]), sort_keys=True)
+
+
+def test_read_events_roundtrips(tmp_path):
+    path = tmp_path / "log.jsonl"
+    with EventLog(str(path)) as log:
+        for i in range(5):
+            log.emit("tick", i=i)
+        assert log.n_events == 5
+    assert [e["i"] for e in read_events(str(path))] == list(range(5))
+
+
+def test_rotation_shifts_backups(tmp_path):
+    path = tmp_path / "log.jsonl"
+    with EventLog(str(path), max_bytes=200, backups=2) as log:
+        for i in range(50):
+            log.emit("tick", i=i, pad="x" * 20)
+        assert log.n_rotations > 0
+    assert (tmp_path / "log.jsonl.1").exists()
+    # Every surviving line is intact JSON (rotation never splits a record).
+    total = []
+    for name in ("log.jsonl", "log.jsonl.1", "log.jsonl.2"):
+        p = tmp_path / name
+        if p.exists():
+            total.extend(read_events(str(p)))
+    assert all(e["event"] == "tick" for e in total)
+    # The newest records are in the live file.
+    assert read_events(str(path))[-1]["i"] == 49
+
+
+def test_zero_backups_truncates(tmp_path):
+    path = tmp_path / "log.jsonl"
+    with EventLog(str(path), max_bytes=120, backups=0) as log:
+        for i in range(30):
+            log.emit("tick", i=i)
+    assert not (tmp_path / "log.jsonl.1").exists()
+    assert path.stat().st_size <= 200
+
+
+def test_non_serializable_fields_fall_back_to_str(tmp_path):
+    path = tmp_path / "log.jsonl"
+    with EventLog(str(path)) as log:
+        log.emit("weird", obj=object())
+    (event,) = read_events(str(path))
+    assert "object object" in event["obj"]
+
+
+def test_concurrent_emitters_never_interleave(tmp_path):
+    path = tmp_path / "log.jsonl"
+    log = EventLog(str(path))
+
+    def emitter(tag):
+        for i in range(100):
+            log.emit("tick", tag=tag, i=i)
+
+    threads = [
+        threading.Thread(target=emitter, args=(t,)) for t in range(4)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    log.close()
+    events = read_events(str(path))
+    assert len(events) == 400  # every line parsed cleanly

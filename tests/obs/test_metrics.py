@@ -126,3 +126,125 @@ def test_empty_histogram_snapshot_has_no_min_max():
     assert snap["count"] == 0
     assert "min" not in snap and "max" not in snap
     assert math.isinf(h._min)
+
+
+class TestHistogramInvalidGuard:
+    """Regression: a single NaN used to poison sum/mean forever."""
+
+    def test_non_finite_observations_are_rejected_and_counted(self):
+        h = Histogram("h", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        for bad in (math.nan, math.inf, -math.inf):
+            h.observe(bad)
+        assert h.count == 1               # only the finite sample landed
+        assert h.invalid == 3
+        assert math.isfinite(h.sum) and h.sum == 0.5
+        assert math.isfinite(h.mean)
+        assert h.quantile(0.5) == 0.5     # quantiles stay computable
+
+    def test_invalid_key_only_present_when_nonzero(self):
+        h = Histogram("h", buckets=(1.0,))
+        h.observe(0.5)
+        assert "invalid" not in h.snapshot()
+        h.observe(math.nan)
+        assert h.snapshot()["invalid"] == 1
+
+    def test_invalid_total_exported_to_prometheus(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0,)).observe(math.nan)
+        assert "h_invalid_total 1" in reg.to_prometheus()
+
+
+class TestQuantilesOnHistogram:
+    def test_summary_keys_and_ordering(self):
+        h = Histogram("h", buckets=(0.001, 0.01, 0.1, 1.0))
+        for i in range(100):
+            h.observe(0.0001 * (i + 1))
+        s = h.summary()
+        assert sorted(s) == ["p50", "p95", "p99"]
+        assert s["p50"] <= s["p95"] <= s["p99"]
+
+    def test_empty_histogram_quantile_is_nan(self):
+        assert math.isnan(Histogram("h", buckets=(1.0,)).quantile(0.5))
+
+    def test_prometheus_export_carries_quantiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(1.0,))
+        h.observe(0.5)
+        text = reg.to_prometheus()
+        assert 'h{quantile="0.5"}' in text
+        assert 'h{quantile="0.99"}' in text
+
+
+class TestDeterministicExports:
+    """Satellite: snapshot/export ordering must be byte-stable."""
+
+    def _build(self, order):
+        reg = MetricsRegistry()
+        for name in order:
+            if name.startswith("c."):
+                reg.counter(name).inc(2)
+            elif name.startswith("g."):
+                reg.gauge(name).set(1.5)
+            else:
+                reg.histogram(name, buckets=(0.01, 0.1)).observe(0.05)
+        return reg
+
+    def test_exports_independent_of_registration_order(self):
+        names = ["c.zeta", "g.alpha", "h.mid", "c.alpha", "g.zeta"]
+        a = self._build(names)
+        b = self._build(list(reversed(names)))
+        assert a.to_json() == b.to_json()
+        assert a.to_prometheus() == b.to_prometheus()
+        assert list(a.snapshot()) == sorted(a.snapshot())
+
+    def test_repeated_export_is_byte_identical(self):
+        reg = self._build(["c.a", "g.b", "h.c"])
+        assert reg.to_prometheus() == reg.to_prometheus()
+        assert reg.to_json() == reg.to_json()
+
+
+class TestMergeSnapshot:
+    def test_merge_accumulates_counters_and_histograms(self):
+        reg = MetricsRegistry()
+        reg.counter("n").inc(2)
+        reg.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        delta = MetricsRegistry()
+        delta.counter("n").inc(3)
+        dh = delta.histogram("h", buckets=(1.0, 2.0))
+        dh.observe(1.5)
+        dh.observe(5.0)
+        reg.merge_snapshot(delta.snapshot())
+        assert reg.counter("n").value == 5.0
+        h = reg.get("h")
+        assert h.count == 3
+        assert h.sum == pytest.approx(7.0)
+        assert h.min == 0.5 and h.max == 5.0
+        assert h.bucket_counts()["+Inf"] == 1
+
+    def test_merge_creates_missing_metrics(self):
+        reg = MetricsRegistry()
+        delta = MetricsRegistry()
+        delta.counter("new.counter").inc(4)
+        delta.gauge("new.gauge").set(2.0)
+        delta.histogram("new.hist", buckets=(1.0,)).observe(0.5)
+        reg.merge_snapshot(delta.snapshot())
+        assert reg.counter("new.counter").value == 4.0
+        assert reg.gauge("new.gauge").value == 2.0
+        assert reg.get("new.hist").count == 1
+
+    def test_merge_rejects_mismatched_buckets(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0, 2.0))
+        delta = MetricsRegistry()
+        delta.histogram("h", buckets=(5.0,)).observe(0.5)
+        with pytest.raises(ValueError):
+            reg.merge_snapshot(delta.snapshot())
+
+    def test_merge_carries_invalid_count(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0,))
+        delta = MetricsRegistry()
+        delta.histogram("h", buckets=(1.0,)).observe(math.nan)
+        reg.merge_snapshot(delta.snapshot())
+        assert reg.get("h").invalid == 1

@@ -138,4 +138,10 @@ def test_stats_report_end_to_end(tmp_path, sample_events):
 def test_stats_report_empty_trace(tmp_path):
     path = tmp_path / "empty.jsonl"
     path.write_text("", encoding="utf-8")
-    assert "empty trace" in stats_report(str(path))
+    with pytest.raises(TraceParseError, match="empty trace"):
+        stats_report(str(path))
+
+
+def test_load_trace_missing_file_is_typed(tmp_path):
+    with pytest.raises(TraceParseError, match="cannot read trace"):
+        load_trace(str(tmp_path / "nope.jsonl"))

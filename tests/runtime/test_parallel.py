@@ -92,3 +92,86 @@ class TestParallelMap:
         finally:
             TELEMETRY.disable()
             TELEMETRY.reset()
+
+
+def _traced_square(x):
+    with TELEMETRY.span("work.square", x=x):
+        TELEMETRY.inc("work.items")
+        return x * x
+
+
+class TestWorkerTraceStitching:
+    def test_worker_subtrees_land_under_parallel_map_span(self):
+        TELEMETRY.enable()
+        TELEMETRY.reset()
+        try:
+            parallel_map(_traced_square, list(range(12)), jobs=2, chunk=3)
+            (root,) = TELEMETRY.tracer.roots
+            assert root.name == "runtime.parallel_map"
+            chunks = [c for c in root.children
+                      if c.name == "runtime.worker_chunk"]
+            assert len(chunks) == 4
+            # Every chunk carries the same trace id as the parent span.
+            trace_id = root.attrs["trace"]
+            assert all(c.attrs["trace"] == trace_id for c in chunks)
+            assert sorted(c.attrs["chunk"] for c in chunks) == [0, 1, 2, 3]
+            # The per-item spans recorded inside workers came back too.
+            leaves = [g for c in chunks for g in c.children]
+            assert [g.name for g in leaves] == ["work.square"] * 12
+            # Worker-side counters merged into the parent registry.
+            assert TELEMETRY.registry.counter("work.items").value == 12
+        finally:
+            TELEMETRY.disable()
+            TELEMETRY.reset()
+
+    def test_stitched_subtrees_are_anchored_into_parent_clock(self):
+        TELEMETRY.enable()
+        TELEMETRY.reset()
+        try:
+            parallel_map(_traced_square, list(range(8)), jobs=2, chunk=4)
+            (root,) = TELEMETRY.tracer.roots
+            for chunk in root.children:
+                if chunk.name != "runtime.worker_chunk":
+                    continue
+                # Worker clocks differ from the parent's; after anchoring
+                # the subtree must sit inside the parent span's window.
+                assert root.start <= chunk.start
+                assert chunk.end <= root.end
+                for leaf in chunk.children:
+                    assert chunk.start <= leaf.start
+                    assert leaf.end <= chunk.end
+        finally:
+            TELEMETRY.disable()
+            TELEMETRY.reset()
+
+    def test_existing_request_context_is_propagated(self):
+        from repro.obs import request_scope
+
+        TELEMETRY.enable()
+        TELEMETRY.reset()
+        try:
+            with request_scope("campaign.root", trace_id="f" * 32):
+                parallel_map(_traced_square, list(range(6)), jobs=2, chunk=3)
+            (root,) = TELEMETRY.tracer.roots
+            assert root.name == "campaign.root"
+            (pmap,) = root.children
+            assert pmap.attrs["trace"] == "f" * 32
+            assert all(
+                c.attrs["trace"] == "f" * 32
+                for c in pmap.children if c.name == "runtime.worker_chunk"
+            )
+        finally:
+            TELEMETRY.disable()
+            TELEMETRY.reset()
+
+    def test_results_identical_with_telemetry_on_and_off(self):
+        items = list(range(29))
+        off = parallel_map(_traced_square, items, jobs=3, chunk=4)
+        TELEMETRY.enable()
+        TELEMETRY.reset()
+        try:
+            on = parallel_map(_traced_square, items, jobs=3, chunk=4)
+        finally:
+            TELEMETRY.disable()
+            TELEMETRY.reset()
+        assert on == off == [x * x for x in items]

@@ -1,0 +1,235 @@
+"""Request-level serving observability: traces, ops, access log, SLOs."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import TELEMETRY, EventLog, read_events
+from repro.serving.drill import _random_matrix_text
+from repro.serving.server import SelectorServer, ServingConfig
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    TELEMETRY.disable()
+    TELEMETRY.reset()
+    yield
+    TELEMETRY.disable()
+    TELEMETRY.reset()
+
+
+def _predict_line(i=0, request_id="p0"):
+    return json.dumps({
+        "id": request_id, "op": "predict", "mtx": _random_matrix_text(i, 0),
+    })
+
+
+def _server(model_path, **overrides):
+    config = ServingConfig(
+        model_path=model_path, hot_reload=False, **overrides
+    )
+    return SelectorServer(config)
+
+
+class TestMetricsOp:
+    def test_live_quantiles_without_telemetry(self, model_path):
+        server = _server(model_path)
+        for i in range(10):
+            server.handle_line(_predict_line(i, f"p{i}"))
+        response = server.handle_line(json.dumps({"id": "m", "op": "metrics"}))
+        assert response["status"] == "ok"
+        q = response["quantiles_ms"]
+        assert set(q) == {"p50", "p95", "p99"}
+        assert 0 < q["p50"] <= q["p95"] <= q["p99"]
+        hist = response["metrics"]["serving.latency_seconds"]
+        assert hist["count"] == 10  # the metrics request itself not yet in
+        assert "serving.breaker.open_seconds" in response["metrics"]
+        assert "serving.queue.depth" in response["metrics"]
+
+    def test_quantiles_null_before_first_request(self, model_path):
+        server = _server(model_path)
+        response = server.handle_line(json.dumps({"op": "metrics"}))
+        assert response["quantiles_ms"] == {
+            "p50": None, "p95": None, "p99": None,
+        }
+
+    def test_snapshot_keys_sorted(self, model_path):
+        server = _server(model_path)
+        server.handle_line(_predict_line())
+        snap = server.metrics_snapshot()
+        assert list(snap) == sorted(snap)
+
+    def test_metrics_op_is_valid_json(self, model_path):
+        server = _server(model_path)
+        response = server.handle_line(json.dumps({"op": "metrics"}))
+        json.loads(json.dumps(response, allow_nan=False))  # no NaN leaks
+
+
+class TestHealthzOp:
+    def test_reports_ok_state(self, model_path):
+        server = _server(model_path)
+        server.handle_line(_predict_line())
+        response = server.handle_line(json.dumps({"id": "h", "op": "healthz"}))
+        assert response["status"] == "ok"
+        assert response["state"] == "ok"
+        assert response["model_usable"] is True
+        assert response["breaker_state"] == "closed"
+        assert response["queue_depth"] == 0
+        assert response["uptime_seconds"] >= 0
+        assert response["latency_ms"]["p50"] is not None
+
+    def test_degraded_when_model_unusable(self, tmp_path):
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"not an npz")
+        server = _server(str(bad))
+        response = server.handle_line(json.dumps({"op": "healthz"}))
+        assert response["state"] == "degraded"
+        assert response["model_usable"] is False
+
+
+class TestRequestTracing:
+    def test_predict_span_tree_covers_stages(self, model_path):
+        TELEMETRY.enable()
+        server = _server(model_path)
+        response = server.handle_line(_predict_line())
+        assert response["status"] == "ok"
+        # Server construction traces its own model-load probe; the
+        # request root is the only serving.request span.
+        (root,) = [
+            r for r in TELEMETRY.tracer.roots if r.name == "serving.request"
+        ]
+        assert root.attrs["op"] == "predict"
+        assert len(root.attrs["trace"]) == 32
+        child_names = [c.name for c in root.children]
+        assert child_names == [
+            "serving.gateway", "serving.breaker", "serving.predict",
+        ]
+
+    def test_trace_id_never_in_response(self, model_path):
+        TELEMETRY.enable()
+        server = _server(model_path)
+        response = server.handle_line(_predict_line())
+        assert "trace" not in response
+        assert "trace_id" not in response
+
+    def test_responses_byte_identical_with_telemetry_on_or_off(
+        self, model_path
+    ):
+        def run(enabled):
+            TELEMETRY.reset()
+            TELEMETRY.enable() if enabled else TELEMETRY.disable()
+            server = _server(model_path)
+            # Predict responses only: health/metrics payloads carry
+            # wall-clock readings that vary run to run by design.
+            lines = [_predict_line(i, f"p{i}") for i in range(8)]
+            return [
+                json.dumps(server.handle_line(line), sort_keys=True)
+                for line in lines
+            ]
+
+        assert run(False) == run(True)
+
+
+class TestAccessLog:
+    def test_logs_one_event_per_request(self, model_path, tmp_path):
+        log_path = tmp_path / "access.jsonl"
+        server = SelectorServer(
+            ServingConfig(model_path=model_path, hot_reload=False),
+            access_log=EventLog(str(log_path)),
+        )
+        server.handle_line(_predict_line(0, "a"))
+        server.handle_line("this is not json")
+        server.access_log.close()
+        events = read_events(str(log_path))
+        assert len(events) == 2
+        ok = events[0]
+        assert ok["event"] == "request"
+        assert ok["status"] == "ok"
+        assert ok["id"] == "a"
+        assert ok["op"] == "predict"
+        assert len(ok["trace"]) == 32
+        assert ok["latency_ms"] > 0
+        bad = events[1]
+        assert bad["status"] == "invalid"
+        assert bad["code"] == "bad_json"
+
+    def test_no_access_log_is_fine(self, model_path):
+        server = _server(model_path)
+        assert server.handle_line(_predict_line())["status"] == "ok"
+
+
+class TestBreakerOpenSeconds:
+    def test_accumulates_while_open(self, model_path, fake_clock):
+        from repro.serving.breaker import CircuitBreaker
+
+        breaker = CircuitBreaker(
+            failure_threshold=2, reset_timeout=10.0, probe_successes=1,
+            clock=fake_clock,
+        )
+        breaker.record_failure()
+        breaker.record_failure()        # trips open at t=0
+        assert breaker.snapshot()["state"] == "open"
+        fake_clock.advance(4.0)
+        assert breaker.open_seconds == pytest.approx(4.0)
+        fake_clock.advance(6.0)
+        assert breaker.allow()          # 10s elapsed -> half-open probe
+        assert breaker.open_seconds == pytest.approx(10.0)
+        fake_clock.advance(5.0)         # half-open time does not count
+        assert breaker.open_seconds == pytest.approx(10.0)
+        assert breaker.snapshot()["open_seconds"] == pytest.approx(10.0)
+
+
+class TestChaosCountersExported:
+    """Satellite: the chaos drill must populate + export serving counters."""
+
+    def test_drill_counters_land_in_metrics_snapshot(self, model_path):
+        from repro.runtime.faults import FaultInjector, FaultSpec
+        from repro.serving.drill import build_request_lines, run_serve_drill
+
+        TELEMETRY.enable()
+        server = SelectorServer(
+            ServingConfig(
+                model_path=model_path,
+                queue_size=4,           # small queue forces sheds
+                breaker_failures=2,
+                breaker_reset_seconds=0.05,
+            ),
+            # Near-certain failures so the breaker reliably trips.
+            fault_injector=FaultInjector(
+                FaultSpec(failure_rate=0.9, seed=7)
+            ),
+        )
+        lines, expectations = build_request_lines(120, seed=0)
+        report = run_serve_drill(server, lines, expectations, burst=16)
+        assert report.ok, report.violations
+        snap = server.metrics_snapshot()
+        assert snap["serving.shed"]["value"] > 0
+        assert snap["serving.admitted"]["value"] > 0
+        assert snap["serving.breaker.opened"]["value"] > 0
+        assert snap["serving.gateway.rejected"]["value"] > 0
+        assert snap["serving.fallback.breaker_open"]["value"] > 0
+        assert "serving.breaker.open_seconds" in snap
+        # ...and the same counters round-trip through the exported JSON
+        # the chaos CLI writes for `repro obs report`.
+        dumped = json.loads(json.dumps(snap, sort_keys=True))
+        assert dumped["serving.shed"]["value"] == snap["serving.shed"]["value"]
+
+    def test_reload_counters_exported_on_hot_swap(self, tmp_path):
+        from repro.serving.drill import synthetic_frozen_selector
+
+        path = tmp_path / "model.npz"
+        synthetic_frozen_selector(seed=3).save(path)
+        TELEMETRY.enable()
+        server = SelectorServer(ServingConfig(model_path=str(path)))
+        server.handle_line(_predict_line(0, "warm"))
+        # Corrupt candidate: quarantined, never swapped in.
+        path.write_bytes(b"\x00garbage\x00" * 16)
+        server.handle_line(_predict_line(1, "after-corrupt"))
+        # Healthy retrained candidate: swapped.
+        synthetic_frozen_selector(seed=4, n_centroids=8).save(path)
+        server.handle_line(_predict_line(2, "after-retrain"))
+        snap = server.metrics_snapshot()
+        assert snap["serving.reload.quarantined"]["value"] >= 1
+        assert snap["serving.reload.swapped"]["value"] >= 1

@@ -133,14 +133,20 @@ class TestProfile:
         assert "cli.train" in out
 
     def test_stats_missing_file(self, tmp_path, capsys):
-        assert main(["stats", str(tmp_path / "nope.jsonl")]) == 1
-        assert "no such trace file" in capsys.readouterr().err
+        assert main(["stats", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
 
     def test_stats_rejects_garbage(self, tmp_path, capsys):
         bad = tmp_path / "bad.jsonl"
         bad.write_text("definitely not json\n", encoding="utf-8")
-        assert main(["stats", str(bad)]) == 1
+        assert main(["stats", str(bad)]) == 2
         assert "not JSON" in capsys.readouterr().err
+
+    def test_stats_empty_trace(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("", encoding="utf-8")
+        assert main(["stats", str(empty)]) == 2
+        assert "empty trace" in capsys.readouterr().err
 
     def test_default_run_leaves_telemetry_disabled(self, mtx_file):
         from repro.obs import TELEMETRY
@@ -476,3 +482,289 @@ class TestPredictBatch:
             "--strict",
         ]) == 1
         capsys.readouterr()
+
+
+class TestPredictBatchTracing:
+    @pytest.fixture(scope="class")
+    def model(self, tmp_path_factory):
+        from repro.serving.drill import synthetic_frozen_selector
+
+        path = str(tmp_path_factory.mktemp("tmodel") / "selector.npz")
+        synthetic_frozen_selector(seed=3).save(path)
+        return path
+
+    @pytest.fixture(scope="class")
+    def collection(self, tmp_path_factory):
+        from repro.datasets import build_collection, export_collection
+
+        directory = tmp_path_factory.mktemp("tcoll") / "matrices"
+        records = build_collection(seed=9, size=8)
+        export_collection(
+            records.records if hasattr(records, "records") else records,
+            directory,
+        )
+        return directory
+
+    def test_profiled_parallel_run_stitches_one_trace(
+        self, model, collection, tmp_path, capsys
+    ):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        assert main([
+            "predict-batch", str(collection), "--model", model,
+            "--jobs", "4", "--shard-size", "2",
+            "--profile", str(trace),
+        ]) == 0
+        capsys.readouterr()
+        events = [json.loads(line) for line in
+                  trace.read_text().splitlines()]
+        by_name = {}
+        for e in events:
+            by_name.setdefault(e["name"], []).append(e)
+        (request,) = by_name["inference.request"]
+        trace_id = request["args"]["trace"]
+        shards = by_name["inference.shard"]
+        assert sorted(s["args"]["shard"] for s in shards) == [0, 1, 2, 3]
+        chunks = by_name["runtime.worker_chunk"]
+        assert chunks
+        # One trace: every worker chunk rode back under the request id.
+        assert all(c["args"]["trace"] == trace_id for c in chunks)
+        # Shard spans are descendants of the request root.
+        ids = {request["args"]["id"]}
+        changed = True
+        while changed:
+            changed = False
+            for e in events:
+                if e["args"]["parent"] in ids and e["args"]["id"] not in ids:
+                    ids.add(e["args"]["id"])
+                    changed = True
+        assert all(s["args"]["id"] in ids for s in shards)
+
+    def test_output_bytes_identical_with_and_without_profile(
+        self, model, collection, tmp_path, capsys
+    ):
+        outputs = []
+        for i, extra in enumerate([
+            ["--jobs", "1"],
+            ["--jobs", "4"],
+            ["--jobs", "1", "--profile", str(tmp_path / "t1.jsonl")],
+            ["--jobs", "4", "--profile", str(tmp_path / "t4.jsonl")],
+        ]):
+            out = tmp_path / f"out{i}.jsonl"
+            assert main([
+                "predict-batch", str(collection), "--model", model,
+                "--out", str(out), *extra,
+            ]) == 0
+            capsys.readouterr()
+            outputs.append(out.read_bytes())
+        assert all(o == outputs[0] for o in outputs[1:])
+
+
+class TestServeAccessLog:
+    def test_serve_writes_access_log(
+        self, tmp_path, monkeypatch, capsys, mtx_file
+    ):
+        import io
+        import json
+
+        from repro.obs import read_events
+        from repro.serving.drill import synthetic_frozen_selector
+
+        model = str(tmp_path / "selector.npz")
+        synthetic_frozen_selector(seed=2).save(model)
+        log_path = tmp_path / "access.jsonl"
+        with open(mtx_file) as fh:
+            text = fh.read()
+        lines = [
+            json.dumps({"id": "a", "op": "predict", "mtx": text}),
+            "{broken json",
+            json.dumps({"id": "s", "op": "shutdown"}),
+        ]
+        monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(lines) + "\n"))
+        assert main([
+            "serve", "--model", model, "--access-log", str(log_path),
+        ]) == 0
+        responses = [json.loads(line)
+                     for line in capsys.readouterr().out.splitlines()]
+        # Trace ids live in the access log only, never in responses.
+        assert all("trace" not in r for r in responses)
+        events = read_events(str(log_path))
+        assert [e["status"] for e in events] == ["ok", "invalid", "ok"]
+        assert events[0]["op"] == "predict"
+        assert len(events[0]["trace"]) == 32
+        assert events[0]["latency_ms"] > 0
+
+    def test_serve_answers_metrics_and_healthz_ops(
+        self, tmp_path, monkeypatch, capsys, mtx_file
+    ):
+        import io
+        import json
+
+        from repro.serving.drill import synthetic_frozen_selector
+
+        model = str(tmp_path / "selector.npz")
+        synthetic_frozen_selector(seed=2).save(model)
+        with open(mtx_file) as fh:
+            text = fh.read()
+        lines = [
+            json.dumps({"id": "a", "op": "predict", "mtx": text}),
+            json.dumps({"id": "m", "op": "metrics"}),
+            json.dumps({"id": "z", "op": "healthz"}),
+            json.dumps({"id": "s", "op": "shutdown"}),
+        ]
+        monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(lines) + "\n"))
+        assert main(["serve", "--model", model]) == 0
+        out = [json.loads(line)
+               for line in capsys.readouterr().out.splitlines()]
+        metrics = out[1]
+        assert metrics["op"] == "metrics"
+        assert metrics["quantiles_ms"]["p50"] is not None
+        assert metrics["metrics"]["serving.latency_seconds"]["count"] >= 1
+        assert "serving.requests" in metrics["metrics"]
+        healthz = out[2]
+        assert healthz["op"] == "healthz"
+        assert healthz["state"] == "ok"
+        assert healthz["breaker_state"] == "closed"
+
+
+class TestObsCommands:
+    def _write_metrics(self, tmp_path, p99=0.005):
+        import json
+
+        from repro.obs import Histogram, LATENCY_BUCKETS
+
+        hist = Histogram("serving.latency_seconds", buckets=LATENCY_BUCKETS)
+        for _ in range(100):
+            hist.observe(p99)
+        snap = {
+            "serving.latency_seconds": hist.snapshot(),
+            "serving.shed": {"type": "counter", "value": 1.0},
+            "serving.admitted": {"type": "counter", "value": 99.0},
+        }
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(snap), encoding="utf-8")
+        return str(path)
+
+    def _write_slo(self, tmp_path, max_p99):
+        import json
+
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps({"slos": [{
+            "name": "p99 latency",
+            "metric": "serving.latency_seconds",
+            "quantile": 0.99,
+            "max": max_p99,
+            "required": True,
+        }]}), encoding="utf-8")
+        return str(path)
+
+    def test_report_passes_within_slo(self, tmp_path, capsys):
+        rc = main([
+            "obs", "report",
+            "--slo", self._write_slo(tmp_path, max_p99=1.0),
+            "--metrics", self._write_metrics(tmp_path),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "[PASS] p99 latency" in out
+        assert "1/1 SLOs met" in out
+
+    def test_report_exits_nonzero_on_p99_violation(self, tmp_path, capsys):
+        rc = main([
+            "obs", "report",
+            "--slo", self._write_slo(tmp_path, max_p99=1e-6),
+            "--metrics", self._write_metrics(tmp_path),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "[FAIL] p99 latency" in out
+        assert "1 violated" in out
+
+    def test_report_bad_slo_file_exits_2(self, tmp_path, capsys):
+        rc = main([
+            "obs", "report",
+            "--slo", str(tmp_path / "missing.json"),
+            "--metrics", self._write_metrics(tmp_path),
+        ])
+        assert rc == 2
+        assert "cannot read SLO file" in capsys.readouterr().err
+
+    def test_report_bad_metrics_file_exits_2(self, tmp_path, capsys):
+        rc = main([
+            "obs", "report",
+            "--slo", self._write_slo(tmp_path, max_p99=1.0),
+            "--metrics", str(tmp_path / "missing.json"),
+        ])
+        assert rc == 2
+        assert "repro obs report" in capsys.readouterr().err
+
+    def test_bench_writes_bench_obs_json(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "BENCH_obs.json"
+        rc = main([
+            "obs", "bench", "--out", str(out_path),
+            "--requests", "20", "--items", "16", "--jobs", "1",
+            "--repeats", "2",
+        ])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "BENCH_obs" in captured.out or str(out_path) in captured.out
+        bench = json.loads(out_path.read_text())
+        assert bench["bench"] == "serving_latency"
+        serve = bench["serve"]
+        assert serve["p50_ms"] <= serve["p95_ms"] <= serve["p99_ms"]
+        assert serve["n_requests"] == 20
+        assert "serving.request" in bench["stages"]
+        assert "serving.latency_seconds" in bench["metrics"]
+
+    def test_bench_gates_against_slo(self, tmp_path, capsys):
+        rc = main([
+            "obs", "bench", "--out", str(tmp_path / "b.json"),
+            "--requests", "10", "--items", "8", "--jobs", "1",
+            "--repeats", "1",
+            "--slo", self._write_slo(tmp_path, max_p99=10.0),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "[PASS]" in out
+
+    def test_bench_slo_violation_fails(self, tmp_path, capsys):
+        rc = main([
+            "obs", "bench", "--out", str(tmp_path / "b.json"),
+            "--requests", "10", "--items", "8", "--jobs", "1",
+            "--repeats", "1",
+            "--slo", self._write_slo(tmp_path, max_p99=1e-9),
+        ])
+        assert rc == 1
+        assert "[FAIL]" in capsys.readouterr().out
+
+
+class TestChaosMetricsOut:
+    def test_chaos_serve_exports_counters_for_slo_report(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        metrics_path = tmp_path / "chaos_metrics.json"
+        rc = main([
+            "chaos", "--target", "serve", "--requests", "80",
+            "--burst", "16", "--fail", "0.3", "--no-swap",
+            "--metrics-out", str(metrics_path),
+        ])
+        capsys.readouterr()
+        assert rc == 0
+        snap = json.loads(metrics_path.read_text())
+        assert snap["serving.shed"]["value"] > 0
+        assert snap["serving.admitted"]["value"] > 0
+        assert "serving.breaker.open_seconds" in snap
+        assert snap["serving.latency_seconds"]["count"] > 0
+        assert any(k.startswith("serving.gateway.rejected") for k in snap)
+        # The exported snapshot feeds straight into the SLO gate.
+        assert main([
+            "obs", "report",
+            "--slo", "benchmarks/slo_permissive.json",
+            "--metrics", str(metrics_path),
+        ]) == 0
+        assert "SLOs met" in capsys.readouterr().out

@@ -1,0 +1,107 @@
+"""Tiered selection latency benchmark → ``BENCH_select.json``.
+
+The low-latency-selection perf tracker: each run times three selection
+paths over the same seeded matrix workload —
+
+- **tier1** — cheap row-length features plus the stage-1 margin test,
+- **full** — the complete 21-feature pipeline plus a frozen-model
+  assignment (what every non-tiered prediction pays),
+- **tiered** — :class:`repro.core.tiered.TieredSelector` end to end
+  with its calibrated margin, mixing tier-1 answers and escalations —
+
+then writes ``BENCH_select.json`` with per-tier p50/p95/p99, the
+escalation rate, matrices/sec, per-stage span costs, and the metrics
+snapshot.  CI's ``select-smoke`` job runs this on a tiny workload,
+uploads the JSON, and gates it with ``repro obs report`` against
+``benchmarks/slo_select_permissive.json`` — whose load-bearing rule is
+that tier-1 median latency stays under half the full-pipeline median.
+
+Knobs (environment):
+
+- ``REPRO_BENCH_MATRICES`` — seeded matrices per repeat (default 64)
+- ``REPRO_BENCH_REPEATS``  — timed repeats over the workload (default 3)
+- ``REPRO_BENCH_OUT``      — output path (default ``BENCH_select.json``
+  next to this file's repo root)
+
+Run directly (``python benchmarks/bench_selection_latency.py``), via
+``pytest benchmarks/bench_selection_latency.py -s``, or through the CLI
+(``repro obs bench --select``) — all three share
+:func:`repro.obs.bench.run_select_bench`.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from repro.obs.bench import run_select_bench, write_bench
+
+DEFAULT_OUT = os.path.join(
+    os.path.dirname(__file__), "..", "BENCH_select.json"
+)
+
+
+def run_selection_bench(out_path: str | None = None) -> dict:
+    """Run the benchmark on the env-configured workload; write the JSON."""
+    n_matrices = int(os.environ.get("REPRO_BENCH_MATRICES", "64"))
+    repeats = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
+    out = out_path or os.environ.get("REPRO_BENCH_OUT", DEFAULT_OUT)
+    result = run_select_bench(
+        None, n_matrices=n_matrices, seed=0, repeats=repeats
+    )
+    write_bench(result, out)
+    return result
+
+
+def print_report(result: dict) -> None:
+    tier1 = result["tier1"]
+    full = result["full"]
+    tiered = result["tiered"]
+    print()
+    print(
+        f"tier1 : p50 {tier1['p50_ms']:.3f} ms  "
+        f"p95 {tier1['p95_ms']:.3f} ms  p99 {tier1['p99_ms']:.3f} ms"
+    )
+    print(
+        f"full  : p50 {full['p50_ms']:.3f} ms  "
+        f"p95 {full['p95_ms']:.3f} ms  p99 {full['p99_ms']:.3f} ms"
+    )
+    print(
+        f"tiered: p50 {tiered['p50_ms']:.3f} ms  "
+        f"p99 {tiered['p99_ms']:.3f} ms  "
+        f"{tiered['matrices_per_second']:.0f} matrices/s  "
+        f"escalation rate {tiered['escalation_rate']:.3f} "
+        f"({tiered['n_tier1']} tier-1 / {tiered['n_escalated']} escalated)"
+    )
+    if full["p50_ms"]:
+        print(
+            f"speedup: tier-1 p50 is "
+            f"{tier1['p50_ms'] / full['p50_ms']:.3f}x the full-pipeline p50"
+        )
+
+
+def test_selection_latency_bench(tmp_path):
+    out = str(tmp_path / "BENCH_select.json")
+    result = run_selection_bench(out_path=out)
+    print_report(result)
+    assert os.path.exists(out)
+    for row in (result["tier1"], result["full"], result["tiered"]):
+        assert row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"]
+    tiered = result["tiered"]
+    assert tiered["n_tier1"] + tiered["n_escalated"] == (
+        result["n_matrices"] * result["repeats"]
+    )
+    assert 0.0 <= tiered["escalation_rate"] <= 1.0
+    # The load-bearing perf claim, same bound the CI SLO file gates on.
+    assert result["tier1"]["p50_ms"] < 0.5 * result["full"]["p50_ms"]
+    # Escalations must have run the real pipeline under its span.
+    assert "select.tier1" in result["stages"]
+    assert "select.escalate" in result["stages"]
+    metrics = result["metrics"]
+    assert "select.bench.tier1_p50_ms" in metrics
+    assert "select.bench.full_p50_ms" in metrics
+
+
+if __name__ == "__main__":
+    print_report(run_selection_bench())
+    sys.exit(0)

@@ -2,23 +2,34 @@
 structural-statistics layer that also feeds the GPU performance model."""
 
 from repro.features.extract import (
+    CHEAP_FEATURE_INDICES,
+    CHEAP_FEATURE_NAMES,
     FEATURE_NAMES,
+    cheap_features_from_lengths,
     extract_features,
     extract_features_collection,
+    extract_features_streaming,
     features_from_stats,
     features_from_stats_batch,
     stats_for_record,
+    stats_from_stream,
 )
-from repro.features.stats import MatrixStats
+from repro.features.stats import MatrixStats, StreamingStats
 from repro.features.table import FeatureTable
 
 __all__ = [
+    "CHEAP_FEATURE_INDICES",
+    "CHEAP_FEATURE_NAMES",
     "FEATURE_NAMES",
     "FeatureTable",
     "MatrixStats",
+    "StreamingStats",
+    "cheap_features_from_lengths",
     "extract_features",
     "extract_features_collection",
+    "extract_features_streaming",
     "features_from_stats",
     "features_from_stats_batch",
     "stats_for_record",
+    "stats_from_stream",
 ]

@@ -10,10 +10,20 @@ from __future__ import annotations
 
 import numpy as np
 
+from pathlib import Path
+from typing import TextIO
+
 from repro.datasets.generators import MatrixRecord
-from repro.features.stats import MatrixStats, compute_stats
+from repro.features.stats import MatrixStats, StreamingStats, compute_stats
 from repro.features.table import FeatureTable
 from repro.formats.coo import COOMatrix
+from repro.formats.io import (
+    DEFAULT_CHUNK_NNZ,
+    DEFAULT_POLICY,
+    ReadPolicy,
+    assemble_matrix,
+    read_matrix_market_streaming,
+)
 from repro.obs import TELEMETRY
 from repro.runtime.parallel import parallel_map
 
@@ -40,6 +50,24 @@ FEATURE_NAMES: tuple[str, ...] = (
     "dia_frac",
     "ell_frac",
     "ell_size",
+)
+
+#: The "cheap" subset a tier-1 selector can derive from row lengths alone
+#: (no diagonal / warp / HYB analysis): dimensions, nnz, and the
+#: row-length mean/min/max/std moments.
+CHEAP_FEATURE_NAMES: tuple[str, ...] = (
+    "nrows",
+    "ncols",
+    "nnz",
+    "nnz_mu",
+    "nnz_min",
+    "nnz_max",
+    "nnz_sig",
+)
+
+#: Column indices of the cheap subset inside the full Table-1 vector.
+CHEAP_FEATURE_INDICES: tuple[int, ...] = tuple(
+    FEATURE_NAMES.index(name) for name in CHEAP_FEATURE_NAMES
 )
 
 
@@ -123,13 +151,7 @@ def features_from_stats_batch(stats: list[MatrixStats]) -> np.ndarray:
     dia_size = as_f64("dia_size")
     ell_size = as_f64("ell_padded")
 
-    sig_lower = np.empty(n, dtype=np.float64)
-    sig_higher = np.empty(n, dtype=np.float64)
-    for i, s in enumerate(stats):
-        lengths = s.row_lengths.astype(np.float64)
-        m = s.mean_row
-        sig_lower[i] = _rms(m - lengths[lengths < m])
-        sig_higher[i] = _rms(lengths[lengths > m] - m)
+    sig_lower, sig_higher = _batched_sigs(stats, mu)
 
     def _guarded_ratio(num: np.ndarray, den: np.ndarray) -> np.ndarray:
         out = np.zeros(n, dtype=np.float64)
@@ -163,11 +185,178 @@ def features_from_stats_batch(stats: list[MatrixStats]) -> np.ndarray:
     return np.column_stack(columns)
 
 
+def _batched_sigs(
+    stats: list[MatrixStats], mu: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """``sig_lower`` / ``sig_higher`` columns for a stats batch.
+
+    One pass over the concatenated row-length distributions replaces the
+    historical per-matrix mask/compact/RMS loop: the below/above masks,
+    deviations, and squares are computed batch-wide, and per-matrix
+    membership *counts* come from an ``np.add.reduceat`` over the
+    concatenation boundaries (exact — integer addition is
+    order-invariant).  The per-matrix *float* sums deliberately do not
+    use ``reduceat``: its left-to-right accumulation is not bit-identical
+    to the pairwise ``np.add.reduce`` inside ``np.mean``, so each
+    matrix's sum reduces a contiguous slice of the compacted
+    squared-deviation array — same values, same order, same pairwise
+    tree as the per-matrix path, hence bit-identical output.
+    """
+    n = len(stats)
+    counts = np.array([s.row_lengths.shape[0] for s in stats], dtype=np.int64)
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    total = int(offsets[-1])
+    sig_lower = np.zeros(n, dtype=np.float64)
+    sig_higher = np.zeros(n, dtype=np.float64)
+    if total == 0:
+        return sig_lower, sig_higher
+    all_lengths = np.concatenate(
+        [s.row_lengths for s in stats]
+    ).astype(np.float64)
+    mu_rep = np.repeat(mu, counts)
+
+    for sign, out in ((1.0, sig_lower), (-1.0, sig_higher)):
+        devs = sign * (mu_rep - all_lengths)
+        member = devs > 0.0
+        if counts.min() >= 1:
+            seg_counts = np.add.reduceat(
+                member.astype(np.int64), offsets[:-1]
+            )
+        else:  # reduceat cannot express empty segments
+            cum = np.zeros(total + 1, dtype=np.int64)
+            np.cumsum(member, out=cum[1:])
+            seg_counts = cum[offsets[1:]] - cum[offsets[:-1]]
+        sq = devs[member]
+        sq *= sq
+        starts = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(seg_counts, out=starts[1:])
+        sums = np.zeros(n, dtype=np.float64)
+        for i in range(n):
+            lo, hi = starts[i], starts[i + 1]
+            if hi > lo:
+                sums[i] = np.add.reduce(sq[lo:hi])
+        nz = seg_counts > 0
+        out[nz] = np.sqrt(sums[nz] / seg_counts[nz])
+    return sig_lower, sig_higher
+
+
 def extract_features(matrix: COOMatrix) -> np.ndarray:
     """Feature vector for a single matrix."""
     with TELEMETRY.span("features.extract"):
         with TELEMETRY.span("features.stats"):
             stats = compute_stats(matrix)
+        with TELEMETRY.span("features.derive"):
+            vec = features_from_stats(stats)
+    TELEMETRY.inc("features.matrices")
+    return vec
+
+
+def cheap_features_from_lengths(
+    nrows: int, ncols: int, nnz: int, lengths: np.ndarray
+) -> np.ndarray:
+    """The :data:`CHEAP_FEATURE_NAMES` vector from canonical row lengths.
+
+    Uses the same formulas as :class:`MatrixStats`'s cached scalars, so
+    the result is bit-identical to
+    ``features_from_stats(stats)[list(CHEAP_FEATURE_INDICES)]``.
+    """
+    return np.array(
+        [
+            nrows,
+            ncols,
+            nnz,
+            float(nnz / nrows) if nrows else 0.0,
+            int(lengths.min()) if lengths.size else 0,
+            int(lengths.max(initial=0)),
+            float(lengths.std()) if nrows else 0.0,
+        ],
+        dtype=np.float64,
+    )
+
+
+def stats_from_stream(
+    source: str | Path | TextIO,
+    policy: ReadPolicy = DEFAULT_POLICY,
+    chunk_nnz: int = DEFAULT_CHUNK_NNZ,
+) -> MatrixStats:
+    """Structural stats straight from a MatrixMarket stream.
+
+    Feeds :class:`StreamingStats` chunk-by-chunk while parsing, so the
+    O(nnz) coordinate stream is never materialized; the result is
+    bit-identical to ``compute_stats(read_matrix_market(source,
+    policy))``.  Table-1 features depend only on the canonical
+    *coordinate set* (values never matter), so canonicalisation reduces
+    to deduplication: when duplicates are possible — summing policy, or
+    symmetric mirroring that may collide with a stored transpose pair —
+    8-byte row-major keys are retained per chunk and, only if a
+    duplicate actually occurred, the accumulator is rebuilt from the
+    deduplicated keys without re-reading the file.
+    """
+    stream = read_matrix_market_streaming(source, policy, chunk_nnz)
+    header = next(stream)
+    nrows, ncols = header.nrows, header.ncols
+    if nrows * ncols > np.iinfo(np.int64).max:
+        # Row-major keys would overflow; fall back to the materializing
+        # path (such dimensions only occur with absurd forged headers
+        # that a sane ReadPolicy rejects at the size line anyway).
+        rows, cols, vals = [], [], []
+        for block in stream:
+            rows.append(block.rows)
+            cols.append(block.cols)
+            vals.append(block.vals)
+        return compute_stats(assemble_matrix(header, rows, cols, vals))
+    mirror = header.symmetry in ("symmetric", "skew-symmetric")
+    # Under a rejecting policy the reader guarantees stored coordinates
+    # are unique, so a plain general matrix needs no key bookkeeping.
+    need_keys = mirror or policy.duplicates == "sum"
+    acc = StreamingStats(nrows, ncols)
+    key_chunks: list[np.ndarray] = []
+    for block in stream:
+        acc.update(block.rows, block.cols)
+        if need_keys:
+            key_chunks.append(block.rows * ncols + block.cols)
+        if mirror:
+            off = block.rows != block.cols
+            m_rows, m_cols = block.cols[off], block.rows[off]
+            acc.update(m_rows, m_cols)
+            key_chunks.append(m_rows * ncols + m_cols)
+    if need_keys and acc.nnz:
+        keys = (
+            np.concatenate(key_chunks)
+            if len(key_chunks) > 1
+            else key_chunks[0]
+        )
+        keys.sort()
+        dup = keys[1:] == keys[:-1]
+        if dup.any():
+            mask = np.empty(keys.shape[0], dtype=bool)
+            mask[0] = True
+            np.logical_not(dup, out=mask[1:])
+            uniq = keys[mask]
+            acc = StreamingStats(nrows, ncols)
+            for lo in range(0, uniq.shape[0], chunk_nnz):
+                k = uniq[lo : lo + chunk_nnz]
+                r = k // ncols
+                acc.update(r, k - r * ncols)
+    return acc.finalize()
+
+
+def extract_features_streaming(
+    source: str | Path | TextIO,
+    policy: ReadPolicy = DEFAULT_POLICY,
+    chunk_nnz: int = DEFAULT_CHUNK_NNZ,
+) -> np.ndarray:
+    """Feature vector straight from a MatrixMarket stream.
+
+    Bit-identical to ``extract_features(read_matrix_market(source,
+    policy))`` while keeping the working set at O(nrows + ncols) plus
+    one chunk (general matrices under a rejecting policy) or O(nnz)
+    8-byte keys (when duplicates must be collapsed).
+    """
+    with TELEMETRY.span("features.extract_streaming"):
+        with TELEMETRY.span("features.stats"):
+            stats = stats_from_stream(source, policy, chunk_nnz)
         with TELEMETRY.span("features.derive"):
             vec = features_from_stats(stats)
     TELEMETRY.inc("features.matrices")

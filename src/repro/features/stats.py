@@ -149,17 +149,7 @@ def compute_stats(matrix: COOMatrix) -> MatrixStats:
         band_fraction = 1.0
         mean_abs_offset = 0.0
 
-    # CSR-scalar warp divergence: group rows in warps of 32.
-    if nrows:
-        pad = (-nrows) % WARP_SIZE
-        padded_lengths = np.concatenate(
-            [lengths, np.zeros(pad, dtype=lengths.dtype)]
-        )
-        per_warp_max = padded_lengths.reshape(-1, WARP_SIZE).max(axis=1)
-        warp_divergence_slots = int(per_warp_max.sum()) * WARP_SIZE
-    else:
-        warp_divergence_slots = 0
-
+    warp_divergence_slots = _warp_divergence(lengths)
     csr_max = _csr_max(lengths, nnz)
 
     hyb_width = optimal_ell_width(lengths)
@@ -180,6 +170,126 @@ def compute_stats(matrix: COOMatrix) -> MatrixStats:
         hyb_ell_entries=hyb_ell_entries,
         hyb_coo_entries=hyb_coo_entries,
     )
+
+
+def _warp_divergence(lengths: np.ndarray) -> int:
+    """CSR-scalar warp divergence: group rows in warps of 32.
+
+    ``np.maximum.reduceat`` over warp boundaries replaces the historical
+    pad-with-zeros + reshape approach: integer maxima are exact and
+    order-invariant, so the result is bit-identical while avoiding an
+    O(nrows) copy on every extraction.  A final partial warp still costs
+    ``WARP_SIZE`` lane-slots per longest row, exactly as padding did
+    (padded zero rows never beat a real non-negative length).
+    """
+    nrows = lengths.shape[0]
+    if not nrows:
+        return 0
+    starts = np.arange(0, nrows, WARP_SIZE)
+    per_warp_max = np.maximum.reduceat(lengths, starts)
+    return int(per_warp_max.sum()) * WARP_SIZE
+
+
+class StreamingStats:
+    """Single-pass accumulator form of :func:`compute_stats`.
+
+    Feed canonical ``(rows, cols)`` coordinate chunks with :meth:`update`
+    — in any order and any chunking — then call :meth:`finalize` for a
+    :class:`MatrixStats` bit-identical to ``compute_stats`` on the same
+    coordinate set (values never influence any Table-1 feature, so only
+    coordinates are consumed).  This is what lets features be ready the
+    moment a streamed MatrixMarket file ends.
+
+    Exactness relies on every accumulator being order- and
+    chunking-invariant:
+
+    - row lengths via ``np.bincount`` (exact integer adds),
+    - diagonal occupancy via a boolean presence array over the
+      ``nrows + ncols - 1`` possible offsets (counting occupied slots
+      equals ``len(np.unique(offs))`` exactly, with no per-pass sort),
+    - band and offset moments as exact Python integer tallies; the final
+      divisions ``count / nnz`` reproduce ``np.mean`` bit-for-bit because
+      numpy's mean of a bool/integer array is (exact sum) / n in double
+      precision whenever the sum stays below 2**53 — guaranteed here
+      since ``|col - row| < 2**31`` and practical nnz keep the tally far
+      under that,
+    - warp divergence / csr_max / HYB split from the finished row-length
+      histogram (exact integer reductions).
+
+    The working set is O(nrows + ncols), the same order as the
+    ``row_lengths`` array :class:`MatrixStats` must hold anyway — the
+    O(nnz) coordinate stream itself is never materialized.
+
+    The chunks must together form a *canonical* coordinate set (no
+    duplicate coordinates): duplicates would inflate ``nnz`` and the row
+    histogram, where the canonical :class:`~repro.formats.coo.COOMatrix`
+    collapses them.  Callers that stream raw files deduplicate first
+    (see ``repro.features.extract.stats_from_stream``).
+    """
+
+    def __init__(self, nrows: int, ncols: int) -> None:
+        if nrows < 1 or ncols < 1:
+            raise ValueError("StreamingStats requires positive dimensions")
+        self.nrows = int(nrows)
+        self.ncols = int(ncols)
+        self.nnz = 0
+        self._row_counts = np.zeros(self.nrows, dtype=np.int64)
+        self._diag_seen = np.zeros(self.nrows + self.ncols - 1, dtype=bool)
+        self._band_count = 0
+        self._abs_offset_sum = 0
+
+    def update(self, rows: np.ndarray, cols: np.ndarray) -> None:
+        """Absorb one chunk of coordinates (int arrays of equal length)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if rows.shape != cols.shape or rows.ndim != 1:
+            raise ValueError("rows/cols must be equal-length 1-D arrays")
+        if rows.size == 0:
+            return
+        if rows.min() < 0 or rows.max() >= self.nrows:
+            raise ValueError("row index out of range")
+        if cols.min() < 0 or cols.max() >= self.ncols:
+            raise ValueError("column index out of range")
+        self._row_counts += np.bincount(rows, minlength=self.nrows)
+        offs = cols - rows
+        self._diag_seen[offs + (self.nrows - 1)] = True
+        abs_offs = np.abs(offs)
+        self._band_count += int(
+            np.count_nonzero(abs_offs <= BAND_LOCALITY_WINDOW)
+        )
+        self._abs_offset_sum += int(abs_offs.sum())
+        self.nnz += int(rows.shape[0])
+
+    def finalize(self) -> MatrixStats:
+        """Close the accumulator and derive the full MatrixStats."""
+        lengths = self._row_counts
+        nnz = self.nnz
+        if nnz:
+            n_diagonals = int(np.count_nonzero(self._diag_seen))
+            band_fraction = float(self._band_count) / nnz
+            mean_abs_offset = float(self._abs_offset_sum) / nnz
+        else:
+            n_diagonals = 0
+            band_fraction = 1.0
+            mean_abs_offset = 0.0
+
+        hyb_width = optimal_ell_width(lengths)
+        hyb_ell_entries = int(np.minimum(lengths, hyb_width).sum())
+
+        return MatrixStats(
+            nrows=self.nrows,
+            ncols=self.ncols,
+            nnz=nnz,
+            row_lengths=lengths,
+            n_diagonals=n_diagonals,
+            band_fraction=band_fraction,
+            mean_abs_offset=mean_abs_offset,
+            warp_divergence_slots=_warp_divergence(lengths),
+            csr_max=_csr_max(lengths, nnz),
+            hyb_width=hyb_width,
+            hyb_ell_entries=hyb_ell_entries,
+            hyb_coo_entries=nnz - hyb_ell_entries,
+        )
 
 
 def _csr_max(lengths: np.ndarray, nnz: int) -> int:

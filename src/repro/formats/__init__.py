@@ -22,15 +22,20 @@ from repro.formats.dia import DIAMatrix
 from repro.formats.ell import ELLMatrix, EllSizeError
 from repro.formats.hyb import HYBMatrix
 from repro.formats.io import (
+    COOBlock,
     MatrixMarketError,
+    MatrixMarketHeader,
     ReadPolicy,
+    assemble_matrix,
     read_matrix_market,
+    read_matrix_market_streaming,
     write_matrix_market,
 )
 from repro.formats.sell import SELLMatrix
 from repro.formats.spmv import spmv
 
 __all__ = [
+    "COOBlock",
     "COOMatrix",
     "CSCMatrix",
     "CSRMatrix",
@@ -41,11 +46,14 @@ __all__ = [
     "FormatError",
     "HYBMatrix",
     "MatrixMarketError",
+    "MatrixMarketHeader",
     "ReadPolicy",
     "SELLMatrix",
     "SparseMatrix",
+    "assemble_matrix",
     "convert",
     "read_matrix_market",
+    "read_matrix_market_streaming",
     "spmv",
     "write_matrix_market",
 ]

@@ -22,9 +22,10 @@ from __future__ import annotations
 
 import io
 import math
+import mmap
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TextIO
+from typing import Iterator, NamedTuple, TextIO
 
 import numpy as np
 
@@ -34,6 +35,9 @@ from repro.formats.coo import COOMatrix
 _HEADER_PREFIX = "%%MatrixMarket"
 _SUPPORTED_FIELDS = {"real", "integer", "pattern"}
 _SUPPORTED_SYMMETRY = {"general", "symmetric", "skew-symmetric"}
+
+#: Default number of stored entries per streamed COO block.
+DEFAULT_CHUNK_NNZ = 65536
 
 
 class MatrixMarketError(FormatError):
@@ -83,18 +87,127 @@ class ReadPolicy:
 DEFAULT_POLICY = ReadPolicy()
 
 
+class MatrixMarketHeader(NamedTuple):
+    """Parsed banner + size line of a coordinate MatrixMarket file.
+
+    ``nnz`` is the declared count of *stored* entries — for symmetric
+    matrices the mirrored off-diagonal entries are not included.
+    """
+
+    field: str
+    symmetry: str
+    nrows: int
+    ncols: int
+    nnz: int
+
+
+class COOBlock(NamedTuple):
+    """One fixed-size chunk of stored COO entries from a streamed read."""
+
+    rows: np.ndarray
+    cols: np.ndarray
+    vals: np.ndarray
+
+
 def read_matrix_market(
     source: str | Path | TextIO, policy: ReadPolicy = DEFAULT_POLICY
 ) -> COOMatrix:
-    """Read a coordinate MatrixMarket file into a :class:`COOMatrix`."""
+    """Read a coordinate MatrixMarket file into a :class:`COOMatrix`.
+
+    Implemented on top of :func:`read_matrix_market_streaming`, so the
+    in-memory and streaming readers cannot drift: both run the same
+    per-line validation in the same order.
+    """
+    stream = read_matrix_market_streaming(source, policy)
+    header = next(stream)
+    row_chunks: list[np.ndarray] = []
+    col_chunks: list[np.ndarray] = []
+    val_chunks: list[np.ndarray] = []
+    for block in stream:
+        row_chunks.append(block.rows)
+        col_chunks.append(block.cols)
+        val_chunks.append(block.vals)
+    return assemble_matrix(header, row_chunks, col_chunks, val_chunks)
+
+
+def read_matrix_market_streaming(
+    source: str | Path | TextIO,
+    policy: ReadPolicy = DEFAULT_POLICY,
+    chunk_nnz: int = DEFAULT_CHUNK_NNZ,
+    use_mmap: bool = True,
+) -> Iterator[MatrixMarketHeader | COOBlock]:
+    """Stream a coordinate MatrixMarket file as fixed-size COO blocks.
+
+    A generator that first yields a :class:`MatrixMarketHeader` (after
+    validating the banner and enforcing the policy's ``max_dim`` /
+    ``max_nnz`` limits *at the size line*, before any entry is read),
+    then yields :class:`COOBlock` chunks of at most ``chunk_nnz``
+    *stored* entries in file order.  Symmetry mirroring is NOT applied —
+    callers that need the expanded matrix use :func:`assemble_matrix`
+    (or :func:`read_matrix_market`, which does both).
+
+    All :class:`ReadPolicy` hostile-input guarantees of the in-memory
+    reader hold: allocation is driven by actual file content (never the
+    declared nnz), errors carry the same machine-readable codes, and —
+    with ``duplicates="reject"`` — the same duplicate coordinate is
+    reported.  Because the check order matches the in-memory reader,
+    blocks may have been yielded before an error is raised; a raised
+    error invalidates every block yielded so far.
+
+    For on-disk paths the file is read through ``mmap`` when possible
+    (``use_mmap=True``, the default), falling back to buffered text I/O
+    for empty files, platforms without mmap, or files containing
+    carriage returns (where universal-newline semantics must decide
+    line boundaries).
+    """
+    if chunk_nnz < 1:
+        raise ValueError(f"chunk_nnz must be >= 1, got {chunk_nnz}")
     if isinstance(source, (str, Path)):
-        # latin-1 decodes every byte sequence, so non-ASCII comment lines
-        # in real SuiteSparse files cannot abort the read with a
-        # UnicodeDecodeError; malformed *data* still raises
-        # MatrixMarketError below.
-        with open(source, "r", encoding="latin-1") as fh:
-            return _read(fh, policy)
-    return _read(source, policy)
+        return _stream_path(source, policy, chunk_nnz, use_mmap)
+    return _stream_lines(iter(source), policy, chunk_nnz)
+
+
+def assemble_matrix(
+    header: MatrixMarketHeader,
+    row_chunks: list[np.ndarray],
+    col_chunks: list[np.ndarray],
+    val_chunks: list[np.ndarray],
+) -> COOMatrix:
+    """Build the :class:`COOMatrix` for streamed blocks (applies symmetry).
+
+    Concatenating the streamed chunks reproduces the in-memory reader's
+    entry order exactly, so duplicate summation inside ``COOMatrix``
+    canonicalisation — whose float result is order-sensitive — is
+    bit-identical across chunk sizes.
+    """
+    rows = _concat(row_chunks, INDEX_DTYPE)
+    cols = _concat(col_chunks, INDEX_DTYPE)
+    vals = _concat(val_chunks, VALUE_DTYPE)
+    if header.symmetry in ("symmetric", "skew-symmetric"):
+        # Mirror every off-diagonal entry across the diagonal.
+        off_diag = rows != cols
+        sign = -1.0 if header.symmetry == "skew-symmetric" else 1.0
+        rows, cols, vals = (
+            np.concatenate([rows, cols[off_diag]]),
+            np.concatenate([cols, rows[off_diag]]),
+            np.concatenate([vals, sign * vals[off_diag]]),
+        )
+    try:
+        return COOMatrix((header.nrows, header.ncols), rows, cols, vals)
+    except MatrixMarketError:
+        raise
+    except FormatError as exc:
+        # The fuzz contract: any malformed input is a MatrixMarketError,
+        # never a bare construction error from deeper layers.
+        raise MatrixMarketError(str(exc), code="invalid") from exc
+
+
+def _concat(chunks: list[np.ndarray], dtype: np.dtype) -> np.ndarray:
+    if not chunks:
+        return np.array([], dtype=dtype)
+    if len(chunks) == 1:
+        return chunks[0]
+    return np.concatenate(chunks)
 
 
 def write_matrix_market(
@@ -164,13 +277,55 @@ def _parse_size_line(size_line: str, policy: ReadPolicy) -> tuple[int, int, int]
     return nrows, ncols, nnz
 
 
-def _read(fh: TextIO, policy: ReadPolicy = DEFAULT_POLICY) -> COOMatrix:
-    field, symmetry = _parse_banner(fh.readline())
+def _stream_path(
+    path: str | Path, policy: ReadPolicy, chunk_nnz: int, use_mmap: bool
+) -> Iterator[MatrixMarketHeader | COOBlock]:
+    if use_mmap:
+        with open(path, "rb") as bf:
+            try:
+                mm = mmap.mmap(bf.fileno(), 0, access=mmap.ACCESS_READ)
+            except (ValueError, OSError):
+                # Empty file, mmap-less filesystem, ...: buffered text
+                # I/O below handles every case the historical reader did.
+                mm = None
+            if mm is not None:
+                with mm:
+                    # Carriage returns demand universal-newline semantics
+                    # to pick line boundaries exactly as the text-mode
+                    # reader would; one memchr sweep decides the path.
+                    if mm.find(b"\r") == -1:
+                        yield from _stream_lines(
+                            _mmap_lines(mm), policy, chunk_nnz
+                        )
+                        return
+    # latin-1 decodes every byte sequence, so non-ASCII comment lines
+    # in real SuiteSparse files cannot abort the read with a
+    # UnicodeDecodeError; malformed *data* still raises
+    # MatrixMarketError below.
+    with open(path, "r", encoding="latin-1") as fh:
+        yield from _stream_lines(iter(fh), policy, chunk_nnz)
+
+
+def _mmap_lines(mm: mmap.mmap) -> Iterator[str]:
+    """Lines (with trailing newline, latin-1 decoded) from a CR-free mmap."""
+    pos = 0
+    end = len(mm)
+    while pos < end:
+        nl = mm.find(b"\n", pos)
+        stop = end if nl < 0 else nl + 1
+        yield mm[pos:stop].decode("latin-1")
+        pos = stop
+
+
+def _stream_lines(
+    lines: Iterator[str], policy: ReadPolicy, chunk_nnz: int
+) -> Iterator[MatrixMarketHeader | COOBlock]:
+    field, symmetry = _parse_banner(next(lines, ""))
 
     # Skip comments and blank lines; the first data line is the size line.
     size_line = ""
     header_bytes = 0
-    for line in fh:
+    for line in lines:
         stripped = line.strip()
         if stripped and not stripped.startswith("%"):
             size_line = stripped
@@ -187,15 +342,22 @@ def _read(fh: TextIO, policy: ReadPolicy = DEFAULT_POLICY) -> COOMatrix:
     if not size_line:
         raise MatrixMarketError("missing size line", code="bad_size")
     nrows, ncols, nnz = _parse_size_line(size_line, policy)
+    yield MatrixMarketHeader(field, symmetry, nrows, ncols, nnz)
 
     # Accumulate into Python lists sized by what the file actually
     # contains — never np.empty(declared nnz), so a forged size line
-    # cannot demand a terabyte allocation.
+    # cannot demand a giant allocation.  Under ``duplicates="reject"``
+    # the yielded index chunks are additionally retained so the
+    # end-of-stream check can run the exact in-memory lexsort pass
+    # (reporting the identical first row-major duplicate).
+    reject = policy.duplicates == "reject"
+    kept_rows: list[np.ndarray] = []
+    kept_cols: list[np.ndarray] = []
     rows_list: list[int] = []
     cols_list: list[int] = []
     vals_list: list[float] = []
     count = 0
-    for line in fh:
+    for line in lines:
         stripped = line.strip()
         if not stripped or stripped.startswith("%"):
             continue
@@ -230,44 +392,48 @@ def _read(fh: TextIO, policy: ReadPolicy = DEFAULT_POLICY) -> COOMatrix:
         cols_list.append(c)
         vals_list.append(v)
         count += 1
+        if len(rows_list) >= chunk_nnz:
+            block = COOBlock(
+                np.array(rows_list, dtype=INDEX_DTYPE),
+                np.array(cols_list, dtype=INDEX_DTYPE),
+                np.array(vals_list, dtype=VALUE_DTYPE),
+            )
+            if reject:
+                kept_rows.append(block.rows)
+                kept_cols.append(block.cols)
+            yield block
+            rows_list, cols_list, vals_list = [], [], []
     if count != nnz:
         raise MatrixMarketError(
             f"declared {nnz} entries, found {count}", code="count_mismatch"
         )
+    tail = COOBlock(
+        np.array(rows_list, dtype=INDEX_DTYPE),
+        np.array(cols_list, dtype=INDEX_DTYPE),
+        np.array(vals_list, dtype=VALUE_DTYPE),
+    )
+    if reject:
+        kept_rows.append(tail.rows)
+        kept_cols.append(tail.cols)
+        _check_duplicates(
+            _concat(kept_rows, INDEX_DTYPE), _concat(kept_cols, INDEX_DTYPE)
+        )
+    if tail.rows.size:
+        yield tail
 
-    rows = np.array(rows_list, dtype=INDEX_DTYPE)
-    cols = np.array(cols_list, dtype=INDEX_DTYPE)
-    vals = np.array(vals_list, dtype=VALUE_DTYPE)
 
-    if policy.duplicates == "reject" and rows.size:
-        order = np.lexsort((cols, rows))
-        sr, sc = rows[order], cols[order]
-        dup = (sr[1:] == sr[:-1]) & (sc[1:] == sc[:-1])
-        if dup.any():
-            i = int(np.argmax(dup))
-            raise MatrixMarketError(
-                f"duplicate coordinate ({int(sr[i]) + 1}, {int(sc[i]) + 1})",
-                code="duplicate_entry",
-            )
-
-    if symmetry in ("symmetric", "skew-symmetric"):
-        # Mirror every off-diagonal entry across the diagonal.
-        off_diag = rows != cols
-        sign = -1.0 if symmetry == "skew-symmetric" else 1.0
-        mirrored_rows = cols[off_diag]
-        mirrored_cols = rows[off_diag]
-        mirrored_vals = sign * vals[off_diag]
-        rows = np.concatenate([rows, mirrored_rows])
-        cols = np.concatenate([cols, mirrored_cols])
-        vals = np.concatenate([vals, mirrored_vals])
-    try:
-        return COOMatrix((nrows, ncols), rows, cols, vals)
-    except MatrixMarketError:
-        raise
-    except FormatError as exc:
-        # The fuzz contract: any malformed input is a MatrixMarketError,
-        # never a bare construction error from deeper layers.
-        raise MatrixMarketError(str(exc), code="invalid") from exc
+def _check_duplicates(rows: np.ndarray, cols: np.ndarray) -> None:
+    if not rows.size:
+        return
+    order = np.lexsort((cols, rows))
+    sr, sc = rows[order], cols[order]
+    dup = (sr[1:] == sr[:-1]) & (sc[1:] == sc[:-1])
+    if dup.any():
+        i = int(np.argmax(dup))
+        raise MatrixMarketError(
+            f"duplicate coordinate ({int(sr[i]) + 1}, {int(sc[i]) + 1})",
+            code="duplicate_entry",
+        )
 
 
 def _write(matrix: COOMatrix, fh: TextIO, comment: str) -> None:

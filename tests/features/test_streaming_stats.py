@@ -1,0 +1,235 @@
+"""StreamingStats ≡ compute_stats, bit for bit, on generator families.
+
+The accumulator must produce *exactly* the :class:`MatrixStats` the
+two-array in-memory pass produces — every scalar equal under ``==``
+(no tolerances) and ``row_lengths`` identical in dtype and bytes —
+regardless of how the coordinate stream is chunked.  The same holds one
+level up: :func:`stats_from_stream` and
+:func:`extract_features_streaming` against their in-memory
+counterparts, across symmetries, duplicate policies, and chunk sizes.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.features import FEATURE_NAMES, extract_features
+from repro.features.extract import (
+    CHEAP_FEATURE_INDICES,
+    CHEAP_FEATURE_NAMES,
+    cheap_features_from_lengths,
+    extract_features_streaming,
+    stats_from_stream,
+)
+from repro.features.stats import MatrixStats, StreamingStats, compute_stats
+from repro.formats import COOMatrix, ReadPolicy, read_matrix_market
+from repro.formats.io import matrix_market_string
+
+CHUNK_SIZES = (1, 3, 17, 100_000)
+
+
+# -- coordinate generator families -----------------------------------------
+
+
+def _uniform(rng, nrows, ncols):
+    """Uniform scatter: the collection generator's default texture."""
+    nnz = int(rng.integers(1, nrows * ncols // 2 + 2))
+    flat = rng.choice(nrows * ncols, size=min(nnz, nrows * ncols),
+                      replace=False)
+    return np.divmod(flat, ncols)
+
+
+def _banded(rng, nrows, ncols):
+    """Entries hugging the main diagonal: exercises band/offset stats."""
+    rows = rng.integers(0, nrows, size=3 * max(nrows, 1))
+    offsets = rng.integers(-3, 4, size=rows.size)
+    cols = np.clip(rows + offsets, 0, ncols - 1)
+    keys = np.unique(rows * ncols + cols)
+    return keys // ncols, keys % ncols
+
+def _skewed(rng, nrows, ncols):
+    """A few hot rows hold most entries: exercises sig_* and warp stats."""
+    hot = rng.integers(0, nrows)
+    rows = np.where(
+        rng.random(4 * max(ncols, 1)) < 0.7,
+        hot,
+        rng.integers(0, nrows, size=4 * max(ncols, 1)),
+    )
+    cols = rng.integers(0, ncols, size=rows.size)
+    keys = np.unique(rows * ncols + cols)
+    return keys // ncols, keys % ncols
+
+
+def _single_column(rng, nrows, ncols):
+    c = int(rng.integers(0, ncols))
+    rows = np.arange(nrows, dtype=np.int64)
+    return rows, np.full(nrows, c, dtype=np.int64)
+
+
+def _empty(rng, nrows, ncols):
+    return (np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+
+
+FAMILIES = {
+    "uniform": _uniform,
+    "banded": _banded,
+    "skewed": _skewed,
+    "single_column": _single_column,
+    "empty": _empty,
+}
+
+
+def _assert_stats_identical(got: MatrixStats, want: MatrixStats):
+    assert got.nrows == want.nrows
+    assert got.ncols == want.ncols
+    assert got.nnz == want.nnz
+    assert got.row_lengths.dtype == want.row_lengths.dtype
+    assert got.row_lengths.tobytes() == want.row_lengths.tobytes()
+    assert got.n_diagonals == want.n_diagonals
+    assert got.band_fraction == want.band_fraction
+    assert got.mean_abs_offset == want.mean_abs_offset
+    assert got.warp_divergence_slots == want.warp_divergence_slots
+    assert got.csr_max == want.csr_max
+    assert got.hyb_width == want.hyb_width
+    assert got.hyb_ell_entries == want.hyb_ell_entries
+    assert got.hyb_coo_entries == want.hyb_coo_entries
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("seed", range(5))
+def test_streaming_stats_bit_identical_to_compute_stats(family, seed):
+    rng = np.random.default_rng(seed * 101 + 7)
+    nrows = int(rng.integers(1, 80))
+    ncols = int(rng.integers(1, 80))
+    rows, cols = FAMILIES[family](rng, nrows, ncols)
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    matrix = COOMatrix((nrows, ncols), rows, cols, np.ones(rows.size))
+    want = compute_stats(matrix)
+    for chunk in CHUNK_SIZES:
+        acc = StreamingStats(nrows, ncols)
+        for lo in range(0, rows.size, chunk):
+            acc.update(rows[lo:lo + chunk], cols[lo:lo + chunk])
+        _assert_stats_identical(acc.finalize(), want)
+
+
+def test_streaming_stats_rejects_out_of_range_coordinates():
+    acc = StreamingStats(4, 4)
+    with pytest.raises(ValueError):
+        acc.update([4], [0])
+    with pytest.raises(ValueError):
+        acc.update([0], [-1])
+
+
+def test_streaming_stats_requires_positive_shape():
+    with pytest.raises(ValueError):
+        StreamingStats(0, 3)
+
+
+# -- one level up: stats/features straight from MatrixMarket text ----------
+
+
+def _matrix_text(seed: int, symmetry: str) -> str:
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 20))
+    nrows, ncols = (n, n) if symmetry != "general" else (
+        n, int(rng.integers(2, 20))
+    )
+    rows, cols = _uniform(rng, nrows, ncols)
+    if symmetry == "symmetric":
+        keep = rows >= cols
+        rows, cols = rows[keep], cols[keep]
+    elif symmetry == "skew-symmetric":
+        keep = rows > cols
+        rows, cols = rows[keep], cols[keep]
+    vals = rng.uniform(0.5, 2.0, size=rows.size)
+    text = matrix_market_string(
+        COOMatrix((nrows, ncols), rows, cols, vals)
+    )
+    if symmetry != "general":
+        text = text.replace("general", symmetry)
+        # Drop the mirrored upper triangle the writer materialized; a
+        # symmetric file stores the lower triangle only.
+        lines = text.splitlines()
+        body = [ln for ln in lines[2:]
+                if int(ln.split()[0]) >= int(ln.split()[1])]
+        header = lines[1].split()
+        header[2] = str(len(body))
+        text = "\n".join([lines[0], " ".join(header)] + body) + "\n"
+    return text
+
+
+@pytest.mark.parametrize("symmetry", ["general", "symmetric"])
+@pytest.mark.parametrize("duplicates", ["sum", "reject"])
+@pytest.mark.parametrize("seed", range(4))
+def test_stats_from_stream_matches_in_memory(symmetry, duplicates, seed):
+    text = _matrix_text(seed * 13 + 1, symmetry)
+    policy = ReadPolicy(duplicates=duplicates)
+    matrix = read_matrix_market(io.StringIO(text), policy)
+    want = compute_stats(matrix)
+    for chunk in CHUNK_SIZES:
+        got = stats_from_stream(
+            io.StringIO(text), policy, chunk_nnz=chunk
+        )
+        _assert_stats_identical(got, want)
+
+
+@pytest.mark.parametrize("symmetry", ["general", "symmetric"])
+@pytest.mark.parametrize("seed", range(4))
+def test_extract_features_streaming_bit_identical(symmetry, seed, tmp_path):
+    text = _matrix_text(seed * 7 + 3, symmetry)
+    want = extract_features(read_matrix_market(io.StringIO(text)))
+    got = extract_features_streaming(io.StringIO(text))
+    assert got.tobytes() == want.tobytes()
+    # And via the file-path (mmap) route.
+    path = tmp_path / "m.mtx"
+    path.write_text(text)
+    assert extract_features_streaming(str(path)).tobytes() == want.tobytes()
+
+
+def test_duplicate_heavy_stream_matches_in_memory():
+    """Duplicate and mirror-colliding entries: the dedup replay path."""
+    text = (
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "4 4 6\n"
+        "2 1 1.0\n"
+        "2 1 2.0\n"
+        "3 3 1.0\n"
+        "4 1 1.0\n"
+        "4 1 3.0\n"
+        "2 2 1.0\n"
+    )
+    matrix = read_matrix_market(io.StringIO(text))
+    want = compute_stats(matrix)
+    for chunk in CHUNK_SIZES:
+        got = stats_from_stream(io.StringIO(text), chunk_nnz=chunk)
+        _assert_stats_identical(got, want)
+
+
+# -- the cheap feature head -------------------------------------------------
+
+
+def test_cheap_features_are_a_prefix_view_of_the_full_vector():
+    assert len(CHEAP_FEATURE_NAMES) == len(CHEAP_FEATURE_INDICES)
+    for name, idx in zip(CHEAP_FEATURE_NAMES, CHEAP_FEATURE_INDICES):
+        assert FEATURE_NAMES[idx] == name
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_cheap_features_bit_identical_to_full_vector_slice(seed):
+    rng = np.random.default_rng(seed + 40)
+    nrows = int(rng.integers(1, 60))
+    ncols = int(rng.integers(1, 60))
+    rows, cols = _uniform(rng, nrows, ncols)
+    matrix = COOMatrix(
+        (nrows, ncols),
+        np.asarray(rows, dtype=np.int64),
+        np.asarray(cols, dtype=np.int64),
+        np.ones(len(rows)),
+    )
+    full = extract_features(matrix)
+    cheap = cheap_features_from_lengths(
+        nrows, ncols, matrix.nnz, matrix.row_lengths()
+    )
+    assert cheap.tobytes() == full[list(CHEAP_FEATURE_INDICES)].tobytes()

@@ -1,0 +1,157 @@
+"""The serving layer's cheap-first tiered predict path (``--tiered``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runtime.faults import FaultInjector, FaultSpec
+from repro.serving.drill import _random_matrix_text
+from repro.serving.server import SelectorServer, ServingConfig
+
+
+def make_server(model_path, fake_clock, **overrides) -> SelectorServer:
+    defaults = dict(
+        model_path=model_path,
+        hot_reload=False,
+        ood_factor=0.0,
+        tiered=True,
+    )
+    defaults.update(overrides)
+    injector = defaults.pop("fault_injector", None)
+    return SelectorServer(
+        ServingConfig(**defaults), clock=fake_clock, fault_injector=injector
+    )
+
+
+def predict_line(i: int, seed: int = 0) -> str:
+    return json.dumps(
+        {"id": f"p{i}", "op": "predict", "mtx": _random_matrix_text(i, seed)}
+    )
+
+
+def test_default_off_responses_carry_no_tier(model_path, fake_clock):
+    server = make_server(model_path, fake_clock, tiered=False)
+    for i in range(10):
+        response = server.handle_line(predict_line(i))
+        assert response["status"] == "ok"
+        assert "tier" not in response
+
+
+def test_tiered_responses_carry_tier_and_both_tiers_appear(
+    model_path, fake_clock
+):
+    server = make_server(model_path, fake_clock)
+    tiers = []
+    for i in range(40):
+        response = server.handle_line(predict_line(i, seed=9))
+        assert response["status"] == "ok"
+        assert response["source"] == "model"
+        assert response["tier"] in (1, 2)
+        tiers.append(response["tier"])
+    assert 1 in tiers and 2 in tiers, (
+        f"workload exercised only tier(s) {set(tiers)}"
+    )
+
+
+def test_escalated_answers_match_the_non_tiered_path(model_path, fake_clock):
+    tiered = make_server(model_path, fake_clock)
+    plain = make_server(model_path, fake_clock, tiered=False)
+    for i in range(40):
+        t = tiered.handle_line(predict_line(i, seed=9))
+        p = plain.handle_line(predict_line(i, seed=9))
+        assert p["status"] == t["status"] == "ok"
+        if t["tier"] == 2:
+            assert t["format"] == p["format"]
+            assert t["centroid"] == p["centroid"]
+
+
+def test_forced_escalation_is_byte_identical_sans_tier(
+    model_path, fake_clock
+):
+    """With an unreachable margin every answer is the full pipeline's."""
+    tiered = make_server(model_path, fake_clock, tier_margin=1e18)
+    plain = make_server(model_path, fake_clock, tiered=False)
+    for i in range(15):
+        t = tiered.handle_line(predict_line(i))
+        p = plain.handle_line(predict_line(i))
+        assert t.pop("tier") == 2
+        assert t == p
+
+
+def test_invalid_bodies_rejected_identically(model_path, fake_clock):
+    tiered = make_server(model_path, fake_clock)
+    plain = make_server(model_path, fake_clock, tiered=False)
+    bad = [
+        json.dumps({"id": "b0", "op": "predict", "mtx": "not a matrix"}),
+        json.dumps({"id": "b1", "op": "predict"}),
+        json.dumps({"id": "b2", "op": "predict",
+                    "mtx": "%%MatrixMarket matrix coordinate real general\n"
+                           "2 2 1\n1 1 nan\n"}),
+    ]
+    for line in bad:
+        t = tiered.handle_line(line)
+        p = plain.handle_line(line)
+        assert t == p
+        assert t["status"] == "invalid"
+
+
+def test_injected_faults_still_fall_back(model_path, fake_clock):
+    injector = FaultInjector(FaultSpec(failure_rate=1.0, seed=1))
+    server = make_server(model_path, fake_clock, fault_injector=injector)
+    response = server.handle_line(predict_line(0))
+    assert response["status"] == "fallback"
+    assert response["reason"] == "inference_error"
+
+
+def test_escalation_counters_track_requests(model_path, fake_clock):
+    from repro.obs import TELEMETRY
+
+    TELEMETRY.reset()
+    TELEMETRY.enable()
+    try:
+        server = make_server(model_path, fake_clock)
+        n = 30
+        for i in range(n):
+            assert server.handle_line(predict_line(i, seed=9))["status"] == "ok"
+        snapshot = TELEMETRY.registry.snapshot()
+        requests = snapshot["select.requests"]["value"]
+        tier1 = snapshot["select.tier1_answers"]["value"]
+        escalations = snapshot["select.escalations"]["value"]
+        assert requests == n
+        assert tier1 + escalations == n
+        assert snapshot["select.escalation_rate"]["value"] == (
+            escalations / requests
+        )
+        assert "select.tier1" in {
+            e["name"] for e in TELEMETRY.tracer.events()
+        }
+    finally:
+        TELEMETRY.disable()
+        TELEMETRY.reset()
+
+
+def test_tiered_selector_rebuilt_only_on_model_change(model_path, fake_clock):
+    server = make_server(model_path, fake_clock)
+    assert server.handle_line(predict_line(0))["status"] == "ok"
+    first = server._tiered_cache
+    assert first is not None
+    assert server.handle_line(predict_line(1))["status"] == "ok"
+    assert server._tiered_cache is first, "cache rebuilt with model unchanged"
+
+
+def test_micro_batched_burst_still_answers_with_tiers(
+    model_path, fake_clock
+):
+    """Priming full-ingests every request — the cost tiering avoids —
+    so under ``tiered`` the burst path must skip it yet answer each
+    request through the tiered flow, leaving the caches untouched."""
+    server = make_server(model_path, fake_clock, max_batch=4, queue_size=16)
+    responses = server.submit_burst(predict_line(i, seed=9) for i in range(8))
+    assert len(responses) == 8
+    for response in responses:
+        assert response["status"] == "ok"
+        assert response["tier"] in (1, 2)
+    assert server._batch_ingest == {}
+    assert server._batch_results == {}

@@ -1,0 +1,254 @@
+"""Horizontal-scaling benchmark for the serving tier → ``BENCH_serving_scale.json``.
+
+Boots the multi-worker tier (asyncio front-end + N ``repro serve``
+worker subprocesses attached to the shared mmap model store) at each
+worker count in ``REPRO_BENCH_SCALE_WORKERS``, drives the same seeded
+predict workload over concurrent JSONL connections, and records
+throughput and client-observed latency per worker count.
+
+The output JSON carries a ``metrics`` snapshot with
+``serving.scale.rps_<N>`` / ``serving.scale.p99_ms_<N>`` gauges, so CI's
+``serve-scale-smoke`` job gates it with ``repro obs report`` against
+``benchmarks/slo_serving_scale_permissive.json`` — the near-linear
+scaling contract (4-worker RPS >= 2.5x 1-worker on the 4-vCPU runners)
+plus a permissive p99 bound.
+
+Knobs (environment):
+
+- ``REPRO_BENCH_SCALE_REQUESTS`` — timed requests per worker count
+  (default 300)
+- ``REPRO_BENCH_SCALE_CONNS``    — concurrent client connections
+  (default 16)
+- ``REPRO_BENCH_SCALE_WORKERS``  — comma-separated worker counts
+  (default ``1,4``)
+- ``REPRO_BENCH_SCALE_NNZ``      — nonzeros per benchmark matrix
+  (default 4000; larger = more worker-side compute per request)
+- ``REPRO_BENCH_OUT``            — output path (default
+  ``BENCH_serving_scale.json`` at the repo root)
+
+Run directly (``python benchmarks/bench_serving_scale.py``) or via
+pytest (``pytest benchmarks/bench_serving_scale.py -s``, functional
+assertions only — scaling ratios are asserted by the CI SLO gate, not
+locally, because local core counts vary).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from repro.formats.coo import COOMatrix
+from repro.formats.io import matrix_market_string
+from repro.serving.drill import synthetic_frozen_selector
+from repro.serving.frontend import ServingTier, TierConfig
+
+DEFAULT_OUT = os.path.join(
+    os.path.dirname(__file__), "..", "BENCH_serving_scale.json"
+)
+
+
+def _bench_matrix_text(index: int, seed: int, nnz: int) -> str:
+    """A benchmark matrix heavy enough that extraction dominates routing."""
+    rng = np.random.default_rng(seed * 7_654_321 + index)
+    n = max(64, int(np.sqrt(nnz * 4)))
+    flat = rng.choice(n * n, size=min(nnz, n * n), replace=False)
+    rows, cols = np.divmod(flat, n)
+    vals = rng.uniform(0.5, 2.0, size=len(flat))
+    return matrix_market_string(COOMatrix((n, n), rows, cols, vals))
+
+
+def build_workload(
+    n_requests: int, seed: int = 0, nnz: int = 4000, n_unique: int = 32
+) -> list[str]:
+    """Seeded predict lines cycling over a pool of distinct matrices.
+
+    Distinct ``client`` ids spread the keys across the ring the same way
+    a real multi-tenant workload would.
+    """
+    pool = [_bench_matrix_text(i, seed, nnz) for i in range(n_unique)]
+    return [
+        json.dumps(
+            {
+                "id": f"b{i}",
+                "op": "predict",
+                "client": f"tenant-{i % (n_unique * 2)}",
+                "mtx": pool[i % len(pool)],
+            }
+        )
+        for i in range(n_requests)
+    ]
+
+
+async def _drive_timed(
+    socket_path: str, lines: list[str], connections: int
+) -> dict:
+    """Fan ``lines`` over connections; measure RPS + per-request latency."""
+    shares: list[list[str]] = [[] for _ in range(max(1, connections))]
+    for i, line in enumerate(lines):
+        shares[i % len(shares)].append(line)
+    latencies: list[float] = []
+    statuses: dict[str, int] = {}
+
+    async def client(share: list[str]) -> None:
+        if not share:
+            return
+        reader, writer = await asyncio.open_unix_connection(socket_path)
+        try:
+            for line in share:
+                t0 = time.perf_counter()
+                writer.write((line + "\n").encode())
+                await writer.drain()
+                raw = await reader.readline()
+                latencies.append(time.perf_counter() - t0)
+                status = json.loads(raw).get("status")
+                statuses[status] = statuses.get(status, 0) + 1
+        finally:
+            writer.close()
+
+    t0 = time.perf_counter()
+    await asyncio.gather(*(client(share) for share in shares))
+    elapsed = time.perf_counter() - t0
+    lat = np.sort(np.array(latencies)) * 1e3
+    return {
+        "n_requests": len(lines),
+        "connections": connections,
+        "elapsed_s": round(elapsed, 6),
+        "rps": round(len(lines) / elapsed, 3),
+        "p50_ms": round(float(np.percentile(lat, 50)), 6),
+        "p95_ms": round(float(np.percentile(lat, 95)), 6),
+        "p99_ms": round(float(np.percentile(lat, 99)), 6),
+        "statuses": statuses,
+    }
+
+
+async def _bench_one(
+    model_path: str, workers: int, lines: list[str], connections: int
+) -> dict:
+    """Boot a tier at ``workers`` workers, warm it, run the timed burst."""
+    with tempfile.TemporaryDirectory(prefix="repro-scale-bench-") as run_dir:
+        tier = ServingTier(
+            TierConfig(
+                model_path=model_path,
+                run_dir=run_dir,
+                workers=workers,
+                # Generous queue so the bench measures compute scaling,
+                # not admission shedding.
+                worker_args=("--queue-size", "256", "--deadline", "0"),
+            )
+        )
+        front = os.path.join(run_dir, "front.sock")
+        server_task = asyncio.ensure_future(tier.run_socket(front))
+        for _ in range(1200):
+            if os.path.exists(front):
+                break
+            if server_task.done():
+                server_task.result()
+            await asyncio.sleep(0.05)
+        # Warm every worker's feature/model path before timing.
+        warm = lines[: max(connections, 2 * workers)]
+        await _drive_timed(front, warm, connections)
+        result = await _drive_timed(front, lines, connections)
+        reader, writer = await asyncio.open_unix_connection(front)
+        writer.write(b'{"id":"__m","op":"metrics"}\n')
+        writer.write(b'{"id":"__s","op":"shutdown"}\n')
+        await writer.drain()
+        metrics = json.loads(await reader.readline())
+        await reader.readline()
+        writer.close()
+        await asyncio.wait_for(server_task, timeout=30.0)
+        result["workers"] = workers
+        result["tier_quantiles_ms"] = metrics.get("quantiles_ms")
+        result["routed"] = tier.n_routed
+        result["worker_lost"] = tier.n_worker_lost
+        return result
+
+
+def run_scaling_bench(out_path: str | None = None) -> dict:
+    """Run the env-configured scaling sweep; write the JSON artifact."""
+    n_requests = int(os.environ.get("REPRO_BENCH_SCALE_REQUESTS", "300"))
+    connections = int(os.environ.get("REPRO_BENCH_SCALE_CONNS", "16"))
+    worker_counts = [
+        int(w)
+        for w in os.environ.get("REPRO_BENCH_SCALE_WORKERS", "1,4").split(",")
+        if w.strip()
+    ]
+    nnz = int(os.environ.get("REPRO_BENCH_SCALE_NNZ", "4000"))
+    out = out_path or os.environ.get("REPRO_BENCH_OUT", DEFAULT_OUT)
+
+    lines = build_workload(n_requests, seed=0, nnz=nnz)
+    runs: dict[str, dict] = {}
+    with tempfile.TemporaryDirectory(prefix="repro-scale-model-") as tmp:
+        model_path = os.path.join(tmp, "selector.npz")
+        synthetic_frozen_selector(seed=0).save(model_path)
+        for workers in worker_counts:
+            runs[str(workers)] = asyncio.run(
+                _bench_one(model_path, workers, lines, connections)
+            )
+
+    metrics: dict[str, dict] = {}
+    for workers, run in runs.items():
+        metrics[f"serving.scale.rps_{workers}"] = {
+            "type": "gauge", "value": run["rps"],
+        }
+        metrics[f"serving.scale.p99_ms_{workers}"] = {
+            "type": "gauge", "value": run["p99_ms"],
+        }
+        metrics[f"serving.scale.lost_{workers}"] = {
+            "type": "gauge", "value": float(run["worker_lost"]),
+        }
+    result = {
+        "bench": "serving_scale",
+        "n_requests": n_requests,
+        "connections": connections,
+        "nnz": nnz,
+        "worker_counts": worker_counts,
+        "runs": runs,
+        "metrics": {name: metrics[name] for name in sorted(metrics)},
+    }
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return result
+
+
+def print_report(result: dict) -> None:
+    print()
+    base = None
+    for workers in result["worker_counts"]:
+        run = result["runs"][str(workers)]
+        if base is None:
+            base = run["rps"]
+        print(
+            f"workers={workers:<2} {run['rps']:>8.1f} req/s  "
+            f"p50 {run['p50_ms']:.2f} ms  p99 {run['p99_ms']:.2f} ms  "
+            f"speedup {run['rps'] / base:.2f}x"
+        )
+
+
+def test_serving_scale_bench(tmp_path):
+    """Functional checks only — scaling ratios are CI's SLO gate."""
+    os.environ.setdefault("REPRO_BENCH_SCALE_REQUESTS", "48")
+    os.environ.setdefault("REPRO_BENCH_SCALE_CONNS", "6")
+    os.environ.setdefault("REPRO_BENCH_SCALE_WORKERS", "1,2")
+    os.environ.setdefault("REPRO_BENCH_SCALE_NNZ", "600")
+    out = str(tmp_path / "BENCH_serving_scale.json")
+    result = run_scaling_bench(out_path=out)
+    print_report(result)
+    assert os.path.exists(out)
+    for workers in result["worker_counts"]:
+        run = result["runs"][str(workers)]
+        assert sum(run["statuses"].values()) == run["n_requests"]
+        assert run["statuses"].get("ok", 0) == run["n_requests"]
+        assert run["p50_ms"] <= run["p99_ms"]
+        assert f"serving.scale.rps_{workers}" in result["metrics"]
+
+
+if __name__ == "__main__":
+    print_report(run_scaling_bench())
+    sys.exit(0)

@@ -436,11 +436,106 @@ def _serving_config(args: argparse.Namespace, model_path: str):
     )
 
 
+def _worker_serve_flags(args: argparse.Namespace) -> list[str]:
+    """Serving knobs forwarded verbatim to each tier worker process.
+
+    ``--no-reload`` is deliberately *not* forwarded: a worker's reload
+    watch is one ``stat`` of the store's CURRENT pointer, and the
+    front-end gates whether new versions are ever published at all.
+    """
+    flags = [
+        "--fallback-format", args.fallback_format,
+        "--queue-size", str(args.queue_size),
+        "--deadline", str(args.deadline),
+        "--max-request-bytes", str(args.max_request_bytes),
+        "--max-matrix-bytes", str(args.max_matrix_bytes),
+        "--max-dim", str(args.max_dim),
+        "--max-nnz", str(args.max_nnz),
+        "--breaker-failures", str(args.breaker_failures),
+        "--breaker-reset", str(args.breaker_reset),
+        "--breaker-probes", str(args.breaker_probes),
+        "--ood-factor", str(args.ood_factor),
+        "--max-batch", str(args.max_batch),
+        "--max-batch-delay-ms", str(args.max_batch_delay_ms),
+    ]
+    if args.tiered:
+        flags.append("--tiered")
+    if args.tier_margin is not None:
+        flags += ["--tier-margin", str(args.tier_margin)]
+    return flags
+
+
+def _tier_config(args: argparse.Namespace, model_path: str, run_dir: str):
+    from repro.serving import TierConfig
+
+    return TierConfig(
+        model_path=model_path,
+        run_dir=run_dir,
+        workers=args.workers,
+        workers_min=getattr(args, "workers_min", None),
+        workers_max=getattr(args, "workers_max", None),
+        worker_args=tuple(_worker_serve_flags(args)),
+        fallback_format=args.fallback_format,
+        max_request_bytes=args.max_request_bytes,
+        hot_reload=not args.no_reload,
+    )
+
+
+def _cmd_serve_tier(args: argparse.Namespace) -> int:
+    """``repro serve --workers N`` (N >= 2): the horizontally scaled tier."""
+    import asyncio
+    import tempfile
+
+    from repro.obs import TELEMETRY
+    from repro.serving import ServingTier
+
+    own_telemetry = not TELEMETRY.enabled
+    if own_telemetry:
+        TELEMETRY.reset()
+        TELEMETRY.enable()
+    scratch = None
+    run_dir = args.run_dir
+    if run_dir is None:
+        scratch = tempfile.TemporaryDirectory(prefix="repro-serve-tier-")
+        run_dir = scratch.name
+    try:
+        tier = ServingTier(_tier_config(args, args.model, run_dir))
+        if tier.host.degraded:
+            print(
+                f"repro serve: tier starting degraded "
+                f"({tier.host.active.error}); workers fall back to "
+                f"{args.fallback_format} until a valid model appears at "
+                f"{args.model}",
+                file=sys.stderr,
+            )
+        if args.socket:
+            print(
+                f"repro serve: tier front-end on unix socket "
+                f"{args.socket} ({tier.target_workers} workers, "
+                f"min {tier.config.min_workers} / "
+                f"max {tier.config.max_workers})",
+                file=sys.stderr,
+            )
+            return asyncio.run(tier.run_socket(args.socket))
+        return asyncio.run(tier.run_stdio())
+    finally:
+        if scratch is not None:
+            scratch.cleanup()
+        if own_telemetry:
+            TELEMETRY.disable()
+            TELEMETRY.reset()
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.obs import TELEMETRY
     from repro.obs.events import EventLog
     from repro.runtime.faults import injector_for, spec_from_env
     from repro.serving import SelectorServer
+
+    if args.worker_store is None and (
+        args.workers > 1 or (args.workers_max or 1) > 1
+    ):
+        return _cmd_serve_tier(args)
 
     access_log = None
     if args.access_log:
@@ -457,10 +552,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         TELEMETRY.reset()
         TELEMETRY.enable()
     try:
+        host = None
+        if args.worker_store is not None:
+            # Tier worker: attach read-only to the shared mmap store
+            # instead of loading (and re-validating) the .npz — the
+            # front-end shadow-validated this version once for everyone.
+            from repro.serving import StoreModelHost
+
+            host = StoreModelHost(args.worker_store)
+            print(
+                f"repro serve: worker {args.worker_id or '?'} attached to "
+                f"model store {args.worker_store}",
+                file=sys.stderr,
+            )
         server = SelectorServer(
             _serving_config(args, args.model),
             fault_injector=injector_for(spec_from_env()),
             access_log=access_log,
+            host=host,
         )
         if server.host.degraded:
             print(
@@ -505,11 +614,185 @@ def _cmd_chaos_serve(args: argparse.Namespace) -> int:
         TELEMETRY.reset()
         TELEMETRY.enable()
     try:
+        if args.workers > 1:
+            return _run_chaos_tier_drill(args, spec)
         return _run_chaos_serve_drill(args, spec)
     finally:
         if own_telemetry:
             TELEMETRY.disable()
             TELEMETRY.reset()
+
+
+def _run_chaos_tier_drill(args: argparse.Namespace, spec) -> int:
+    """Chaos drill against the multi-worker tier (real subprocesses).
+
+    Same request mix and same per-line contract as the in-process drill,
+    plus the tier-only hazards: ``--kill-worker`` SIGKILLs one worker
+    mid-burst, after which the drill asserts the respawn happened, the
+    worker rejoined the ring, no connection hung, and the front-end's
+    routed-request counters reconcile exactly
+    (``routed == completed + worker_lost``).
+    """
+    import asyncio
+    import json
+    import os
+    import tempfile
+
+    from repro.serving import ServingTier
+    from repro.serving.drill import (
+        audit_tier_responses,
+        build_request_lines,
+        synthetic_frozen_selector,
+        tier_expectations,
+    )
+    from repro.serving.frontend import drive_tier
+
+    with tempfile.TemporaryDirectory(prefix="repro-tier-chaos-") as tmp:
+        model_path = os.path.join(tmp, "selector.npz")
+        synthetic_frozen_selector(seed=args.seed).save(model_path)
+        extra_env = {}
+        if spec.active:
+            # Workers inherit the same deterministic fault stream the
+            # in-process drill injects directly.
+            extra_env["REPRO_FAULTS"] = (
+                f"fail={args.fail},latency={args.latency},"
+                f"delay={args.delay},corrupt={args.corrupt},"
+                f"poison={args.poison},seed={args.fault_seed}"
+            )
+        tier = ServingTier(
+            _tier_config(args, model_path, os.path.join(tmp, "tier")),
+            extra_env=extra_env,
+        )
+        lines, expectations = build_request_lines(
+            args.requests, seed=args.seed, oversize_bytes=args.max_matrix_bytes
+        )
+        expectations = tier_expectations(expectations)
+
+        events: list[str] = []
+        killed: list[str] = []
+        actions: dict[int, object] = {}
+        if args.swap:
+            # The writes call check_reload() synchronously (the tier
+            # object lives in this process), so quarantine/publish are
+            # deterministic, not racing the watch loop.
+            def _write_corrupt() -> None:
+                with open(model_path, "wb") as fh:
+                    fh.write(b"\x00garbage, not an npz\x00" * 64)
+                events.append(f"corrupt candidate: {tier.check_reload()}")
+
+            def _write_good() -> None:
+                synthetic_frozen_selector(
+                    seed=args.seed + 1, n_centroids=8
+                ).save(model_path)
+                events.append(f"retrained candidate: {tier.check_reload()}")
+
+            actions[max(1, len(lines) // 3)] = _write_corrupt
+            actions[max(2, (2 * len(lines)) // 3)] = _write_good
+        if args.kill_worker:
+            def _kill() -> None:
+                name = tier.kill_worker()
+                if name:
+                    killed.append(name)
+                events.append(f"killed worker {name} mid-burst")
+
+            actions[max(1, len(lines) // 2)] = _kill
+
+        front = os.path.join(tmp, "front.sock")
+
+        async def _run():
+            server_task = asyncio.ensure_future(tier.run_socket(front))
+            for _ in range(1200):
+                if os.path.exists(front):
+                    break
+                if server_task.done():
+                    server_task.result()
+                await asyncio.sleep(0.05)
+            pairs = await asyncio.wait_for(
+                drive_tier(
+                    front, lines, connections=args.burst, actions=actions
+                ),
+                timeout=300.0,
+            )
+            rejoined = not killed
+            if killed:
+                for _ in range(400):
+                    if killed[0] in tier.workers:
+                        rejoined = True
+                        break
+                    await asyncio.sleep(0.05)
+            reader, writer = await asyncio.open_unix_connection(front)
+            writer.write(b'{"id":"__m","op":"metrics"}\n')
+            writer.write(b'{"id":"__s","op":"shutdown"}\n')
+            await writer.drain()
+            metrics = json.loads(await reader.readline())
+            await reader.readline()
+            writer.close()
+            await asyncio.wait_for(server_task, timeout=30.0)
+            return pairs, metrics, rejoined
+
+        pairs, metrics, rejoined = asyncio.run(_run())
+        report = audit_tier_responses(
+            pairs, expectations, n_requests=len(lines)
+        )
+        report.swap_events = events
+        print(
+            f"serve chaos (tier): {args.requests} requests over "
+            f"{args.burst} connections, {args.workers} workers, "
+            f"kill={'on' if args.kill_worker else 'off'}, "
+            f"swap={'on' if args.swap else 'off'}, fail={args.fail} "
+            f"corrupt={args.corrupt}"
+        )
+        print(report.to_text())
+        print(
+            f"tier counters: routed={tier.n_routed} "
+            f"completed={tier.n_completed} worker_lost={tier.n_worker_lost} "
+            f"respawned={tier.n_respawned} rebalanced={tier.n_rebalanced}"
+        )
+        rc = 0 if report.ok else 1
+        if tier.n_routed != tier.n_completed + tier.n_worker_lost:
+            print(
+                f"repro chaos: routed counters do not reconcile: "
+                f"routed={tier.n_routed} != completed={tier.n_completed} "
+                f"+ worker_lost={tier.n_worker_lost}",
+                file=sys.stderr,
+            )
+            rc = 1
+        if args.kill_worker:
+            if tier.n_respawned < 1:
+                print(
+                    "repro chaos: killed worker was never respawned",
+                    file=sys.stderr,
+                )
+                rc = 1
+            if not rejoined:
+                print(
+                    f"repro chaos: killed worker "
+                    f"{killed[0] if killed else '?'} did not rejoin the "
+                    f"ring",
+                    file=sys.stderr,
+                )
+                rc = 1
+        if args.swap:
+            if tier.host.n_quarantined < 1:
+                print(
+                    "repro chaos: corrupt candidate was not quarantined",
+                    file=sys.stderr,
+                )
+                rc = 1
+            if tier.host.n_reloads < 1:
+                print(
+                    "repro chaos: retrained candidate was not swapped in",
+                    file=sys.stderr,
+                )
+                rc = 1
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                json.dump(
+                    metrics.get("metrics", {}), fh, indent=2, sort_keys=True
+                )
+                fh.write("\n")
+            print(f"serve chaos: tier metrics snapshot -> {args.metrics_out}")
+        return rc
 
 
 def _run_chaos_serve_drill(args: argparse.Namespace, spec) -> int:
@@ -1118,6 +1401,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", required=True, help="frozen selector .npz")
     p.add_argument("--socket", default=None, metavar="PATH",
                    help="serve on a Unix socket instead of stdin/stdout")
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="worker processes behind the asyncio front-end; "
+                        "1 (default) keeps the single-process server "
+                        "with byte-identical responses")
+    p.add_argument("--workers-min", type=int, default=None, metavar="N",
+                   help="autoscale floor (default: --workers)")
+    p.add_argument("--workers-max", type=int, default=None, metavar="N",
+                   help="autoscale ceiling (default: --workers)")
+    p.add_argument("--run-dir", default=None, metavar="DIR",
+                   help="tier scratch directory for the shared model "
+                        "store and worker sockets (default: a temp dir)")
+    p.add_argument("--worker-store", default=None, help=argparse.SUPPRESS)
+    p.add_argument("--worker-id", default=None, help=argparse.SUPPRESS)
     p.add_argument("--access-log", default=None, metavar="PATH",
                    help="append one JSONL event per request (trace id, "
                         "op, status, latency) with size-based rotation")
@@ -1145,7 +1441,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--requests", type=int, default=200, metavar="N",
                    help="[serve] drill request count")
     p.add_argument("--burst", type=int, default=16, metavar="N",
-                   help="[serve] requests submitted per burst")
+                   help="[serve] requests submitted per burst (tier "
+                        "drills use this as the concurrent connection "
+                        "count)")
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="[serve] drill the multi-worker tier with this "
+                        "many worker processes (1 = in-process server)")
+    p.add_argument("--kill-worker", action="store_true",
+                   help="[serve] SIGKILL one worker mid-drill and "
+                        "assert respawn, ring rejoin, and counter "
+                        "reconciliation (requires --workers >= 2)")
     p.add_argument("--swap", dest="swap", action="store_true", default=True,
                    help="[serve] perform the corrupt-then-good mid-run "
                         "model swap (default)")

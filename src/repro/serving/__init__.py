@@ -23,6 +23,18 @@ burst overload, model faults, and model rollover:
   (stdin/stdout JSONL and Unix-socket transports) wiring it together.
 - :mod:`repro.serving.drill` — the deterministic chaos drill shared by
   tests, ``repro chaos --target serve``, and the serve-smoke CI job.
+
+Horizontal scaling (``repro serve --workers N``) adds three layers on
+top, leaving the per-worker request path above unchanged:
+
+- :mod:`repro.serving.routing` — consistent-hash ring keeping each
+  client's admission/breaker state local to one worker.
+- :mod:`repro.serving.modelstore` — shared mmap model store: the
+  front-end shadow-validates and publishes once, N workers attach
+  read-only to the same pages.
+- :mod:`repro.serving.frontend` — the asyncio front-end: JSONL fan-out,
+  typed worker-loss responses, respawn, queue-depth autoscale, and
+  tier-wide metric/health aggregation.
 """
 
 from repro.serving.admission import AdmissionController
@@ -34,7 +46,9 @@ from repro.serving.drill import (
     run_serve_drill,
     synthetic_frozen_selector,
 )
+from repro.serving.frontend import ServingTier, TierConfig, TierError
 from repro.serving.gateway import GatewayLimits, IngestError, IngestionGateway
+from repro.serving.modelstore import ModelStore, ModelStoreError, StoreModelHost
 from repro.serving.protocol import (
     Request,
     RequestParseError,
@@ -54,9 +68,19 @@ from repro.serving.reload import (
     RELOAD_UNCHANGED,
     golden_features,
 )
+from repro.serving.routing import DEFAULT_REPLICAS, HashRing, stable_hash
 from repro.serving.server import SelectorServer, ServingConfig
 
 __all__ = [
+    "DEFAULT_REPLICAS",
+    "HashRing",
+    "ModelStore",
+    "ModelStoreError",
+    "ServingTier",
+    "StoreModelHost",
+    "TierConfig",
+    "TierError",
+    "stable_hash",
     "AdmissionController",
     "CLOSED",
     "CircuitBreaker",

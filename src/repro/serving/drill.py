@@ -28,6 +28,7 @@ from repro.core.deploy import FrozenSelector
 from repro.formats.coo import COOMatrix
 from repro.formats.io import matrix_market_string
 from repro.serving.protocol import (
+    STATUS_FALLBACK,
     STATUS_INVALID,
     STATUS_OK,
     STATUS_OVERLOADED,
@@ -232,6 +233,29 @@ def build_request_lines(
     return lines, expectations
 
 
+def tier_expectations(
+    expectations: dict[str, DrillExpectation],
+) -> dict[str, DrillExpectation]:
+    """Widen single-process expectations for the multi-worker tier.
+
+    A worker may die with any routed request in flight; the front-end
+    then answers predict/feedback with a *typed* ``fallback`` (reason
+    ``worker_lost``) instead of hanging.  Every tracked id therefore
+    may legally draw ``fallback`` on top of its single-process status
+    set; the invalid-code expectation still applies whenever the
+    response actually is ``invalid``.
+    """
+    widened: dict[str, DrillExpectation] = {}
+    for request_id, expected in expectations.items():
+        statuses = expected.statuses
+        if STATUS_FALLBACK not in statuses:
+            statuses = statuses + (STATUS_FALLBACK,)
+        widened[request_id] = DrillExpectation(
+            statuses, expected.invalid_code
+        )
+    return widened
+
+
 @dataclass
 class DrillReport:
     """Outcome of one serving drill."""
@@ -328,37 +352,58 @@ def run_serve_drill(
                 f"responses"
             )
         for response in responses:
-            report.n_responses += 1
-            status = response.get("status")
-            report.by_status[status] += 1
-            if "code" in response:
-                report.by_code[response["code"]] += 1
-            if "reason" in response:
-                report.by_reason[response["reason"]] += 1
-            if status not in STATUSES:
+            _audit_response(report, answered, expectations, response)
+    _audit_coverage(report, answered, expectations)
+    report.breaker_opens = server.breaker.n_opens
+    report.p99_latency_ms = server.p99_latency() * 1e3
+    return report
+
+
+def _audit_response(
+    report: DrillReport,
+    answered: Counter,
+    expectations: dict[str, DrillExpectation],
+    response: dict,
+) -> None:
+    """Check one response against the contract; record in ``report``."""
+    report.n_responses += 1
+    status = response.get("status")
+    report.by_status[status] += 1
+    if "code" in response:
+        report.by_code[response["code"]] += 1
+    if "reason" in response:
+        report.by_reason[response["reason"]] += 1
+    if status not in STATUSES:
+        report.violations.append(
+            f"unknown status {status!r} in {response}"
+        )
+    request_id = response.get("id")
+    if request_id is not None:
+        answered[request_id] += 1
+        expected = expectations.get(request_id)
+        if expected is not None:
+            if status not in expected.statuses:
                 report.violations.append(
-                    f"unknown status {status!r} in {response}"
+                    f"{request_id}: status {status!r} not in "
+                    f"{expected.statuses}"
                 )
-            request_id = response.get("id")
-            if request_id is not None:
-                answered[request_id] += 1
-                expected = expectations.get(request_id)
-                if expected is not None:
-                    if status not in expected.statuses:
-                        report.violations.append(
-                            f"{request_id}: status {status!r} not in "
-                            f"{expected.statuses}"
-                        )
-                    elif (
-                        status == STATUS_INVALID
-                        and expected.invalid_code is not None
-                        and response.get("code") != expected.invalid_code
-                    ):
-                        report.violations.append(
-                            f"{request_id}: code "
-                            f"{response.get('code')!r} != expected "
-                            f"{expected.invalid_code!r}"
-                        )
+            elif (
+                status == STATUS_INVALID
+                and expected.invalid_code is not None
+                and response.get("code") != expected.invalid_code
+            ):
+                report.violations.append(
+                    f"{request_id}: code "
+                    f"{response.get('code')!r} != expected "
+                    f"{expected.invalid_code!r}"
+                )
+
+
+def _audit_coverage(
+    report: DrillReport,
+    answered: Counter,
+    expectations: dict[str, DrillExpectation],
+) -> None:
     for request_id, count in answered.items():
         if count != 1:
             report.violations.append(
@@ -367,6 +412,29 @@ def run_serve_drill(
     for request_id in expectations:
         if request_id not in answered:
             report.violations.append(f"{request_id}: never answered")
-    report.breaker_opens = server.breaker.n_opens
-    report.p99_latency_ms = server.p99_latency() * 1e3
+
+
+def audit_tier_responses(
+    pairs: list[tuple[str, dict]],
+    expectations: dict[str, DrillExpectation] | None = None,
+    n_requests: int | None = None,
+) -> DrillReport:
+    """Audit ``(line, response)`` pairs collected from the tier front-end.
+
+    The multi-worker analogue of the in-process audit inside
+    :func:`run_serve_drill`: same contract (exactly one structured
+    response per line, legal status, expected invalid code), but the
+    responses were gathered by a socket client
+    (:func:`repro.serving.frontend.drive_tier`) instead of
+    ``submit_burst``.  Breaker/latency fields are left zero — tier-wide
+    figures come from the aggregated ``metrics`` op instead.
+    """
+    expectations = expectations or {}
+    report = DrillReport(
+        n_requests=len(pairs) if n_requests is None else n_requests
+    )
+    answered: Counter = Counter()
+    for _line, response in pairs:
+        _audit_response(report, answered, expectations, response)
+    _audit_coverage(report, answered, expectations)
     return report

@@ -1,0 +1,886 @@
+"""Asyncio front-end of the horizontally scaled serving tier.
+
+``repro serve --workers N`` (N >= 2) no longer answers requests in the
+accepting process.  This module runs the **front-end**: an asyncio JSONL
+server that parses each incoming line just enough to type it, then
+
+- answers protocol-level rejections itself (same
+  :func:`~repro.serving.protocol.parse_request_line` as a worker, so the
+  typed error bytes are identical),
+- routes ``predict``/``feedback`` to one of N worker *processes* over a
+  consistent-hash ring keyed on the client identity
+  (:mod:`repro.serving.routing`), so per-client admission and breaker
+  state stay local to one worker,
+- aggregates the tier-wide ops (``metrics``/``healthz``/``health``
+  merge every worker's answer via
+  :meth:`~repro.obs.metrics.MetricsRegistry.merge_snapshot`;
+  ``reload`` shadow-validates once and flips all workers atomically
+  through the shared :class:`~repro.serving.modelstore.ModelStore`).
+
+Each worker is a ``repro serve`` subprocess running the unchanged
+PR-4/PR-7 :class:`~repro.serving.server.SelectorServer` over its own
+Unix socket, attached read-only to the shared mmap model store.  The
+front-end holds one multiplexed connection per worker; because a worker
+answers strictly in order, responses are matched FIFO against the
+in-flight queue.  When a worker dies, every request in flight on it
+receives a *typed* error response immediately (``fallback`` with reason
+``worker_lost`` for predict/feedback, ``invalid`` with code
+``worker_lost`` otherwise) — never a hang — and the worker is respawned
+under its old ring name, so key movement is bounded to exactly the keys
+it owned.  A queue-depth autoscale loop spawns/retires workers within
+``--workers-min``/``--workers-max``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import subprocess
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.obs import TELEMETRY
+from repro.obs.context import new_trace_id
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.quantiles import DEFAULT_QUANTILES, quantile_key, snapshot_quantile
+from repro.serving.modelstore import ModelStore
+from repro.serving.protocol import (
+    CODE_WORKER_LOST,
+    REASON_WORKER_LOST,
+    RequestParseError,
+    encode_response,
+    fallback_response,
+    invalid_response,
+    ok_response,
+    parse_request_line,
+)
+from repro.serving.reload import RELOAD_SWAPPED, ModelHost
+from repro.serving.routing import HashRing
+
+#: Ops the front-end answers itself (everything else is routed).
+TIER_OPS = ("health", "healthz", "metrics", "reload", "shutdown")
+
+
+class TierError(RuntimeError):
+    """The tier could not be brought up (worker boot failure)."""
+
+
+@dataclass(frozen=True)
+class TierConfig:
+    """Knobs of one serving tier (front-end + workers)."""
+
+    model_path: str
+    #: Scratch directory owning the model store and worker sockets.
+    run_dir: str
+    #: Initial worker count.
+    workers: int = 2
+    #: Autoscale floor/ceiling; both default to ``workers`` (no scaling).
+    workers_min: int | None = None
+    workers_max: int | None = None
+    #: Extra ``repro serve`` CLI flags forwarded verbatim to each worker
+    #: (queue size, breaker knobs, tiering, ... — the worker is the
+    #: unchanged single-process server).
+    worker_args: tuple[str, ...] = ()
+    fallback_format: str = "csr"
+    max_request_bytes: int = 16 * 1024 * 1024
+    #: Watch the model path and publish validated candidates tier-wide.
+    hot_reload: bool = True
+    #: Autoscale cadence; also the respawn-check cadence.
+    scale_interval_seconds: float = 0.25
+    #: Mean in-flight requests per worker that triggers a spawn/retire.
+    scale_up_depth: float = 4.0
+    scale_down_depth: float = 0.25
+    #: Patience for one routed request before the worker is presumed
+    #: wedged and killed (its in-flight load then gets typed errors).
+    request_timeout_seconds: float = 60.0
+    boot_timeout_seconds: float = 60.0
+
+    @property
+    def min_workers(self) -> int:
+        return self.workers if self.workers_min is None else self.workers_min
+
+    @property
+    def max_workers(self) -> int:
+        return self.workers if self.workers_max is None else self.workers_max
+
+
+@dataclass
+class _Pending:
+    """One request in flight on a worker connection (FIFO-matched)."""
+
+    future: asyncio.Future
+    op: str
+    request_id: str | None
+    #: True for client requests that went through the ring (these feed
+    #: the ``routed == completed + worker_lost`` reconciliation);
+    #: front-end fan-out ops are accounted separately.
+    routed: bool = False
+
+
+class WorkerHandle:
+    """Front-end bookkeeping for one worker process + its connection."""
+
+    def __init__(self, name: str, socket_path: str) -> None:
+        self.name = name
+        self.socket_path = socket_path
+        self.proc: subprocess.Popen | None = None
+        self.reader: asyncio.StreamReader | None = None
+        self.writer: asyncio.StreamWriter | None = None
+        self.pending: deque[_Pending] = deque()
+        self.lock = asyncio.Lock()
+        self.reader_task: asyncio.Task | None = None
+        self.retiring = False
+        #: Set (synchronously with the pending flush) when the worker is
+        #: gone; dispatchers that already hold a reference must check it
+        #: before enqueueing.
+        self.closed = False
+        self.started_at = time.monotonic()
+        self.n_answered = 0
+
+    @property
+    def inflight(self) -> int:
+        return len(self.pending)
+
+    def kill(self) -> None:
+        if self.proc is not None and self.proc.poll() is None:
+            self.proc.kill()
+
+
+class ServingTier:
+    """The asyncio front-end plus its worker fleet."""
+
+    def __init__(
+        self,
+        config: TierConfig,
+        extra_env: dict[str, str] | None = None,
+    ) -> None:
+        self.config = config
+        self.extra_env = dict(extra_env or {})
+        os.makedirs(config.run_dir, exist_ok=True)
+        self.store = ModelStore(os.path.join(config.run_dir, "store"))
+        # The tier's single shadow validator: only what this host swaps
+        # in is ever published to the store the workers attach to.
+        self.host = ModelHost(config.model_path)
+        if self.host.active.selector is not None:
+            self.store.publish(
+                self.host.active.selector, self.host.active.sha256
+            )
+        self.ring = HashRing()
+        self.workers: dict[str, WorkerHandle] = {}
+        self.target_workers = max(
+            config.min_workers, min(config.workers, config.max_workers)
+        )
+        self._next_worker = 0
+        self._conn_counter = 0
+        #: Names of workers that died unretired, awaiting respawn under
+        #: the same ring position (bounded key movement).
+        self._lost_names: set[str] = set()
+        #: Serializes fleet changes: the reader-loop respawn trigger and
+        #: the periodic scale loop must not both spawn for one death.
+        self._capacity_lock: asyncio.Lock | None = None
+        self._stopping = False
+        self._stopped = False
+        self._stop_event = asyncio.Event()
+        self._scale_task: asyncio.Task | None = None
+        self.started_at = time.monotonic()
+        # Tier counters; `routed == completed + worker_lost` is the
+        # reconciliation the chaos drill asserts.
+        self.n_routed = 0
+        self.n_completed = 0
+        self.n_worker_lost = 0
+        self.n_respawned = 0
+        self.n_rebalanced = 0
+        self.n_timeouts = 0
+
+    # -- worker lifecycle ---------------------------------------------------
+
+    def _worker_command(self, name: str, socket_path: str) -> list[str]:
+        return [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--model",
+            self.config.model_path,
+            "--socket",
+            socket_path,
+            "--worker-store",
+            self.store.root,
+            "--worker-id",
+            name,
+            *self.config.worker_args,
+        ]
+
+    async def _spawn_worker(self, name: str | None = None) -> WorkerHandle:
+        """Boot one worker process and connect to its socket."""
+        if name is None:
+            name = f"w{self._next_worker}"
+            self._next_worker += 1
+        socket_path = os.path.join(self.config.run_dir, f"{name}.sock")
+        if os.path.exists(socket_path):
+            os.unlink(socket_path)
+        handle = WorkerHandle(name, socket_path)
+        handle.proc = subprocess.Popen(
+            self._worker_command(name, socket_path),
+            env={**os.environ, **self.extra_env},
+            stdin=subprocess.DEVNULL,
+        )
+        deadline = time.monotonic() + self.config.boot_timeout_seconds
+        while True:
+            try:
+                reader, writer = await asyncio.open_unix_connection(
+                    socket_path
+                )
+                break
+            except (OSError, ValueError):
+                if handle.proc.poll() is not None:
+                    raise TierError(
+                        f"worker {name} exited with "
+                        f"{handle.proc.returncode} before serving"
+                    )
+                if time.monotonic() > deadline:
+                    handle.kill()
+                    raise TierError(
+                        f"worker {name} did not open {socket_path} within "
+                        f"{self.config.boot_timeout_seconds}s"
+                    )
+                await asyncio.sleep(0.05)
+        handle.reader, handle.writer = reader, writer
+        handle.reader_task = asyncio.ensure_future(self._reader_loop(handle))
+        self.workers[name] = handle
+        self.ring.add(name)
+        self.n_rebalanced += 1
+        TELEMETRY.inc("serving.rebalanced")
+        TELEMETRY.gauge_set("serving.workers", float(len(self.workers)))
+        return handle
+
+    async def _reader_loop(self, handle: WorkerHandle) -> None:
+        """Match one worker's response lines FIFO against its in-flight."""
+        try:
+            while True:
+                line = await handle.reader.readline()
+                if not line:
+                    break
+                try:
+                    response = json.loads(line)
+                except ValueError:  # pragma: no cover - defensive
+                    response = invalid_response(
+                        "internal_error",
+                        f"worker {handle.name} sent an unparseable response",
+                    )
+                if handle.pending:
+                    pend = handle.pending.popleft()
+                    if not pend.future.done():
+                        pend.future.set_result(response)
+                    handle.n_answered += 1
+        except (ConnectionError, OSError):  # pragma: no cover - defensive
+            pass
+        finally:
+            self._flush_worker(handle)
+            if not self._stopping and not handle.retiring:
+                self._lost_names.add(handle.name)
+                asyncio.ensure_future(self._ensure_capacity())
+
+    def _flush_worker(self, handle: WorkerHandle) -> None:
+        """Synchronously fail everything in flight on a gone worker.
+
+        Runs in one event-loop step (no awaits), so a dispatcher either
+        enqueued before the flush — and is answered here — or observes
+        ``handle.closed`` afterwards and never enqueues.  Every response
+        is *typed*: predict/feedback still carry a safe format.
+        """
+        handle.closed = True
+        self.workers.pop(handle.name, None)
+        if handle.name in self.ring:
+            self.ring.remove(handle.name)
+            self.n_rebalanced += 1
+            TELEMETRY.inc("serving.rebalanced")
+        while handle.pending:
+            pend = handle.pending.popleft()
+            if pend.future.done():
+                continue
+            if pend.op in ("predict", "feedback"):
+                response = fallback_response(
+                    self.config.fallback_format,
+                    REASON_WORKER_LOST,
+                    pend.request_id,
+                    worker=handle.name,
+                )
+            else:
+                response = invalid_response(
+                    CODE_WORKER_LOST,
+                    f"worker {handle.name} died with the request in flight",
+                    pend.request_id,
+                )
+            pend.future.set_result(response)
+            if pend.routed:
+                self.n_worker_lost += 1
+                TELEMETRY.inc("serving.worker_lost")
+        if handle.writer is not None:
+            handle.writer.close()
+        TELEMETRY.gauge_set("serving.workers", float(len(self.workers)))
+
+    async def _ensure_capacity(self) -> None:
+        """Spawn (serialized) until the alive count meets the target.
+
+        Lost names are respawned first, and a respawned worker keeps its
+        old ring position: the keys that moved off it while it was dead
+        move back, and nothing else moves — the bounded-movement half of
+        the routing contract.  The lock keeps the reader-loop trigger
+        and the scale loop from double-spawning for one death.
+        """
+        if self._capacity_lock is None:
+            self._capacity_lock = asyncio.Lock()
+        async with self._capacity_lock:
+            while not self._stopping and len(self.workers) < max(
+                self.target_workers, self.config.min_workers
+            ):
+                name = None
+                if self._lost_names:
+                    name = sorted(self._lost_names)[0]
+                    self._lost_names.discard(name)
+                try:
+                    await self._spawn_worker(name)
+                except TierError:  # pragma: no cover - boot env failure
+                    return
+                if name is not None:
+                    self.n_respawned += 1
+                    TELEMETRY.inc("serving.respawned")
+            # Any leftover lost name is capacity the tier no longer
+            # needs (the target shrank while it was down).
+            self._lost_names.clear()
+
+    async def _retire_worker(self, handle: WorkerHandle) -> None:
+        """Drain one worker, then ask it to shut down."""
+        handle.retiring = True
+        if handle.name in self.ring:
+            self.ring.remove(handle.name)
+            self.n_rebalanced += 1
+            TELEMETRY.inc("serving.rebalanced")
+        deadline = time.monotonic() + self.config.request_timeout_seconds
+        while handle.pending and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        self.workers.pop(handle.name, None)
+        TELEMETRY.gauge_set("serving.workers", float(len(self.workers)))
+        try:
+            async with handle.lock:
+                if not handle.closed and handle.writer is not None:
+                    handle.pending.append(
+                        _Pending(
+                            asyncio.get_running_loop().create_future(),
+                            "shutdown",
+                            None,
+                        )
+                    )
+                    handle.writer.write(b'{"op":"shutdown"}\n')
+                    await handle.writer.drain()
+        except (ConnectionError, OSError):  # pragma: no cover - defensive
+            pass
+        await asyncio.sleep(0.1)
+        handle.kill()
+
+    async def _scale_loop(self) -> None:
+        """Respawn the dead, watch the model, scale on queue depth."""
+        interval = max(self.config.scale_interval_seconds, 0.01)
+        while not self._stopping:
+            await asyncio.sleep(interval)
+            if self._stopping:
+                return
+            if self.config.hot_reload:
+                self.check_reload()
+            await self._ensure_capacity()
+            alive = [w for w in self.workers.values() if not w.retiring]
+            if not alive:
+                continue
+            depth = sum(w.inflight for w in alive) / len(alive)
+            if (
+                depth > self.config.scale_up_depth
+                and self.target_workers < self.config.max_workers
+            ):
+                self.target_workers += 1
+                TELEMETRY.inc("serving.scale_up")
+                await self._ensure_capacity()
+            elif (
+                depth < self.config.scale_down_depth
+                and self.target_workers > self.config.min_workers
+                and len(alive) > self.config.min_workers
+            ):
+                self.target_workers -= 1
+                TELEMETRY.inc("serving.scale_down")
+                victim = max(
+                    alive, key=lambda w: (w.inflight == 0, w.started_at)
+                )
+                asyncio.ensure_future(self._retire_worker(victim))
+
+    def kill_worker(self, name: str | None = None) -> str | None:
+        """SIGKILL one alive worker (chaos hook); returns its name."""
+        candidates = sorted(
+            w for w in self.workers if not self.workers[w].retiring
+        )
+        if name is None and candidates:
+            name = candidates[0]
+        handle = self.workers.get(name) if name else None
+        if handle is None:
+            return None
+        handle.kill()
+        return name
+
+    # -- model rollover -----------------------------------------------------
+
+    def check_reload(self) -> str:
+        """Watch the model path; publish tier-wide on a validated swap.
+
+        Shadow validation happens exactly once, in this process; the
+        store's CURRENT rename is the atomic flip every worker observes.
+        """
+        event = self.host.check_reload()
+        if event == RELOAD_SWAPPED:
+            self.store.publish(
+                self.host.active.selector, self.host.active.sha256
+            )
+        return event
+
+    # -- dispatch -----------------------------------------------------------
+
+    def routing_key(self, body: dict, conn_key: str) -> str:
+        """Hash key for one request: explicit client id, else connection.
+
+        Keying on the *client* (not the request id) is what keeps a
+        client's admission and breaker state on a single worker.
+        """
+        client = body.get("client")
+        if client is not None and not isinstance(client, (dict, list)):
+            return f"client:{client}"
+        return conn_key
+
+    async def dispatch(self, line: str, conn_key: str) -> dict:
+        """One request line in, exactly one response dict out."""
+        try:
+            request = parse_request_line(line, self.config.max_request_bytes)
+        except RequestParseError as exc:
+            return exc.response
+        if request.op == "shutdown":
+            return await self._op_shutdown(request)
+        if request.op == "reload":
+            return await self._op_reload(request)
+        if request.op == "metrics":
+            return await self._op_metrics(request)
+        if request.op in ("health", "healthz"):
+            return await self._op_health(request)
+        return await self._route(request, self.routing_key(request.body, conn_key))
+
+    def _unroutable(self, request) -> dict:
+        if request.op in ("predict", "feedback"):
+            return fallback_response(
+                self.config.fallback_format,
+                REASON_WORKER_LOST,
+                request.id,
+                error="no worker available",
+            )
+        return invalid_response(
+            CODE_WORKER_LOST, "no worker available", request.id
+        )
+
+    async def _route(self, request, key: str) -> dict:
+        """Consistent-hash route one request; never hangs, never raises."""
+        trace_id = new_trace_id()
+        deadline = time.monotonic() + self.config.boot_timeout_seconds
+        while True:
+            try:
+                name = self.ring.assign(key)
+            except LookupError:
+                name = None
+            handle = self.workers.get(name) if name is not None else None
+            if handle is not None and not handle.retiring and not handle.closed:
+                with TELEMETRY.span(
+                    "serving.route",
+                    trace=trace_id,
+                    worker=handle.name,
+                    op=request.op,
+                ):
+                    response = await self._forward(
+                        handle, request, trace_id, routed=True
+                    )
+                # None = the worker vanished between selection and
+                # enqueue; nothing was sent — re-route this request.
+                if response is not None:
+                    self.n_routed += 1
+                    TELEMETRY.inc("serving.routed")
+                    lost = (
+                        response.get("reason") == REASON_WORKER_LOST
+                        or response.get("code") == CODE_WORKER_LOST
+                    )
+                    if not lost:
+                        # Losses were counted by the flush, so the books
+                        # balance: routed == completed + worker_lost.
+                        self.n_completed += 1
+                    return response
+            if self._stopping or time.monotonic() > deadline:
+                return self._unroutable(request)
+            await asyncio.sleep(0.02)
+
+    async def _forward(
+        self,
+        handle: WorkerHandle,
+        request,
+        trace_id: str,
+        routed: bool = False,
+    ):
+        """Send one request down a worker connection and await its answer.
+
+        Returns ``None`` if the worker closed before the request could
+        be enqueued (caller re-routes).  A timeout kills the worker:
+        FIFO matching cannot survive a skipped response, so a wedged
+        worker is converted into a dead one, whose in-flight requests
+        all get typed answers.
+        """
+        body = dict(request.body)
+        body["_trace"] = trace_id
+        payload = (
+            json.dumps(body, separators=(",", ":"), default=str) + "\n"
+        ).encode("utf-8")
+        loop = asyncio.get_running_loop()
+        pend = _Pending(
+            loop.create_future(), request.op, request.id, routed=routed
+        )
+        async with handle.lock:
+            if handle.closed:
+                return None
+            handle.pending.append(pend)
+            try:
+                handle.writer.write(payload)
+            except (ConnectionError, OSError):  # pragma: no cover
+                if pend in handle.pending:
+                    handle.pending.remove(pend)
+                return None
+        try:
+            await handle.writer.drain()
+        except (ConnectionError, OSError):
+            pass  # the reader loop flushes `pend` with a typed response
+        timeout = self.config.request_timeout_seconds
+        try:
+            return await asyncio.wait_for(
+                asyncio.shield(pend.future), timeout if timeout > 0 else None
+            )
+        except asyncio.TimeoutError:
+            self.n_timeouts += 1
+            TELEMETRY.inc("serving.worker_timeout")
+            handle.kill()  # reader EOF will flush `pend` with worker_lost
+            return await pend.future
+
+    async def _fanout(self, op: str) -> dict[str, dict]:
+        """Send one tier op to every alive worker; gather by name."""
+        handles = [
+            w for w in self.workers.values()
+            if not w.retiring and not w.closed
+        ]
+        if not handles:
+            return {}
+
+        async def ask(handle: WorkerHandle) -> tuple[str, dict | None]:
+            request = parse_request_line(
+                json.dumps({"op": op, "id": f"__tier_{op}"})
+            )
+            response = await self._forward(handle, request, new_trace_id())
+            return handle.name, response
+
+        results = await asyncio.gather(*(ask(h) for h in handles))
+        return {
+            name: response
+            for name, response in results
+            if isinstance(response, dict)
+        }
+
+    # -- tier ops -----------------------------------------------------------
+
+    async def _op_metrics(self, request) -> dict:
+        """Tier-wide metrics: every worker's snapshot, merged.
+
+        Counters add, gauges last-write-wins, histograms merge
+        bucket-by-bucket (:meth:`MetricsRegistry.merge_snapshot`), so
+        ``serving.latency_seconds`` quantiles describe the whole tier —
+        not just the worker that happened to answer the socket.
+        """
+        per_worker = await self._fanout("metrics")
+        registry = MetricsRegistry()
+        for name in sorted(per_worker):
+            snap = per_worker[name].get("metrics")
+            if isinstance(snap, dict):
+                try:
+                    registry.merge_snapshot(snap)
+                except ValueError:  # pragma: no cover - defensive
+                    continue
+        snap = dict(registry.snapshot())
+        snap.update(self.tier_metrics())
+        snap = {name: snap[name] for name in sorted(snap)}
+        quantiles: dict = {}
+        latency = snap.get("serving.latency_seconds")
+        for q in DEFAULT_QUANTILES:
+            est = snapshot_quantile(latency, q) if latency else float("nan")
+            quantiles[quantile_key(q)] = (
+                round(est * 1e3, 6) if est == est else None
+            )
+        return ok_response(
+            request.id,
+            op="metrics",
+            workers=len(per_worker),
+            quantiles_ms=quantiles,
+            metrics=snap,
+        )
+
+    def tier_metrics(self) -> dict[str, dict]:
+        """The front-end's own instruments, snapshot-shaped."""
+        return {
+            "serving.workers": {
+                "type": "gauge", "value": float(len(self.workers)),
+            },
+            "serving.routed": {
+                "type": "counter", "value": float(self.n_routed),
+            },
+            "serving.completed": {
+                "type": "counter", "value": float(self.n_completed),
+            },
+            "serving.worker_lost": {
+                "type": "counter", "value": float(self.n_worker_lost),
+            },
+            "serving.respawned": {
+                "type": "counter", "value": float(self.n_respawned),
+            },
+            "serving.rebalanced": {
+                "type": "counter", "value": float(self.n_rebalanced),
+            },
+        }
+
+    async def _op_health(self, request) -> dict:
+        """Aggregated liveness: the tier is what the prober asked about."""
+        per_worker = await self._fanout(request.op)
+        if request.op == "healthz":
+            states = {
+                name: resp.get("state", "degraded")
+                for name, resp in per_worker.items()
+            }
+            degraded = (
+                not states or any(s != "ok" for s in states.values())
+            )
+            return ok_response(
+                request.id,
+                op="healthz",
+                state="degraded" if degraded else "ok",
+                uptime_seconds=round(time.monotonic() - self.started_at, 3),
+                workers=len(self.workers),
+                worker_states={k: states[k] for k in sorted(states)},
+                queue_depth=sum(
+                    int(r.get("queue_depth", 0)) for r in per_worker.values()
+                ) + sum(w.inflight for w in self.workers.values()),
+                routed=self.n_routed,
+                worker_lost=self.n_worker_lost,
+                respawned=self.n_respawned,
+            )
+        return ok_response(
+            request.id,
+            op="health",
+            uptime_seconds=round(time.monotonic() - self.started_at, 3),
+            model=self.host.snapshot(),
+            workers={k: per_worker[k] for k in sorted(per_worker)},
+            routed=self.n_routed,
+            worker_lost=self.n_worker_lost,
+            respawned=self.n_respawned,
+            rebalanced=self.n_rebalanced,
+        )
+
+    async def _op_reload(self, request) -> dict:
+        """Validate once at the front-end, flip every worker atomically."""
+        event = self.check_reload()
+        per_worker = await self._fanout("reload")
+        return ok_response(
+            request.id,
+            op="reload",
+            event=event,
+            model=self.host.snapshot(),
+            workers={
+                name: per_worker[name].get("event")
+                for name in sorted(per_worker)
+            },
+        )
+
+    async def _op_shutdown(self, request) -> dict:
+        # Stop routing immediately, but let the accept loop tear the
+        # fleet down *after* this response has been written back —
+        # otherwise the acknowledgement races the process exit.
+        self._stopping = True
+        asyncio.get_running_loop().call_later(0.05, self._stop_event.set)
+        return ok_response(
+            request.id, op="shutdown", workers=len(self.workers)
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Boot the initial fleet and the autoscale loop."""
+        await self._ensure_capacity()
+        self._scale_task = asyncio.ensure_future(self._scale_loop())
+
+    async def stop(self) -> None:
+        """Stop routing, shut every worker down, reap the fleet."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self._stopping = True
+        if self._scale_task is not None:
+            self._scale_task.cancel()
+        for handle in list(self.workers.values()):
+            try:
+                async with handle.lock:
+                    if not handle.closed and handle.writer is not None:
+                        handle.pending.append(
+                            _Pending(
+                                asyncio.get_running_loop().create_future(),
+                                "shutdown",
+                                None,
+                            )
+                        )
+                        handle.writer.write(b'{"op":"shutdown"}\n')
+                        await handle.writer.drain()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+        deadline = time.monotonic() + 5.0
+        for handle in list(self.workers.values()):
+            while (
+                handle.proc is not None
+                and handle.proc.poll() is None
+                and time.monotonic() < deadline
+            ):
+                await asyncio.sleep(0.05)
+            handle.kill()
+            self._flush_worker(handle)
+        self._stop_event.set()
+
+    async def _serve_client(self, reader, writer) -> None:
+        """One JSONL conversation; responses in request order."""
+        self._conn_counter += 1
+        conn_key = f"conn:{self._conn_counter}"
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                text = line.decode("utf-8", "replace")
+                if not text.strip():
+                    continue
+                response = await self.dispatch(text, conn_key)
+                writer.write((encode_response(response) + "\n").encode())
+                await writer.drain()
+                if self._stopping:
+                    break
+        except (ConnectionError, OSError):  # pragma: no cover - client gone
+            pass
+        finally:
+            try:
+                writer.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+
+    async def run_socket(self, socket_path: str) -> int:
+        """Serve the tier on a front Unix socket until shutdown."""
+        if os.path.exists(socket_path):
+            os.unlink(socket_path)
+        await self.start()
+        server = await asyncio.start_unix_server(
+            self._serve_client, path=socket_path
+        )
+        try:
+            async with server:
+                await self._stop_event.wait()
+        finally:
+            await self.stop()
+            if os.path.exists(socket_path):
+                os.unlink(socket_path)
+        return 0
+
+    async def run_stdio(self, instream=None, outstream=None) -> int:
+        """Serve the tier over stdin/stdout (one implicit client)."""
+        await self.start()
+        loop = asyncio.get_running_loop()
+        reader = asyncio.StreamReader()
+        protocol = asyncio.StreamReaderProtocol(reader)
+        await loop.connect_read_pipe(
+            lambda: protocol, instream if instream is not None else sys.stdin
+        )
+        out = outstream if outstream is not None else sys.stdout
+        try:
+            while not self._stopping:
+                line = await reader.readline()
+                if not line:
+                    break
+                text = line.decode("utf-8", "replace")
+                if not text.strip():
+                    continue
+                response = await self.dispatch(text, "stdio")
+                out.write(encode_response(response) + "\n")
+                out.flush()
+        finally:
+            await self.stop()
+        return 0
+
+
+async def drive_tier(
+    socket_path: str,
+    lines: Iterable[str],
+    connections: int = 8,
+    actions: dict | None = None,
+) -> list[tuple[str, dict]]:
+    """Test/bench client: fan ``lines`` over N connections, collect all.
+
+    Lines are dealt round-robin; each connection pipelines its share
+    sequentially (the JSONL conversational contract).  Returns
+    ``(line, response)`` pairs indexed like ``lines``.  ``actions`` maps
+    a tier-wide answered-count to a zero-argument callable fired once
+    when that many responses have arrived — how the chaos drill kills a
+    worker or swaps the model mid-burst.
+    """
+    lines = list(lines)
+    shares: list[list[tuple[int, str]]] = [
+        [] for _ in range(max(1, connections))
+    ]
+    for i, line in enumerate(lines):
+        shares[i % len(shares)].append((i, line))
+    results: list[tuple[str, dict] | None] = [None] * len(lines)
+    progress = {"answered": 0}
+    fired: set[int] = set()
+
+    async def client(share: list[tuple[int, str]]) -> None:
+        if not share:
+            return
+        reader, writer = await asyncio.open_unix_connection(socket_path)
+        try:
+            for index, line in share:
+                writer.write((line.rstrip("\n") + "\n").encode())
+                await writer.drain()
+                raw = await reader.readline()
+                if not raw:
+                    raise ConnectionError("tier closed mid-conversation")
+                results[index] = (line, json.loads(raw))
+                progress["answered"] += 1
+                for at in sorted(actions or {}):
+                    if at not in fired and progress["answered"] >= at:
+                        fired.add(at)
+                        actions[at]()
+        finally:
+            writer.close()
+
+    await asyncio.gather(*(client(share) for share in shares))
+    return [r for r in results if r is not None]
+
+
+__all__ = [
+    "ServingTier",
+    "TIER_OPS",
+    "TierConfig",
+    "TierError",
+    "WorkerHandle",
+    "drive_tier",
+]

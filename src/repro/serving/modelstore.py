@@ -1,0 +1,343 @@
+"""Shared read-only model store: one mmap'd frozen model, N workers.
+
+The single-process server loads its ``.npz`` with
+:meth:`~repro.core.deploy.FrozenSelector.load` — a full read, parse, and
+structural validation.  Repeating that per worker would cost N
+deserializations and N private copies of every array.  The tier instead
+splits publication from attachment:
+
+- **Publish (front-end, once per version)** — the front-end's
+  :class:`~repro.serving.reload.ModelHost` has already shadow-validated
+  the candidate; :meth:`ModelStore.publish` writes each of its arrays as
+  a raw ``.npy`` file under ``versions/<sha256>/`` (content-addressed,
+  staged + atomically renamed) plus a small JSON manifest, then flips
+  the ``CURRENT`` pointer file with one atomic rename.  That rename *is*
+  the tier-wide model swap: every worker observes it on its next
+  request, and no worker can observe half a version.
+- **Attach (worker, per version)** — :meth:`ModelStore.attach` opens the
+  arrays with ``np.load(..., mmap_mode="r")``: no deserialization, no
+  validation (the publisher did it once), no private copy.  All workers
+  map the same pages, so the model occupies page cache once regardless
+  of worker count — the property ``tests/serving/test_modelstore.py``
+  asserts, along with the absence of any load-time telemetry span on
+  the attach path.
+
+:class:`StoreModelHost` adapts the store to the
+:class:`~repro.serving.reload.ModelHost` surface the request loop uses
+(``active`` / ``check_reload()`` / ``snapshot()``), so
+:class:`~repro.serving.server.SelectorServer` runs unchanged inside a
+worker.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.core.deploy import FrozenSelector
+from repro.obs import TELEMETRY
+from repro.serving.reload import (
+    ModelVersion,
+    RELOAD_QUARANTINED,
+    RELOAD_SWAPPED,
+    RELOAD_UNCHANGED,
+)
+
+_MANIFEST = "manifest.json"
+_CURRENT = "CURRENT"
+
+#: FrozenSelector array fields persisted as raw ``.npy`` files.  The
+#: optional ones (``None`` in the selector) are simply absent from the
+#: version directory; the manifest records which were written.
+_ARRAY_FIELDS = (
+    "transform_shift",
+    "transform_apply",
+    "scaler_min",
+    "scaler_span",
+    "pca_mean",
+    "pca_components",
+    "centroids",
+    "centroid_labels",
+)
+
+
+class ModelStoreError(RuntimeError):
+    """A store version that cannot be published or attached."""
+
+
+class ModelStore:
+    """Content-addressed, mmap-attachable store of frozen selectors."""
+
+    def __init__(self, root: str) -> None:
+        self.root = str(root)
+        os.makedirs(os.path.join(self.root, "versions"), exist_ok=True)
+
+    # -- paths --------------------------------------------------------------
+
+    def version_dir(self, sha: str) -> str:
+        return os.path.join(self.root, "versions", sha)
+
+    @property
+    def current_path(self) -> str:
+        return os.path.join(self.root, _CURRENT)
+
+    # -- publish (front-end side) -------------------------------------------
+
+    def publish(self, selector: FrozenSelector, sha: str) -> str:
+        """Write ``selector`` under ``versions/<sha>`` and flip CURRENT.
+
+        The caller has already validated the selector (the front-end
+        publishes only what its :class:`ModelHost` swapped in).  Writing
+        is staged into a sibling temp directory and renamed into place,
+        so a concurrent attach sees either the whole version or none of
+        it; publishing a sha that already exists only flips the pointer.
+        """
+        target = self.version_dir(sha)
+        if not os.path.isdir(target):
+            staging = tempfile.mkdtemp(
+                prefix=f".stage-{sha[:12]}-",
+                dir=os.path.join(self.root, "versions"),
+            )
+            try:
+                arrays = []
+                for name in _ARRAY_FIELDS:
+                    value = getattr(selector, name)
+                    if value is None:
+                        continue
+                    if name == "centroid_labels":
+                        value = np.asarray(value).astype("U8")
+                    np.save(
+                        os.path.join(staging, f"{name}.npy"),
+                        np.ascontiguousarray(value),
+                    )
+                    arrays.append(name)
+                manifest = {
+                    "sha256": sha,
+                    "arrays": arrays,
+                    "transform_kind": selector.transform_kind,
+                    "n_centroids": selector.n_centroids,
+                }
+                with open(
+                    os.path.join(staging, _MANIFEST), "w", encoding="utf-8"
+                ) as fh:
+                    json.dump(manifest, fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+                try:
+                    os.replace(staging, target)
+                except OSError:
+                    # A concurrent publisher won the rename; theirs is
+                    # byte-equivalent (content-addressed), use it.
+                    if not os.path.isdir(target):
+                        raise
+            finally:
+                if os.path.isdir(staging) and staging != target:
+                    for leftover in os.listdir(staging):
+                        os.unlink(os.path.join(staging, leftover))
+                    os.rmdir(staging)
+            TELEMETRY.inc("serving.store.published")
+        self.set_current(sha)
+        return target
+
+    def set_current(self, sha: str) -> None:
+        """Atomically repoint CURRENT at ``sha`` — the tier-wide flip."""
+        fd, tmp = tempfile.mkstemp(prefix=".current-", dir=self.root)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(sha + "\n")
+            os.replace(tmp, self.current_path)
+        finally:
+            if os.path.exists(tmp):  # pragma: no cover - defensive
+                os.unlink(tmp)
+        TELEMETRY.inc("serving.store.flipped")
+
+    # -- attach (worker side) -----------------------------------------------
+
+    def current_sha(self) -> str | None:
+        try:
+            with open(self.current_path, "r", encoding="utf-8") as fh:
+                sha = fh.read().strip()
+        except OSError:
+            return None
+        return sha or None
+
+    def current_stat(self) -> tuple[int, int] | None:
+        """(mtime_ns, size) of the pointer file — the cheap watch probe."""
+        try:
+            st = os.stat(self.current_path)
+        except OSError:
+            return None
+        return (st.st_mtime_ns, st.st_size)
+
+    def attach(self, sha: str) -> FrozenSelector:
+        """Map ``versions/<sha>`` read-only into this process.
+
+        No deserialization and no validation happen here — arrays are
+        ``np.memmap`` views of the published files, shared page-cache
+        with every other attached worker.  Raises
+        :class:`ModelStoreError` if the version is missing or torn
+        (which, given staged publication, means store corruption).
+        """
+        vdir = self.version_dir(sha)
+        manifest_path = os.path.join(vdir, _MANIFEST)
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as fh:
+                manifest = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ModelStoreError(
+                f"store version {sha} is missing or torn: {exc}"
+            ) from exc
+        arrays: dict[str, np.ndarray | None] = {
+            name: None for name in _ARRAY_FIELDS
+        }
+        for name in manifest.get("arrays", []):
+            if name not in arrays:
+                raise ModelStoreError(
+                    f"store version {sha} names unknown array {name!r}"
+                )
+            try:
+                arrays[name] = np.load(
+                    os.path.join(vdir, f"{name}.npy"),
+                    mmap_mode="r",
+                    allow_pickle=False,
+                )
+            except (OSError, ValueError) as exc:
+                raise ModelStoreError(
+                    f"store version {sha}: cannot map {name}: {exc}"
+                ) from exc
+        if arrays["centroids"] is None or arrays["centroid_labels"] is None:
+            raise ModelStoreError(
+                f"store version {sha} lacks a centroid table"
+            )
+        transform_apply = arrays["transform_apply"]
+        labels = arrays["centroid_labels"]
+        try:
+            selector = FrozenSelector(
+                transform_kind=manifest.get("transform_kind"),
+                transform_shift=arrays["transform_shift"],
+                transform_apply=(
+                    np.asarray(transform_apply).astype(bool)
+                    if transform_apply is not None
+                    else None
+                ),
+                scaler_min=arrays["scaler_min"],
+                scaler_span=arrays["scaler_span"],
+                pca_mean=arrays["pca_mean"],
+                pca_components=arrays["pca_components"],
+                centroids=arrays["centroids"],
+                centroid_labels=np.asarray(labels).astype(object),
+            )
+        except ValueError as exc:
+            raise ModelStoreError(
+                f"store version {sha} is structurally inconsistent: {exc}"
+            ) from exc
+        TELEMETRY.inc("serving.store.attached")
+        return selector
+
+
+class StoreModelHost:
+    """Worker-side model host reading versions from a :class:`ModelStore`.
+
+    Mirrors the :class:`~repro.serving.reload.ModelHost` surface that
+    :class:`~repro.serving.server.SelectorServer` consumes, but the
+    watch target is the store's CURRENT pointer, the "load" is an mmap
+    attach, and there is no validation pass — the front-end
+    shadow-validates once for the whole tier before it flips the
+    pointer (DESIGN §14).
+    """
+
+    def __init__(
+        self,
+        store: ModelStore | str,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.store = store if isinstance(store, ModelStore) else ModelStore(store)
+        self.path = self.store.root
+        self.clock = clock
+        self.n_reloads = 0
+        #: Attach failures — store corruption, not model badness, but the
+        #: snapshot keys stay aligned with ModelHost's so tier health
+        #: aggregation reads both kinds of worker identically.
+        self.n_quarantined = 0
+        self._seen_stat = self.store.current_stat()
+        self.active = self._attach_current()
+
+    def _attach_current(self) -> ModelVersion:
+        sha = self.store.current_sha()
+        if sha is None:
+            return ModelVersion(
+                selector=None,
+                sha256=None,
+                stat=None,
+                loaded_at=self.clock(),
+                error=f"model store {self.store.root!r} has no published "
+                      f"model",
+            )
+        try:
+            selector = self.store.attach(sha)
+        except ModelStoreError as exc:
+            self.n_quarantined += 1
+            TELEMETRY.inc("serving.store.attach_failed")
+            return ModelVersion(
+                selector=None,
+                sha256=sha,
+                stat=self._seen_stat,
+                loaded_at=self.clock(),
+                error=str(exc),
+            )
+        return ModelVersion(
+            selector=selector,
+            sha256=sha,
+            stat=self._seen_stat,
+            loaded_at=self.clock(),
+            scale=selector.centroid_scale(),
+        )
+
+    def check_reload(self) -> str:
+        """Stat the CURRENT pointer; re-attach when it moved.
+
+        One ``stat`` in the steady state — the same watch cost as the
+        single-process host — and never unpublishes a working model: a
+        torn or vanished pointer leaves the old attachment serving.
+        """
+        stat = self.store.current_stat()
+        if stat is None or stat == self._seen_stat:
+            return RELOAD_UNCHANGED
+        self._seen_stat = stat
+        sha = self.store.current_sha()
+        if sha is None or sha == self.active.sha256:
+            return RELOAD_UNCHANGED
+        candidate = self._attach_current()
+        if candidate.selector is None:
+            return RELOAD_QUARANTINED
+        self.active = candidate
+        self.n_reloads += 1
+        TELEMETRY.inc("serving.reload.swapped")
+        return RELOAD_SWAPPED
+
+    @property
+    def degraded(self) -> bool:
+        return self.active.selector is None
+
+    def snapshot(self) -> dict:
+        active = self.active
+        return {
+            "path": self.path,
+            "sha256": active.sha256,
+            "degraded": active.selector is None,
+            "error": active.error,
+            "n_centroids": (
+                active.selector.n_centroids
+                if active.selector is not None
+                else 0
+            ),
+            "reloads": self.n_reloads,
+            "quarantined": self.n_quarantined,
+        }
+
+
+__all__ = ["ModelStore", "ModelStoreError", "StoreModelHost"]

@@ -57,6 +57,14 @@ CODE_BAD_FEATURES = "bad_features"
 CODE_QUEUE_FULL = "queue_full"
 CODE_DEADLINE = "deadline_exceeded"
 
+# -- tier codes -------------------------------------------------------------
+
+#: A non-predict request was in flight on a worker that died; the tier
+#: front-end answers it with this ``invalid`` code instead of hanging.
+CODE_WORKER_LOST = "worker_lost"
+#: The worker never answered within the front-end's patience budget.
+CODE_WORKER_TIMEOUT = "worker_timeout"
+
 # -- fallback reasons -------------------------------------------------------
 
 REASON_BREAKER_OPEN = "breaker_open"
@@ -64,6 +72,9 @@ REASON_OUT_OF_DISTRIBUTION = "out_of_distribution"
 REASON_MODEL_UNUSABLE = "model_unusable"
 REASON_INFERENCE_ERROR = "inference_error"
 REASON_INTERNAL_ERROR = "internal_error"
+#: A predict/feedback request was in flight on a worker that died; the
+#: tier front-end still answers with a safe format recommendation.
+REASON_WORKER_LOST = "worker_lost"
 
 #: Ops the server understands.  ``metrics`` returns a live registry
 #: snapshot with latency quantiles; ``healthz`` is the cheap liveness

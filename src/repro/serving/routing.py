@@ -1,0 +1,120 @@
+"""Consistent-hash request routing for the multi-worker serving tier.
+
+The tier keeps admission-control and circuit-breaker state *local* to a
+worker (DESIGN §14): per-client semantics survive horizontal scaling
+only if the same client always lands on the same worker.  A consistent
+hash ring delivers that with bounded disruption when the worker set
+changes:
+
+- **Stable assignment** — ``assign(key)`` depends only on the current
+  member set, never on join order or history, so every front-end
+  replica (and every restart) routes identically.
+- **Bounded movement** — adding a worker moves only the keys that now
+  map to *it*; removing a worker moves only the keys that were *on* it.
+  Breaker/admission state for every other client stays untouched.
+
+Hashing is SHA-256 over ``"worker:vnode"`` / the raw key, so placement
+is deterministic across processes and Python versions (``hash()`` is
+salted per process and must not leak into routing).  Each worker owns
+:data:`DEFAULT_REPLICAS` virtual nodes to keep the load split even for
+small worker counts.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+
+DEFAULT_REPLICAS = 64
+
+
+def stable_hash(text: str) -> int:
+    """64-bit position on the ring, deterministic across processes."""
+    digest = hashlib.sha256(text.encode("utf-8", "surrogatepass")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring mapping string keys to worker names."""
+
+    def __init__(self, replicas: int = DEFAULT_REPLICAS) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = int(replicas)
+        self._points: list[int] = []        # sorted vnode positions
+        self._owners: list[str] = []        # owner of each position
+        self._workers: set[str] = set()
+
+    # -- membership ---------------------------------------------------------
+
+    def _vnode_points(self, worker: str) -> list[int]:
+        return [
+            stable_hash(f"{worker}:{i}") for i in range(self.replicas)
+        ]
+
+    def add(self, worker: str) -> None:
+        """Add ``worker``'s virtual nodes; idempotent."""
+        if worker in self._workers:
+            return
+        self._workers.add(worker)
+        for point in self._vnode_points(worker):
+            at = bisect.bisect_left(self._points, point)
+            # Ties between different workers are broken by owner name so
+            # the ring's content is set-determined, not order-determined.
+            while (
+                at < len(self._points)
+                and self._points[at] == point
+                and self._owners[at] < worker
+            ):
+                at += 1
+            self._points.insert(at, point)
+            self._owners.insert(at, worker)
+
+    def remove(self, worker: str) -> None:
+        """Drop ``worker``'s virtual nodes; idempotent."""
+        if worker not in self._workers:
+            return
+        self._workers.discard(worker)
+        keep = [
+            (p, o)
+            for p, o in zip(self._points, self._owners)
+            if o != worker
+        ]
+        self._points = [p for p, _ in keep]
+        self._owners = [o for _, o in keep]
+
+    @property
+    def workers(self) -> tuple[str, ...]:
+        return tuple(sorted(self._workers))
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def __contains__(self, worker: str) -> bool:
+        return worker in self._workers
+
+    # -- assignment ---------------------------------------------------------
+
+    def assign(self, key: str) -> str:
+        """The worker owning ``key`` (first vnode clockwise of its hash).
+
+        Raises :class:`LookupError` on an empty ring — the caller (the
+        front-end) decides how an unroutable request degrades.
+        """
+        if not self._points:
+            raise LookupError("hash ring has no workers")
+        at = bisect.bisect_right(self._points, stable_hash(key))
+        if at == len(self._points):
+            at = 0
+        return self._owners[at]
+
+    def spread(self, keys: list[str]) -> dict[str, int]:
+        """Keys per worker over a sample — diagnostics/test helper."""
+        out: dict[str, int] = {w: 0 for w in self._workers}
+        for key in keys:
+            out[self.assign(key)] += 1
+        return out
+
+
+__all__ = ["DEFAULT_REPLICAS", "HashRing", "stable_hash"]

@@ -120,6 +120,7 @@ class SelectorServer:
         clock: Callable[[], float] = time.monotonic,
         fault_injector: FaultInjector | None = None,
         access_log: EventLog | None = None,
+        host: ModelHost | None = None,
     ) -> None:
         self.config = config
         self.clock = clock
@@ -143,7 +144,12 @@ class SelectorServer:
             probe_successes=config.breaker_probes,
             clock=clock,
         )
-        self.host = ModelHost(config.model_path, clock=clock)
+        # Tier workers substitute a StoreModelHost attached to the shared
+        # mmap store; the default remains the self-validating file host.
+        self.host = (
+            host if host is not None
+            else ModelHost(config.model_path, clock=clock)
+        )
         self.counters: TallyCounter = TallyCounter()
         self.latencies: deque[float] = deque(maxlen=4096)
         self.started_at = clock()
@@ -182,10 +188,21 @@ class SelectorServer:
         passed through — gateway, micro-batch cache, breaker, predict.
         The id goes to the trace and the access log only, never into the
         response: responses stay byte-identical across runs.
+
+        A tier front-end that routed this request propagates its trace
+        context as a ``_trace`` body field (PR-6 ``TraceContext`` id);
+        honoring it stitches the worker-side span tree and access-log
+        lines onto the front-end's request trace.  The field never
+        influences a response.
         """
         if request.rejection is not None:
             return self._finish(request.rejection, op=request.op)
-        trace_id = new_trace_id()
+        propagated = request.body.get("_trace")
+        trace_id = (
+            propagated
+            if isinstance(propagated, str) and propagated
+            else new_trace_id()
+        )
         t0 = time.perf_counter()
         with TELEMETRY.span(
             "serving.request", trace=trace_id, op=request.op

@@ -1,0 +1,172 @@
+"""Property tests for the consistent-hash ring (DESIGN §14).
+
+The tier's state-locality contract rests on two ring properties:
+
+1. **Stable assignment** — routing depends only on the member *set*.
+   Two front-ends that joined workers in different orders, or a
+   front-end that restarted, must route every key identically, or
+   per-client admission/breaker state silently forks.
+2. **Bounded movement** — membership changes disturb only the keys
+   touching the changed worker: adding ``w`` moves only keys *onto*
+   ``w``; removing ``w`` moves only the keys that *were on* ``w``.
+   Everything else keeps its worker, so its breaker state stays warm.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.serving.routing import DEFAULT_REPLICAS, HashRing, stable_hash
+from tests.conftest import HYPOTHESIS_SCALE
+
+worker_names = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+    min_size=1,
+    max_size=12,
+)
+worker_sets = st.sets(worker_names, min_size=1, max_size=8)
+keys = st.lists(
+    st.text(min_size=0, max_size=24), min_size=1, max_size=64
+)
+
+
+def build_ring(workers, replicas: int = DEFAULT_REPLICAS) -> HashRing:
+    ring = HashRing(replicas=replicas)
+    for worker in workers:
+        ring.add(worker)
+    return ring
+
+
+# -- stable assignment -------------------------------------------------------
+
+
+@given(workers=worker_sets, sample=keys, seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=60 * HYPOTHESIS_SCALE, deadline=None)
+def test_assignment_independent_of_join_order(workers, sample, seed):
+    """Any two join orders over the same set route every key alike."""
+    import random
+
+    ordered = sorted(workers)
+    shuffled = list(ordered)
+    random.Random(seed).shuffle(shuffled)
+    a, b = build_ring(ordered), build_ring(shuffled)
+    for key in sample:
+        assert a.assign(key) == b.assign(key)
+
+
+@given(workers=worker_sets, sample=keys)
+@settings(max_examples=40 * HYPOTHESIS_SCALE, deadline=None)
+def test_assignment_survives_leave_and_rejoin(workers, sample):
+    """remove(w) then add(w) restores the exact original routing."""
+    ring = build_ring(sorted(workers))
+    before = {key: ring.assign(key) for key in sample}
+    victim = sorted(workers)[0]
+    ring.remove(victim)
+    ring.add(victim)
+    assert {key: ring.assign(key) for key in sample} == before
+
+
+@given(workers=worker_sets, sample=keys)
+@settings(max_examples=40 * HYPOTHESIS_SCALE, deadline=None)
+def test_assignment_is_deterministic_and_member_valued(workers, sample):
+    ring = build_ring(workers)
+    for key in sample:
+        owner = ring.assign(key)
+        assert owner in workers
+        assert ring.assign(key) == owner
+
+
+# -- bounded movement --------------------------------------------------------
+
+
+@given(workers=worker_sets, joiner=worker_names, sample=keys)
+@settings(max_examples=60 * HYPOTHESIS_SCALE, deadline=None)
+def test_adding_a_worker_moves_keys_only_onto_it(workers, joiner, sample):
+    ring = build_ring(workers)
+    before = {key: ring.assign(key) for key in sample}
+    ring.add(joiner)
+    for key in sample:
+        after = ring.assign(key)
+        if after != before[key]:
+            assert after == joiner, (
+                f"key {key!r} moved {before[key]!r} -> {after!r} when "
+                f"{joiner!r} joined"
+            )
+
+
+@given(workers=st.sets(worker_names, min_size=2, max_size=8), sample=keys)
+@settings(max_examples=60 * HYPOTHESIS_SCALE, deadline=None)
+def test_removing_a_worker_moves_only_its_keys(workers, sample):
+    ring = build_ring(workers)
+    before = {key: ring.assign(key) for key in sample}
+    victim = sorted(workers)[-1]
+    ring.remove(victim)
+    for key in sample:
+        after = ring.assign(key)
+        if before[key] != victim:
+            assert after == before[key], (
+                f"key {key!r} was on {before[key]!r} but moved to "
+                f"{after!r} when unrelated worker {victim!r} left"
+            )
+        else:
+            assert after != victim
+
+
+# -- hashing and ring mechanics ----------------------------------------------
+
+
+@given(text=st.text(max_size=64))
+@settings(max_examples=60 * HYPOTHESIS_SCALE, deadline=None)
+def test_stable_hash_is_a_64_bit_pure_function(text):
+    value = stable_hash(text)
+    assert 0 <= value < 2**64
+    assert stable_hash(text) == value
+
+
+def test_stable_hash_known_values_are_process_independent():
+    # Pinned values: a change here breaks routing compatibility between
+    # front-end versions and must be treated as a breaking change.
+    assert stable_hash("client:alice") == 0xBDB89AB86B4A6AED
+    assert stable_hash("w0:0") == 0x06A43A4A11825382
+
+
+def test_empty_ring_raises_lookup_error():
+    ring = HashRing()
+    with pytest.raises(LookupError):
+        ring.assign("anything")
+
+
+def test_add_and_remove_are_idempotent():
+    ring = HashRing(replicas=8)
+    ring.add("w0")
+    ring.add("w0")
+    assert len(ring._points) == 8
+    ring.remove("w0")
+    ring.remove("w0")
+    assert len(ring) == 0 and not ring._points
+
+
+def test_membership_surface():
+    ring = build_ring(["w1", "w0"])
+    assert ring.workers == ("w0", "w1")
+    assert len(ring) == 2
+    assert "w0" in ring and "w9" not in ring
+
+
+def test_replicas_must_be_positive():
+    with pytest.raises(ValueError):
+        HashRing(replicas=0)
+
+
+def test_vnodes_spread_load_roughly_evenly():
+    """With 64 vnodes/worker no worker hogs or starves a key sample."""
+    ring = build_ring([f"w{i}" for i in range(4)])
+    sample = [f"client:{i}" for i in range(4000)]
+    spread = ring.spread(sample)
+    assert sum(spread.values()) == len(sample)
+    for worker, count in spread.items():
+        share = count / len(sample)
+        assert 0.10 <= share <= 0.45, (worker, spread)

@@ -1,0 +1,239 @@
+"""Tail-latency benchmark for hedged dispatch → ``BENCH_serving_tail.json``.
+
+Boots the multi-worker tier twice with exactly one deliberately slow
+worker (``REPRO_FAULTS`` latency injection in that worker's environment
+only — the other workers stay fast) and drives the same seeded predict
+workload both times:
+
+- **unhedged** — ``hedge_budget=0``: requests routed to the slow worker
+  (and everything FIFO-queued behind them) eat the injected delay, so
+  the client-observed p99 sits at or above the injected latency.
+- **hedged** — a fixed hedge delay re-dispatches unanswered requests to
+  the next distinct ring worker; the first response wins.
+
+Brownout scoring is disabled for both runs so the comparison isolates
+hedging — otherwise the brownout layer would also rescue the unhedged
+run by pulling the slow worker off the ring.
+
+The output JSON carries ``serving.tail.p99_ms_hedged`` /
+``serving.tail.p99_ms_unhedged`` gauges plus hedge-volume accounting,
+so CI's ``serve-tail-smoke`` job gates it with ``repro obs report``
+against ``benchmarks/slo_serving_tail_permissive.json`` — hedged p99
+must be at most 0.6x the unhedged p99, and hedge volume must stay
+within the token-bucket budget.
+
+Knobs (environment):
+
+- ``REPRO_BENCH_TAIL_REQUESTS`` — timed requests per run (default 300)
+- ``REPRO_BENCH_TAIL_CONNS``    — concurrent connections (default 12)
+- ``REPRO_BENCH_TAIL_WORKERS``  — worker count (default 3)
+- ``REPRO_BENCH_TAIL_DELAY``    — injected latency seconds (default 0.05)
+- ``REPRO_BENCH_TAIL_RATE``     — fraction of the slow worker's requests
+  afflicted (default 0.3)
+- ``REPRO_BENCH_TAIL_HEDGE_MS`` — hedge delay for the hedged run
+  (default 50% of the injected delay; it must sit above the typical
+  service time, or healthy requests burn the hedge token bucket and
+  leave it dry for the genuinely slow ones)
+- ``REPRO_BENCH_TAIL_NNZ``      — nonzeros per matrix (default 800)
+- ``REPRO_BENCH_OUT``           — output path (default
+  ``BENCH_serving_tail.json`` at the repo root)
+
+Run directly (``python benchmarks/bench_serving_tail.py``) or via
+pytest (``pytest benchmarks/bench_serving_tail.py -s``, functional
+assertions only — the 0.6x ratio is asserted by the CI SLO gate, not
+locally, because local core counts and scheduler jitter vary).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import sys
+import tempfile
+
+from repro.serving.drill import (
+    audit_tier_conservation,
+    synthetic_frozen_selector,
+)
+from repro.serving.frontend import ServingTier, TierConfig
+
+from bench_serving_scale import _drive_timed, build_workload
+
+DEFAULT_OUT = os.path.join(
+    os.path.dirname(__file__), "..", "BENCH_serving_tail.json"
+)
+
+
+async def _bench_one(
+    model_path: str,
+    workers: int,
+    lines: list[str],
+    connections: int,
+    delay_s: float,
+    rate: float,
+    hedge_ms: float | None,
+    hedge_budget: float,
+) -> dict:
+    """One tier run with worker ``w0`` slowed via fault injection."""
+    with tempfile.TemporaryDirectory(prefix="repro-tail-bench-") as run_dir:
+        tier = ServingTier(
+            TierConfig(
+                model_path=model_path,
+                run_dir=run_dir,
+                workers=workers,
+                worker_args=("--queue-size", "256", "--deadline", "0"),
+                hedge_ms=hedge_ms,
+                hedge_budget=hedge_budget,
+                # Isolate hedging: no brownout rescue in either run.
+                brownout_factor=0.0,
+                worker_env={
+                    "w0": {
+                        "REPRO_FAULTS": (
+                            f"latency={rate},delay={delay_s},seed=7"
+                        )
+                    }
+                },
+            )
+        )
+        front = os.path.join(run_dir, "front.sock")
+        server_task = asyncio.ensure_future(tier.run_socket(front))
+        for _ in range(1200):
+            if os.path.exists(front):
+                break
+            if server_task.done():
+                server_task.result()
+            await asyncio.sleep(0.05)
+        # Warm every worker's feature/model path before timing.
+        await _drive_timed(front, lines[: 2 * workers], connections)
+        warm_hedges = tier.n_hedges
+        result = await _drive_timed(front, lines, connections)
+        reader, writer = await asyncio.open_unix_connection(front)
+        writer.write(b'{"id":"__s","op":"shutdown"}\n')
+        await writer.drain()
+        await reader.readline()
+        writer.close()
+        await asyncio.wait_for(server_task, timeout=30.0)
+        result["hedged"] = hedge_budget > 0
+        result["hedges"] = tier.n_hedges - warm_hedges
+        result["hedge_wins"] = tier.n_hedge_wins
+        result["primary_wins"] = tier.n_primary_wins
+        result["routed"] = tier.n_routed
+        result["worker_lost"] = tier.n_worker_lost
+        result["conservation_violations"] = audit_tier_conservation(tier)
+        return result
+
+
+def run_tail_bench(out_path: str | None = None) -> dict:
+    """Run the hedged-vs-unhedged pair; write the JSON artifact."""
+    n_requests = int(os.environ.get("REPRO_BENCH_TAIL_REQUESTS", "300"))
+    connections = int(os.environ.get("REPRO_BENCH_TAIL_CONNS", "12"))
+    workers = int(os.environ.get("REPRO_BENCH_TAIL_WORKERS", "3"))
+    delay_s = float(os.environ.get("REPRO_BENCH_TAIL_DELAY", "0.05"))
+    rate = float(os.environ.get("REPRO_BENCH_TAIL_RATE", "0.3"))
+    hedge_ms = float(
+        os.environ.get("REPRO_BENCH_TAIL_HEDGE_MS", str(delay_s * 1000 * 0.5))
+    )
+    nnz = int(os.environ.get("REPRO_BENCH_TAIL_NNZ", "800"))
+    out = out_path or os.environ.get("REPRO_BENCH_OUT", DEFAULT_OUT)
+
+    lines = build_workload(n_requests, seed=3, nnz=nnz)
+    hedge_budget = 0.4
+    runs: dict[str, dict] = {}
+    with tempfile.TemporaryDirectory(prefix="repro-tail-model-") as tmp:
+        model_path = os.path.join(tmp, "selector.npz")
+        synthetic_frozen_selector(seed=0).save(model_path)
+        runs["unhedged"] = asyncio.run(
+            _bench_one(
+                model_path, workers, lines, connections,
+                delay_s, rate, hedge_ms=None, hedge_budget=0.0,
+            )
+        )
+        runs["hedged"] = asyncio.run(
+            _bench_one(
+                model_path, workers, lines, connections,
+                delay_s, rate, hedge_ms=hedge_ms, hedge_budget=hedge_budget,
+            )
+        )
+
+    hedged = runs["hedged"]
+    budget_cap = hedge_budget * hedged["routed"] + max(1.0, 32 * hedge_budget)
+    metrics = {
+        "serving.tail.p99_ms_hedged": {
+            "type": "gauge", "value": hedged["p99_ms"],
+        },
+        "serving.tail.p99_ms_unhedged": {
+            "type": "gauge", "value": runs["unhedged"]["p99_ms"],
+        },
+        "serving.tail.hedges": {
+            "type": "gauge", "value": float(hedged["hedges"]),
+        },
+        "serving.tail.hedge_budget_headroom": {
+            "type": "gauge",
+            "value": round(budget_cap - hedged["hedges"], 3),
+        },
+        "serving.tail.conservation_violations": {
+            "type": "gauge",
+            "value": float(
+                len(hedged["conservation_violations"])
+                + len(runs["unhedged"]["conservation_violations"])
+            ),
+        },
+    }
+    result = {
+        "bench": "serving_tail",
+        "n_requests": n_requests,
+        "connections": connections,
+        "workers": workers,
+        "injected_delay_s": delay_s,
+        "injected_rate": rate,
+        "hedge_ms": hedge_ms,
+        "hedge_budget": hedge_budget,
+        "runs": runs,
+        "metrics": {name: metrics[name] for name in sorted(metrics)},
+    }
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return result
+
+
+def print_report(result: dict) -> None:
+    print()
+    for name in ("unhedged", "hedged"):
+        run = result["runs"][name]
+        print(
+            f"{name:<9} p50 {run['p50_ms']:>8.2f} ms  "
+            f"p95 {run['p95_ms']:>8.2f} ms  p99 {run['p99_ms']:>8.2f} ms  "
+            f"hedges {run['hedges']}"
+        )
+    ratio = (
+        result["runs"]["hedged"]["p99_ms"]
+        / max(result["runs"]["unhedged"]["p99_ms"], 1e-9)
+    )
+    print(f"hedged p99 / unhedged p99 = {ratio:.3f}")
+
+
+def test_serving_tail_bench(tmp_path):
+    """Functional checks only — the 0.6x ratio is CI's SLO gate."""
+    os.environ.setdefault("REPRO_BENCH_TAIL_REQUESTS", "60")
+    os.environ.setdefault("REPRO_BENCH_TAIL_CONNS", "6")
+    os.environ.setdefault("REPRO_BENCH_TAIL_WORKERS", "2")
+    os.environ.setdefault("REPRO_BENCH_TAIL_NNZ", "400")
+    out = str(tmp_path / "BENCH_serving_tail.json")
+    result = run_tail_bench(out)
+    assert os.path.exists(out)
+    for name in ("unhedged", "hedged"):
+        run = result["runs"][name]
+        assert run["n_requests"] == 60
+        assert not run["conservation_violations"], run
+    assert result["runs"]["unhedged"]["hedges"] == 0
+    assert result["metrics"]["serving.tail.hedge_budget_headroom"][
+        "value"
+    ] >= 0.0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, os.path.dirname(__file__))
+    report = run_tail_bench()
+    print_report(report)

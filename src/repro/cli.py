@@ -465,7 +465,12 @@ def _worker_serve_flags(args: argparse.Namespace) -> list[str]:
     return flags
 
 
-def _tier_config(args: argparse.Namespace, model_path: str, run_dir: str):
+def _tier_config(
+    args: argparse.Namespace,
+    model_path: str,
+    run_dir: str,
+    worker_env: dict | None = None,
+):
     from repro.serving import TierConfig
 
     return TierConfig(
@@ -478,6 +483,12 @@ def _tier_config(args: argparse.Namespace, model_path: str, run_dir: str):
         fallback_format=args.fallback_format,
         max_request_bytes=args.max_request_bytes,
         hot_reload=not args.no_reload,
+        request_timeout_seconds=getattr(args, "request_timeout", 60.0),
+        hedge_ms=getattr(args, "hedge_ms", None),
+        hedge_budget=getattr(args, "hedge_budget", 0.05),
+        drain_timeout_seconds=getattr(args, "drain_timeout", 10.0),
+        store_keep=getattr(args, "store_keep", 2),
+        worker_env=worker_env or {},
     )
 
 
@@ -487,6 +498,7 @@ def _cmd_serve_tier(args: argparse.Namespace) -> int:
     import tempfile
 
     from repro.obs import TELEMETRY
+    from repro.obs.events import EventLog
     from repro.serving import ServingTier
 
     own_telemetry = not TELEMETRY.enabled
@@ -498,8 +510,17 @@ def _cmd_serve_tier(args: argparse.Namespace) -> int:
     if run_dir is None:
         scratch = tempfile.TemporaryDirectory(prefix="repro-serve-tier-")
         run_dir = scratch.name
+    access_log = None
+    if args.access_log:
+        access_log = EventLog(
+            args.access_log,
+            max_bytes=args.access_log_max_bytes,
+            backups=args.access_log_backups,
+        )
     try:
-        tier = ServingTier(_tier_config(args, args.model, run_dir))
+        tier = ServingTier(
+            _tier_config(args, args.model, run_dir), access_log=access_log
+        )
         if tier.host.degraded:
             print(
                 f"repro serve: tier starting degraded "
@@ -640,8 +661,10 @@ def _run_chaos_tier_drill(args: argparse.Namespace, spec) -> int:
 
     from repro.serving import ServingTier
     from repro.serving.drill import (
+        audit_tier_conservation,
         audit_tier_responses,
         build_request_lines,
+        run_tier_drain_drill,
         synthetic_frozen_selector,
         tier_expectations,
     )
@@ -659,8 +682,27 @@ def _run_chaos_tier_drill(args: argparse.Namespace, spec) -> int:
                 f"delay={args.delay},corrupt={args.corrupt},"
                 f"poison={args.poison},seed={args.fault_seed}"
             )
+        worker_env = {}
+        if args.slow_worker:
+            # Exactly one worker answers slowly (50 ms on half its
+            # requests); the rest of the fleet is healthy, so hedged
+            # dispatch — not respawn — is what rescues its tail.  A
+            # fixed hedge delay keeps the drill deterministic (the
+            # rolling p95 would need warm-up traffic first).
+            worker_env["w0"] = {
+                "REPRO_FAULTS": (
+                    f"latency=0.5,delay=0.05,seed={args.fault_seed}"
+                )
+            }
+            if args.hedge_ms is None:
+                args.hedge_ms = 15.0
         tier = ServingTier(
-            _tier_config(args, model_path, os.path.join(tmp, "tier")),
+            _tier_config(
+                args,
+                model_path,
+                os.path.join(tmp, "tier"),
+                worker_env=worker_env,
+            ),
             extra_env=extra_env,
         )
         lines, expectations = build_request_lines(
@@ -722,15 +764,16 @@ def _run_chaos_tier_drill(args: argparse.Namespace, spec) -> int:
                     await asyncio.sleep(0.05)
             reader, writer = await asyncio.open_unix_connection(front)
             writer.write(b'{"id":"__m","op":"metrics"}\n')
-            writer.write(b'{"id":"__s","op":"shutdown"}\n')
             await writer.drain()
             metrics = json.loads(await reader.readline())
-            await reader.readline()
             writer.close()
-            await asyncio.wait_for(server_task, timeout=30.0)
-            return pairs, metrics, rejoined
+            # Graceful-drain audit doubles as the tier's shutdown: the
+            # shutdown op inside the drill is what stops the server.
+            drain_report = await run_tier_drain_drill(front, seed=args.seed)
+            await asyncio.wait_for(server_task, timeout=60.0)
+            return pairs, metrics, rejoined, drain_report
 
-        pairs, metrics, rejoined = asyncio.run(_run())
+        pairs, metrics, rejoined, drain_report = asyncio.run(_run())
         report = audit_tier_responses(
             pairs, expectations, n_requests=len(lines)
         )
@@ -746,14 +789,29 @@ def _run_chaos_tier_drill(args: argparse.Namespace, spec) -> int:
         print(
             f"tier counters: routed={tier.n_routed} "
             f"completed={tier.n_completed} worker_lost={tier.n_worker_lost} "
-            f"respawned={tier.n_respawned} rebalanced={tier.n_rebalanced}"
+            f"respawned={tier.n_respawned} rebalanced={tier.n_rebalanced} "
+            f"hedges={tier.n_hedges} hedge_wins={tier.n_hedge_wins} "
+            f"primary_wins={tier.n_primary_wins} "
+            f"deadline_exceeded={tier.n_deadline_exceeded} "
+            f"drain_rejected={tier.n_draining_rejected}"
         )
         rc = 0 if report.ok else 1
-        if tier.n_routed != tier.n_completed + tier.n_worker_lost:
+        for violation in audit_tier_conservation(tier):
+            print(f"repro chaos: {violation}", file=sys.stderr)
+            rc = 1
+        if drain_report.violations:
+            for violation in drain_report.violations:
+                print(f"repro chaos: drain: {violation}", file=sys.stderr)
+            rc = 1
+        else:
             print(
-                f"repro chaos: routed counters do not reconcile: "
-                f"routed={tier.n_routed} != completed={tier.n_completed} "
-                f"+ worker_lost={tier.n_worker_lost}",
+                f"drain audit: {drain_report.n_responses} responses, "
+                f"zero silently-dropped requests"
+            )
+        if args.slow_worker and tier.n_hedges < 1:
+            print(
+                "repro chaos: slow worker never triggered a hedged "
+                "dispatch",
                 file=sys.stderr,
             )
             rc = 1
@@ -1420,6 +1478,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--access-log-max-bytes", type=int,
                    default=10 * 1024 * 1024, metavar="N",
                    help="rotate the access log past this size")
+    p.add_argument("--request-timeout", type=float, default=60.0,
+                   metavar="SECONDS",
+                   help="tier front-end: per-request latency budget; "
+                        "stamped on the worker wire as deadline_ms "
+                        "(min-combined with the client's own) and the "
+                        "patience before a wedged worker is killed "
+                        "(default 60)")
+    p.add_argument("--hedge-ms", type=float, default=None, metavar="MS",
+                   help="tier front-end: hedge a request to the next ring "
+                        "worker after this many ms without an answer "
+                        "(default: rolling p95 of completed requests; "
+                        "<= 0 disables hedging)")
+    p.add_argument("--hedge-budget", type=float, default=0.05, metavar="FRAC",
+                   help="tier front-end: token-bucket cap on hedged "
+                        "dispatches as a fraction of routed traffic "
+                        "(default 0.05; <= 0 disables hedging)")
+    p.add_argument("--drain-timeout", type=float, default=10.0,
+                   metavar="SECONDS",
+                   help="tier front-end: patience for in-flight requests "
+                        "after SIGTERM/shutdown before teardown "
+                        "(default 10)")
+    p.add_argument("--store-keep", type=int, default=2, metavar="N",
+                   help="tier front-end: non-CURRENT model-store versions "
+                        "kept by GC after each publish (default 2; "
+                        "0 disables pruning)")
     p.add_argument("--access-log-backups", type=int, default=3, metavar="N",
                    help="rotated access-log files kept")
     p.set_defaults(func=_cmd_serve)
@@ -1451,6 +1534,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="[serve] SIGKILL one worker mid-drill and "
                         "assert respawn, ring rejoin, and counter "
                         "reconciliation (requires --workers >= 2)")
+    p.add_argument("--slow-worker", action="store_true",
+                   help="[serve] inject latency faults into exactly one "
+                        "worker and assert hedged dispatch fires, hedge "
+                        "volume stays within budget, and the hedging "
+                        "conservation law holds (requires --workers >= 2)")
+    p.add_argument("--hedge-ms", type=float, default=None, metavar="MS",
+                   help="[serve] tier hedge delay override (default: "
+                        "15 ms under --slow-worker, else rolling p95)")
+    p.add_argument("--hedge-budget", type=float, default=0.05,
+                   metavar="FRAC",
+                   help="[serve] tier hedge token-bucket budget "
+                        "(default 0.05)")
     p.add_argument("--swap", dest="swap", action="store_true", default=True,
                    help="[serve] perform the corrupt-then-good mid-run "
                         "model swap (default)")

@@ -55,11 +55,23 @@ class AdmissionController:
     # -- producer side -----------------------------------------------------
 
     def offer(self, request: Request) -> list[Request]:
-        """Admit ``request``; returns the requests shed to make room."""
+        """Admit ``request``; returns the requests shed to make room.
+
+        The effective deadline is the *tighter* of the configured
+        per-request deadline and the client/front-end budget propagated
+        on the wire (``deadline_ms``, already decremented for upstream
+        time spent) — a client that will give up in 50ms must not hold
+        a 5s claim on the queue.
+        """
         now = self.clock()
         request.arrival = now
+        budgets = []
         if self.deadline_seconds is not None:
-            request.deadline = now + self.deadline_seconds
+            budgets.append(self.deadline_seconds)
+        if request.budget_ms is not None:
+            budgets.append(request.budget_ms / 1000.0)
+        if budgets:
+            request.deadline = now + min(budgets)
         shed: list[Request] = []
         with self._lock:
             while len(self._queue) >= self.max_pending:
@@ -87,9 +99,11 @@ class AdmissionController:
                     continue
                 if expired:
                     TELEMETRY.inc("serving.deadline_expired", len(expired))
+                    TELEMETRY.inc("serving.deadline_exceeded", len(expired))
                 return request, expired
         if expired:
             TELEMETRY.inc("serving.deadline_expired", len(expired))
+            TELEMETRY.inc("serving.deadline_exceeded", len(expired))
         return None, expired
 
     @property

@@ -17,6 +17,7 @@ campaign fault injection in :mod:`repro.runtime.faults`.
 
 from __future__ import annotations
 
+import asyncio
 import json
 from collections import Counter
 from dataclasses import dataclass, field
@@ -437,4 +438,156 @@ def audit_tier_responses(
     for _line, response in pairs:
         _audit_response(report, answered, expectations, response)
     _audit_coverage(report, answered, expectations)
+    return report
+
+
+def audit_tier_conservation(tier) -> list[str]:
+    """Check the tier's accounting invariants; returns violations.
+
+    Two exact conservation laws (DESIGN §15) plus one bound:
+
+    - ``routed == completed + worker_lost`` — no routed request is ever
+      double-counted or silently dropped, hedged or not.
+    - ``completed == primary_wins + hedge_wins`` — every completed
+      request was won by exactly one dispatch branch; a hedge that
+      fires never inflates the completion count.
+    - hedge volume stays within the token-bucket budget:
+      ``hedges <= hedge_budget * routed + burst``.
+    """
+    violations: list[str] = []
+    if tier.n_routed != tier.n_completed + tier.n_worker_lost:
+        violations.append(
+            f"conservation: routed={tier.n_routed} != "
+            f"completed={tier.n_completed} + "
+            f"worker_lost={tier.n_worker_lost}"
+        )
+    if tier.n_completed != tier.n_primary_wins + tier.n_hedge_wins:
+        violations.append(
+            f"hedge conservation: completed={tier.n_completed} != "
+            f"primary_wins={tier.n_primary_wins} + "
+            f"hedge_wins={tier.n_hedge_wins}"
+        )
+    budget = tier.config.hedge_budget
+    if budget > 0:
+        burst = max(1.0, 32.0 * budget)
+        allowed = budget * tier.n_routed + burst
+        if tier.n_hedges > allowed + 1e-9:
+            violations.append(
+                f"hedge budget: {tier.n_hedges} hedges over "
+                f"{tier.n_routed} routed exceeds "
+                f"{budget:.2%} + burst {burst:.1f}"
+            )
+    return violations
+
+
+async def run_tier_drain_drill(
+    socket_path: str, n_inflight: int = 4, seed: int = 0
+) -> DrillReport:
+    """Drive a graceful drain against a running tier front-end.
+
+    The drain contract: **zero silently-dropped requests**.  Concretely,
+
+    - requests in flight when ``shutdown`` lands are answered (any
+      structured status), never left hanging or cut off,
+    - the shutdown acknowledgement itself reports ``draining``,
+    - a straggler arriving mid-drain draws a typed
+      ``overloaded``/``draining`` refusal — a fast clean no, not a hang.
+
+    Every read is bounded, so a broken drain shows up as a violation in
+    the returned report instead of a hung drill.
+    """
+    report = DrillReport(n_requests=n_inflight + 2)
+
+    async def bounded_readline(reader, tag: str) -> bytes | None:
+        try:
+            return await asyncio.wait_for(reader.readline(), timeout=30.0)
+        except asyncio.TimeoutError:
+            report.violations.append(f"{tag}: no response within 30s")
+            return None
+
+    # In-flight load: one predict per connection, written but not yet
+    # awaited, so they are inside the fleet when shutdown arrives.
+    conns = []
+    for c in range(n_inflight):
+        reader, writer = await asyncio.open_unix_connection(socket_path)
+        line = json.dumps(
+            {
+                "id": f"drain{c}",
+                "op": "predict",
+                "client": f"drain-client-{c}",
+                "mtx": _random_matrix_text(c, seed),
+            }
+        )
+        writer.write((line + "\n").encode())
+        await writer.drain()
+        conns.append((reader, writer))
+    # The straggler's connection is opened *before* the drain begins so
+    # its refusal cannot race the final teardown.
+    straggler_reader, straggler_writer = await asyncio.open_unix_connection(
+        socket_path
+    )
+    await asyncio.sleep(0.05)
+    ctl_reader, ctl_writer = await asyncio.open_unix_connection(socket_path)
+    ctl_writer.write(b'{"id": "drain_ctl", "op": "shutdown"}\n')
+    await ctl_writer.drain()
+    raw = await bounded_readline(ctl_reader, "drain_ctl")
+    if raw:
+        ack = json.loads(raw)
+        if ack.get("status") != STATUS_OK or not ack.get("draining"):
+            report.violations.append(
+                f"shutdown ack is not a draining ok: {ack}"
+            )
+    # By the time the acknowledgement is readable, `_draining` is set:
+    # this straggler must draw the typed refusal.
+    straggler_writer.write(
+        (
+            json.dumps(
+                {
+                    "id": "drain_late",
+                    "op": "predict",
+                    "mtx": _random_matrix_text(10_000, seed),
+                }
+            )
+            + "\n"
+        ).encode()
+    )
+    await straggler_writer.drain()
+    raw = await bounded_readline(straggler_reader, "drain_late")
+    if raw:
+        late = json.loads(raw)
+        report.n_responses += 1
+        report.by_status[late.get("status")] += 1
+        if late.get("code"):
+            report.by_code[late["code"]] += 1
+        if (
+            late.get("status") != STATUS_OVERLOADED
+            or late.get("code") != "draining"
+        ):
+            report.violations.append(
+                f"drain_late: drew {late} instead of a typed "
+                f"draining refusal"
+            )
+    for c, (reader, writer) in enumerate(conns):
+        raw = await bounded_readline(reader, f"drain{c}")
+        if raw is None:
+            continue
+        if not raw:
+            report.violations.append(
+                f"drain{c}: connection closed with the request in flight"
+            )
+            continue
+        response = json.loads(raw)
+        report.n_responses += 1
+        report.by_status[response.get("status")] += 1
+        if response.get("status") not in STATUSES:
+            report.violations.append(
+                f"drain{c}: unknown status in {response}"
+            )
+        if response.get("id") != f"drain{c}":
+            report.violations.append(
+                f"drain{c}: answered with id {response.get('id')!r}"
+            )
+        writer.close()
+    straggler_writer.close()
+    ctl_writer.close()
     return report

@@ -29,6 +29,31 @@ receives a *typed* error response immediately (``fallback`` with reason
 under its old ring name, so key movement is bounded to exactly the keys
 it owned.  A queue-depth autoscale loop spawns/retires workers within
 ``--workers-min``/``--workers-max``.
+
+On top of routing, the front-end runs the tail-latency resilience layer
+(DESIGN §15):
+
+- **Deadline propagation** — each routed request carries a remaining
+  latency budget (``deadline_ms``, the client's own budget min-combined
+  with ``--request-timeout``); an expired request answers
+  ``deadline_exceeded`` without touching a worker, and the worker's
+  admission queue honors the propagated remainder.
+- **Hedged dispatch** — a primary that has not answered within the
+  hedge delay (rolling p95 of completed requests, or ``--hedge-ms``)
+  is re-dispatched to the next distinct ring worker; the first real
+  response wins and the loser's answer is discarded on arrival.  Hedge
+  volume is capped by a token bucket (``--hedge-budget`` of routed
+  traffic), and all accounting is per *logical* request, so
+  ``routed == completed + worker_lost`` and
+  ``completed == primary_wins + hedge_wins`` hold exactly.
+- **Brownout routing** — per-worker EWMA latency scoring removes a
+  degraded worker from the ring without killing it, probes it with
+  synthetic ``healthz`` requests, and reinstates it once healthy;
+  killing stays the last resort for truly wedged workers.
+- **Graceful drain** — SIGTERM or the ``shutdown`` op stops accepting
+  (new predict/feedback draw a typed ``draining`` refusal), lets
+  in-flight requests finish up to ``--drain-timeout``, retires workers
+  cleanly, flushes the access log, and exits 0.
 """
 
 from __future__ import annotations
@@ -36,11 +61,12 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import signal
 import subprocess
 import sys
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.obs import TELEMETRY
@@ -49,6 +75,8 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.quantiles import DEFAULT_QUANTILES, quantile_key, snapshot_quantile
 from repro.serving.modelstore import ModelStore
 from repro.serving.protocol import (
+    CODE_DEADLINE,
+    CODE_DRAINING,
     CODE_WORKER_LOST,
     REASON_WORKER_LOST,
     RequestParseError,
@@ -56,6 +84,7 @@ from repro.serving.protocol import (
     fallback_response,
     invalid_response,
     ok_response,
+    overloaded_response,
     parse_request_line,
 )
 from repro.serving.reload import RELOAD_SWAPPED, ModelHost
@@ -96,8 +125,41 @@ class TierConfig:
     scale_down_depth: float = 0.25
     #: Patience for one routed request before the worker is presumed
     #: wedged and killed (its in-flight load then gets typed errors).
+    #: Also the front-end-stamped latency budget: every routed request
+    #: carries ``min(this, client deadline_ms)`` as its remaining
+    #: ``deadline_ms`` on the worker wire.
     request_timeout_seconds: float = 60.0
     boot_timeout_seconds: float = 60.0
+    #: Hedge delay override in milliseconds.  ``None`` (default) uses
+    #: the rolling p95 of completed-request latency — no hedging until
+    #: ``hedge_warmup`` samples exist; <= 0 disables hedging.
+    hedge_ms: float | None = None
+    #: Token-bucket hedge budget as a fraction of routed traffic
+    #: (0.05 = at most ~5% of requests hedge); <= 0 disables hedging.
+    hedge_budget: float = 0.05
+    #: Completed-request samples required before auto-p95 hedging arms.
+    hedge_warmup: int = 32
+    #: EWMA-latency multiple of the fleet median that browns a worker
+    #: out of the ring (state preserved, no kill); 0 disables.
+    brownout_factor: float = 4.0
+    #: Absolute EWMA floor below which brownout never triggers — a
+    #: uniformly fast fleet must not shed its (microseconds-) slowest.
+    brownout_floor_seconds: float = 0.005
+    #: Per-worker answered responses before its EWMA is trusted.
+    brownout_min_samples: int = 16
+    #: Consecutive healthy ``healthz`` probes that reinstate a worker.
+    brownout_probes: int = 3
+    #: Re-brownout immunity after reinstatement.
+    brownout_cooldown_seconds: float = 1.0
+    #: Patience for in-flight requests when SIGTERM/``shutdown`` drains.
+    drain_timeout_seconds: float = 10.0
+    #: Non-CURRENT model-store versions kept by GC after each publish
+    #: (< 1 disables pruning).
+    store_keep: int = 2
+    #: Per-worker-name environment overrides, merged over ``extra_env``
+    #: — how the chaos drill and the tail bench make exactly one worker
+    #: slow (``{"w0": {"REPRO_FAULTS": "latency=1,delay=0.05"}}``).
+    worker_env: dict = field(default_factory=dict)
 
     @property
     def min_workers(self) -> int:
@@ -110,15 +172,17 @@ class TierConfig:
 
 @dataclass
 class _Pending:
-    """One request in flight on a worker connection (FIFO-matched)."""
+    """One request in flight on a worker connection (FIFO-matched).
+
+    Deliberately carries no accounting flags: a hedged logical request
+    has up to two pendings in flight at once, so all
+    routed/completed/worker_lost bookkeeping happens once per *logical*
+    request in :meth:`ServingTier._route`, never per pending.
+    """
 
     future: asyncio.Future
     op: str
     request_id: str | None
-    #: True for client requests that went through the ring (these feed
-    #: the ``routed == completed + worker_lost`` reconciliation);
-    #: front-end fan-out ops are accounted separately.
-    routed: bool = False
 
 
 class WorkerHandle:
@@ -140,10 +204,29 @@ class WorkerHandle:
         self.closed = False
         self.started_at = time.monotonic()
         self.n_answered = 0
+        #: EWMA of per-response latency on this connection (brownout
+        #: scoring input); reset on reinstatement so recovery is judged
+        #: on fresh evidence.
+        self.ewma_seconds: float | None = None
+        self.n_observed = 0
+        #: Off the ring but alive: state preserved, probed via synthetic
+        #: ``healthz`` until reinstated.
+        self.browned_out = False
+        self.probe_successes = 0
+        self.brownout_threshold = 0.0
+        self.reinstated_at = 0.0
 
     @property
     def inflight(self) -> int:
         return len(self.pending)
+
+    def note_latency(self, elapsed: float, alpha: float = 0.2) -> None:
+        """Fold one response latency into the brownout EWMA."""
+        if self.ewma_seconds is None:
+            self.ewma_seconds = elapsed
+        else:
+            self.ewma_seconds += alpha * (elapsed - self.ewma_seconds)
+        self.n_observed += 1
 
     def kill(self) -> None:
         if self.proc is not None and self.proc.poll() is None:
@@ -157,9 +240,11 @@ class ServingTier:
         self,
         config: TierConfig,
         extra_env: dict[str, str] | None = None,
+        access_log=None,
     ) -> None:
         self.config = config
         self.extra_env = dict(extra_env or {})
+        self.access_log = access_log
         os.makedirs(config.run_dir, exist_ok=True)
         self.store = ModelStore(os.path.join(config.run_dir, "store"))
         # The tier's single shadow validator: only what this host swaps
@@ -169,6 +254,7 @@ class ServingTier:
             self.store.publish(
                 self.host.active.selector, self.host.active.sha256
             )
+            self.store.prune(config.store_keep)
         self.ring = HashRing()
         self.workers: dict[str, WorkerHandle] = {}
         self.target_workers = max(
@@ -184,17 +270,37 @@ class ServingTier:
         self._capacity_lock: asyncio.Lock | None = None
         self._stopping = False
         self._stopped = False
+        self._draining = False
         self._stop_event = asyncio.Event()
         self._scale_task: asyncio.Task | None = None
+        self._drain_task: asyncio.Task | None = None
         self.started_at = time.monotonic()
-        # Tier counters; `routed == completed + worker_lost` is the
-        # reconciliation the chaos drill asserts.
+        # Tier counters; `routed == completed + worker_lost` and
+        # `completed == primary_wins + hedge_wins` are the
+        # reconciliations the chaos drill asserts.
         self.n_routed = 0
         self.n_completed = 0
         self.n_worker_lost = 0
         self.n_respawned = 0
         self.n_rebalanced = 0
         self.n_timeouts = 0
+        self.n_hedges = 0
+        self.n_hedge_wins = 0
+        self.n_primary_wins = 0
+        self.n_deadline_exceeded = 0
+        self.n_brownouts = 0
+        self.n_reinstated = 0
+        self.n_draining_rejected = 0
+        # Hedge token bucket: tokens accrue per routed request at the
+        # budget rate; each hedge spends one.  The burst cap bounds how
+        # many hedges a latency clump can fire back-to-back.
+        self._hedge_burst = max(1.0, 32.0 * max(config.hedge_budget, 0.0))
+        self._hedge_tokens = self._hedge_burst
+        # Rolling completed-request latencies feeding the auto (p95)
+        # hedge delay; recomputed every 16 samples once warmed up.
+        self._latency_samples: deque[float] = deque(maxlen=512)
+        self._samples_seen = 0
+        self._auto_hedge_delay: float | None = None
 
     # -- worker lifecycle ---------------------------------------------------
 
@@ -226,7 +332,14 @@ class ServingTier:
         handle = WorkerHandle(name, socket_path)
         handle.proc = subprocess.Popen(
             self._worker_command(name, socket_path),
-            env={**os.environ, **self.extra_env},
+            # Per-name env wins over tier-wide extra_env, and a respawn
+            # under the old name re-applies it — a chaos-slow worker
+            # stays slow across its own death.
+            env={
+                **os.environ,
+                **self.extra_env,
+                **self.config.worker_env.get(name, {}),
+            },
             stdin=subprocess.DEVNULL,
         )
         deadline = time.monotonic() + self.config.boot_timeout_seconds
@@ -317,9 +430,6 @@ class ServingTier:
                     pend.request_id,
                 )
             pend.future.set_result(response)
-            if pend.routed:
-                self.n_worker_lost += 1
-                TELEMETRY.inc("serving.worker_lost")
         if handle.writer is not None:
             handle.writer.close()
         TELEMETRY.gauge_set("serving.workers", float(len(self.workers)))
@@ -383,8 +493,47 @@ class ServingTier:
         await asyncio.sleep(0.1)
         handle.kill()
 
+    def plan_scale(self, alive: list[WorkerHandle]) -> str | None:
+        """Pure scaling decision for the current fleet: up/down/None.
+
+        ``min == max`` is a hard no-scale band regardless of depth, so a
+        fixed-size tier never churns workers.  Separated from the loop
+        so the decision is unit-testable without processes.
+        """
+        if not alive:
+            return None
+        if self.config.min_workers == self.config.max_workers:
+            return None
+        depth = sum(w.inflight for w in alive) / len(alive)
+        if (
+            depth > self.config.scale_up_depth
+            and self.target_workers < self.config.max_workers
+        ):
+            return "up"
+        if (
+            depth < self.config.scale_down_depth
+            and self.target_workers > self.config.min_workers
+            and len(alive) > self.config.min_workers
+        ):
+            return "down"
+        return None
+
+    def scale_down_victim(
+        self, alive: list[WorkerHandle]
+    ) -> WorkerHandle | None:
+        """Youngest *idle* worker, or ``None`` when every worker is busy.
+
+        A worker with requests in flight is never retired by scale-down
+        — retiring it would convert live requests into typed losses just
+        to save capacity the tier demonstrably still needs.
+        """
+        idle = [w for w in alive if w.inflight == 0]
+        if not idle:
+            return None
+        return max(idle, key=lambda w: w.started_at)
+
     async def _scale_loop(self) -> None:
-        """Respawn the dead, watch the model, scale on queue depth."""
+        """Respawn the dead, watch the model, score brownouts, scale."""
         interval = max(self.config.scale_interval_seconds, 0.01)
         while not self._stopping:
             await asyncio.sleep(interval)
@@ -393,28 +542,116 @@ class ServingTier:
             if self.config.hot_reload:
                 self.check_reload()
             await self._ensure_capacity()
-            alive = [w for w in self.workers.values() if not w.retiring]
-            if not alive:
-                continue
-            depth = sum(w.inflight for w in alive) / len(alive)
-            if (
-                depth > self.config.scale_up_depth
-                and self.target_workers < self.config.max_workers
-            ):
+            self._brownout_check()
+            await self._probe_brownouts()
+            alive = [
+                w for w in self.workers.values()
+                if not w.retiring and not w.browned_out
+            ]
+            plan = self.plan_scale(alive)
+            if plan == "up":
                 self.target_workers += 1
                 TELEMETRY.inc("serving.scale_up")
                 await self._ensure_capacity()
-            elif (
-                depth < self.config.scale_down_depth
-                and self.target_workers > self.config.min_workers
-                and len(alive) > self.config.min_workers
-            ):
-                self.target_workers -= 1
-                TELEMETRY.inc("serving.scale_down")
-                victim = max(
-                    alive, key=lambda w: (w.inflight == 0, w.started_at)
+            elif plan == "down":
+                victim = self.scale_down_victim(alive)
+                if victim is not None:
+                    self.target_workers -= 1
+                    TELEMETRY.inc("serving.scale_down")
+                    asyncio.ensure_future(self._retire_worker(victim))
+
+    # -- brownout routing ---------------------------------------------------
+
+    def _brownout_check(self) -> None:
+        """Pull the one clear latency outlier off the ring, alive.
+
+        A worker whose EWMA exceeds ``brownout_factor ×`` the fleet
+        median (and the absolute floor) stops receiving traffic but
+        keeps its process, connection, and per-client state; synthetic
+        ``healthz`` probes decide when it returns.  Killing is reserved
+        for wedged workers (the ``_forward`` timeout path).
+        """
+        if self.config.brownout_factor <= 0 or self._draining:
+            return
+        active = [
+            w for w in self.workers.values()
+            if not w.retiring and not w.closed and not w.browned_out
+        ]
+        # Never brown out below two active workers: shedding the last
+        # pair's slower half would halve capacity on a whim.
+        if len(active) < 2 or len(self.ring) < 2:
+            return
+        now = time.monotonic()
+        scored = [
+            w for w in active
+            if w.ewma_seconds is not None
+            and w.n_observed >= self.config.brownout_min_samples
+            and now - w.reinstated_at
+            >= self.config.brownout_cooldown_seconds
+        ]
+        if len(scored) < 2:
+            return
+        ewmas = sorted(w.ewma_seconds for w in scored)
+        median = ewmas[len(ewmas) // 2]
+        threshold = max(
+            self.config.brownout_floor_seconds,
+            self.config.brownout_factor * median,
+        )
+        worst = max(scored, key=lambda w: w.ewma_seconds)
+        if worst.ewma_seconds > threshold:
+            self._brownout(worst, threshold)
+
+    def _brownout(self, handle: WorkerHandle, threshold: float) -> None:
+        if handle.name in self.ring:
+            self.ring.remove(handle.name)
+            self.n_rebalanced += 1
+            TELEMETRY.inc("serving.rebalanced")
+        handle.browned_out = True
+        handle.probe_successes = 0
+        handle.brownout_threshold = threshold
+        self.n_brownouts += 1
+        TELEMETRY.inc("serving.brownouts")
+
+    async def _probe_brownouts(self) -> None:
+        """One synthetic ``healthz`` per browned-out worker per tick."""
+        for handle in list(self.workers.values()):
+            if not handle.browned_out or handle.retiring or handle.closed:
+                continue
+            request = parse_request_line(
+                json.dumps({"id": f"__probe_{handle.name}", "op": "healthz"})
+            )
+            probe_at = time.monotonic()
+            response = await self._forward(handle, request, new_trace_id())
+            elapsed = time.monotonic() - probe_at
+            healthy = (
+                isinstance(response, dict)
+                and response.get("status") == "ok"
+                and response.get("state") == "ok"
+                and elapsed <= max(
+                    handle.brownout_threshold,
+                    self.config.brownout_floor_seconds,
                 )
-                asyncio.ensure_future(self._retire_worker(victim))
+            )
+            if not healthy:
+                handle.probe_successes = 0
+                continue
+            handle.probe_successes += 1
+            if handle.probe_successes >= max(self.config.brownout_probes, 1):
+                self._reinstate(handle)
+
+    def _reinstate(self, handle: WorkerHandle) -> None:
+        handle.browned_out = False
+        handle.probe_successes = 0
+        # Recovery is judged on fresh evidence, not the degraded EWMA.
+        handle.ewma_seconds = None
+        handle.n_observed = 0
+        handle.reinstated_at = time.monotonic()
+        if handle.name not in self.ring:
+            self.ring.add(handle.name)
+            self.n_rebalanced += 1
+            TELEMETRY.inc("serving.rebalanced")
+        self.n_reinstated += 1
+        TELEMETRY.inc("serving.reinstated")
 
     def kill_worker(self, name: str | None = None) -> str | None:
         """SIGKILL one alive worker (chaos hook); returns its name."""
@@ -442,6 +679,7 @@ class ServingTier:
             self.store.publish(
                 self.host.active.selector, self.host.active.sha256
             )
+            self.store.prune(self.config.store_keep)
         return event
 
     # -- dispatch -----------------------------------------------------------
@@ -459,19 +697,52 @@ class ServingTier:
 
     async def dispatch(self, line: str, conn_key: str) -> dict:
         """One request line in, exactly one response dict out."""
+        t0 = time.monotonic()
         try:
             request = parse_request_line(line, self.config.max_request_bytes)
         except RequestParseError as exc:
-            return exc.response
+            return self._log_access(exc.response, "invalid", t0)
         if request.op == "shutdown":
-            return await self._op_shutdown(request)
-        if request.op == "reload":
-            return await self._op_reload(request)
-        if request.op == "metrics":
-            return await self._op_metrics(request)
-        if request.op in ("health", "healthz"):
-            return await self._op_health(request)
-        return await self._route(request, self.routing_key(request.body, conn_key))
+            response = await self._op_shutdown(request)
+        elif request.op == "reload":
+            response = await self._op_reload(request)
+        elif request.op == "metrics":
+            response = await self._op_metrics(request)
+        elif request.op in ("health", "healthz"):
+            response = await self._op_health(request)
+        elif self._draining:
+            # Draining: tier ops above still answer (an operator must be
+            # able to watch the drain), but no new work is accepted.
+            self.n_draining_rejected += 1
+            TELEMETRY.inc("serving.draining_rejected")
+            response = overloaded_response(CODE_DRAINING, request.id)
+        else:
+            response = await self._route(
+                request, self.routing_key(request.body, conn_key)
+            )
+        return self._log_access(response, request.op, t0)
+
+    def _log_access(self, response: dict, op: str, t0: float) -> dict:
+        """Emit one access-log event per answered request (if wired).
+
+        Same field shape as the worker's per-request log, so one parser
+        reads both tiers' logs.
+        """
+        if self.access_log is not None:
+            fields: dict = {
+                "status": response.get("status"),
+                "id": response.get("id"),
+                "op": op,
+                "latency_ms": round((time.monotonic() - t0) * 1e3, 3),
+            }
+            code = response.get("code") or response.get("reason")
+            if code is not None:
+                fields["code"] = code
+            try:
+                self.access_log.emit("request", **fields)
+            except (OSError, ValueError):  # pragma: no cover - defensive
+                pass
+        return response
 
     def _unroutable(self, request) -> dict:
         if request.op in ("predict", "feedback"):
@@ -485,11 +756,35 @@ class ServingTier:
             CODE_WORKER_LOST, "no worker available", request.id
         )
 
+    def _budget_seconds(self, request) -> float | None:
+        """Effective latency budget: client deadline min ``--request-timeout``."""
+        budgets = []
+        if self.config.request_timeout_seconds > 0:
+            budgets.append(self.config.request_timeout_seconds)
+        if request.budget_ms is not None:
+            budgets.append(request.budget_ms / 1000.0)
+        return min(budgets) if budgets else None
+
     async def _route(self, request, key: str) -> dict:
-        """Consistent-hash route one request; never hangs, never raises."""
+        """Consistent-hash route one request; never hangs, never raises.
+
+        This is the *single* accounting point per logical request: a
+        hedged request has two pendings in flight, but exactly one
+        routed/completed/worker_lost increment happens here, on the
+        winning (or last-resort) response — so
+        ``routed == completed + worker_lost`` and
+        ``completed == primary_wins + hedge_wins`` hold exactly.
+        """
         trace_id = new_trace_id()
-        deadline = time.monotonic() + self.config.boot_timeout_seconds
+        t0 = time.monotonic()
+        budget = self._budget_seconds(request)
+        deadline = t0 + budget if budget is not None else None
+        give_up = t0 + self.config.boot_timeout_seconds
         while True:
+            if deadline is not None and time.monotonic() >= deadline:
+                self.n_deadline_exceeded += 1
+                TELEMETRY.inc("serving.deadline_exceeded")
+                return overloaded_response(CODE_DEADLINE, request.id)
             try:
                 name = self.ring.assign(key)
             except LookupError:
@@ -502,33 +797,151 @@ class ServingTier:
                     worker=handle.name,
                     op=request.op,
                 ):
-                    response = await self._forward(
-                        handle, request, trace_id, routed=True
+                    response, via = await self._dispatch_hedged(
+                        handle, request, key, trace_id, deadline
                     )
                 # None = the worker vanished between selection and
                 # enqueue; nothing was sent — re-route this request.
                 if response is not None:
                     self.n_routed += 1
                     TELEMETRY.inc("serving.routed")
+                    self._hedge_tokens = min(
+                        self._hedge_burst,
+                        self._hedge_tokens + max(self.config.hedge_budget, 0.0),
+                    )
                     lost = (
                         response.get("reason") == REASON_WORKER_LOST
                         or response.get("code") == CODE_WORKER_LOST
                     )
-                    if not lost:
-                        # Losses were counted by the flush, so the books
-                        # balance: routed == completed + worker_lost.
+                    if lost:
+                        self.n_worker_lost += 1
+                        TELEMETRY.inc("serving.worker_lost")
+                    else:
                         self.n_completed += 1
+                        self._record_latency(time.monotonic() - t0)
+                        if via == "hedge":
+                            self.n_hedge_wins += 1
+                            TELEMETRY.inc("serving.hedge_wins")
+                        else:
+                            self.n_primary_wins += 1
+                            TELEMETRY.inc("serving.primary_wins")
                     return response
-            if self._stopping or time.monotonic() > deadline:
+            if self._stopping or time.monotonic() > give_up:
                 return self._unroutable(request)
             await asyncio.sleep(0.02)
+
+    # -- hedged dispatch ----------------------------------------------------
+
+    def _hedge_delay_seconds(self) -> float | None:
+        """Current hedge delay, or ``None`` when hedging is off/not armed."""
+        if self.config.hedge_budget <= 0 or self._draining:
+            return None
+        if len(self.ring) < 2:
+            return None
+        if self.config.hedge_ms is not None:
+            if self.config.hedge_ms <= 0:
+                return None
+            return self.config.hedge_ms / 1000.0
+        return self._auto_hedge_delay
+
+    def _record_latency(self, elapsed: float) -> None:
+        """Feed the rolling-p95 auto hedge delay; cheap, amortized."""
+        self._latency_samples.append(elapsed)
+        self._samples_seen += 1
+        if (
+            len(self._latency_samples) >= max(self.config.hedge_warmup, 1)
+            and self._samples_seen % 16 == 0
+        ):
+            ordered = sorted(self._latency_samples)
+            at = min(int(len(ordered) * 0.95), len(ordered) - 1)
+            self._auto_hedge_delay = max(ordered[at], 0.001)
+
+    def _take_hedge_token(self) -> bool:
+        if self._hedge_tokens < 1.0:
+            return False
+        self._hedge_tokens -= 1.0
+        return True
+
+    def _hedge_target(self, key: str, primary: WorkerHandle):
+        """Next distinct live ring worker after ``primary`` for ``key``."""
+        for name in self.ring.successors(key):
+            if name == primary.name:
+                continue
+            handle = self.workers.get(name)
+            if (
+                handle is not None
+                and not handle.retiring
+                and not handle.closed
+                and not handle.browned_out
+            ):
+                return handle
+        return None
+
+    async def _dispatch_hedged(
+        self,
+        handle: WorkerHandle,
+        request,
+        key: str,
+        trace_id: str,
+        deadline: float | None,
+    ) -> tuple[dict | None, str]:
+        """Forward with optional hedging; first real response wins.
+
+        Returns ``(response, via)`` where ``via`` is ``"primary"`` or
+        ``"hedge"``.  The losing branch's eventual answer is consumed by
+        its worker's reader loop into an already-resolved future, so it
+        is discarded on arrival without disturbing FIFO matching.
+        """
+        primary = asyncio.ensure_future(
+            self._forward(handle, request, trace_id, deadline=deadline)
+        )
+        delay = self._hedge_delay_seconds()
+        if delay is None:
+            return await primary, "primary"
+        done, _ = await asyncio.wait({primary}, timeout=delay)
+        if done:
+            return primary.result(), "primary"
+        hedge_to = self._hedge_target(key, handle)
+        if hedge_to is None or not self._take_hedge_token():
+            return await primary, "primary"
+        self.n_hedges += 1
+        TELEMETRY.inc("serving.hedges")
+        hedge = asyncio.ensure_future(
+            self._forward(hedge_to, request, trace_id, deadline=deadline)
+        )
+        branches = {primary: "primary", hedge: "hedge"}
+        lost_response: tuple[dict, str] | None = None
+        pending = set(branches)
+        while pending:
+            done, pending = await asyncio.wait(
+                pending, return_when=asyncio.FIRST_COMPLETED
+            )
+            for task in done:
+                response = task.result()
+                if response is None:
+                    # Never enqueued on that worker; the other branch
+                    # may still answer.
+                    continue
+                lost = (
+                    response.get("reason") == REASON_WORKER_LOST
+                    or response.get("code") == CODE_WORKER_LOST
+                )
+                if lost:
+                    # Hold as last resort: the other branch may still
+                    # produce a real answer.
+                    lost_response = (response, branches[task])
+                    continue
+                return response, branches[task]
+        if lost_response is not None:
+            return lost_response
+        return None, "primary"
 
     async def _forward(
         self,
         handle: WorkerHandle,
         request,
         trace_id: str,
-        routed: bool = False,
+        deadline: float | None = None,
     ):
         """Send one request down a worker connection and await its answer.
 
@@ -536,17 +949,22 @@ class ServingTier:
         be enqueued (caller re-routes).  A timeout kills the worker:
         FIFO matching cannot survive a skipped response, so a wedged
         worker is converted into a dead one, whose in-flight requests
-        all get typed answers.
+        all get typed answers.  When ``deadline`` is set, the remaining
+        budget rides the wire as ``deadline_ms`` so the worker's
+        admission queue and pre-predict gate honor it downstream.
         """
         body = dict(request.body)
         body["_trace"] = trace_id
+        if deadline is not None:
+            body["deadline_ms"] = max(
+                0.0, round((deadline - time.monotonic()) * 1000.0, 3)
+            )
         payload = (
             json.dumps(body, separators=(",", ":"), default=str) + "\n"
         ).encode("utf-8")
         loop = asyncio.get_running_loop()
-        pend = _Pending(
-            loop.create_future(), request.op, request.id, routed=routed
-        )
+        pend = _Pending(loop.create_future(), request.op, request.id)
+        sent_at = time.monotonic()
         async with handle.lock:
             if handle.closed:
                 return None
@@ -563,14 +981,16 @@ class ServingTier:
             pass  # the reader loop flushes `pend` with a typed response
         timeout = self.config.request_timeout_seconds
         try:
-            return await asyncio.wait_for(
+            response = await asyncio.wait_for(
                 asyncio.shield(pend.future), timeout if timeout > 0 else None
             )
         except asyncio.TimeoutError:
             self.n_timeouts += 1
             TELEMETRY.inc("serving.worker_timeout")
             handle.kill()  # reader EOF will flush `pend` with worker_lost
-            return await pend.future
+            response = await pend.future
+        handle.note_latency(time.monotonic() - sent_at)
+        return response
 
     async def _fanout(self, op: str) -> dict[str, dict]:
         """Send one tier op to every alive worker; gather by name."""
@@ -653,6 +1073,27 @@ class ServingTier:
             "serving.rebalanced": {
                 "type": "counter", "value": float(self.n_rebalanced),
             },
+            "serving.hedges": {
+                "type": "counter", "value": float(self.n_hedges),
+            },
+            "serving.hedge_wins": {
+                "type": "counter", "value": float(self.n_hedge_wins),
+            },
+            "serving.primary_wins": {
+                "type": "counter", "value": float(self.n_primary_wins),
+            },
+            "serving.deadline_exceeded": {
+                "type": "counter", "value": float(self.n_deadline_exceeded),
+            },
+            "serving.brownouts": {
+                "type": "counter", "value": float(self.n_brownouts),
+            },
+            "serving.reinstated": {
+                "type": "counter", "value": float(self.n_reinstated),
+            },
+            "serving.draining_rejected": {
+                "type": "counter", "value": float(self.n_draining_rejected),
+            },
         }
 
     async def _op_health(self, request) -> dict:
@@ -708,14 +1149,52 @@ class ServingTier:
         )
 
     async def _op_shutdown(self, request) -> dict:
-        # Stop routing immediately, but let the accept loop tear the
-        # fleet down *after* this response has been written back —
-        # otherwise the acknowledgement races the process exit.
-        self._stopping = True
-        asyncio.get_running_loop().call_later(0.05, self._stop_event.set)
+        # Graceful drain, not a guillotine: by the time this response is
+        # written back, `_draining` is already set, so no request
+        # arriving after the acknowledgement can slip into the fleet —
+        # but everything already in flight gets to finish.
+        self.begin_drain()
         return ok_response(
-            request.id, op="shutdown", workers=len(self.workers)
+            request.id,
+            op="shutdown",
+            workers=len(self.workers),
+            draining=True,
         )
+
+    # -- graceful drain -----------------------------------------------------
+
+    def begin_drain(self) -> None:
+        """Enter draining: refuse new work, finish in-flight, then stop.
+
+        Idempotent — the shutdown op and SIGTERM may both fire.  The
+        drill's contract: zero silently-dropped requests.  Every
+        in-flight request either completes or (past ``--drain-timeout``)
+        is flushed with a typed response when the fleet is torn down;
+        every post-drain arrival gets a typed ``draining`` refusal.
+        """
+        if self._draining or self._stopping or self._stopped:
+            return
+        self._draining = True
+        TELEMETRY.inc("serving.drains")
+        self._drain_task = asyncio.ensure_future(self._drain())
+
+    async def _drain(self) -> None:
+        with TELEMETRY.span("serving.drain"):
+            # Give the shutdown acknowledgement (if any) a beat to reach
+            # its client before the accept loop starts tearing down.
+            await asyncio.sleep(0.05)
+            deadline = time.monotonic() + max(
+                self.config.drain_timeout_seconds, 0.0
+            )
+            while time.monotonic() < deadline and any(
+                w.pending for w in self.workers.values()
+            ):
+                await asyncio.sleep(0.02)
+            # Workers are idle; let the client conversations write their
+            # final responses back before the fleet is torn down.
+            await asyncio.sleep(0.05)
+            self._stopping = True
+            self._stop_event.set()
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -732,6 +1211,8 @@ class ServingTier:
         self._stopping = True
         if self._scale_task is not None:
             self._scale_task.cancel()
+        if self._drain_task is not None and not self._drain_task.done():
+            self._drain_task.cancel()
         for handle in list(self.workers.values()):
             try:
                 async with handle.lock:
@@ -757,6 +1238,11 @@ class ServingTier:
                 await asyncio.sleep(0.05)
             handle.kill()
             self._flush_worker(handle)
+        if self.access_log is not None:
+            try:
+                self.access_log.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
         self._stop_event.set()
 
     async def _serve_client(self, reader, writer) -> None:
@@ -784,11 +1270,30 @@ class ServingTier:
             except OSError:  # pragma: no cover - defensive
                 pass
 
+    def _install_sigterm(self) -> bool:
+        """SIGTERM → graceful drain (best effort; not every loop can)."""
+        try:
+            asyncio.get_running_loop().add_signal_handler(
+                signal.SIGTERM, self.begin_drain
+            )
+            return True
+        except (NotImplementedError, RuntimeError, ValueError):
+            return False  # pragma: no cover - non-main-thread / platform
+
+    def _remove_sigterm(self, installed: bool) -> None:
+        if not installed:
+            return
+        try:
+            asyncio.get_running_loop().remove_signal_handler(signal.SIGTERM)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass  # pragma: no cover - defensive
+
     async def run_socket(self, socket_path: str) -> int:
         """Serve the tier on a front Unix socket until shutdown."""
         if os.path.exists(socket_path):
             os.unlink(socket_path)
         await self.start()
+        sigterm = self._install_sigterm()
         server = await asyncio.start_unix_server(
             self._serve_client, path=socket_path
         )
@@ -796,6 +1301,7 @@ class ServingTier:
             async with server:
                 await self._stop_event.wait()
         finally:
+            self._remove_sigterm(sigterm)
             await self.stop()
             if os.path.exists(socket_path):
                 os.unlink(socket_path)
@@ -804,6 +1310,7 @@ class ServingTier:
     async def run_stdio(self, instream=None, outstream=None) -> int:
         """Serve the tier over stdin/stdout (one implicit client)."""
         await self.start()
+        sigterm = self._install_sigterm()
         loop = asyncio.get_running_loop()
         reader = asyncio.StreamReader()
         protocol = asyncio.StreamReaderProtocol(reader)
@@ -823,6 +1330,7 @@ class ServingTier:
                 out.write(encode_response(response) + "\n")
                 out.flush()
         finally:
+            self._remove_sigterm(sigterm)
             await self.stop()
         return 0
 

@@ -31,8 +31,10 @@ worker.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import shutil
 import tempfile
 import time
 from typing import Callable
@@ -50,6 +52,12 @@ from repro.serving.reload import (
 
 _MANIFEST = "manifest.json"
 _CURRENT = "CURRENT"
+#: Publish-order journal (one sha per line, oldest first).  It is both
+#: the GC grace list — the last ``keep`` entries are never pruned, so a
+#: worker mid-attach on a version published moments ago cannot lose the
+#: files under its mmap — and the fall-back chain a worker walks when
+#: the CURRENT version fails its integrity check.
+_JOURNAL = "PUBLISHED"
 
 #: FrozenSelector array fields persisted as raw ``.npy`` files.  The
 #: optional ones (``None`` in the selector) are simply absent from the
@@ -64,6 +72,14 @@ _ARRAY_FIELDS = (
     "centroids",
     "centroid_labels",
 )
+
+
+def _file_sha256(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
 
 
 class ModelStoreError(RuntimeError):
@@ -86,6 +102,36 @@ class ModelStore:
     def current_path(self) -> str:
         return os.path.join(self.root, _CURRENT)
 
+    @property
+    def journal_path(self) -> str:
+        return os.path.join(self.root, _JOURNAL)
+
+    # -- publish-order journal ------------------------------------------------
+
+    def publish_order(self) -> list[str]:
+        """Published shas, oldest first (re-publish moves a sha to the end)."""
+        try:
+            with open(self.journal_path, "r", encoding="utf-8") as fh:
+                lines = fh.read().splitlines()
+        except OSError:
+            return []
+        return [sha.strip() for sha in lines if sha.strip()]
+
+    def _write_journal(self, order: list[str]) -> None:
+        fd, tmp = tempfile.mkstemp(prefix=".journal-", dir=self.root)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write("".join(sha + "\n" for sha in order))
+            os.replace(tmp, self.journal_path)
+        finally:
+            if os.path.exists(tmp):  # pragma: no cover - defensive
+                os.unlink(tmp)
+
+    def _journal_append(self, sha: str) -> None:
+        order = [s for s in self.publish_order() if s != sha]
+        order.append(sha)
+        self._write_journal(order)
+
     # -- publish (front-end side) -------------------------------------------
 
     def publish(self, selector: FrozenSelector, sha: str) -> str:
@@ -105,20 +151,24 @@ class ModelStore:
             )
             try:
                 arrays = []
+                digests = {}
                 for name in _ARRAY_FIELDS:
                     value = getattr(selector, name)
                     if value is None:
                         continue
                     if name == "centroid_labels":
                         value = np.asarray(value).astype("U8")
-                    np.save(
-                        os.path.join(staging, f"{name}.npy"),
-                        np.ascontiguousarray(value),
-                    )
+                    path = os.path.join(staging, f"{name}.npy")
+                    np.save(path, np.ascontiguousarray(value))
+                    digests[name] = _file_sha256(path)
                     arrays.append(name)
                 manifest = {
                     "sha256": sha,
                     "arrays": arrays,
+                    # Per-array content digests: attach verifies them
+                    # once, so a truncated or bit-flipped .npy is
+                    # quarantined instead of served through mmap.
+                    "digests": digests,
                     "transform_kind": selector.transform_kind,
                     "n_centroids": selector.n_centroids,
                 }
@@ -140,8 +190,51 @@ class ModelStore:
                         os.unlink(os.path.join(staging, leftover))
                     os.rmdir(staging)
             TELEMETRY.inc("serving.store.published")
+        self._journal_append(sha)
         self.set_current(sha)
         return target
+
+    def prune(self, keep: int = 2) -> list[str]:
+        """Delete version directories beyond the ``keep`` most recent.
+
+        Runs after a successful pointer flip.  CURRENT and the last
+        ``keep`` journal entries are always retained (the publish-order
+        grace list: an attach races the flip by at most one version, so
+        a version published within the last ``keep`` flips may still be
+        mid-attach somewhere and must keep its files).  Version
+        directories the journal has never seen (pre-journal stores) are
+        treated as oldest.  Returns the pruned shas; ``keep < 1`` is a
+        no-op so a misconfigured knob can never empty the store.
+        """
+        if keep < 1:
+            return []
+        order = self.publish_order()
+        versions_root = os.path.join(self.root, "versions")
+        try:
+            on_disk = [
+                d for d in sorted(os.listdir(versions_root))
+                if not d.startswith(".")
+                and os.path.isdir(os.path.join(versions_root, d))
+            ]
+        except OSError:  # pragma: no cover - defensive
+            on_disk = []
+        untracked = [d for d in on_disk if d not in order]
+        candidates = untracked + order
+        grace = set(order[-keep:])
+        current = self.current_sha()
+        if current is not None:
+            grace.add(current)
+        pruned: list[str] = []
+        for sha in candidates:
+            if sha in grace or sha not in on_disk:
+                continue
+            shutil.rmtree(self.version_dir(sha), ignore_errors=True)
+            pruned.append(sha)
+        if pruned:
+            kept = [s for s in order if s not in pruned]
+            self._write_journal(kept)
+            TELEMETRY.inc("serving.store.pruned", len(pruned))
+        return pruned
 
     def set_current(self, sha: str) -> None:
         """Atomically repoint CURRENT at ``sha`` — the tier-wide flip."""
@@ -176,11 +269,15 @@ class ModelStore:
     def attach(self, sha: str) -> FrozenSelector:
         """Map ``versions/<sha>`` read-only into this process.
 
-        No deserialization and no validation happen here — arrays are
-        ``np.memmap`` views of the published files, shared page-cache
-        with every other attached worker.  Raises
-        :class:`ModelStoreError` if the version is missing or torn
-        (which, given staged publication, means store corruption).
+        No deserialization and no model validation happen here — arrays
+        are ``np.memmap`` views of the published files, shared
+        page-cache with every other attached worker.  The one check is
+        *integrity*: each file's SHA-256 must match the digest the
+        publisher recorded in the manifest, so a truncated or
+        bit-flipped ``.npy`` raises instead of serving garbage through
+        mmap (manifests without digests — pre-integrity stores — skip
+        the check).  Raises :class:`ModelStoreError` if the version is
+        missing, torn, or fails its digest.
         """
         vdir = self.version_dir(sha)
         manifest_path = os.path.join(vdir, _MANIFEST)
@@ -194,14 +291,29 @@ class ModelStore:
         arrays: dict[str, np.ndarray | None] = {
             name: None for name in _ARRAY_FIELDS
         }
+        digests = manifest.get("digests")
         for name in manifest.get("arrays", []):
             if name not in arrays:
                 raise ModelStoreError(
                     f"store version {sha} names unknown array {name!r}"
                 )
+            path = os.path.join(vdir, f"{name}.npy")
+            if isinstance(digests, dict) and name in digests:
+                try:
+                    actual = _file_sha256(path)
+                except OSError as exc:
+                    raise ModelStoreError(
+                        f"store version {sha}: cannot read {name}: {exc}"
+                    ) from exc
+                if actual != digests[name]:
+                    raise ModelStoreError(
+                        f"store version {sha}: integrity failure on "
+                        f"{name}: digest {actual[:12]} != published "
+                        f"{str(digests[name])[:12]}"
+                    )
             try:
                 arrays[name] = np.load(
-                    os.path.join(vdir, f"{name}.npy"),
+                    path,
                     mmap_mode="r",
                     allow_pickle=False,
                 )
@@ -263,6 +375,9 @@ class StoreModelHost:
         #: snapshot keys stay aligned with ModelHost's so tier health
         #: aggregation reads both kinds of worker identically.
         self.n_quarantined = 0
+        #: Times a corrupt CURRENT was bridged by re-attaching the
+        #: previous published version instead of serving degraded.
+        self.n_fallbacks = 0
         self._seen_stat = self.store.current_stat()
         self.active = self._attach_current()
 
@@ -282,6 +397,9 @@ class StoreModelHost:
         except ModelStoreError as exc:
             self.n_quarantined += 1
             TELEMETRY.inc("serving.store.attach_failed")
+            fallback = self._attach_previous(sha)
+            if fallback is not None:
+                return fallback
             return ModelVersion(
                 selector=None,
                 sha256=sha,
@@ -296,6 +414,33 @@ class StoreModelHost:
             loaded_at=self.clock(),
             scale=selector.centroid_scale(),
         )
+
+    def _attach_previous(self, bad_sha: str) -> ModelVersion | None:
+        """Walk the publish journal backwards past a corrupt CURRENT.
+
+        A version that fails its integrity check is quarantined in
+        place; rather than serve degraded (fallback-format answers), the
+        worker attaches the newest *older* published version that still
+        verifies — the model every worker was serving before the bad
+        flip.  Returns ``None`` when no earlier version survives.
+        """
+        for sha in reversed(self.store.publish_order()):
+            if sha == bad_sha:
+                continue
+            try:
+                selector = self.store.attach(sha)
+            except ModelStoreError:
+                continue
+            self.n_fallbacks += 1
+            TELEMETRY.inc("serving.store.fallback")
+            return ModelVersion(
+                selector=selector,
+                sha256=sha,
+                stat=self._seen_stat,
+                loaded_at=self.clock(),
+                scale=selector.centroid_scale(),
+            )
+        return None
 
     def check_reload(self) -> str:
         """Stat the CURRENT pointer; re-attach when it moved.
@@ -313,6 +458,14 @@ class StoreModelHost:
             return RELOAD_UNCHANGED
         candidate = self._attach_current()
         if candidate.selector is None:
+            return RELOAD_QUARANTINED
+        if candidate.sha256 != sha:
+            # The flipped-to version failed integrity and the journal
+            # fallback bridged to an older one: that is a quarantine,
+            # not a swap.  Adopt the fallback only if it differs from
+            # what is already serving.
+            if candidate.sha256 != self.active.sha256:
+                self.active = candidate
             return RELOAD_QUARANTINED
         self.active = candidate
         self.n_reloads += 1
@@ -337,6 +490,7 @@ class StoreModelHost:
             ),
             "reloads": self.n_reloads,
             "quarantined": self.n_quarantined,
+            "fallbacks": self.n_fallbacks,
         }
 
 

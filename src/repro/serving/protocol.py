@@ -9,15 +9,23 @@ or a Unix socket.  Requests::
     {"id": "r4", "op": "health"}
     {"id": "r5", "op": "reload"}
 
-``op`` defaults to ``predict``.  Every request — including ones the
-server sheds or rejects — receives exactly one response whose ``status``
-is one of:
+``op`` defaults to ``predict``.  A request may carry a ``deadline_ms``
+field: the client's remaining latency budget in milliseconds at send
+time.  The tier front-end min-combines it with its own
+``--request-timeout`` and forwards the *remaining* budget to the worker,
+whose admission queue and predict path both honor it — a request whose
+budget ran out is answered ``overloaded``/``deadline_exceeded`` without
+burning inference time.  Every request — including ones the server
+sheds or rejects — receives exactly one response whose ``status`` is
+one of:
 
 - ``ok`` — the model answered; ``format`` holds the recommendation.
 - ``invalid`` — the request itself is unusable; ``code`` says why
   (``bad_json``, ``payload_too_large``, ``nonfinite_value``, ...).
-- ``overloaded`` — admission control shed the request (``queue_full``)
-  or its deadline expired before processing (``deadline_exceeded``).
+- ``overloaded`` — admission control shed the request (``queue_full``),
+  its deadline expired before processing (``deadline_exceeded``), or the
+  server is draining for shutdown and no longer accepts new work
+  (``draining``).
 - ``fallback`` — the input was fine but the model could not be trusted;
   ``format`` still carries a safe recommendation and ``reason`` says why
   (``breaker_open``, ``out_of_distribution``, ``model_unusable``,
@@ -31,6 +39,7 @@ serve-vs-predict parity drill asserts.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field
 
 # -- statuses ---------------------------------------------------------------
@@ -56,6 +65,9 @@ CODE_BAD_FEATURES = "bad_features"
 
 CODE_QUEUE_FULL = "queue_full"
 CODE_DEADLINE = "deadline_exceeded"
+#: The server is draining for graceful shutdown: in-flight requests
+#: finish, new ones are answered with this typed refusal (never dropped).
+CODE_DRAINING = "draining"
 
 # -- tier codes -------------------------------------------------------------
 
@@ -96,6 +108,10 @@ class Request:
     arrival: float = 0.0
     #: Absolute processing deadline (``None`` = no deadline).
     deadline: float | None = None
+    #: Client/front-end latency budget remaining at send time, in
+    #: milliseconds (the wire ``deadline_ms`` field); admission
+    #: min-combines it with the configured deadline.
+    budget_ms: float | None = None
     #: Pre-built response for requests rejected at parse time; the
     #: processing loop emits it verbatim instead of dispatching.
     rejection: dict | None = field(default=None, repr=False)
@@ -182,7 +198,19 @@ def parse_request_line(line: str, max_bytes: int | None = None) -> Request:
                 request_id,
             )
         )
-    return Request(id=request_id, op=op, body=obj)
+    # Hostile-input tolerance: a non-numeric/non-finite deadline_ms is
+    # ignored rather than rejected (the request is otherwise fine).  A
+    # numeric budget <= 0 is kept — admission expires it immediately,
+    # which is exactly what an already-out-of-budget client deserves.
+    raw_budget = obj.get("deadline_ms")
+    budget_ms = None
+    if isinstance(raw_budget, (int, float)) and not isinstance(
+        raw_budget, bool
+    ):
+        value = float(raw_budget)
+        if math.isfinite(value):
+            budget_ms = value
+    return Request(id=request_id, op=op, body=obj, budget_ms=budget_ms)
 
 
 def encode_response(response: dict) -> str:

@@ -109,6 +109,30 @@ class HashRing:
             at = 0
         return self._owners[at]
 
+    def successors(self, key: str, limit: int | None = None) -> list[str]:
+        """Distinct owners clockwise of ``key``'s hash, primary first.
+
+        ``successors(key)[0] == assign(key)``; the remainder is the
+        deterministic fail-over/hedge order for ``key`` — the "next
+        distinct worker on the ring" a hedged dispatch re-sends to.
+        Returns at most ``limit`` names (default: every worker), and
+        ``[]`` on an empty ring.
+        """
+        if not self._points:
+            return []
+        cap = len(self._workers) if limit is None else min(
+            limit, len(self._workers)
+        )
+        out: list[str] = []
+        start = bisect.bisect_right(self._points, stable_hash(key))
+        for offset in range(len(self._points)):
+            owner = self._owners[(start + offset) % len(self._points)]
+            if owner not in out:
+                out.append(owner)
+                if len(out) >= cap:
+                    break
+        return out
+
     def spread(self, keys: list[str]) -> dict[str, int]:
         """Keys per worker over a sample — diagnostics/test helper."""
         out: dict[str, int] = {w: 0 for w in self._workers}

@@ -197,6 +197,21 @@ class SelectorServer:
         """
         if request.rejection is not None:
             return self._finish(request.rejection, op=request.op)
+        # Last deadline gate before any real work: ``take()`` filtered
+        # the queue, but batch priming happens between take and process,
+        # and the front-end's propagated budget may run out in flight.
+        # Answering here costs nothing; predicting for a client that
+        # already gave up costs capacity every live client needs.
+        if (
+            request.deadline is not None
+            and request.op in ("predict", "feedback")
+            and self.clock() > request.deadline
+        ):
+            self.counters["deadline_exceeded"] += 1
+            TELEMETRY.inc("serving.deadline_exceeded")
+            return self._finish(
+                overloaded_response(CODE_DEADLINE, request.id), op=request.op
+            )
         propagated = request.body.get("_trace")
         trace_id = (
             propagated

@@ -1,0 +1,171 @@
+"""Autoscaler edge cases: fixed fleets, busy victims, churn conservation.
+
+``plan_scale`` / ``scale_down_victim`` are pure decision functions over
+the live fleet, so the dangerous edges — a fixed-size tier that must
+never churn, a scale-down that would retire a worker with requests in
+flight — are tested without processes.  The churn test at the end boots
+a real fleet and retires a worker mid-burst to prove the accounting
+survives the transition: ``routed == completed + worker_lost``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+
+from repro.serving.drill import (
+    _random_matrix_text,
+    audit_tier_conservation,
+)
+from repro.serving.frontend import (
+    ServingTier,
+    TierConfig,
+    WorkerHandle,
+    _Pending,
+    drive_tier,
+)
+from tests.serving.test_frontend import _ops
+
+
+def _tier(tmp_path, model_path, **overrides) -> ServingTier:
+    config = TierConfig(
+        model_path=model_path,
+        run_dir=str(tmp_path / "run"),
+        **overrides,
+    )
+    return ServingTier(config)
+
+
+def _handle(name: str, inflight: int = 0, age: float = 0.0) -> WorkerHandle:
+    handle = WorkerHandle(name, f"/tmp/{name}.sock")
+    handle.started_at = age
+    for i in range(inflight):
+        handle.pending.append(_Pending(None, "predict", f"{name}-{i}"))
+    return handle
+
+
+# -- plan_scale ----------------------------------------------------------------
+
+
+def test_min_equals_max_never_scales(tmp_path, model_path):
+    """A fixed-size tier is a hard no-scale band regardless of depth."""
+    tier = _tier(tmp_path, model_path, workers=2)
+    assert tier.config.min_workers == tier.config.max_workers == 2
+    drowning = [_handle("w0", inflight=50), _handle("w1", inflight=50)]
+    idle = [_handle("w0"), _handle("w1")]
+    assert tier.plan_scale(drowning) is None
+    assert tier.plan_scale(idle) is None
+
+
+def test_plan_scale_respects_floor_and_ceiling(tmp_path, model_path):
+    tier = _tier(
+        tmp_path, model_path, workers=2, workers_min=1, workers_max=3,
+        scale_up_depth=4.0, scale_down_depth=0.25,
+    )
+    deep = [_handle("w0", inflight=6), _handle("w1", inflight=6)]
+    assert tier.plan_scale(deep) == "up"
+    tier.target_workers = 3  # at the ceiling: depth no longer matters
+    assert tier.plan_scale(deep) is None
+
+    tier.target_workers = 2
+    shallow = [_handle("w0"), _handle("w1")]
+    assert tier.plan_scale(shallow) == "down"
+    tier.target_workers = 1  # at the floor
+    assert tier.plan_scale([_handle("w0")]) is None
+    assert tier.plan_scale([]) is None
+
+
+# -- scale_down_victim ---------------------------------------------------------
+
+
+def test_scale_down_never_retires_a_busy_worker(tmp_path, model_path):
+    tier = _tier(tmp_path, model_path, workers=2, workers_min=1)
+    all_busy = [
+        _handle("w0", inflight=1), _handle("w1", inflight=3),
+    ]
+    assert tier.scale_down_victim(all_busy) is None, (
+        "retiring a busy worker converts live requests into losses"
+    )
+
+
+def test_scale_down_picks_youngest_idle_worker(tmp_path, model_path):
+    tier = _tier(tmp_path, model_path, workers=3, workers_min=1)
+    fleet = [
+        _handle("w0", inflight=0, age=10.0),
+        _handle("w1", inflight=2, age=30.0),
+        _handle("w2", inflight=0, age=20.0),
+    ]
+    victim = tier.scale_down_victim(fleet)
+    # w1 is busy (protected); w2 is the youngest idle worker.
+    assert victim is fleet[2]
+
+
+# -- churn conservation --------------------------------------------------------
+
+
+def test_retire_respawn_churn_preserves_conservation(model_path, tmp_path):
+    """Retiring a worker mid-burst drops nothing and the fleet recovers."""
+    lines = [
+        json.dumps(
+            {
+                "id": f"p{i}",
+                "op": "predict",
+                "client": f"tenant-{i % 8}",
+                "mtx": _random_matrix_text(i, 5),
+            }
+        )
+        for i in range(24)
+    ]
+
+    async def scenario():
+        tier = ServingTier(
+            TierConfig(
+                model_path=model_path,
+                run_dir=str(tmp_path),
+                workers=2,
+                boot_timeout_seconds=120.0,
+                scale_interval_seconds=0.1,
+            )
+        )
+        front = os.path.join(str(tmp_path), "front.sock")
+        task = asyncio.ensure_future(tier.run_socket(front))
+        for _ in range(2400):
+            if os.path.exists(front):
+                break
+            if task.done():
+                task.result()
+            await asyncio.sleep(0.05)
+        else:
+            raise TimeoutError("tier front-end socket never appeared")
+
+        def retire_one():
+            name = sorted(tier.workers)[0]
+            asyncio.ensure_future(
+                tier._retire_worker(tier.workers[name])
+            )
+
+        try:
+            pairs = await drive_tier(
+                front, lines, connections=4, actions={8: retire_one}
+            )
+            for _ in range(400):  # the scale loop respawns to target
+                if len(tier.workers) >= 2 and all(
+                    not w.retiring for w in tier.workers.values()
+                ):
+                    break
+                await asyncio.sleep(0.05)
+            fleet = len(tier.workers)
+        finally:
+            (await _ops(front, "shutdown"))
+            await asyncio.wait_for(task, timeout=30.0)
+        return tier, pairs, fleet
+
+    tier, pairs, fleet = asyncio.run(scenario())
+
+    assert len(pairs) == len(lines), "a connection hung or dropped"
+    for _, response in pairs:
+        assert "status" in response, response
+    assert fleet == 2, "fleet did not return to its target size"
+    assert tier.n_routed == tier.n_completed + tier.n_worker_lost
+    assert not audit_tier_conservation(tier)

@@ -195,3 +195,105 @@ def test_store_host_quarantines_torn_flip_and_keeps_serving(
     store.publish(synthetic_frozen_selector(seed=5), "v3")
     assert host.check_reload() == RELOAD_SWAPPED
     assert host.active.sha256 == "v3"
+
+
+# -- GC: publish-order grace list ---------------------------------------------
+
+
+def test_prune_keeps_current_and_grace_list(store):
+    for i in range(1, 5):
+        store.publish(synthetic_frozen_selector(seed=i), f"v{i}")
+    assert store.publish_order() == ["v1", "v2", "v3", "v4"]
+    pruned = store.prune(keep=2)
+    assert pruned == ["v1", "v2"]
+    assert store.publish_order() == ["v3", "v4"]
+    assert not os.path.isdir(store.version_dir("v1"))
+    assert not os.path.isdir(store.version_dir("v2"))
+    # Both survivors stay attachable: a worker mid-attach on the version
+    # published one flip ago must not lose the files under its mmap.
+    for sha in ("v3", "v4"):
+        assert store.attach(sha) is not None
+
+
+def test_prune_below_one_is_a_noop(store, selector):
+    store.publish(selector, "v1")
+    store.publish(synthetic_frozen_selector(seed=4), "v2")
+    assert store.prune(keep=0) == []
+    assert store.prune(keep=-3) == []
+    assert os.path.isdir(store.version_dir("v1"))
+    assert store.publish_order() == ["v1", "v2"]
+
+
+def test_prune_never_removes_current_even_when_old(store):
+    for i in range(1, 4):
+        store.publish(synthetic_frozen_selector(seed=i), f"v{i}")
+    store.set_current("v1")  # operator rolled back past the grace list
+    pruned = store.prune(keep=1)
+    assert "v1" not in pruned
+    assert os.path.isdir(store.version_dir("v1"))
+    assert store.attach("v1") is not None
+
+
+def test_prune_is_idempotent(store):
+    for i in range(1, 4):
+        store.publish(synthetic_frozen_selector(seed=i), f"v{i}")
+    assert store.prune(keep=2) == ["v1"]
+    assert store.prune(keep=2) == []
+
+
+# -- per-array integrity ------------------------------------------------------
+
+
+def _corrupt(path: str) -> None:
+    """Flip bytes mid-file: same length, different content digest."""
+    with open(path, "r+b") as fh:
+        fh.seek(max(os.path.getsize(path) // 2, 0))
+        fh.write(b"\xff\x00\xff\x00")
+
+
+def test_publish_records_per_array_digests(store, selector):
+    import json
+
+    vdir = store.publish(selector, "v1")
+    manifest = json.load(open(os.path.join(vdir, "manifest.json")))
+    assert set(manifest["digests"]) == set(manifest["arrays"])
+    for digest in manifest["digests"].values():
+        assert len(digest) == 64  # sha256 hex
+
+
+def test_attach_rejects_bitflipped_array(store, selector):
+    vdir = store.publish(selector, "v1")
+    _corrupt(os.path.join(vdir, "centroids.npy"))
+    with pytest.raises(ModelStoreError, match="integrity failure"):
+        store.attach("v1")
+
+
+def test_host_boot_falls_back_past_corrupt_current(store, fake_clock):
+    store.publish(synthetic_frozen_selector(seed=3), "v1")
+    store.publish(synthetic_frozen_selector(seed=4), "v2")
+    _corrupt(os.path.join(store.version_dir("v2"), "centroids.npy"))
+    host = StoreModelHost(store, clock=fake_clock)
+    # The corrupt CURRENT is quarantined; the previous published version
+    # bridges the gap instead of serving degraded.
+    assert not host.degraded
+    assert host.active.sha256 == "v1"
+    assert host.n_quarantined == 1
+    assert host.n_fallbacks == 1
+    snap = host.snapshot()
+    assert snap["quarantined"] == 1 and snap["fallbacks"] == 1
+
+
+def test_reload_quarantines_corrupt_flip_and_keeps_serving(
+    store, fake_clock
+):
+    store.publish(synthetic_frozen_selector(seed=3), "v1")
+    host = StoreModelHost(store, clock=fake_clock)
+    store.publish(synthetic_frozen_selector(seed=4), "v2")
+    _corrupt(os.path.join(store.version_dir("v2"), "centroids.npy"))
+    assert host.check_reload() == RELOAD_QUARANTINED
+    assert host.active.sha256 == "v1", "quarantine must not unpublish"
+    assert not host.degraded
+    # A later clean publish recovers normally.
+    store.publish(synthetic_frozen_selector(seed=5), "v3")
+    assert host.check_reload() == RELOAD_SWAPPED
+    assert host.active.sha256 == "v3"

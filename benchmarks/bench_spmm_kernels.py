@@ -1,0 +1,185 @@
+"""Op-aware SpMM workload benchmark → ``BENCH_spmm.json``.
+
+Runs the mixed SpMV/SpMM/SpGEMM campaign of
+:mod:`repro.experiments.spmm` on an env-sized collection, then reports
+the numbers the ``spmm-smoke`` CI job gates on:
+
+- **selector_acc** — cross-validated accuracy of the op-aware
+  K-Means-VOTE selector on the compound ``format@op`` labels,
+- **best_static_acc** — accuracy of the best static single-format
+  policy (the bar the op-aware selector must clear),
+- **k1_max_reldiff** — max relative difference between SpMM at ``k=1``
+  and the SpMV model over the campaign (the degeneration invariant;
+  exactly 0 by construction),
+- per-op kernel-model evaluation latency quantiles.
+
+The payload carries the telemetry ``stages`` table and ``metrics``
+snapshot, so ``repro obs report --slo benchmarks/slo_spmm_permissive.json
+--metrics BENCH_spmm.json`` can gate it.
+
+Knobs (environment):
+
+- ``REPRO_BENCH_MATRICES`` — collection size (default 96)
+- ``REPRO_BENCH_OUT``      — output path (default ``BENCH_spmm.json``
+  next to the repo root)
+
+Run directly (``python benchmarks/bench_spmm_kernels.py``) or via
+``pytest benchmarks/bench_spmm_kernels.py -s``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+DEFAULT_OUT = os.path.join(
+    os.path.dirname(__file__), "..", "BENCH_spmm.json"
+)
+
+
+def _quantiles(samples_ms: list[float]) -> dict:
+    import numpy as np
+
+    arr = np.asarray(samples_ms, dtype=np.float64)
+    return {
+        "p50_ms": float(np.percentile(arr, 50)),
+        "p95_ms": float(np.percentile(arr, 95)),
+        "p99_ms": float(np.percentile(arr, 99)),
+    }
+
+
+def run_spmm_bench(out_path: str | None = None) -> dict:
+    """Run the mixed-op campaign benchmark; write ``BENCH_spmm.json``."""
+    import numpy as np
+
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.spmm import (
+        SPMM_OPS,
+        build_spmm_campaign,
+        evaluate_op_selector,
+        static_format_accuracy,
+    )
+    from repro.gpu import ARCHITECTURES
+    from repro.gpu.kernels import KernelModel, MODELED_FORMATS, OpSpec
+    from repro.obs import TELEMETRY
+    from repro.obs.bench import _stage_costs, write_bench
+
+    n_matrices = int(os.environ.get("REPRO_BENCH_MATRICES", "96"))
+    out = out_path or os.environ.get("REPRO_BENCH_OUT", DEFAULT_OUT)
+    config = ExperimentConfig(
+        collection_size=n_matrices,
+        augment_copies=0,
+        trials=5,
+        n_folds=3,
+        nc_grid=(10, 25),
+    )
+    was_enabled = TELEMETRY.enabled
+    TELEMETRY.reset()
+    TELEMETRY.enable()
+    try:
+        campaign = build_spmm_campaign(config)
+        scores = evaluate_op_selector(campaign.dataset, config)
+        static = static_format_accuracy(campaign.dataset)
+        best_static_fmt = max(static, key=static.__getitem__)
+
+        # SpMM(k=1) ≡ SpMV degeneration invariant over the whole campaign.
+        model = KernelModel(ARCHITECTURES[campaign.arch])
+        k1 = OpSpec("spmm", 1)
+        max_reldiff = 0.0
+        for st in campaign.stats:
+            for fmt in MODELED_FORMATS:
+                if not model.feasible(fmt, st, k1):
+                    continue
+                a = model.time(fmt, st, "spmv")
+                b = model.time(fmt, st, k1)
+                max_reldiff = max(max_reldiff, abs(a - b) / a)
+
+        # Kernel-model evaluation latency per op (the cost of one
+        # analytical recommendation).
+        latency: dict[str, dict] = {}
+        for op in SPMM_OPS:
+            samples = []
+            for st in campaign.stats:
+                t0 = time.perf_counter()
+                for fmt in MODELED_FORMATS:
+                    if model.feasible(fmt, st, op):
+                        model.time(fmt, st, op)
+                samples.append((time.perf_counter() - t0) * 1e3)
+            latency[op] = _quantiles(samples)
+
+        TELEMETRY.gauge_set("spmm.bench.selector_acc", scores["ACC"])
+        TELEMETRY.gauge_set(
+            "spmm.bench.best_static_acc", static[best_static_fmt]
+        )
+        TELEMETRY.gauge_set("spmm.bench.k1_max_reldiff", max_reldiff)
+        TELEMETRY.gauge_set(
+            "spmm.bench.labeled_pairs", float(len(campaign.dataset))
+        )
+        stages = _stage_costs()
+        metrics = TELEMETRY.registry.snapshot()
+    finally:
+        if not was_enabled:
+            TELEMETRY.disable()
+
+    result = {
+        "bench": "spmm_kernels",
+        "arch": campaign.arch,
+        "ops": list(SPMM_OPS),
+        "n_matrices": n_matrices,
+        "labeled_pairs": len(campaign.dataset),
+        "selector": scores,
+        "static_acc": static,
+        "best_static_format": best_static_fmt,
+        "k1_max_reldiff": max_reldiff,
+        "kernel_latency": latency,
+        "stages": stages,
+        "metrics": metrics,
+    }
+    write_bench(result, out)
+    return result
+
+
+def print_report(result: dict) -> None:
+    print()
+    print(
+        f"op-aware selector: ACC {result['selector']['ACC']:.3f} "
+        f"(NC {int(result['selector']['NC'])}) over "
+        f"{result['labeled_pairs']} (matrix, op) pairs"
+    )
+    print(
+        f"best static format {result['best_static_format'].upper()}: "
+        f"ACC {result['static_acc'][result['best_static_format']]:.3f}"
+    )
+    print(f"SpMM(k=1) vs SpMV max rel diff: {result['k1_max_reldiff']:.2e}")
+    for op, row in result["kernel_latency"].items():
+        print(
+            f"kernel model {op:8s}: p50 {row['p50_ms']:.3f} ms  "
+            f"p99 {row['p99_ms']:.3f} ms per matrix"
+        )
+
+
+def test_spmm_kernel_bench(tmp_path):
+    out = str(tmp_path / "BENCH_spmm.json")
+    result = run_spmm_bench(out_path=out)
+    print_report(result)
+    assert os.path.exists(out)
+    with open(out, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    assert payload["bench"] == "spmm_kernels"
+    # The acceptance bar: the op-aware selector beats every static
+    # single-format policy on the mixed campaign.
+    assert (
+        result["selector"]["ACC"]
+        > result["static_acc"][result["best_static_format"]]
+    )
+    # The degeneration invariant is bit-exact, not merely close.
+    assert result["k1_max_reldiff"] == 0.0
+    assert "spmm.bench.selector_acc" in result["metrics"]
+    assert "spmm.bench.best_static_acc" in result["metrics"]
+
+
+if __name__ == "__main__":
+    print_report(run_spmm_bench())
+    sys.exit(0)

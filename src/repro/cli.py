@@ -81,9 +81,9 @@ def _cmd_benchmark(args: argparse.Namespace) -> int:
     matrix = read_matrix_market(args.matrix)
     arch = ARCHITECTURES[args.arch]
     sim = GPUSimulator(arch, trials=args.trials, seed=args.seed)
-    result = sim.benchmark(str(args.matrix), matrix)
+    result = sim.benchmark(str(args.matrix), matrix, getattr(args, "op", "spmv"))
     print(f"simulated {arch.model} ({arch.microarchitecture}), "
-          f"{args.trials} trials")
+          f"{args.trials} trials, op {result.op}")
     for fmt in ("coo", "csr", "ell", "hyb"):
         if fmt in result.times:
             t = result.times[fmt]
@@ -151,6 +151,13 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     from repro.features import extract_features_streaming
     from repro.formats import ReadPolicy
 
+    op = getattr(args, "op", "spmv")
+    if op != "spmv":
+        return _predict_for_op(args, op)
+    if args.model is None:
+        print("repro predict: --model is required for --op spmv",
+              file=sys.stderr)
+        return 2
     selector = FallbackSelector.load(
         args.model, fallback_format=args.fallback_format
     )
@@ -198,6 +205,50 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     cluster = int(selector.selector.assign(vec)[0])
     print(f"recommended format: {label} (centroid #{cluster} of "
           f"{selector.selector.n_centroids})")
+    return 0
+
+
+def _predict_for_op(args: argparse.Namespace, op: str) -> int:
+    """``repro predict --op spmm[:k]|spgemm``: analytical recommendation.
+
+    The frozen selectors are trained on the SpMV campaign, so non-SpMV
+    ops go straight to the per-format kernel cost model at the requested
+    architecture.  Exit codes mirror the model path: 0 on a
+    recommendation, 1 when no format is feasible, 2 on unusable input.
+    """
+    from repro.features.stats import compute_stats
+    from repro.formats import ReadPolicy
+    from repro.formats.io import read_matrix_market
+    from repro.gpu.kernels import (
+        NoFeasibleFormatError,
+        best_format,
+        parse_op,
+        predict_times,
+    )
+
+    try:
+        spec = parse_op(op)
+    except ValueError as exc:
+        print(f"repro predict: {exc}", file=sys.stderr)
+        return 2
+    policy = ReadPolicy(
+        max_dim=args.max_dim if args.max_dim > 0 else None,
+        max_nnz=args.max_nnz if args.max_nnz > 0 else None,
+    )
+    try:
+        matrix = read_matrix_market(args.matrix, policy)
+    except Exception as exc:
+        print(f"repro predict: unusable input matrix {args.matrix!r}: "
+              f"{exc}", file=sys.stderr)
+        return 2
+    times = predict_times(compute_stats(matrix), ARCHITECTURES[args.arch], spec)
+    try:
+        fmt = best_format(times)
+    except NoFeasibleFormatError as exc:
+        print(f"repro predict: {exc}", file=sys.stderr)
+        return 1
+    print(f"recommended format: {fmt} for {spec.canonical} on {args.arch} "
+          f"(analytical kernel model)")
     return 0
 
 
@@ -1294,9 +1345,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_features)
 
     p = sub.add_parser("benchmark", parents=[profile_parent],
-                       help="simulated per-format SpMV times")
+                       help="simulated per-format kernel times")
     p.add_argument("matrix", help=".mtx file")
     p.add_argument("--arch", choices=sorted(ARCHITECTURES), default="volta")
+    p.add_argument("--op", default="spmv", metavar="OP",
+                   help="operation to time: spmv (default), spmm[:k], "
+                        "or spgemm")
     p.add_argument("--trials", type=int, default=100)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_benchmark)
@@ -1315,7 +1369,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("predict", parents=[profile_parent],
                        help="recommend a format for a matrix")
     p.add_argument("matrix", help=".mtx file")
-    p.add_argument("--model", required=True, help="frozen selector .npz")
+    p.add_argument("--model", default=None, help="frozen selector .npz "
+                   "(required for --op spmv; ignored for other ops, which "
+                   "use the analytical kernel model)")
+    p.add_argument("--op", default="spmv", metavar="OP",
+                   help="operation to select for: spmv (default), "
+                        "spmm[:k] (sparse x dense with width k), or spgemm")
+    p.add_argument("--arch", choices=sorted(ARCHITECTURES), default="volta",
+                   help="architecture for the analytical --op path")
     p.add_argument("--fallback-format", default="csr", metavar="FMT",
                    help="format recommended when the model is unusable "
                         "(default: csr)")

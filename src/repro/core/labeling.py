@@ -14,7 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.features.table import FeatureTable
-from repro.gpu.kernels import MODELED_FORMATS
+from repro.gpu.kernels import MODELED_FORMATS, parse_op
 from repro.gpu.simulator import BenchmarkResult
 
 
@@ -97,6 +97,99 @@ def build_labeled_dataset(
         features=features.subset(keep),
         labels=np.asarray(labels, dtype=object),
         times=times,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Op-aware labeling: (format, op) compound labels over a mixed campaign
+# ---------------------------------------------------------------------------
+
+#: Feature columns appended to the structural table so one model can
+#: separate ops: two op indicators plus log2 of the dense-side width
+#: (0 for SpMV — it *is* SpMM at k=1 — and 0 for SpGEMM).
+OP_FEATURE_NAMES: tuple[str, ...] = (
+    "op_is_spmm",
+    "op_is_spgemm",
+    "op_log2_width",
+)
+
+
+def augment_features_with_op(
+    features: FeatureTable, op: str
+) -> FeatureTable:
+    """One op's copy of the feature table, with op columns appended.
+
+    Row names gain an ``@op`` suffix so copies for different ops stack
+    into one table with unique names.
+    """
+    spec = parse_op(op)
+    op_row = np.array(
+        [
+            1.0 if spec.kind == "spmm" else 0.0,
+            1.0 if spec.kind == "spgemm" else 0.0,
+            float(np.log2(spec.k)) if spec.kind == "spmm" else 0.0,
+        ],
+        dtype=np.float64,
+    )
+    n = len(features)
+    return FeatureTable(
+        names=[f"{name}@{spec.canonical}" for name in features.names],
+        feature_names=list(features.feature_names) + list(OP_FEATURE_NAMES),
+        values=np.hstack([features.values, np.tile(op_row, (n, 1))]),
+    )
+
+
+def build_op_labeled_dataset(
+    arch: str,
+    features: FeatureTable,
+    results_by_op: dict[str, list[BenchmarkResult]],
+) -> LabeledDataset:
+    """Stack per-op labeled copies into one compound-label dataset.
+
+    Each op contributes one op-augmented copy of the (runnable) feature
+    rows; labels are the compound ``format@op`` strings, so the selector
+    learns a single decision surface over structure × operation.  Ops are
+    stacked in sorted order for determinism.
+    """
+    parts: list[LabeledDataset] = []
+    for op in sorted(results_by_op):
+        augmented = augment_features_with_op(features, op)
+        by_name = {
+            f"{r.name}@{r.op}": r for r in results_by_op[op]
+        }
+        keep: list[int] = []
+        labels: list[str] = []
+        times: list[dict[str, float]] = []
+        for i, name in enumerate(augmented.names):
+            res = by_name.get(name)
+            if res is None or not res.runnable:
+                continue
+            keep.append(i)
+            labels.append(res.op_label)
+            times.append(dict(res.times))
+        if not keep:
+            continue
+        parts.append(
+            LabeledDataset(
+                arch=arch,
+                features=augmented.subset(keep),
+                labels=np.asarray(labels, dtype=object),
+                times=times,
+            )
+        )
+    if not parts:
+        raise ValueError(
+            f"no runnable (matrix, op) pairs for architecture {arch!r}"
+        )
+    return LabeledDataset(
+        arch=arch,
+        features=FeatureTable(
+            names=[n for p in parts for n in p.features.names],
+            feature_names=list(parts[0].features.feature_names),
+            values=np.vstack([p.features.values for p in parts]),
+        ),
+        labels=np.concatenate([p.labels for p in parts]),
+        times=[t for p in parts for t in p.times],
     )
 
 

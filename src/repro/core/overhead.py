@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 from repro.features.stats import MatrixStats
 from repro.gpu.arch import GPUArchitecture
-from repro.gpu.kernels import predict_times
+from repro.gpu.kernels import feasible_times, predict_times
 from repro.gpu.simulator import CONVERSION_COST_RELATIVE
 
 
@@ -58,7 +58,7 @@ def select_with_overhead(
     """
     if n_spmv_calls < 1:
         raise ValueError("n_spmv_calls must be >= 1")
-    times = predict_times(stats, arch)
+    times = feasible_times(predict_times(stats, arch))
     if base_format not in times:
         raise ValueError(
             f"base format {base_format!r} infeasible for this matrix"

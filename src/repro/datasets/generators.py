@@ -415,6 +415,101 @@ def rectangular(
     return _dedup_coo((nrows, ncols), rows, cols, rng)
 
 
+# ---------------------------------------------------------------------------
+# DLMC-style pruned-weight families (deep-learning matrix collection)
+# ---------------------------------------------------------------------------
+#
+# Sparse weight matrices left behind by neural-network pruning: a dense
+# ``nrows x ncols`` weight tensor with a fraction ``sparsity`` of entries
+# removed.  The three pruning regimes below produce structurally distinct
+# survivors — magnitude pruning keeps the heavy tail of a Gaussian,
+# random pruning is an unstructured Bernoulli mask, and block pruning
+# keeps whole ``b x b`` tiles — which is exactly the structural variation
+# the SpMM format-selection workload needs.
+
+
+def magnitude_pruned(
+    rng: np.random.Generator,
+    nrows: int = 1024,
+    ncols: int = 1024,
+    sparsity: float = 0.9,
+) -> COOMatrix:
+    """Keep the largest-|w| entries of a dense Gaussian weight matrix.
+
+    Magnitude pruning removes the smallest weights globally; survivors are
+    i.i.d. positioned (the Gaussian has no spatial structure) but their
+    *values* are the distribution's tails, and per-row populations vary
+    binomially around ``(1 - sparsity) * ncols``.
+    """
+    if not 0.0 < sparsity < 1.0:
+        raise ValueError("sparsity must be in (0, 1)")
+    weights = rng.standard_normal((nrows, ncols))
+    keep = max(1, int(round(nrows * ncols * (1.0 - sparsity))))
+    flat = np.abs(weights).ravel()
+    # Global magnitude threshold: exactly `keep` survivors (ties broken by
+    # argpartition order, deterministic for a fixed rng draw).
+    kept_idx = np.argpartition(flat, -keep)[-keep:]
+    rows = (kept_idx // ncols).astype(INDEX_DTYPE)
+    cols = (kept_idx % ncols).astype(INDEX_DTYPE)
+    values = weights.ravel()[kept_idx]
+    return COOMatrix((nrows, ncols), rows, cols, values)
+
+
+def random_pruned(
+    rng: np.random.Generator,
+    nrows: int = 1024,
+    ncols: int = 1024,
+    sparsity: float = 0.9,
+) -> COOMatrix:
+    """Unstructured Bernoulli pruning: each weight survives i.i.d."""
+    if not 0.0 < sparsity < 1.0:
+        raise ValueError("sparsity must be in (0, 1)")
+    mask = rng.random((nrows, ncols)) >= sparsity
+    if not mask.any():
+        mask[0, 0] = True
+    rows, cols = np.nonzero(mask)
+    rows = rows.astype(INDEX_DTYPE)
+    cols = cols.astype(INDEX_DTYPE)
+    return COOMatrix((nrows, ncols), rows, cols, _values(rng, rows.shape[0]))
+
+
+def block_pruned(
+    rng: np.random.Generator,
+    nrows: int = 1024,
+    ncols: int = 1024,
+    sparsity: float = 0.9,
+    block: int = 4,
+) -> COOMatrix:
+    """Structured pruning: whole ``block x block`` tiles survive or die.
+
+    Dimensions are rounded up to a multiple of ``block`` so every
+    surviving tile is complete — the property the metamorphic test
+    checks.  Survivor tiles are drawn i.i.d. with probability
+    ``1 - sparsity``; at least one tile always survives.
+    """
+    if not 0.0 < sparsity < 1.0:
+        raise ValueError("sparsity must be in (0, 1)")
+    if block < 1:
+        raise ValueError("block must be >= 1")
+    brows = -(-nrows // block)
+    bcols = -(-ncols // block)
+    nrows, ncols = brows * block, bcols * block
+    tile_mask = rng.random((brows, bcols)) >= sparsity
+    if not tile_mask.any():
+        tile_mask[0, 0] = True
+    trow, tcol = np.nonzero(tile_mask)
+    # Expand each surviving tile into its block x block entries.
+    within = np.arange(block, dtype=INDEX_DTYPE)
+    dr, dc = np.meshgrid(within, within, indexing="ij")
+    rows = (
+        trow.astype(INDEX_DTYPE)[:, None] * block + dr.ravel()[None, :]
+    ).ravel()
+    cols = (
+        tcol.astype(INDEX_DTYPE)[:, None] * block + dc.ravel()[None, :]
+    ).ravel()
+    return COOMatrix((nrows, ncols), rows, cols, _values(rng, rows.shape[0]))
+
+
 #: Name → generator registry used by the collection builder.
 GENERATORS: dict[str, Callable[..., COOMatrix]] = {
     "banded": banded,
@@ -430,4 +525,15 @@ GENERATORS: dict[str, Callable[..., COOMatrix]] = {
     "arrow": arrow,
     "row_blocks": row_blocks,
     "rectangular": rectangular,
+    "magnitude_pruned": magnitude_pruned,
+    "random_pruned": random_pruned,
+    "block_pruned": block_pruned,
 }
+
+#: The pruned-weight trio (DLMC-style); the SpMM campaign mixes these
+#: into the classic SpMV families.
+PRUNED_FAMILIES: tuple[str, ...] = (
+    "magnitude_pruned",
+    "random_pruned",
+    "block_pruned",
+)

@@ -37,7 +37,41 @@ FAMILY_WEIGHTS: dict[str, float] = {
     "arrow": 0.4,
     "row_blocks": 1.6,
     "rectangular": 1.2,
+    # Pruned-weight families only enter via explicit `families=` (SpMM
+    # campaigns); they are NOT in DEFAULT_FAMILIES, so classic SpMV
+    # collections are unchanged.
+    "magnitude_pruned": 1.0,
+    "random_pruned": 1.0,
+    "block_pruned": 1.0,
 }
+
+#: The family list ``build_collection`` uses when none is given.  Pinned
+#: to the original 13 SpMV-era families: registering new generators must
+#: never silently reshuffle existing seeded campaigns (byte-identity of
+#: Tables 2-9 depends on this).
+DEFAULT_FAMILIES: tuple[str, ...] = (
+    "banded",
+    "multi_diagonal",
+    "stencil_2d",
+    "stencil_3d",
+    "random_uniform",
+    "power_law_rows",
+    "rmat",
+    "scale_free_graph",
+    "small_world",
+    "block_diagonal",
+    "arrow",
+    "row_blocks",
+    "rectangular",
+)
+
+#: Mixed family list for the op-aware SpMM campaign: the classic suite
+#: plus the DLMC-style pruned-weight trio.
+SPMM_FAMILIES: tuple[str, ...] = DEFAULT_FAMILIES + (
+    "magnitude_pruned",
+    "random_pruned",
+    "block_pruned",
+)
 
 
 def _sample_params(
@@ -120,6 +154,27 @@ def _sample_params(
             "ncols": int(rng.integers(128, 1024)),
             "nnz_per_row": int(rng.integers(2, 16)),
         }
+    # DLMC-style pruned weight tensors: transformer-ish layer shapes at
+    # the sparsity grid the DLMC benchmark sweeps (0.5 .. 0.98).
+    if family == "magnitude_pruned":
+        return {
+            "nrows": int(rng.integers(256, 2048)),
+            "ncols": int(rng.integers(256, 2048)),
+            "sparsity": float(rng.choice([0.5, 0.7, 0.8, 0.9, 0.95, 0.98])),
+        }
+    if family == "random_pruned":
+        return {
+            "nrows": int(rng.integers(256, 2048)),
+            "ncols": int(rng.integers(256, 2048)),
+            "sparsity": float(rng.choice([0.5, 0.7, 0.8, 0.9, 0.95, 0.98])),
+        }
+    if family == "block_pruned":
+        return {
+            "nrows": int(rng.integers(256, 2048)),
+            "ncols": int(rng.integers(256, 2048)),
+            "sparsity": float(rng.choice([0.5, 0.7, 0.8, 0.9, 0.95, 0.98])),
+            "block": int(rng.choice([2, 4, 8, 16])),
+        }
     raise KeyError(f"unknown family {family!r}")
 
 
@@ -201,7 +256,7 @@ def build_collection(
     generated by a process pool with bit-identical results.
     """
     if families is None:
-        families = list(GENERATORS)
+        families = list(DEFAULT_FAMILIES)
     weights = np.asarray(
         [FAMILY_WEIGHTS.get(f, 1.0) for f in families], dtype=float
     )

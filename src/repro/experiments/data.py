@@ -227,7 +227,7 @@ def _arch_benchmark_unit(
 ) -> BenchmarkResult:
     """Picklable work unit: one (architecture, matrix) simulation."""
     arch_name, pair = item
-    return _benchmark_unit(sims[arch_name], pair)
+    return _benchmark_unit(sims[arch_name], "spmv", pair)
 
 
 def _record_key(record: MatrixRecord) -> str:

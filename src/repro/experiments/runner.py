@@ -15,6 +15,7 @@ import dataclasses
 import sys
 
 from repro.experiments import (
+    spmm,
     table2,
     table3,
     table4,
@@ -37,6 +38,7 @@ TABLE_MODULES = {
     "table7": table7,
     "table8": table8,
     "table9": table9,
+    "table10": spmm,
 }
 
 

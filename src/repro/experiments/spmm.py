@@ -1,0 +1,204 @@
+"""The op-aware SpMM campaign and Table 10.
+
+The classic campaign (Tables 2-9) selects formats for SpMV alone.  This
+module opens the second workload axis: the same structural features, but
+benchmarked under a *mix* of operations (SpMV, SpMM at a dense width k,
+SpGEMM) over a collection that adds DLMC-style pruned-weight matrices to
+the classic families.  The selector's label becomes the compound
+``format@op`` pair, and Table 10 reports the induced label distribution
+plus the op-aware selector's cross-validated accuracy against every
+static single-format policy.
+
+This campaign is deliberately separate from
+:func:`repro.experiments.data.build_experiment_data`: the SpMV campaign's
+artifacts (and its cache keys) stay byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.labeling import LabeledDataset, build_op_labeled_dataset
+from repro.core.semisupervised import ClusterFormatSelector
+from repro.datasets.suite import SPMM_FAMILIES, build_collection
+from repro.experiments.common import TableResult
+from repro.experiments.config import ExperimentConfig
+from repro.features.extract import FEATURE_NAMES, features_from_stats_batch
+from repro.features.stats import MatrixStats, compute_stats
+from repro.features.table import FeatureTable
+from repro.gpu import ARCHITECTURES, GPUSimulator
+from repro.gpu.kernels import MODELED_FORMATS
+from repro.gpu.simulator import BenchmarkResult, op_label_distribution
+from repro.ml.metrics import accuracy_score
+from repro.ml.model_selection import StratifiedKFold
+from repro.obs import TELEMETRY
+
+#: The operation mix of the campaign: classic SpMV, SpMM at a GNN-ish
+#: hidden width, and SpGEMM.
+SPMM_OPS: tuple[str, ...] = ("spmv", "spmm:32", "spgemm")
+
+#: Architecture the mixed campaign runs on (one suffices for Table 10;
+#: the cross-architecture story stays with Tables 3-7).
+SPMM_ARCH = "volta"
+
+
+@dataclass
+class SpmmCampaign:
+    """Everything Table 10 and the SpMM bench consume."""
+
+    config: ExperimentConfig
+    arch: str
+    stats: list[MatrixStats]
+    features: FeatureTable
+    #: op → benchmark results, aligned with ``features.names``.
+    results_by_op: dict[str, list[BenchmarkResult]]
+    #: Stacked compound-label dataset (one op-augmented copy per op).
+    dataset: LabeledDataset
+
+
+def build_spmm_campaign(
+    config: ExperimentConfig | None = None,
+    arch: str = SPMM_ARCH,
+    ops: tuple[str, ...] = SPMM_OPS,
+) -> SpmmCampaign:
+    """Run the mixed-op campaign over the classic + pruned families."""
+    if config is None:
+        config = ExperimentConfig.small()
+    with TELEMETRY.span(
+        "experiments.spmm_campaign",
+        arch=arch,
+        ops=",".join(ops),
+        size=config.collection_size,
+    ):
+        collection = build_collection(
+            seed=config.seed,
+            size=config.collection_size,
+            families=SPMM_FAMILIES,
+            jobs=config.jobs,
+        )
+        stats = [compute_stats(rec.matrix) for rec in collection]
+        features = FeatureTable(
+            names=collection.names,
+            feature_names=list(FEATURE_NAMES),
+            values=features_from_stats_batch(stats),
+        )
+        sim = GPUSimulator(
+            ARCHITECTURES[arch], trials=config.trials, seed=config.seed
+        )
+        results_by_op = {
+            op: [
+                sim.benchmark_stats(rec.name, st, op)
+                for rec, st in zip(collection, stats)
+            ]
+            for op in ops
+        }
+        dataset = build_op_labeled_dataset(arch, features, results_by_op)
+    return SpmmCampaign(
+        config=config,
+        arch=arch,
+        stats=stats,
+        features=features,
+        results_by_op=results_by_op,
+        dataset=dataset,
+    )
+
+
+def static_format_accuracy(dataset: LabeledDataset) -> dict[str, float]:
+    """Accuracy of always choosing one format, whatever the (matrix, op).
+
+    A static policy knows the op at hand (it is part of the request), so
+    its prediction for a row labeled ``fmt@op`` is ``static_fmt@op`` —
+    correct exactly when the winning *format* matches.
+    """
+    chosen = np.asarray(
+        [str(label).split("@", 1)[0] for label in dataset.labels],
+        dtype=object,
+    )
+    return {
+        fmt: float(np.mean(chosen == fmt)) for fmt in MODELED_FORMATS
+    }
+
+
+def evaluate_op_selector(
+    dataset: LabeledDataset,
+    config: ExperimentConfig,
+) -> dict[str, float]:
+    """Cross-validated accuracy of the op-aware K-Means-VOTE selector.
+
+    The NC grid is swept like Table 4 (best mean accuracy wins); the
+    op-indicator feature columns let one clustering separate regimes
+    where the same structure prefers different formats per op.
+    """
+    best_acc = 0.0
+    best_nc = 0
+    seed = config.seed % 2**31
+    for nc in config.nc_grid:
+        if nc >= len(dataset) // 2:
+            continue
+        accs = []
+        skf = StratifiedKFold(config.n_folds, seed=seed)
+        for train, test in skf.split(dataset.labels):
+            sel = ClusterFormatSelector("kmeans", "vote", nc, seed=seed)
+            sel.fit(dataset.X[train], dataset.labels[train])
+            pred = sel.predict(dataset.X[test])
+            accs.append(accuracy_score(dataset.labels[test], pred))
+        acc = float(np.mean(accs))
+        if acc > best_acc:
+            best_acc, best_nc = acc, nc
+    if best_nc == 0:
+        raise ValueError("NC grid has no feasible entry for this dataset")
+    return {"ACC": best_acc, "NC": float(best_nc)}
+
+
+def generate(
+    data=None,
+    config: ExperimentConfig | None = None,
+    campaign: SpmmCampaign | None = None,
+) -> TableResult:
+    """Table 10: op-aware label distribution and selector accuracy.
+
+    ``data`` (the shared SpMV :class:`ExperimentData`) is accepted for
+    runner compatibility but only its config is used — the mixed-op
+    campaign is built separately so the SpMV artifacts stay untouched.
+    """
+    if config is None:
+        config = data.config if data is not None else ExperimentConfig.small()
+    if campaign is None:
+        campaign = build_spmm_campaign(config)
+    runnable = [
+        res
+        for results in campaign.results_by_op.values()
+        for res in results
+        if res.runnable
+    ]
+    counts = op_label_distribution(runnable)
+    static = static_format_accuracy(campaign.dataset)
+    best_static_fmt = max(static, key=static.__getitem__)
+    scores = evaluate_op_selector(campaign.dataset, config)
+    table = TableResult(
+        table_id="Table 10",
+        title=(
+            "Op-aware format selection on the mixed "
+            "SpMV/SpMM/SpGEMM campaign"
+        ),
+        headers=["Quantity", "Value"],
+    )
+    for label in sorted(counts):
+        table.add_row(f"n[{label}]", counts[label])
+    table.add_row("labeled pairs", len(campaign.dataset))
+    table.add_row("NC (K-Means-VOTE)", int(scores["NC"]))
+    table.add_row("ACC op-aware selector", scores["ACC"])
+    for fmt in MODELED_FORMATS:
+        table.add_row(f"ACC static {fmt.upper()}", static[fmt])
+    table.add_row("best static format", best_static_fmt.upper())
+    table.add_row(
+        "selector beats best static",
+        "yes" if scores["ACC"] > static[best_static_fmt] else "no",
+    )
+    table.notes.append(
+        "labels are format@op pairs; the static policies pick one format "
+        "for every request, the selector conditions on structure + op"
+    )
+    return table

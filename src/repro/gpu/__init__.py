@@ -10,17 +10,36 @@ COO/HYB minorities).
 """
 
 from repro.gpu.arch import ARCHITECTURES, GPUArchitecture, PASCAL, TURING, VOLTA
-from repro.gpu.kernels import KernelModel, predict_times
+from repro.gpu.kernels import (
+    DEFAULT_SPMM_WIDTH,
+    InfeasibleFormat,
+    KernelModel,
+    NoFeasibleFormatError,
+    OP_KINDS,
+    OpSpec,
+    best_format,
+    feasible_times,
+    parse_op,
+    predict_times,
+)
 from repro.gpu.simulator import BenchmarkResult, GPUSimulator
 
 __all__ = [
     "ARCHITECTURES",
     "BenchmarkResult",
+    "DEFAULT_SPMM_WIDTH",
     "GPUArchitecture",
     "GPUSimulator",
+    "InfeasibleFormat",
     "KernelModel",
+    "NoFeasibleFormatError",
+    "OP_KINDS",
+    "OpSpec",
     "PASCAL",
     "TURING",
     "VOLTA",
+    "best_format",
+    "feasible_times",
+    "parse_op",
     "predict_times",
 ]

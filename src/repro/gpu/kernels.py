@@ -1,6 +1,6 @@
-"""Per-format SpMV kernel cost models.
+"""Per-format kernel cost models: SpMV, SpMM, and SpGEMM.
 
-Each model predicts the noiseless execution time of one SpMV as
+Each model predicts the noiseless execution time of one kernel as
 
     T = launch + max(T_mem, T_exec)
 
@@ -25,6 +25,31 @@ decisions happen here; the per-format effects are:
   a two-kernel dispatch overhead.  Wins on moderately-skewed matrices,
   more often on Pascal where the absolute overhead is smaller relative
   to its slow memory system (Table 3: 217 HYB on Pascal vs 3 on Volta).
+
+**Operations beyond SpMV.**  GNN workloads interleave SpMV and SpMM on
+the *same* sparse operand (arXiv 2111.00352), and the winning format
+flips with the op and the dense-side width ``k``, so selection must be
+op-aware.  Three ops are modeled:
+
+- ``spmv`` — the original models above, untouched.
+- ``spmm:k`` — sparse @ dense with ``k`` output columns.  The sparse
+  structure is read *once* regardless of ``k`` while the dense traffic
+  (B-row gathers, C writes) and the lane work scale with ``k``, so
+  matrix-traffic-heavy formats (COO's multi-pass reduction re-streams
+  ``k``-wide partials) lose ground to the coalesced ones as ``k`` grows.
+  **Invariant:** at ``k=1`` every SpMM model degenerates *bit-exactly*
+  to its SpMV model (the k-scalings are exact no-ops at 1), enforced by
+  the property suite.
+- ``spgemm`` — sparse @ sparse (structure-alike operand).  Work is
+  driven by the expected intermediate-product count ``nnz · mean_row``:
+  row-gather formats (CSR) run Gustavson cheaply, COO pays an
+  expand/sort/compress re-streaming penalty, ELL expands *padded* rows
+  against padded operand rows.
+
+Infeasibility is typed rather than silent: :func:`predict_times` maps an
+infeasible format to an :class:`InfeasibleFormat` marker, and
+:func:`best_format` raises :class:`NoFeasibleFormatError` when nothing
+runs (reachable for SpMM when the dense operands exceed device capacity).
 """
 
 from __future__ import annotations
@@ -37,6 +62,13 @@ from repro.gpu.arch import GPUArchitecture
 
 #: Formats the simulator can time, in the paper's order.
 MODELED_FORMATS = ("coo", "csr", "ell", "hyb")
+
+#: Operation kinds the cost layer can time.
+OP_KINDS = ("spmv", "spmm", "spgemm")
+
+#: Dense-side width assumed when ``--op spmm`` gives no ``:k`` suffix
+#: (a typical GNN hidden dimension).
+DEFAULT_SPMM_WIDTH = 32
 
 #: CSR coalescing saturation: rows of at least this many entries stream at
 #: full efficiency; shorter rows degrade towards the architecture's
@@ -57,6 +89,84 @@ _COO_COALESCE = 0.95
 
 class FormatInfeasibleError(RuntimeError):
     """The format cannot be run for this matrix on this architecture."""
+
+
+class NoFeasibleFormatError(ValueError):
+    """Every modeled format is infeasible for this (matrix, op, arch).
+
+    Subclasses :class:`ValueError` so call sites that guarded the old
+    "empty argmin" ``ValueError`` keep working, while new code can catch
+    the typed condition precisely.
+    """
+
+
+@dataclass(frozen=True)
+class InfeasibleFormat:
+    """Typed per-format infeasibility marker returned by the cost layer.
+
+    :func:`predict_times` used to *silently omit* infeasible formats; now
+    every modeled format is present in its result, mapped either to a
+    float time or to this marker carrying the reason.
+    """
+
+    fmt: str
+    op: str
+    reason: str
+
+    def __bool__(self) -> bool:  # an infeasible entry is never a "time"
+        return False
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """A parsed sparse operation: kind plus dense-side width.
+
+    ``k`` is the dense operand's column count for ``spmm`` and must be 1
+    for ``spmv``/``spgemm`` (there is no dense side).
+    """
+
+    kind: str
+    k: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in OP_KINDS:
+            raise ValueError(
+                f"unknown op kind {self.kind!r}; choose from {OP_KINDS}"
+            )
+        if self.k < 1:
+            raise ValueError(f"dense width k must be >= 1, got {self.k}")
+        if self.kind != "spmm" and self.k != 1:
+            raise ValueError(f"op {self.kind!r} takes no dense width")
+
+    @property
+    def canonical(self) -> str:
+        """Stable string form: ``spmv``, ``spmm:<k>``, or ``spgemm``."""
+        if self.kind == "spmm":
+            return f"spmm:{self.k}"
+        return self.kind
+
+
+def parse_op(spec: "str | OpSpec") -> OpSpec:
+    """Parse ``"spmv"`` / ``"spmm"`` / ``"spmm:64"`` / ``"spgemm"``.
+
+    A bare ``"spmm"`` gets :data:`DEFAULT_SPMM_WIDTH`; a :class:`OpSpec`
+    passes through unchanged.
+    """
+    if isinstance(spec, OpSpec):
+        return spec
+    text = str(spec).strip().lower()
+    if ":" in text:
+        kind, _, width = text.partition(":")
+        if kind != "spmm":
+            raise ValueError(f"op {kind!r} takes no :k suffix")
+        try:
+            k = int(width)
+        except ValueError:
+            raise ValueError(f"bad dense width {width!r} in {spec!r}") from None
+        return OpSpec("spmm", k)
+    if text == "spmm":
+        return OpSpec("spmm", DEFAULT_SPMM_WIDTH)
+    return OpSpec(text)
 
 
 def _csr_coalesce(mean_row: float, arch: GPUArchitecture) -> float:
@@ -218,6 +328,386 @@ def time_hyb(
     )
 
 
+# ---------------------------------------------------------------------------
+# SpMM: sparse @ dense with k output columns
+# ---------------------------------------------------------------------------
+
+#: Bytes each COO extra reduction pass moves per (entry, extra dense
+#: column): the k-wide partial sums are written and re-read once.
+_COO_SPMM_PARTIAL_BYTES = 2 * VALUE_BYTES
+
+
+def _dense_gather_bytes(
+    stats: MatrixStats, arch: GPUArchitecture, nnz: int, k: int
+) -> float:
+    """Bytes moved to gather the k-wide rows ``B[col, :]`` for ``nnz`` entries.
+
+    The k=1 case is *bit-exactly* :func:`_gather_bytes` (every k-scaling
+    is an exact no-op at 1): that identity is what makes SpMM(k=1)
+    degenerate to the SpMV model.  For k > 1 the gathered row is k
+    contiguous values, so the 32 B sector-miss surcharge amortises as
+    ``3·miss/k``.
+    """
+    b_bytes = stats.ncols * k * VALUE_BYTES
+    if b_bytes <= 0.5 * arch.l2_bytes:
+        return nnz * k * VALUE_BYTES
+    miss = 1.0 - stats.band_fraction
+    sector_factor = 1.0 + 3.0 * miss / k
+    return nnz * k * VALUE_BYTES * sector_factor
+
+
+def _dense_io_bytes(stats: MatrixStats, k: int) -> float:
+    """Write of the k-wide C plus one streaming read of the k-wide B."""
+    return (stats.nrows + stats.ncols) * k * VALUE_BYTES
+
+
+def _check_dense_feasible(
+    stats: MatrixStats,
+    arch: GPUArchitecture,
+    k: int,
+    structure_bytes: int,
+    fmt: str,
+) -> None:
+    """SpMM needs B and C resident next to the sparse structure.
+
+    This is the one infeasibility that can strike *all four* formats at
+    once (wide k on a large matrix), which is why the selection layer
+    needs :class:`NoFeasibleFormatError` rather than an empty argmin.
+    """
+    dense_bytes = (stats.nrows + stats.ncols) * k * VALUE_BYTES
+    if structure_bytes + dense_bytes > arch.capacity_bytes:
+        raise FormatInfeasibleError(
+            f"SpMM dense operands (k={k}, {dense_bytes} B) plus the {fmt} "
+            f"structure ({structure_bytes} B) exceed device capacity "
+            f"({arch.capacity_bytes} B)"
+        )
+
+
+def time_csr_spmm(
+    stats: MatrixStats,
+    arch: GPUArchitecture,
+    k: int = DEFAULT_SPMM_WIDTH,
+    check_feasible: bool = True,
+) -> float:
+    if check_feasible:
+        _check_dense_feasible(stats, arch, k, stats.bytes_csr(), "csr")
+    if stats.nnz:
+        divergence = max(1.0, stats.warp_divergence_slots / stats.nnz)
+    else:
+        divergence = 1.0
+    waste = 1.0 + _CSR_DIVERGENCE_WASTE * (divergence - 1.0) ** 2
+    # The sparse structure is read once regardless of k; only the dense
+    # traffic scales.
+    bytes_moved = (
+        stats.nnz * (INDEX_BYTES + VALUE_BYTES) * waste
+        + (stats.nrows + 1) * INDEX_BYTES
+        + _dense_gather_bytes(stats, arch, stats.nnz, k)
+        + _dense_io_bytes(stats, k)
+    )
+    bw = arch.effective_bandwidth * _csr_coalesce(stats.mean_row, arch)
+    t_mem = bytes_moved / bw
+    t_exec = _exec_time(
+        slots=float(stats.warp_divergence_slots * k),
+        critical_path_entries=float(stats.max_row * k),
+        parallel_units=stats.nrows,
+        arch=arch,
+    )
+    return arch.launch_overhead + max(t_mem, t_exec)
+
+
+def time_coo_spmm(
+    stats: MatrixStats,
+    arch: GPUArchitecture,
+    k: int = DEFAULT_SPMM_WIDTH,
+    check_feasible: bool = True,
+) -> float:
+    if check_feasible:
+        _check_dense_feasible(stats, arch, k, stats.bytes_coo(), "coo")
+    matrix_bytes = stats.nnz * (2 * INDEX_BYTES + VALUE_BYTES)
+    # The multi-pass segmented reduction re-streams k-wide partial sums:
+    # the (k-1) term vanishes exactly at k=1 and makes COO lose ground to
+    # the row formats as the dense side widens.
+    bytes_moved = (
+        matrix_bytes * arch.coo_pass_factor
+        + (arch.coo_pass_factor - 1.0)
+        * stats.nnz
+        * (k - 1)
+        * _COO_SPMM_PARTIAL_BYTES
+        + _dense_gather_bytes(stats, arch, stats.nnz, k)
+        + _dense_io_bytes(stats, k)
+    )
+    bw = arch.effective_bandwidth * _COO_COALESCE
+    t_mem = bytes_moved / bw
+    t_exec = _exec_time(
+        slots=stats.nnz * arch.coo_lane_cost * k,
+        critical_path_entries=arch.coo_lane_cost * k,
+        parallel_units=stats.nnz,
+        arch=arch,
+    )
+    return arch.launch_overhead + max(t_mem, t_exec)
+
+
+def time_ell_spmm(
+    stats: MatrixStats,
+    arch: GPUArchitecture,
+    k: int = DEFAULT_SPMM_WIDTH,
+    check_feasible: bool = True,
+) -> float:
+    if check_feasible:
+        if not stats.ell_convertible():
+            raise FormatInfeasibleError(
+                "CUSP ELL conversion rejected (fill bound exceeded)"
+            )
+        if stats.bytes_ell() > arch.capacity_bytes:
+            raise FormatInfeasibleError(
+                f"ELL structure ({stats.bytes_ell()} B) exceeds device "
+                f"capacity ({arch.capacity_bytes} B)"
+            )
+        _check_dense_feasible(stats, arch, k, stats.bytes_ell(), "ell")
+    padded = stats.ell_padded
+    bytes_moved = (
+        padded * (INDEX_BYTES + VALUE_BYTES)
+        + _dense_gather_bytes(stats, arch, stats.nnz, k)
+        + _dense_io_bytes(stats, k)
+    )
+    bw = arch.effective_bandwidth * _ELL_COALESCE
+    t_mem = bytes_moved / bw
+    t_exec = _exec_time(
+        slots=float(padded * k),
+        critical_path_entries=float(stats.ell_width * k),
+        parallel_units=stats.nrows,
+        arch=arch,
+    )
+    return arch.launch_overhead + max(t_mem, t_exec)
+
+
+def time_hyb_spmm(
+    stats: MatrixStats,
+    arch: GPUArchitecture,
+    k: int = DEFAULT_SPMM_WIDTH,
+    check_feasible: bool = True,
+) -> float:
+    if check_feasible:
+        if stats.bytes_hyb() > arch.capacity_bytes:
+            raise FormatInfeasibleError(
+                f"HYB structure ({stats.bytes_hyb()} B) exceeds device capacity"
+            )
+        _check_dense_feasible(stats, arch, k, stats.bytes_hyb(), "hyb")
+    ell_bytes = stats.hyb_ell_slots * (
+        INDEX_BYTES + VALUE_BYTES
+    ) + _dense_gather_bytes(stats, arch, stats.hyb_ell_entries, k)
+    t_ell_mem = ell_bytes / (arch.effective_bandwidth * _ELL_COALESCE)
+    t_ell = max(
+        t_ell_mem,
+        _exec_time(
+            slots=float(stats.hyb_ell_slots * k),
+            critical_path_entries=float(stats.hyb_width * k),
+            parallel_units=stats.nrows,
+            arch=arch,
+        ),
+    )
+    t_coo = 0.0
+    if stats.hyb_coo_entries:
+        coo_bytes = (
+            stats.hyb_coo_entries
+            * (2 * INDEX_BYTES + VALUE_BYTES)
+            * arch.coo_pass_factor
+            + (arch.coo_pass_factor - 1.0)
+            * stats.hyb_coo_entries
+            * (k - 1)
+            * _COO_SPMM_PARTIAL_BYTES
+            + _dense_gather_bytes(stats, arch, stats.hyb_coo_entries, k)
+        )
+        t_coo_mem = coo_bytes / (arch.effective_bandwidth * _COO_COALESCE)
+        t_coo = max(
+            t_coo_mem,
+            _exec_time(
+                slots=stats.hyb_coo_entries * arch.coo_lane_cost * k,
+                critical_path_entries=arch.coo_lane_cost * k,
+                parallel_units=stats.hyb_coo_entries,
+                arch=arch,
+            ),
+        )
+    t_vec = _dense_io_bytes(stats, k) / arch.effective_bandwidth
+    return (
+        arch.launch_overhead + arch.hyb_extra_overhead + t_ell + t_coo + t_vec
+    )
+
+
+# ---------------------------------------------------------------------------
+# SpGEMM: sparse @ sparse (structure-alike operand)
+# ---------------------------------------------------------------------------
+
+#: Per-intermediate-product lane cost (hash/merge accumulate) relative to
+#: a coalesced ELL slot.
+_SPGEMM_LANE_COST = {"csr": 2.0, "coo": 3.5, "ell": 1.5, "hyb": 2.2}
+
+#: COO SpGEMM's expand-sort-compress re-streams the intermediate products
+#: this many extra times (radix-style passes).
+_SPGEMM_SORT_PASSES = 3.0
+
+
+def _spgemm_workload(stats: MatrixStats) -> tuple[float, float]:
+    """(intermediate products, estimated output nnz) for ``A @ B``.
+
+    Each stored entry ``(i, j)`` of A pairs with the operand's row ``j``;
+    with a structure-alike operand that row holds ``mean_row`` entries in
+    expectation, so the intermediate count is ``nnz · mean_row``.  The
+    output can never exceed the dense ``nrows × ncols`` footprint.
+    """
+    inter = stats.nnz * max(stats.mean_row, 1.0)
+    c_nnz = min(inter, float(stats.nrows) * max(stats.ncols, 1))
+    return inter, c_nnz
+
+
+def _check_spgemm_feasible(
+    stats: MatrixStats,
+    arch: GPUArchitecture,
+    structure_bytes: int,
+    fmt: str,
+) -> None:
+    """Both sparse operands plus the estimated output must be resident."""
+    _, c_nnz = _spgemm_workload(stats)
+    out_bytes = c_nnz * (INDEX_BYTES + VALUE_BYTES)
+    if 2 * structure_bytes + out_bytes > arch.capacity_bytes:
+        raise FormatInfeasibleError(
+            f"SpGEMM operands (2 x {structure_bytes} B {fmt}) plus output "
+            f"estimate ({out_bytes:.0f} B) exceed device capacity "
+            f"({arch.capacity_bytes} B)"
+        )
+
+
+def time_csr_spgemm(
+    stats: MatrixStats, arch: GPUArchitecture, check_feasible: bool = True
+) -> float:
+    """Row-wise Gustavson: stream A, gather operand rows, accumulate C."""
+    if check_feasible:
+        _check_spgemm_feasible(stats, arch, stats.bytes_csr(), "csr")
+    inter, c_nnz = _spgemm_workload(stats)
+    bytes_moved = (
+        stats.bytes_csr()
+        + inter * (INDEX_BYTES + VALUE_BYTES)
+        + c_nnz * (INDEX_BYTES + VALUE_BYTES)
+    )
+    bw = arch.effective_bandwidth * _csr_coalesce(stats.mean_row, arch)
+    t_mem = bytes_moved / bw
+    t_exec = _exec_time(
+        slots=inter * _SPGEMM_LANE_COST["csr"],
+        critical_path_entries=float(stats.max_row) * max(stats.mean_row, 1.0),
+        parallel_units=stats.nrows,
+        arch=arch,
+    )
+    return arch.launch_overhead + max(t_mem, t_exec)
+
+
+def time_coo_spgemm(
+    stats: MatrixStats, arch: GPUArchitecture, check_feasible: bool = True
+) -> float:
+    """Expand / sort / compress: re-streams every intermediate product."""
+    if check_feasible:
+        _check_spgemm_feasible(stats, arch, stats.bytes_coo(), "coo")
+    inter, c_nnz = _spgemm_workload(stats)
+    record = 2 * INDEX_BYTES + VALUE_BYTES
+    bytes_moved = (
+        stats.bytes_coo()
+        + inter * record * (1.0 + _SPGEMM_SORT_PASSES)
+        + c_nnz * record
+    )
+    bw = arch.effective_bandwidth * _COO_COALESCE
+    t_mem = bytes_moved / bw
+    t_exec = _exec_time(
+        slots=inter * _SPGEMM_LANE_COST["coo"],
+        critical_path_entries=_SPGEMM_LANE_COST["coo"],
+        parallel_units=max(stats.nnz, 1),
+        arch=arch,
+    )
+    return arch.launch_overhead + max(t_mem, t_exec)
+
+
+def time_ell_spgemm(
+    stats: MatrixStats, arch: GPUArchitecture, check_feasible: bool = True
+) -> float:
+    """Padded expansion: every padded slot walks a *padded* operand row."""
+    if check_feasible:
+        if not stats.ell_convertible():
+            raise FormatInfeasibleError(
+                "CUSP ELL conversion rejected (fill bound exceeded)"
+            )
+        if stats.bytes_ell() > arch.capacity_bytes:
+            raise FormatInfeasibleError(
+                f"ELL structure ({stats.bytes_ell()} B) exceeds device "
+                f"capacity ({arch.capacity_bytes} B)"
+            )
+        _check_spgemm_feasible(stats, arch, stats.bytes_ell(), "ell")
+    _, c_nnz = _spgemm_workload(stats)
+    padded_inter = float(stats.ell_padded) * max(stats.ell_width, 1)
+    bytes_moved = (
+        stats.bytes_ell()
+        + padded_inter * (INDEX_BYTES + VALUE_BYTES)
+        + c_nnz * (INDEX_BYTES + VALUE_BYTES)
+    )
+    bw = arch.effective_bandwidth * _ELL_COALESCE
+    t_mem = bytes_moved / bw
+    t_exec = _exec_time(
+        slots=padded_inter * _SPGEMM_LANE_COST["ell"],
+        critical_path_entries=float(stats.ell_width) * max(stats.ell_width, 1),
+        parallel_units=stats.nrows,
+        arch=arch,
+    )
+    return arch.launch_overhead + max(t_mem, t_exec)
+
+
+def time_hyb_spgemm(
+    stats: MatrixStats, arch: GPUArchitecture, check_feasible: bool = True
+) -> float:
+    """ELL-part Gustavson on the regular rows + COO expansion overflow."""
+    if check_feasible:
+        if stats.bytes_hyb() > arch.capacity_bytes:
+            raise FormatInfeasibleError(
+                f"HYB structure ({stats.bytes_hyb()} B) exceeds device capacity"
+            )
+        _check_spgemm_feasible(stats, arch, stats.bytes_hyb(), "hyb")
+    mean = max(stats.mean_row, 1.0)
+    record = 2 * INDEX_BYTES + VALUE_BYTES
+    inter_ell = float(stats.hyb_ell_slots) * max(stats.hyb_width, 1)
+    inter_coo = stats.hyb_coo_entries * mean
+    ell_bytes = stats.hyb_ell_slots * (
+        INDEX_BYTES + VALUE_BYTES
+    ) + inter_ell * (INDEX_BYTES + VALUE_BYTES)
+    t_ell = max(
+        ell_bytes / (arch.effective_bandwidth * _ELL_COALESCE),
+        _exec_time(
+            slots=inter_ell * _SPGEMM_LANE_COST["hyb"],
+            critical_path_entries=float(stats.hyb_width)
+            * max(stats.hyb_width, 1),
+            parallel_units=stats.nrows,
+            arch=arch,
+        ),
+    )
+    t_coo = 0.0
+    if stats.hyb_coo_entries:
+        coo_bytes = (
+            stats.hyb_coo_entries * record
+            + inter_coo * record * (1.0 + _SPGEMM_SORT_PASSES)
+        )
+        t_coo = max(
+            coo_bytes / (arch.effective_bandwidth * _COO_COALESCE),
+            _exec_time(
+                slots=inter_coo * _SPGEMM_LANE_COST["coo"],
+                critical_path_entries=_SPGEMM_LANE_COST["coo"],
+                parallel_units=stats.hyb_coo_entries,
+                arch=arch,
+            ),
+        )
+    _, c_nnz = _spgemm_workload(stats)
+    t_out = (
+        c_nnz * (INDEX_BYTES + VALUE_BYTES) / arch.effective_bandwidth
+    )
+    return (
+        arch.launch_overhead + arch.hyb_extra_overhead + t_ell + t_coo + t_out
+    )
+
+
 _KERNELS = {
     "csr": time_csr,
     "coo": time_coo,
@@ -225,34 +715,100 @@ _KERNELS = {
     "hyb": time_hyb,
 }
 
+_SPMM_KERNELS = {
+    "csr": time_csr_spmm,
+    "coo": time_coo_spmm,
+    "ell": time_ell_spmm,
+    "hyb": time_hyb_spmm,
+}
+
+_SPGEMM_KERNELS = {
+    "csr": time_csr_spgemm,
+    "coo": time_coo_spgemm,
+    "ell": time_ell_spgemm,
+    "hyb": time_hyb_spgemm,
+}
+
 
 @dataclass(frozen=True)
 class KernelModel:
-    """Callable bundle: noiseless per-format SpMV time for one architecture."""
+    """Callable bundle: noiseless per-format kernel time for one architecture.
+
+    ``op`` defaults to ``"spmv"`` everywhere, so pre-existing call sites
+    are untouched and byte-identical.
+    """
 
     arch: GPUArchitecture
 
-    def time(self, fmt: str, stats: MatrixStats) -> float:
-        """Noiseless SpMV time in seconds; raises if infeasible."""
-        return _KERNELS[fmt](stats, self.arch)
+    def time(
+        self, fmt: str, stats: MatrixStats, op: "str | OpSpec" = "spmv"
+    ) -> float:
+        """Noiseless kernel time in seconds; raises if infeasible."""
+        spec = parse_op(op)
+        if spec.kind == "spmv":
+            return _KERNELS[fmt](stats, self.arch)
+        if spec.kind == "spmm":
+            return _SPMM_KERNELS[fmt](stats, self.arch, spec.k)
+        return _SPGEMM_KERNELS[fmt](stats, self.arch)
 
-    def feasible(self, fmt: str, stats: MatrixStats) -> bool:
+    def feasible(
+        self, fmt: str, stats: MatrixStats, op: "str | OpSpec" = "spmv"
+    ) -> bool:
         try:
-            self.time(fmt, stats)
+            self.time(fmt, stats, op)
             return True
         except FormatInfeasibleError:
             return False
 
 
 def predict_times(
-    stats: MatrixStats, arch: GPUArchitecture
-) -> dict[str, float]:
-    """Noiseless time per feasible format; infeasible formats are omitted."""
+    stats: MatrixStats, arch: GPUArchitecture, op: "str | OpSpec" = "spmv"
+) -> "dict[str, float | InfeasibleFormat]":
+    """Noiseless time per format; infeasible formats map to a typed marker.
+
+    Every modeled format appears in the result: feasible ones as float
+    seconds, infeasible ones as :class:`InfeasibleFormat` (the old
+    contract silently omitted them, which made "excluded" and "forgot to
+    model" indistinguishable).  Use :func:`feasible_times` for the float
+    subset and :func:`best_format` for a typed argmin.
+    """
+    spec = parse_op(op)
     model = KernelModel(arch)
-    out: dict[str, float] = {}
+    out: "dict[str, float | InfeasibleFormat]" = {}
     for fmt in MODELED_FORMATS:
         try:
-            out[fmt] = model.time(fmt, stats)
-        except FormatInfeasibleError:
-            pass
+            out[fmt] = model.time(fmt, stats, spec)
+        except FormatInfeasibleError as exc:
+            out[fmt] = InfeasibleFormat(
+                fmt=fmt, op=spec.canonical, reason=str(exc)
+            )
     return out
+
+
+def feasible_times(
+    times: "dict[str, float | InfeasibleFormat]",
+) -> dict[str, float]:
+    """The float-valued (feasible) subset of a :func:`predict_times` result."""
+    return {
+        fmt: t for fmt, t in times.items()
+        if not isinstance(t, InfeasibleFormat)
+    }
+
+
+def best_format(times: "dict[str, float | InfeasibleFormat]") -> str:
+    """Fastest feasible format of a :func:`predict_times` result.
+
+    Raises :class:`NoFeasibleFormatError` — never an empty ``min()`` —
+    when every format carries an :class:`InfeasibleFormat` marker.
+    """
+    runnable = feasible_times(times)
+    if not runnable:
+        reasons = "; ".join(
+            f"{fmt}: {t.reason}"
+            for fmt, t in times.items()
+            if isinstance(t, InfeasibleFormat)
+        )
+        raise NoFeasibleFormatError(
+            f"no feasible format for this matrix ({reasons})"
+        )
+    return min(runnable, key=runnable.__getitem__)

@@ -24,6 +24,9 @@ from repro.gpu.kernels import (
     MODELED_FORMATS,
     FormatInfeasibleError,
     KernelModel,
+    NoFeasibleFormatError,
+    OpSpec,
+    parse_op,
 )
 from repro.gpu.noise import DEFAULT_SIGMA, averaged_measurement
 from repro.obs import TELEMETRY
@@ -52,6 +55,8 @@ class BenchmarkResult:
     times: dict[str, float]
     #: Formats excluded on this architecture, with the reason.
     excluded: dict[str, str] = field(default_factory=dict)
+    #: Operation benchmarked ("spmv", "spmm:<k>", or "spgemm").
+    op: str = "spmv"
 
     @property
     def runnable(self) -> bool:
@@ -61,8 +66,16 @@ class BenchmarkResult:
     @property
     def best_format(self) -> str:
         if not self.times:
-            raise ValueError(f"no feasible formats for {self.name}")
+            raise NoFeasibleFormatError(
+                f"no feasible formats for {self.name} "
+                f"(op={self.op}: {'; '.join(self.excluded.values())})"
+            )
         return min(self.times, key=self.times.__getitem__)
+
+    @property
+    def op_label(self) -> str:
+        """The compound ``format@op`` training label for this result."""
+        return f"{self.best_format}@{self.op}"
 
     def speedup_over(self, fmt: str) -> float:
         """time(fmt) / time(best): how much picking best beats ``fmt``."""
@@ -101,15 +114,20 @@ class GPUSimulator:
         self._seed = seed
         self.model = KernelModel(arch)
 
-    def _rng_for(self, name: str) -> np.random.Generator:
+    def _rng_for(self, name: str, op: OpSpec) -> np.random.Generator:
         # Name-keyed streams: benchmarking a subset produces the same
-        # measurements as benchmarking the full collection.
-        h = np.frombuffer(
-            f"{self._seed}:{self.arch.name}:{name}".encode(), dtype=np.uint8
-        )
+        # measurements as benchmarking the full collection.  The SpMV key
+        # omits the op suffix so every pre-existing campaign stays
+        # byte-identical; other ops get their own independent stream.
+        key = f"{self._seed}:{self.arch.name}:{name}"
+        if op.kind != "spmv":
+            key = f"{key}:{op.canonical}"
+        h = np.frombuffer(key.encode(), dtype=np.uint8)
         return np.random.default_rng([self._seed, *h.tolist()])
 
-    def benchmark_stats(self, name: str, stats: MatrixStats) -> BenchmarkResult:
+    def benchmark_stats(
+        self, name: str, stats: MatrixStats, op: str | OpSpec = "spmv"
+    ) -> BenchmarkResult:
         """Benchmark from precomputed structural statistics.
 
         With telemetry enabled, every call counts into
@@ -119,14 +137,15 @@ class GPUSimulator:
         simulator's whole reason to exist (Table 8's two-day campaign
         compressed to milliseconds).
         """
+        spec = parse_op(op)
         observing = TELEMETRY.enabled
-        rng = self._rng_for(name)
+        rng = self._rng_for(name, spec)
         times: dict[str, float] = {}
         excluded: dict[str, str] = {}
         for fmt in MODELED_FORMATS:
             wall0 = time.perf_counter() if observing else 0.0
             try:
-                base = self.model.time(fmt, stats)
+                base = self.model.time(fmt, stats, spec)
             except FormatInfeasibleError as exc:
                 excluded[fmt] = str(exc)
                 if observing:
@@ -145,17 +164,24 @@ class GPUSimulator:
                 )
         TELEMETRY.inc("gpu.benchmark_calls")
         return BenchmarkResult(
-            name=name, arch=self.arch.name, times=times, excluded=excluded
+            name=name,
+            arch=self.arch.name,
+            times=times,
+            excluded=excluded,
+            op=spec.canonical,
         )
 
-    def benchmark(self, name: str, matrix: COOMatrix) -> BenchmarkResult:
-        return self.benchmark_stats(name, compute_stats(matrix))
+    def benchmark(
+        self, name: str, matrix: COOMatrix, op: str | OpSpec = "spmv"
+    ) -> BenchmarkResult:
+        return self.benchmark_stats(name, compute_stats(matrix), op)
 
     def benchmark_collection(
         self,
         records: list[MatrixRecord],
         stats: list[MatrixStats] | None = None,
         jobs: int = 1,
+        op: str | OpSpec = "spmv",
     ) -> list[BenchmarkResult]:
         """Benchmark every record; ``stats`` may be precomputed and shared.
 
@@ -175,8 +201,9 @@ class GPUSimulator:
                 )
             if len(stats) != len(records):
                 raise ValueError("stats and records lengths differ")
+            canonical = parse_op(op).canonical
             return parallel_map(
-                partial(_benchmark_unit, self),
+                partial(_benchmark_unit, self, canonical),
                 [(rec.name, st) for rec, st in zip(records, stats)],
                 jobs=jobs,
                 label=f"gpu.benchmark.{self.arch.name}",
@@ -227,16 +254,16 @@ def _stats_unit(record: MatrixRecord) -> MatrixStats:
 
 
 def _benchmark_unit(
-    sim: "GPUSimulator", item: tuple[str, MatrixStats]
+    sim: "GPUSimulator", op: str, item: tuple[str, MatrixStats]
 ) -> BenchmarkResult:
-    """Picklable work unit: simulate one (matrix, architecture) pair.
+    """Picklable work unit: simulate one (matrix, architecture, op) triple.
 
     The simulator travels to the worker by pickle (it is a small bag of
     architecture parameters); the name-keyed noise stream makes the
     result independent of which worker runs it.
     """
     name, stats = item
-    return sim.benchmark_stats(name, stats)
+    return sim.benchmark_stats(name, stats, op)
 
 
 def label_distribution(results: list[BenchmarkResult]) -> dict[str, int]:
@@ -245,4 +272,20 @@ def label_distribution(results: list[BenchmarkResult]) -> dict[str, int]:
     for res in results:
         if res.runnable:
             counts[res.best_format] += 1
+    return counts
+
+
+def op_label_distribution(
+    results: list[BenchmarkResult],
+) -> dict[str, int]:
+    """Compound ``format@op`` counts over runnable results (Table 10 rows).
+
+    Keys appear in deterministic (op, format) order so table rows and
+    goldens are stable across runs.
+    """
+    ops = sorted({res.op for res in results})
+    counts = {f"{fmt}@{op}": 0 for op in ops for fmt in MODELED_FORMATS}
+    for res in results:
+        if res.runnable:
+            counts[res.op_label] += 1
     return counts

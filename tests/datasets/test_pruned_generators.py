@@ -1,0 +1,172 @@
+"""DLMC-style pruned-weight generators: the SpMM campaign's new families.
+
+Four contracts:
+
+- requested sparsity is honoured (exactly for magnitude pruning, within
+  binomial tolerance for the Bernoulli families);
+- ``block_pruned`` emits *only* complete ``block x block`` tiles, on
+  block-aligned dimensions (rounding non-multiples up);
+- a fixed seed reproduces the record bit-for-bit;
+- the single-pass :class:`StreamingStats` accumulator matches
+  :func:`compute_stats` bit-identically on every family, so streamed
+  pruned-weight files get the same features as in-memory ones.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import (
+    GENERATORS,
+    PRUNED_FAMILIES,
+    block_pruned,
+    magnitude_pruned,
+    random_pruned,
+)
+from repro.datasets.suite import DEFAULT_FAMILIES, SPMM_FAMILIES
+from repro.features.stats import StreamingStats, compute_stats
+
+PRUNED_GENERATORS = {
+    "magnitude_pruned": magnitude_pruned,
+    "random_pruned": random_pruned,
+    "block_pruned": block_pruned,
+}
+
+
+def test_registry_and_suite_wiring():
+    for name in PRUNED_FAMILIES:
+        assert GENERATORS[name] is PRUNED_GENERATORS[name]
+    # The classic seeded SpMV campaign must not reshuffle: the pruned
+    # trio only enters through the explicit SpMM family list.
+    assert not set(PRUNED_FAMILIES) & set(DEFAULT_FAMILIES)
+    assert SPMM_FAMILIES == DEFAULT_FAMILIES + PRUNED_FAMILIES
+
+
+@pytest.mark.parametrize("sparsity", [0.5, 0.9, 0.98])
+def test_magnitude_pruned_keeps_exact_count(sparsity):
+    nrows, ncols = 96, 128
+    m = magnitude_pruned(
+        np.random.default_rng(0), nrows=nrows, ncols=ncols, sparsity=sparsity
+    )
+    assert m.shape == (nrows, ncols)
+    assert m.nnz == max(1, int(round(nrows * ncols * (1.0 - sparsity))))
+    # Survivors are the global magnitude tail: every kept |value| must
+    # be at least as large as the implied threshold would allow, i.e.
+    # the smallest survivor dominates what a fresh draw discards on
+    # average.  Cheap sanity: survivors are well away from zero.
+    assert np.abs(m.vals).min() > 0.0
+
+
+@pytest.mark.parametrize("name", ["random_pruned", "block_pruned"])
+@pytest.mark.parametrize("sparsity", [0.7, 0.9])
+def test_bernoulli_families_hit_sparsity_within_tolerance(name, sparsity):
+    gen = PRUNED_GENERATORS[name]
+    m = gen(np.random.default_rng(7), nrows=512, ncols=512, sparsity=sparsity)
+    achieved = 1.0 - m.nnz / (m.shape[0] * m.shape[1])
+    # random_pruned draws 512*512 Bernoullis (sd ~ 1e-3); block_pruned
+    # draws (512/4)^2 tile Bernoullis (sd ~ 3e-3).  5 sd with margin:
+    assert achieved == pytest.approx(sparsity, abs=0.02)
+
+
+@pytest.mark.parametrize("block", [2, 4, 8])
+def test_block_pruned_emits_only_full_tiles(block):
+    m = block_pruned(
+        np.random.default_rng(3), nrows=128, ncols=96, sparsity=0.85,
+        block=block,
+    )
+    assert m.shape[0] % block == 0 and m.shape[1] % block == 0
+    assert m.nnz % (block * block) == 0
+    tiles, counts = np.unique(
+        (m.rows // block) * (m.shape[1] // block) + (m.cols // block),
+        return_counts=True,
+    )
+    assert (counts == block * block).all()
+    assert tiles.size == m.nnz // (block * block)
+
+
+def test_block_pruned_rounds_ragged_dims_up():
+    m = block_pruned(
+        np.random.default_rng(1), nrows=130, ncols=97, sparsity=0.9, block=8
+    )
+    assert m.shape == (136, 104)
+
+
+def test_every_family_survives_extreme_sparsity():
+    # At 0.995 the Bernoulli mask can come up empty; the generators must
+    # still emit at least one entry (one full tile for block_pruned).
+    for name, gen in PRUNED_GENERATORS.items():
+        m = gen(np.random.default_rng(11), nrows=32, ncols=32, sparsity=0.995)
+        assert m.nnz >= 1, name
+    b = block_pruned(
+        np.random.default_rng(11), nrows=32, ncols=32, sparsity=0.995, block=4
+    )
+    assert b.nnz >= 16
+
+
+@pytest.mark.parametrize("name", sorted(PRUNED_GENERATORS))
+def test_same_seed_reproduces_bit_for_bit(name):
+    gen = PRUNED_GENERATORS[name]
+    a = gen(np.random.default_rng(42), nrows=64, ncols=80, sparsity=0.9)
+    b = gen(np.random.default_rng(42), nrows=64, ncols=80, sparsity=0.9)
+    assert a.shape == b.shape
+    assert a.rows.tobytes() == b.rows.tobytes()
+    assert a.cols.tobytes() == b.cols.tobytes()
+    assert a.vals.tobytes() == b.vals.tobytes()
+    c = gen(np.random.default_rng(43), nrows=64, ncols=80, sparsity=0.9)
+    assert (
+        a.nnz != c.nnz
+        or a.rows.tobytes() != c.rows.tobytes()
+        or a.cols.tobytes() != c.cols.tobytes()
+    )
+
+
+def test_collection_records_deterministic_for_pruned_families():
+    from repro.datasets.suite import build_collection
+
+    a = build_collection(seed=9, size=6, families=list(PRUNED_FAMILIES))
+    b = build_collection(seed=9, size=6, families=list(PRUNED_FAMILIES))
+    assert [r.name for r in a.records] == [r.name for r in b.records]
+    for ra, rb in zip(a.records, b.records):
+        assert ra.family == rb.family and ra.params == rb.params
+        assert ra.family in PRUNED_FAMILIES
+        assert ra.matrix.shape == rb.matrix.shape
+        assert ra.matrix.rows.tobytes() == rb.matrix.rows.tobytes()
+        assert ra.matrix.cols.tobytes() == rb.matrix.cols.tobytes()
+        assert ra.matrix.vals.tobytes() == rb.matrix.vals.tobytes()
+
+
+@pytest.mark.parametrize("name", sorted(PRUNED_GENERATORS))
+@pytest.mark.parametrize("chunk", [1, 17, 100_000])
+def test_streaming_stats_bit_identical_on_pruned_families(name, chunk):
+    m = PRUNED_GENERATORS[name](
+        np.random.default_rng(5), nrows=72, ncols=56, sparsity=0.88
+    )
+    want = compute_stats(m)
+    acc = StreamingStats(m.shape[0], m.shape[1])
+    for start in range(0, m.nnz, chunk):
+        acc.update(m.rows[start : start + chunk], m.cols[start : start + chunk])
+    got = acc.finalize()
+    assert got.nrows == want.nrows and got.ncols == want.ncols
+    assert got.nnz == want.nnz
+    assert got.row_lengths.tobytes() == want.row_lengths.tobytes()
+    assert got.n_diagonals == want.n_diagonals
+    assert got.band_fraction == want.band_fraction
+    assert got.mean_abs_offset == want.mean_abs_offset
+    assert got.warp_divergence_slots == want.warp_divergence_slots
+    assert got.csr_max == want.csr_max
+    assert got.hyb_width == want.hyb_width
+    assert got.hyb_ell_entries == want.hyb_ell_entries
+    assert got.hyb_coo_entries == want.hyb_coo_entries
+
+
+@pytest.mark.parametrize("name", sorted(PRUNED_GENERATORS))
+@pytest.mark.parametrize("sparsity", [0.0, 1.0, -0.2, 1.5])
+def test_sparsity_domain_is_enforced(name, sparsity):
+    with pytest.raises(ValueError):
+        PRUNED_GENERATORS[name](
+            np.random.default_rng(0), nrows=16, ncols=16, sparsity=sparsity
+        )
+
+
+def test_block_size_domain_is_enforced():
+    with pytest.raises(ValueError):
+        block_pruned(np.random.default_rng(0), sparsity=0.9, block=0)

@@ -49,7 +49,9 @@ class TestDataBuilder:
 
 class TestRunner:
     def test_table_modules_complete(self):
-        assert sorted(TABLE_MODULES) == [f"table{i}" for i in range(2, 10)]
+        assert sorted(TABLE_MODULES) == sorted(
+            f"table{i}" for i in range(2, 11)
+        )
 
     def test_run_subset_and_markdown(self, tmp_path, capsys):
         cfg = ExperimentConfig(

@@ -27,9 +27,22 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro.experiments import table4, table5, table6, table7
+from repro.experiments import (
+    spmm,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+    table9,
+)
+from repro.experiments.config import ExperimentConfig
 
 GOLDEN_PATH = Path(__file__).parent / "goldens" / "tables_4_7.json"
+SPMV_GOLDEN_PATH = Path(__file__).parent / "goldens" / "tables_2_9_spmv.json"
+TABLE10_GOLDEN_PATH = Path(__file__).parent / "goldens" / "table10.json"
 
 GENERATORS = {
     "table4": table4.generate,
@@ -91,6 +104,92 @@ def test_tables_4_to_7_match_goldens(tiny_data):
                     "(REPRO_UPDATE_GOLDENS=1 regenerates after an "
                     "intentional change)"
                 )
+
+
+def _table_snap(table) -> dict:
+    return {
+        "headers": list(table.headers),
+        "rows": [[_cell(v) for v in row] for row in table.rows],
+    }
+
+
+def spmv_snapshot(data) -> dict:
+    """Tables 2/3/8 cell-exact plus Table 9's structure (cells are wall-clock)."""
+    out = {
+        "table2": _table_snap(table2.generate(data)),
+        "table3": _table_snap(table3.generate(data)),
+        "table8": _table_snap(table8.generate(data)),
+    }
+    t9 = table9.generate(data)
+    out["table9"] = {
+        "headers": list(t9.headers),
+        "rows": [[_cell(row[0])] for row in t9.rows],
+    }
+    return out
+
+
+def test_tables_2_9_spmv_identity(tiny_data):
+    """The op-aware layer leaves the SpMV campaign byte-identical.
+
+    The golden was snapshotted from the pre-SpMM tree on the same seeded
+    tiny campaign; ``op="spmv"`` defaults everywhere must keep every
+    Table 2/3/8 cell (and Table 9's structure) exactly as it was.
+    """
+    snap = spmv_snapshot(tiny_data)
+    if os.environ.get("REPRO_UPDATE_GOLDENS") == "1":
+        SPMV_GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        SPMV_GOLDEN_PATH.write_text(
+            json.dumps(snap, indent=2, sort_keys=True) + "\n"
+        )
+        pytest.skip(f"goldens rewritten at {SPMV_GOLDEN_PATH}")
+    if not SPMV_GOLDEN_PATH.exists():
+        pytest.fail(
+            f"no golden file at {SPMV_GOLDEN_PATH}; generate one with "
+            "REPRO_UPDATE_GOLDENS=1"
+        )
+    golden = json.loads(SPMV_GOLDEN_PATH.read_text())
+    assert snap == golden, (
+        "SpMV-path outputs changed — the op extension must be inert at "
+        "op='spmv' (REPRO_UPDATE_GOLDENS=1 regenerates only after an "
+        "intentional change)"
+    )
+
+
+#: Table 10's own seeded mini-campaign: smaller than ``tiny_config``
+#: because it benchmarks every matrix under three ops.
+TABLE10_CONFIG = ExperimentConfig(
+    collection_size=96,
+    augment_copies=0,
+    trials=5,
+    n_folds=3,
+    nc_grid=(10, 25),
+)
+
+
+def test_table10_matches_golden():
+    snap = {"table10": _table_snap(spmm.generate(config=TABLE10_CONFIG))}
+    if os.environ.get("REPRO_UPDATE_GOLDENS") == "1":
+        TABLE10_GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        TABLE10_GOLDEN_PATH.write_text(
+            json.dumps(snap, indent=2, sort_keys=True) + "\n"
+        )
+        pytest.skip(f"goldens rewritten at {TABLE10_GOLDEN_PATH}")
+    if not TABLE10_GOLDEN_PATH.exists():
+        pytest.fail(
+            f"no golden file at {TABLE10_GOLDEN_PATH}; generate one with "
+            "REPRO_UPDATE_GOLDENS=1"
+        )
+    golden = json.loads(TABLE10_GOLDEN_PATH.read_text())
+    assert snap == golden, (
+        "Table 10 changed (REPRO_UPDATE_GOLDENS=1 regenerates after an "
+        "intentional change)"
+    )
+    # The golden itself must encode the acceptance criterion.
+    quantities = [row[0] for row in golden["table10"]["rows"]]
+    beats = golden["table10"]["rows"][
+        quantities.index("selector beats best static")
+    ][1]
+    assert beats == "yes"
 
 
 def test_golden_metrics_are_in_range():

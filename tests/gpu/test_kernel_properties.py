@@ -1,0 +1,249 @@
+"""Hypothesis property suite for the kernel cost layer.
+
+Four families of properties over generated matrices:
+
+- every feasible ``time_*`` / ``time_*_spmm`` / ``time_*_spgemm`` output
+  is positive and finite, on every architecture;
+- costs are monotone non-decreasing in ``nnz`` (asserted on the banded
+  family, whose uniform rows keep the CSR divergence term constant — the
+  regime where monotonicity is a theorem of the model) and in the dense
+  width ``k`` (a theorem for *any* matrix: every k-term scales or is
+  constant, so it is asserted on arbitrary random matrices);
+- SpMM at ``k=1`` degenerates to the SpMV model *bit-exactly*;
+- ``FormatInfeasibleError`` fires exactly when the ELL/HYB structural
+  bounds (and, for SpMM, the dense-residency bound) say so.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import HYPOTHESIS_SCALE
+
+from repro.datasets.generators import banded
+from repro.features.stats import compute_stats
+from repro.formats.coo import COOMatrix
+from repro.gpu.arch import ARCHITECTURES, PASCAL, VOLTA
+from repro.gpu.kernels import (
+    MODELED_FORMATS,
+    VALUE_BYTES,
+    FormatInfeasibleError,
+    InfeasibleFormat,
+    KernelModel,
+    NoFeasibleFormatError,
+    OpSpec,
+    best_format,
+    feasible_times,
+    parse_op,
+    predict_times,
+    time_coo,
+    time_coo_spmm,
+    time_csr,
+    time_csr_spmm,
+    time_ell,
+    time_ell_spmm,
+    time_hyb,
+    time_hyb_spmm,
+)
+
+SPMV_KERNELS = {
+    "csr": time_csr,
+    "coo": time_coo,
+    "ell": time_ell,
+    "hyb": time_hyb,
+}
+SPMM_KERNELS = {
+    "csr": time_csr_spmm,
+    "coo": time_coo_spmm,
+    "ell": time_ell_spmm,
+    "hyb": time_hyb_spmm,
+}
+
+
+def random_matrix(seed: int, nrows: int, ncols: int, density: float) -> COOMatrix:
+    rng = np.random.default_rng(seed)
+    nnz = max(1, int(nrows * ncols * density))
+    flat = rng.choice(nrows * ncols, size=min(nnz, nrows * ncols), replace=False)
+    rows, cols = np.divmod(flat, ncols)
+    vals = rng.normal(size=flat.shape[0])
+    vals = np.where(np.abs(vals) < 1e-3, 1e-3, vals)
+    return COOMatrix(
+        (nrows, ncols), rows.astype(np.int64), cols.astype(np.int64), vals
+    )
+
+
+matrix_params = st.tuples(
+    st.integers(0, 2**31 - 1),  # seed
+    st.integers(4, 60),  # nrows
+    st.integers(4, 60),  # ncols
+    st.floats(0.02, 0.5),  # density
+)
+
+ops = st.sampled_from(["spmv", "spmm:2", "spmm:8", "spmm:32", "spgemm"])
+
+widths = st.tuples(st.integers(1, 64), st.integers(1, 64))
+
+
+@settings(max_examples=60 * HYPOTHESIS_SCALE, deadline=None)
+@given(params=matrix_params, op=ops)
+def test_all_feasible_times_positive_finite(params, op):
+    seed, nrows, ncols, density = params
+    s = compute_stats(random_matrix(seed, nrows, ncols, density))
+    for arch in ARCHITECTURES.values():
+        model = KernelModel(arch)
+        times = predict_times(s, arch, op)
+        assert set(times) == set(MODELED_FORMATS)
+        for fmt, t in times.items():
+            if isinstance(t, InfeasibleFormat):
+                assert not model.feasible(fmt, s, op)
+                continue
+            assert model.feasible(fmt, s, op)
+            assert t > 0.0 and math.isfinite(t), (fmt, op, t)
+
+
+@settings(max_examples=40 * HYPOTHESIS_SCALE, deadline=None)
+@given(
+    n=st.integers(64, 1024),
+    bw=st.integers(1, 10),
+    extra=st.integers(1, 8),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_times_monotone_in_nnz_on_uniform_rows(n, bw, extra, seed):
+    """Widening a band strictly adds entries; no cost may go down.
+
+    ``check_feasible=False`` isolates the cost surface from the
+    capacity cliffs (feasibility flips are tested separately).
+    """
+    rng = np.random.default_rng(seed)
+    small = compute_stats(banded(rng, n=n, bandwidth=bw))
+    rng = np.random.default_rng(seed)
+    large = compute_stats(banded(rng, n=n, bandwidth=bw + extra))
+    assert large.nnz > small.nnz
+    for arch in (PASCAL, VOLTA):
+        for fmt in ("csr", "coo", "ell", "hyb"):
+            t_small = SPMV_KERNELS[fmt](small, arch, **(
+                {} if fmt in ("csr", "coo") else {"check_feasible": False}
+            ))
+            t_large = SPMV_KERNELS[fmt](large, arch, **(
+                {} if fmt in ("csr", "coo") else {"check_feasible": False}
+            ))
+            assert t_large >= t_small, (fmt, arch.name)
+            for k in (2, 32):
+                m_small = SPMM_KERNELS[fmt](
+                    small, arch, k, check_feasible=False
+                )
+                m_large = SPMM_KERNELS[fmt](
+                    large, arch, k, check_feasible=False
+                )
+                assert m_large >= m_small, (fmt, arch.name, k)
+
+
+@settings(max_examples=60 * HYPOTHESIS_SCALE, deadline=None)
+@given(params=matrix_params, ks=widths)
+def test_spmm_monotone_in_dense_width(params, ks):
+    seed, nrows, ncols, density = params
+    k_lo, k_hi = sorted(ks)
+    s = compute_stats(random_matrix(seed, nrows, ncols, density))
+    for arch in ARCHITECTURES.values():
+        for fmt in MODELED_FORMATS:
+            t_lo = SPMM_KERNELS[fmt](s, arch, k_lo, check_feasible=False)
+            t_hi = SPMM_KERNELS[fmt](s, arch, k_hi, check_feasible=False)
+            assert t_hi >= t_lo, (fmt, arch.name, k_lo, k_hi)
+
+
+@settings(max_examples=60 * HYPOTHESIS_SCALE, deadline=None)
+@given(params=matrix_params)
+def test_spmm_k1_degenerates_to_spmv_bit_exactly(params):
+    seed, nrows, ncols, density = params
+    s = compute_stats(random_matrix(seed, nrows, ncols, density))
+    for arch in ARCHITECTURES.values():
+        for fmt in MODELED_FORMATS:
+            spmv = SPMV_KERNELS[fmt](s, arch, **(
+                {} if fmt in ("csr", "coo") else {"check_feasible": False}
+            ))
+            spmm1 = SPMM_KERNELS[fmt](s, arch, 1, check_feasible=False)
+            assert spmv == spmm1, (fmt, arch.name, spmv, spmm1)
+
+
+@settings(max_examples=60 * HYPOTHESIS_SCALE, deadline=None)
+@given(params=matrix_params)
+def test_infeasibility_fires_exactly_on_the_bounds(params):
+    seed, nrows, ncols, density = params
+    s = compute_stats(random_matrix(seed, nrows, ncols, density))
+    for arch in ARCHITECTURES.values():
+        model = KernelModel(arch)
+        ell_ok = s.ell_convertible() and s.bytes_ell() <= arch.capacity_bytes
+        assert model.feasible("ell", s) == ell_ok
+        hyb_ok = s.bytes_hyb() <= arch.capacity_bytes
+        assert model.feasible("hyb", s) == hyb_ok
+        assert model.feasible("csr", s) and model.feasible("coo", s)
+        # SpMM adds the dense-residency bound on top of the structural one.
+        for k in (8, 64):
+            dense = (s.nrows + s.ncols) * k * VALUE_BYTES
+            assert model.feasible("csr", s, f"spmm:{k}") == (
+                s.bytes_csr() + dense <= arch.capacity_bytes
+            )
+            assert model.feasible("ell", s, f"spmm:{k}") == (
+                ell_ok and s.bytes_ell() + dense <= arch.capacity_bytes
+            )
+
+
+def test_parse_op_accepts_and_rejects():
+    assert parse_op("spmv") == OpSpec("spmv", 1)
+    assert parse_op("spmm:64") == OpSpec("spmm", 64)
+    assert parse_op("spmm").k >= 1
+    assert parse_op("spgemm").canonical == "spgemm"
+    spec = OpSpec("spmm", 8)
+    assert parse_op(spec) is spec
+    for bad in ("bogus", "spmm:0", "spmm:x", "spmv:2", "spgemm:4"):
+        with pytest.raises(ValueError):
+            parse_op(bad)
+    with pytest.raises(ValueError):
+        OpSpec("spmv", 2)
+
+
+class TestAllInfeasible:
+    """A matrix no format can run must yield a typed error, not an empty argmin."""
+
+    @staticmethod
+    def _everything_infeasible():
+        import dataclasses
+
+        rng = np.random.default_rng(5)
+        s = compute_stats(banded(rng, n=2000, bandwidth=4))
+        # Capacity below the dense operands of a wide SpMM: every format
+        # carries the marker.
+        tiny = dataclasses.replace(PASCAL, capacity_bytes=10_000)
+        return s, tiny
+
+    def test_predict_times_returns_all_markers(self):
+        s, tiny = self._everything_infeasible()
+        times = predict_times(s, tiny, "spmm:512")
+        assert set(times) == set(MODELED_FORMATS)
+        assert all(isinstance(t, InfeasibleFormat) for t in times.values())
+        assert feasible_times(times) == {}
+        with pytest.raises(NoFeasibleFormatError) as err:
+            best_format(times)
+        # Every format's reason is carried in the error.
+        for fmt in MODELED_FORMATS:
+            assert fmt in str(err.value)
+
+    def test_error_is_a_value_error_for_old_callers(self):
+        assert issubclass(NoFeasibleFormatError, ValueError)
+
+    def test_simulator_raises_the_same_typed_error(self):
+        from repro.gpu.simulator import GPUSimulator
+
+        s, tiny = self._everything_infeasible()
+        result = GPUSimulator(tiny, trials=3, seed=0).benchmark_stats(
+            "m", s, "spmm:512"
+        )
+        assert not result.runnable
+        assert result.times == {}
+        with pytest.raises(NoFeasibleFormatError):
+            result.best_format

@@ -61,12 +61,18 @@ def test_csr_wins_scattered_long_rows(rng):
 
 
 def test_arrow_is_ell_infeasible_and_csr_catastrophic(rng):
+    from repro.gpu.kernels import InfeasibleFormat
+
     s = compute_stats(arrow(rng, n=4000, band=2))
     model = KernelModel(PASCAL)
     assert not model.feasible("ell", s)
     with pytest.raises(FormatInfeasibleError):
         time_ell(s, PASCAL)
     times = predict_times(s, PASCAL)
+    # Infeasibility is a typed marker, not a silent omission.
+    assert isinstance(times["ell"], InfeasibleFormat)
+    assert not times["ell"]
+    assert times["ell"].fmt == "ell" and times["ell"].op == "spmv"
     # The paper's mawi anecdote: CSR is far slower than HYB here.
     assert times["csr"] > 2.0 * times["hyb"]
 

@@ -39,12 +39,10 @@ def test_labels_stable_under_trial_count(rng):
     """Averaging many trials converges labels to the noiseless argmin."""
     from repro.datasets.generators import stencil_2d
     from repro.features.stats import compute_stats
-    from repro.gpu.kernels import predict_times
+    from repro.gpu.kernels import best_format, predict_times
 
     m = stencil_2d(rng, nx=40, ny=40)
     stats = compute_stats(m)
-    noiseless_best = min(
-        predict_times(stats, VOLTA), key=predict_times(stats, VOLTA).get
-    )
+    noiseless_best = best_format(predict_times(stats, VOLTA))
     res = GPUSimulator(VOLTA, trials=500, seed=3).benchmark("m", m)
     assert res.best_format == noiseless_best
